@@ -1,0 +1,68 @@
+#ifndef CONDTD_BENCH_BENCH_UTIL_H_
+#define CONDTD_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "gen/corpus.h"
+#include "regex/ast.h"
+#include "regex/equivalence.h"
+#include "regex/matcher.h"
+#include "regex/normalize.h"
+#include "regex/properties.h"
+
+namespace condtd {
+namespace bench_util {
+
+/// Wall-clock stopwatch for the coarse timings reported in
+/// EXPERIMENTS.md (google-benchmark is used for the fine-grained
+/// perf_scaling binary).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// True when every word of the sample is accepted by `re` — the basic
+/// soundness requirement on every inferred expression.
+inline bool AcceptsSample(const ReRef& re,
+                          const std::vector<Word>& sample) {
+  Matcher matcher(re);
+  for (const Word& w : sample) {
+    if (!matcher.Matches(w)) return false;
+  }
+  return true;
+}
+
+/// Render in the paper's table notation.
+inline std::string Paper(const ReRef& re, const Alphabet& alphabet) {
+  return ToString(re, alphabet, PrintStyle::kPaper);
+}
+
+/// Abbreviates very long expressions the way the paper's tables do
+/// ("an expression of N tokens").
+inline std::string PaperOrTokens(const ReRef& re, const Alphabet& alphabet,
+                                 size_t max_chars = 70) {
+  std::string text = Paper(re, alphabet);
+  if (text.size() <= max_chars) return text;
+  return "an expression of " + std::to_string(CountTokens(re)) + " tokens";
+}
+
+inline void PrintRule() {
+  std::printf(
+      "--------------------------------------------------------------------"
+      "----------\n");
+}
+
+}  // namespace bench_util
+}  // namespace condtd
+
+#endif  // CONDTD_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,87 @@
+// Ablation (DESIGN.md E9): why the paper fixes k = 2. 2T-INF is the
+// k = 2 member of Garcia & Vidal's k-testable family; larger k is more
+// specific but (a) the state space stops corresponding to symbols, so
+// the SORE/SOA rewriting machinery (Proposition 1) no longer applies,
+// and (b) sample complexity explodes with the number of distinct
+// k-grams. This bench quantifies both effects.
+
+#include <cstdio>
+#include <vector>
+
+#include "automaton/k_testable.h"
+#include "base/rng.h"
+#include "bench/bench_util.h"
+#include "gen/corpus.h"
+#include "gen/regex_sampler.h"
+#include "gen/representative.h"
+#include "regex/matcher.h"
+#include "regex/parser.h"
+
+namespace condtd {
+namespace {
+
+using bench_util::PrintRule;
+
+int Run() {
+  std::printf(
+      "Ablation — k-testable inference for k = 1..4 (why the paper fixes "
+      "k = 2)\n");
+  PrintRule();
+  // Target: example5's nested-repetition language, the hardest Table 2
+  // case for 2-gram methods.
+  Alphabet alphabet;
+  Result<ReRef> parsed =
+      ParseRegex("a1 (a2 | a3)* (a4 (a2 | a3 | a5)*)*", &alphabet);
+  ReRef target = parsed.value();
+
+  Rng rng(20060912);
+  std::vector<Word> train = RepresentativeSample(target);
+  for (const Word& w : SampleWords(target, 2000, &rng)) train.push_back(w);
+
+  // Held-out probes: half from the target language, half random words
+  // over its alphabet.
+  std::vector<Word> positives = SampleWords(target, 2000, &rng);
+  std::vector<Word> random_words;
+  for (int i = 0; i < 2000; ++i) {
+    Word w;
+    int len = 1 + static_cast<int>(rng.NextBelow(10));
+    for (int j = 0; j < len; ++j) {
+      w.push_back(static_cast<Symbol>(rng.NextBelow(5)));
+    }
+    random_words.push_back(std::move(w));
+  }
+  Matcher matcher(target);
+
+  std::printf("%4s  %10s  %14s  %20s  %22s\n", "k", "factors",
+              "train recall", "held-out recall", "false-accept rate");
+  for (int k = 1; k <= 4; ++k) {
+    KTestable kt = InferKTestable(train, k);
+    int train_ok = 0;
+    for (const Word& w : train) train_ok += kt.Accepts(w);
+    int pos_ok = 0;
+    for (const Word& w : positives) pos_ok += kt.Accepts(w);
+    int false_accepts = 0;
+    int negatives = 0;
+    for (const Word& w : random_words) {
+      if (matcher.Matches(w)) continue;  // actually in the language
+      ++negatives;
+      false_accepts += kt.Accepts(w);
+    }
+    std::printf("%4d  %10d  %13.1f%%  %19.1f%%  %21.1f%%\n", k,
+                kt.NumFactors(),
+                100.0 * train_ok / static_cast<double>(train.size()),
+                100.0 * pos_ok / static_cast<double>(positives.size()),
+                100.0 * false_accepts / static_cast<double>(negatives));
+  }
+  std::printf(
+      "\nk = 2 already keeps full recall with a modest false-accept rate "
+      "and is the largest k\nwhose automaton states biject with element "
+      "names — the property Proposition 1 and the\nwhole SOA→SORE "
+      "rewriting pipeline depend on.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace condtd
+
+int main() { return condtd::Run(); }

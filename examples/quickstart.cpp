@@ -1,0 +1,72 @@
+// Quickstart: infer a DTD (and an XSD) from a handful of XML documents.
+//
+//   $ ./examples/quickstart
+//
+// This walks the primary public API: DtdInferrer::AddXml folds documents
+// into per-element summaries, InferDtd() runs iDTD/CRX per element, and
+// the result serializes as a DOCTYPE or an XML Schema.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dtd/dtd_writer.h"
+#include "dtd/validator.h"
+#include "infer/inferrer.h"
+#include "xml/parser.h"
+
+int main() {
+  const std::vector<std::string> corpus = {
+      R"(<library>
+           <book id="b1">
+             <title>Data on the Web</title>
+             <author>Abiteboul</author><author>Buneman</author>
+             <year>1999</year>
+           </book>
+           <book id="b2">
+             <title>XML Schema</title><author>van der Vlist</author>
+           </book>
+         </library>)",
+      R"(<library>
+           <book id="b3">
+             <title>Automata Theory</title><author>Hopcroft</author>
+             <author>Ullman</author><year>1979</year><isbn/>
+           </book>
+         </library>)",
+  };
+
+  condtd::DtdInferrer inferrer;
+  for (const std::string& doc : corpus) {
+    condtd::Status status = inferrer.AddXml(doc);
+    if (!status.ok()) {
+      std::printf("failed to parse document: %s\n",
+                  status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  condtd::Result<condtd::Dtd> dtd = inferrer.InferDtd();
+  if (!dtd.ok()) {
+    std::printf("inference failed: %s\n", dtd.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Inferred DTD:\n%s\n",
+              condtd::WriteDoctype(dtd.value(), *inferrer.alphabet())
+                  .c_str());
+
+  // The inferred DTD validates its own training corpus by construction.
+  for (const std::string& text : corpus) {
+    condtd::Result<condtd::XmlDocument> doc = condtd::ParseXml(text);
+    condtd::ValidationReport report =
+        condtd::Validate(doc.value(), dtd.value(), inferrer.alphabet());
+    std::printf("document valid: %s\n", report.valid() ? "yes" : "no");
+  }
+
+  condtd::Result<std::string> xsd = inferrer.InferXsd();
+  if (xsd.ok()) {
+    std::printf("\nEquivalent XML Schema (with datatype heuristics):\n%s",
+                xsd->c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,177 @@
+#include "automaton/dfa.h"
+
+#include <map>
+#include <queue>
+#include <set>
+#include <utility>
+
+namespace condtd {
+
+int Dfa::AddState(bool accepting) {
+  int id = num_states();
+  accepting_.push_back(accepting);
+  delta_.emplace_back(num_symbols_, id);
+  return id;
+}
+
+bool Dfa::Accepts(const Word& word) const {
+  int q = initial_;
+  for (Symbol s : word) {
+    if (s < 0 || s >= num_symbols_) return false;
+    q = delta_[q][s];
+  }
+  return accepting_[q];
+}
+
+Dfa Dfa::FromNfa(const Nfa& nfa, int num_symbols) {
+  Dfa dfa(num_symbols);
+  // State sets are represented as sorted vectors used as map keys.
+  std::map<std::vector<int>, int> ids;
+  std::queue<std::vector<int>> pending;
+
+  auto intern = [&](std::vector<int> set, bool* is_new) {
+    auto [it, inserted] = ids.emplace(std::move(set), 0);
+    if (inserted) {
+      bool accepting = false;
+      for (int q : it->first) {
+        if (nfa.IsAccepting(q)) {
+          accepting = true;
+          break;
+        }
+      }
+      it->second = dfa.AddState(accepting);
+      pending.push(it->first);
+    }
+    *is_new = inserted;
+    return it->second;
+  };
+
+  bool is_new = false;
+  std::vector<int> start;
+  if (nfa.num_states() > 0) start.push_back(nfa.initial());
+  int start_id = intern(start, &is_new);
+  dfa.set_initial(start_id);
+  // The dead state is the empty set; create it eagerly so every missing
+  // transition has a target.
+  int dead = intern({}, &is_new);
+  (void)dead;
+
+  while (!pending.empty()) {
+    std::vector<int> current = pending.front();
+    pending.pop();
+    int from_id = ids.at(current);
+    std::vector<std::set<int>> next(num_symbols);
+    for (int q : current) {
+      for (const auto& [sym, to] : nfa.TransitionsFrom(q)) {
+        if (sym >= 0 && sym < num_symbols) next[sym].insert(to);
+      }
+    }
+    for (Symbol s = 0; s < num_symbols; ++s) {
+      std::vector<int> target(next[s].begin(), next[s].end());
+      int to_id = intern(std::move(target), &is_new);
+      dfa.SetTransition(from_id, s, to_id);
+    }
+  }
+  return dfa;
+}
+
+Dfa Dfa::Minimize() const {
+  // Restrict to reachable states.
+  std::vector<int> order;
+  std::vector<int> index(num_states(), -1);
+  order.push_back(initial_);
+  index[initial_] = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    int q = order[i];
+    for (Symbol s = 0; s < num_symbols_; ++s) {
+      int to = delta_[q][s];
+      if (index[to] < 0) {
+        index[to] = static_cast<int>(order.size());
+        order.push_back(to);
+      }
+    }
+  }
+  int n = static_cast<int>(order.size());
+
+  // Moore refinement over reachable states.
+  std::vector<int> klass(n);
+  for (int i = 0; i < n; ++i) klass[i] = accepting_[order[i]] ? 1 : 0;
+  int num_classes = 2;
+  while (true) {
+    std::map<std::vector<int>, int> signature_to_class;
+    std::vector<int> next_class(n);
+    for (int i = 0; i < n; ++i) {
+      std::vector<int> sig;
+      sig.reserve(num_symbols_ + 1);
+      sig.push_back(klass[i]);
+      for (Symbol s = 0; s < num_symbols_; ++s) {
+        sig.push_back(klass[index[delta_[order[i]][s]]]);
+      }
+      auto [it, inserted] =
+          signature_to_class.emplace(std::move(sig),
+                                     static_cast<int>(signature_to_class.size()));
+      next_class[i] = it->second;
+      (void)inserted;
+    }
+    int new_num = static_cast<int>(signature_to_class.size());
+    klass.swap(next_class);
+    if (new_num == num_classes) break;
+    num_classes = new_num;
+  }
+
+  Dfa out(num_symbols_);
+  for (int c = 0; c < num_classes; ++c) out.AddState(false);
+  std::vector<bool> done(num_classes, false);
+  for (int i = 0; i < n; ++i) {
+    int c = klass[i];
+    if (done[c]) continue;
+    done[c] = true;
+    out.accepting_[c] = accepting_[order[i]];
+    for (Symbol s = 0; s < num_symbols_; ++s) {
+      out.SetTransition(c, s, klass[index[delta_[order[i]][s]]]);
+    }
+  }
+  out.set_initial(klass[0]);
+  return out;
+}
+
+namespace {
+
+/// BFS over the product automaton; `check` is called for every reachable
+/// pair and returns false to signal a counterexample.
+template <typename Check>
+bool ProductScan(const Dfa& a, const Dfa& b, Check check) {
+  std::set<std::pair<int, int>> seen;
+  std::queue<std::pair<int, int>> pending;
+  pending.emplace(a.initial(), b.initial());
+  seen.emplace(a.initial(), b.initial());
+  const int symbols = a.num_symbols();
+  while (!pending.empty()) {
+    auto [qa, qb] = pending.front();
+    pending.pop();
+    if (!check(qa, qb)) return false;
+    for (Symbol s = 0; s < symbols; ++s) {
+      std::pair<int, int> next(a.Transition(qa, s), b.Transition(qb, s));
+      if (seen.insert(next).second) pending.push(next);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool Dfa::Equivalent(const Dfa& a, const Dfa& b) {
+  if (a.num_symbols() != b.num_symbols()) return false;
+  return ProductScan(a, b, [&](int qa, int qb) {
+    return a.IsAccepting(qa) == b.IsAccepting(qb);
+  });
+}
+
+bool Dfa::IsSubset(const Dfa& a, const Dfa& b) {
+  if (a.num_symbols() != b.num_symbols()) return false;
+  return ProductScan(a, b, [&](int qa, int qb) {
+    return !a.IsAccepting(qa) || b.IsAccepting(qb);
+  });
+}
+
+}  // namespace condtd

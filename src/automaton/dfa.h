@@ -1,0 +1,59 @@
+#ifndef CONDTD_AUTOMATON_DFA_H_
+#define CONDTD_AUTOMATON_DFA_H_
+
+#include <vector>
+
+#include "alphabet/alphabet.h"
+#include "automaton/nfa.h"
+
+namespace condtd {
+
+/// A complete deterministic finite automaton over the dense symbol range
+/// [0, num_symbols). Completeness (every state has a transition on every
+/// symbol, possibly into a dead state) makes product constructions and
+/// minimization straightforward.
+class Dfa {
+ public:
+  explicit Dfa(int num_symbols) : num_symbols_(num_symbols) {}
+
+  /// Adds a state whose transitions all point at itself until set;
+  /// returns its index.
+  int AddState(bool accepting);
+
+  void SetTransition(int from, Symbol symbol, int to) {
+    delta_[from][symbol] = to;
+  }
+
+  int num_states() const { return static_cast<int>(accepting_.size()); }
+  int num_symbols() const { return num_symbols_; }
+  int initial() const { return initial_; }
+  void set_initial(int state) { initial_ = state; }
+  bool IsAccepting(int state) const { return accepting_[state]; }
+  int Transition(int from, Symbol symbol) const { return delta_[from][symbol]; }
+
+  bool Accepts(const Word& word) const;
+
+  /// Subset construction. Symbols >= num_symbols in the NFA are ignored.
+  static Dfa FromNfa(const Nfa& nfa, int num_symbols);
+
+  /// Moore partition-refinement minimization (states unreachable from the
+  /// initial state are dropped first).
+  Dfa Minimize() const;
+
+  /// True iff both automata accept the same language (pairwise BFS over
+  /// the product; both must have the same num_symbols).
+  static bool Equivalent(const Dfa& a, const Dfa& b);
+
+  /// True iff L(a) is a subset of L(b).
+  static bool IsSubset(const Dfa& a, const Dfa& b);
+
+ private:
+  int num_symbols_;
+  int initial_ = 0;
+  std::vector<bool> accepting_;
+  std::vector<std::vector<int>> delta_;
+};
+
+}  // namespace condtd
+
+#endif  // CONDTD_AUTOMATON_DFA_H_

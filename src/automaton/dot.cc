@@ -1,0 +1,65 @@
+#include "automaton/dot.h"
+
+namespace condtd {
+
+namespace {
+
+std::string EscapeDot(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SoaToDot(const Soa& soa, const Alphabet& alphabet) {
+  std::string out = "digraph soa {\n  rankdir=LR;\n  src [shape=point];\n";
+  if (soa.accepts_empty()) {
+    out += "  snk [shape=doublecircle, label=\"\"];\n  src -> snk;\n";
+  }
+  for (int q = 0; q < soa.NumStates(); ++q) {
+    out += "  q" + std::to_string(q) + " [label=\"" +
+           EscapeDot(alphabet.Name(soa.LabelOf(q))) + "\", shape=" +
+           (soa.IsFinal(q) ? "doublecircle" : "circle") + "];\n";
+  }
+  for (int q : soa.Initials()) {
+    out += "  src -> q" + std::to_string(q) + ";\n";
+  }
+  for (int q = 0; q < soa.NumStates(); ++q) {
+    for (int to : soa.Successors(q)) {
+      out += "  q" + std::to_string(q) + " -> q" + std::to_string(to);
+      if (soa.EdgeSupport(q, to) > 1) {
+        out += " [label=\"" + std::to_string(soa.EdgeSupport(q, to)) + "\"]";
+      }
+      out += ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string GfaToDot(const Gfa& gfa, const Alphabet& alphabet) {
+  std::string out = "digraph gfa {\n  rankdir=LR;\n"
+                    "  n0 [shape=point, label=\"\"];\n"
+                    "  n1 [shape=doublecircle, label=\"\"];\n";
+  for (int v : gfa.LiveNodes()) {
+    out += "  n" + std::to_string(v) + " [label=\"" +
+           EscapeDot(ToString(gfa.Label(v), alphabet, PrintStyle::kPaper)) +
+           "\", shape=box];\n";
+  }
+  std::vector<int> nodes = gfa.LiveNodes();
+  nodes.push_back(gfa.source());
+  for (int v : nodes) {
+    for (int to : gfa.Out(v)) {
+      out += "  n" + std::to_string(v) + " -> n" + std::to_string(to) +
+             ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace condtd

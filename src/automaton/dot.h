@@ -1,0 +1,22 @@
+#ifndef CONDTD_AUTOMATON_DOT_H_
+#define CONDTD_AUTOMATON_DOT_H_
+
+#include <string>
+
+#include "automaton/soa.h"
+#include "gfa/gfa.h"
+
+namespace condtd {
+
+/// Graphviz rendering of an SOA in the paper's drawing convention
+/// (Figures 1-2): labeled circles, arrows from a point for initial
+/// states, double circles for final states.
+std::string SoaToDot(const Soa& soa, const Alphabet& alphabet);
+
+/// Graphviz rendering of a GFA mid-rewrite (Figure 3): node labels are
+/// the current regular expressions.
+std::string GfaToDot(const Gfa& gfa, const Alphabet& alphabet);
+
+}  // namespace condtd
+
+#endif  // CONDTD_AUTOMATON_DOT_H_

@@ -1,0 +1,104 @@
+#include "automaton/k_testable.h"
+
+#include <algorithm>
+
+namespace condtd {
+
+void KTestable::AddWord(const Word& word) {
+  const int n = static_cast<int>(word.size());
+  if (n < k_) {
+    // Words shorter than k are carried verbatim (their factor sets are
+    // empty, so they must be remembered to be accepted).
+    short_words_.insert(word);
+    return;
+  }
+  prefixes_.insert(Word(word.begin(), word.begin() + (k_ - 1)));
+  suffixes_.insert(Word(word.end() - (k_ - 1), word.end()));
+  for (int i = 0; i + k_ <= n; ++i) {
+    factors_.insert(Word(word.begin() + i, word.begin() + i + k_));
+  }
+}
+
+bool KTestable::Accepts(const Word& word) const {
+  const int n = static_cast<int>(word.size());
+  if (n < k_) return short_words_.count(word) > 0;
+  if (prefixes_.count(Word(word.begin(), word.begin() + (k_ - 1))) == 0) {
+    return false;
+  }
+  if (suffixes_.count(Word(word.end() - (k_ - 1), word.end())) == 0) {
+    return false;
+  }
+  for (int i = 0; i + k_ <= n; ++i) {
+    if (factors_.count(Word(word.begin() + i, word.begin() + i + k_)) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Nfa KTestable::ToNfa() const {
+  // Two disjoint state families: *entry* states keyed by the exact word
+  // read so far (length < k, acceptance = membership in short_words_),
+  // and *context* states keyed by the last (k-1)-gram of a word of
+  // length >= k (acceptance = membership in suffixes_). Sharing them
+  // would conflate the two acceptance conditions for words of length
+  // exactly k-1.
+  Nfa nfa;
+  int initial = nfa.AddState(short_words_.count(Word{}) > 0);
+  nfa.set_initial(initial);
+
+  std::map<Word, int> entry_state_of;
+  entry_state_of.emplace(Word{}, initial);
+  std::map<Word, int> context_state_of;
+  auto context_state = [&](const Word& context) {
+    auto it = context_state_of.find(context);
+    if (it != context_state_of.end()) return it->second;
+    int id = nfa.AddState(suffixes_.count(context) > 0);
+    context_state_of.emplace(context, id);
+    return id;
+  };
+  auto entry_path = [&](const Word& word) {
+    int prev = initial;
+    for (size_t i = 0; i < word.size(); ++i) {
+      Word sofar(word.begin(), word.begin() + i + 1);
+      auto it = entry_state_of.find(sofar);
+      int id;
+      if (it == entry_state_of.end()) {
+        id = nfa.AddState(short_words_.count(sofar) > 0);
+        entry_state_of.emplace(sofar, id);
+        nfa.AddTransition(prev, word[i], id);
+      } else {
+        id = it->second;
+      }
+      prev = id;
+    }
+    return prev;
+  };
+
+  // Spell every short word and every observed prefix through the entry
+  // trie.
+  for (const Word& word : short_words_) entry_path(word);
+  for (const Word& prefix : prefixes_) entry_path(prefix);
+
+  // Factor transitions between (k-1)-gram contexts, plus the hand-over
+  // from the completed-prefix entry state into the context family.
+  for (const Word& factor : factors_) {
+    Word from(factor.begin(), factor.end() - 1);
+    Word to(factor.begin() + 1, factor.end());
+    int context_from = context_state(from);
+    int context_to = context_state(to);
+    nfa.AddTransition(context_from, factor.back(), context_to);
+    if (prefixes_.count(from) > 0) {
+      nfa.AddTransition(entry_state_of.at(from), factor.back(), context_to);
+    }
+  }
+  return nfa;
+}
+
+KTestable InferKTestable(const std::vector<Word>& sample, int k) {
+  KTestable kt(k);
+  for (const Word& word : sample) kt.AddWord(word);
+  return kt;
+}
+
+}  // namespace condtd

@@ -1,0 +1,54 @@
+#ifndef CONDTD_AUTOMATON_K_TESTABLE_H_
+#define CONDTD_AUTOMATON_K_TESTABLE_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "alphabet/alphabet.h"
+#include "automaton/nfa.h"
+
+namespace condtd {
+
+/// Inference of k-testable languages in the strict sense (Garcia &
+/// Vidal [23]) for arbitrary k — the family 2T-INF (Section 4) is the
+/// k = 2 member of. A language is k-testable when membership is decided
+/// by the length-(k-1) prefix, the length-(k-1) suffix and the set of
+/// length-k factors of a word. Larger k yields strictly more specific
+/// automata at the cost of more states — and for k > 2 the states no
+/// longer correspond one-to-one to symbols, which is exactly why the
+/// paper's SORE/SOA machinery fixes k = 2 (Proposition 1). Exposed here
+/// to quantify that trade-off (bench/ktest_ablation).
+class KTestable {
+ public:
+  /// k >= 1. k = 1 degenerates to "symbols seen anywhere".
+  explicit KTestable(int k) : k_(k) {}
+
+  /// Folds a word into the allowed prefix/suffix/factor sets.
+  void AddWord(const Word& word);
+
+  /// Membership in the inferred k-testable language.
+  bool Accepts(const Word& word) const;
+
+  /// Number of distinct length-k factors observed.
+  int NumFactors() const { return static_cast<int>(factors_.size()); }
+
+  /// The canonical acceptor: states are the observed (k-1)-grams.
+  Nfa ToNfa() const;
+
+  int k() const { return k_; }
+
+ private:
+  int k_;
+  std::set<Word> short_words_;  // accepted words of length < k
+  std::set<Word> prefixes_;     // length k-1
+  std::set<Word> suffixes_;     // length k-1
+  std::set<Word> factors_;      // length k
+};
+
+/// One-shot inference over a sample.
+KTestable InferKTestable(const std::vector<Word>& sample, int k);
+
+}  // namespace condtd
+
+#endif  // CONDTD_AUTOMATON_K_TESTABLE_H_

@@ -1,0 +1,43 @@
+#include "automaton/nfa.h"
+
+#include <algorithm>
+
+namespace condtd {
+
+int Nfa::AddState(bool accepting) {
+  accepting_.push_back(accepting);
+  transitions_.emplace_back();
+  return num_states() - 1;
+}
+
+void Nfa::AddTransition(int from, Symbol symbol, int to) {
+  transitions_[from].emplace_back(symbol, to);
+}
+
+bool Nfa::Accepts(const Word& word) const {
+  if (num_states() == 0) return false;
+  std::vector<bool> current(num_states(), false);
+  current[initial_] = true;
+  std::vector<bool> next(num_states(), false);
+  for (Symbol s : word) {
+    std::fill(next.begin(), next.end(), false);
+    bool any = false;
+    for (int q = 0; q < num_states(); ++q) {
+      if (!current[q]) continue;
+      for (const auto& [sym, to] : transitions_[q]) {
+        if (sym == s) {
+          next[to] = true;
+          any = true;
+        }
+      }
+    }
+    if (!any) return false;
+    std::swap(current, next);
+  }
+  for (int q = 0; q < num_states(); ++q) {
+    if (current[q] && accepting_[q]) return true;
+  }
+  return false;
+}
+
+}  // namespace condtd

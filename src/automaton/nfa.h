@@ -1,0 +1,46 @@
+#ifndef CONDTD_AUTOMATON_NFA_H_
+#define CONDTD_AUTOMATON_NFA_H_
+
+#include <utility>
+#include <vector>
+
+#include "alphabet/alphabet.h"
+
+namespace condtd {
+
+/// A nondeterministic finite automaton without epsilon transitions
+/// (Glushkov automata never need them). One initial state, any number of
+/// accepting states.
+class Nfa {
+ public:
+  Nfa() = default;
+
+  /// Adds a state and returns its index.
+  int AddState(bool accepting);
+
+  void AddTransition(int from, Symbol symbol, int to);
+
+  int num_states() const { return static_cast<int>(accepting_.size()); }
+  int initial() const { return initial_; }
+  void set_initial(int state) { initial_ = state; }
+  bool IsAccepting(int state) const { return accepting_[state]; }
+  void SetAccepting(int state, bool accepting) {
+    accepting_[state] = accepting;
+  }
+  const std::vector<std::pair<Symbol, int>>& TransitionsFrom(
+      int state) const {
+    return transitions_[state];
+  }
+
+  /// Subset-simulation membership test.
+  bool Accepts(const Word& word) const;
+
+ private:
+  int initial_ = 0;
+  std::vector<bool> accepting_;
+  std::vector<std::vector<std::pair<Symbol, int>>> transitions_;
+};
+
+}  // namespace condtd
+
+#endif  // CONDTD_AUTOMATON_NFA_H_

@@ -1,0 +1,164 @@
+#include "automaton/state_elimination.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace condtd {
+
+namespace {
+
+/// Edge label in the generalized automaton: a language L(re) ∪ {ε if
+/// eps}. `re == nullptr` means no non-empty words. An absent map entry
+/// means the empty language.
+struct EdgeLabel {
+  ReRef re;
+  bool eps = false;
+
+  bool Empty() const { return re == nullptr && !eps; }
+};
+
+EdgeLabel UnionLabels(const EdgeLabel& a, const EdgeLabel& b) {
+  EdgeLabel out;
+  out.eps = a.eps || b.eps;
+  if (a.re && b.re) {
+    out.re = Re::Disj({a.re, b.re});
+  } else {
+    out.re = a.re ? a.re : b.re;
+  }
+  return out;
+}
+
+EdgeLabel ConcatLabels(const EdgeLabel& a, const EdgeLabel& b) {
+  EdgeLabel out;
+  out.eps = a.eps && b.eps;
+  std::vector<ReRef> alts;
+  if (a.re && b.re) alts.push_back(Re::Concat({a.re, b.re}));
+  if (a.eps && b.re) alts.push_back(b.re);
+  if (b.eps && a.re) alts.push_back(a.re);
+  if (!alts.empty()) out.re = Re::Disj(std::move(alts));
+  return out;
+}
+
+EdgeLabel StarLabel(const EdgeLabel& a) {
+  EdgeLabel out;
+  out.eps = true;
+  if (a.re) out.re = Re::Star(a.re);
+  // Star of {ε or nothing} is {ε}: represented by eps alone.
+  out.eps = a.re == nullptr;
+  // For non-null re, ε is already in L(re*); keep eps=false so the final
+  // fold does not add a redundant `?`.
+  if (a.re) out.eps = false;
+  return out;
+}
+
+}  // namespace
+
+Result<ReRef> StateEliminationRegex(const Soa& soa, EliminationOrder order) {
+  const int n = soa.NumStates();
+  const int src = n;
+  const int snk = n + 1;
+  // edges[{u, v}] = label
+  std::map<std::pair<int, int>, EdgeLabel> edges;
+
+  auto add = [&](int u, int v, EdgeLabel label) {
+    if (label.Empty()) return;
+    auto it = edges.find({u, v});
+    if (it == edges.end()) {
+      edges.emplace(std::make_pair(u, v), std::move(label));
+    } else {
+      it->second = UnionLabels(it->second, label);
+    }
+  };
+
+  for (int q : soa.Initials()) {
+    add(src, q, EdgeLabel{Re::Sym(soa.LabelOf(q)), false});
+  }
+  for (int q = 0; q < n; ++q) {
+    for (int to : soa.Successors(q)) {
+      add(q, to, EdgeLabel{Re::Sym(soa.LabelOf(to)), false});
+    }
+  }
+  for (int q : soa.Finals()) {
+    add(q, snk, EdgeLabel{nullptr, true});
+  }
+
+  std::vector<int> remaining;
+  for (int q = 0; q < n; ++q) remaining.push_back(q);
+
+  auto degree_product = [&](int q) {
+    int in = 0;
+    int out = 0;
+    for (const auto& [key, label] : edges) {
+      if (key.second == q && key.first != q) ++in;
+      if (key.first == q && key.second != q) ++out;
+    }
+    return in * out;
+  };
+
+  while (!remaining.empty()) {
+    size_t pick = 0;
+    if (order == EliminationOrder::kMinDegreeProduct) {
+      int best = degree_product(remaining[0]);
+      for (size_t i = 1; i < remaining.size(); ++i) {
+        int dp = degree_product(remaining[i]);
+        if (dp < best) {
+          best = dp;
+          pick = i;
+        }
+      }
+    }
+    int s = remaining[pick];
+    remaining.erase(remaining.begin() + pick);
+
+    EdgeLabel self;
+    std::vector<std::pair<int, EdgeLabel>> in_edges;
+    std::vector<std::pair<int, EdgeLabel>> out_edges;
+    for (auto it = edges.begin(); it != edges.end();) {
+      if (it->first.first == s && it->first.second == s) {
+        self = it->second;
+        it = edges.erase(it);
+      } else if (it->first.second == s) {
+        in_edges.emplace_back(it->first.first, it->second);
+        it = edges.erase(it);
+      } else if (it->first.first == s) {
+        out_edges.emplace_back(it->first.second, it->second);
+        it = edges.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    EdgeLabel loop = self.Empty() ? EdgeLabel{nullptr, true} : StarLabel(self);
+    for (const auto& [p, in_label] : in_edges) {
+      for (const auto& [q, out_label] : out_edges) {
+        add(p, q, ConcatLabels(ConcatLabels(in_label, loop), out_label));
+      }
+    }
+  }
+
+  auto it = edges.find({src, snk});
+  if (it == edges.end() || it->second.Empty()) {
+    if (soa.accepts_empty()) {
+      return Status::FailedPrecondition(
+          "state elimination: language is exactly {empty word}; no "
+          "epsilon-free RE exists");
+    }
+    return Status::FailedPrecondition(
+        "state elimination: empty language (no accepting path)");
+  }
+  EdgeLabel final_label = it->second;
+  if (final_label.re == nullptr) {
+    return Status::FailedPrecondition(
+        "state elimination: language is exactly {empty word}; no "
+        "epsilon-free RE exists");
+  }
+  ReRef result = final_label.re;
+  if ((final_label.eps || soa.accepts_empty()) &&
+      result->kind() != ReKind::kOpt && result->kind() != ReKind::kStar) {
+    result = Re::Opt(result);
+  }
+  return result;
+}
+
+}  // namespace condtd

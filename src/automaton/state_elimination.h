@@ -1,0 +1,30 @@
+#ifndef CONDTD_AUTOMATON_STATE_ELIMINATION_H_
+#define CONDTD_AUTOMATON_STATE_ELIMINATION_H_
+
+#include "automaton/soa.h"
+#include "base/status.h"
+#include "regex/ast.h"
+
+namespace condtd {
+
+/// Which state to eliminate next in the classical algorithm.
+enum class EliminationOrder {
+  kNatural,           ///< States in index order (JFLAP-style).
+  kMinDegreeProduct,  ///< Greedy: smallest in-degree × out-degree first.
+};
+
+/// Classical state elimination (Hopcroft & Ullman) on the SOA, the
+/// baseline the paper's expression (†) comes from. Returns an RE with
+/// L(re) = L(soa) minus the empty word handling (accepts_empty is folded
+/// in as a top-level `?`). In general the output size explodes — this is
+/// exactly the motivation for `Rewrite` (Ehrenfeucht & Zeiger lower
+/// bound) — so the result is reported unsimplified apart from structural
+/// duplicate removal in unions.
+///
+/// Fails only for the empty language (a SOA with no accepting path).
+Result<ReRef> StateEliminationRegex(
+    const Soa& soa, EliminationOrder order = EliminationOrder::kNatural);
+
+}  // namespace condtd
+
+#endif  // CONDTD_AUTOMATON_STATE_ELIMINATION_H_

@@ -1,0 +1,29 @@
+#include "automaton/two_t_inf.h"
+
+namespace condtd {
+
+void Fold2T(const Word& word, Soa* soa) {
+  if (word.empty()) {
+    soa->set_accepts_empty(true);
+    soa->add_empty_support(1);
+    return;
+  }
+  int prev = soa->AddState(word[0]);
+  soa->AddInitial(prev, 1);
+  soa->AddStateSupport(prev, 1);
+  for (size_t i = 1; i < word.size(); ++i) {
+    int cur = soa->AddState(word[i]);
+    soa->AddStateSupport(cur, 1);
+    soa->AddEdge(prev, cur, 1);
+    prev = cur;
+  }
+  soa->AddFinal(prev, 1);
+}
+
+Soa Infer2T(const std::vector<Word>& sample) {
+  Soa soa;
+  for (const Word& word : sample) Fold2T(word, &soa);
+  return soa;
+}
+
+}  // namespace condtd

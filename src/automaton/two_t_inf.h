@@ -1,0 +1,21 @@
+#ifndef CONDTD_AUTOMATON_TWO_T_INF_H_
+#define CONDTD_AUTOMATON_TWO_T_INF_H_
+
+#include <vector>
+
+#include "automaton/soa.h"
+
+namespace condtd {
+
+/// The 2T-INF algorithm of Garcia & Vidal (Section 4): infers the
+/// canonical SOA of the smallest 2-testable language containing every
+/// word of `sample`. I = first symbols, F = last symbols, S = observed
+/// 2-grams. Supports record observation counts for noise handling.
+Soa Infer2T(const std::vector<Word>& sample);
+
+/// Incremental form: folds one word into an existing SOA.
+void Fold2T(const Word& word, Soa* soa);
+
+}  // namespace condtd
+
+#endif  // CONDTD_AUTOMATON_TWO_T_INF_H_

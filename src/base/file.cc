@@ -1,0 +1,35 @@
+#include "base/file.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace condtd {
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status::InvalidArgument("error while reading: " + path);
+  }
+  return buffer.str();
+}
+
+Status WriteStringToFile(const std::string& path,
+                         const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open file for writing: " + path);
+  }
+  out << content;
+  out.flush();
+  if (!out) {
+    return Status::InvalidArgument("error while writing: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace condtd

@@ -1,0 +1,19 @@
+#ifndef CONDTD_BASE_FILE_H_
+#define CONDTD_BASE_FILE_H_
+
+#include <string>
+
+#include "base/status.h"
+
+namespace condtd {
+
+/// Reads an entire file into memory.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `content` to `path`, replacing any existing file.
+Status WriteStringToFile(const std::string& path,
+                         const std::string& content);
+
+}  // namespace condtd
+
+#endif  // CONDTD_BASE_FILE_H_

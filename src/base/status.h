@@ -1,0 +1,111 @@
+#ifndef CONDTD_BASE_STATUS_H_
+#define CONDTD_BASE_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace condtd {
+
+/// Error categories used across the library. Modeled after the
+/// RocksDB/Arrow Status idiom: no exceptions cross public API boundaries.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller passed something malformed.
+  kParseError,        ///< XML / DTD / regex text could not be parsed.
+  kNotFound,          ///< A requested entity does not exist.
+  kFailedPrecondition,///< Operation not valid in the current state.
+  kNoEquivalentSore,  ///< rewrite: the SOA has no equivalent SORE.
+  kResourceExhausted, ///< A configured budget (e.g. XTRACT memory) hit.
+  kInternal,          ///< Invariant violation; indicates a library bug.
+};
+
+/// Returns a human-readable name for a status code ("OK", "ParseError", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A cheap value type carrying success or an error code plus message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NoEquivalentSore(std::string msg) {
+    return Status(StatusCode::kNoEquivalentSore, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Either a value of type T or an error Status. Accessing value() on an
+/// error aborts (library-internal misuse), so callers must check ok().
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from error Status, for ergonomic returns.
+  Result(T value) : data_(std::move(value)) {}             // NOLINT
+  Result(Status status) : data_(std::move(status)) {}      // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagates a non-OK Status from an expression returning Status.
+#define CONDTD_RETURN_IF_ERROR(expr)              \
+  do {                                            \
+    ::condtd::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+}  // namespace condtd
+
+#endif  // CONDTD_BASE_STATUS_H_

@@ -1,0 +1,33 @@
+#ifndef CONDTD_BASE_STRINGS_H_
+#define CONDTD_BASE_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace condtd {
+
+/// Splits `text` at every occurrence of `sep`; keeps empty pieces.
+std::vector<std::string> SplitString(std::string_view text, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// True if `text` ends with `suffix`.
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// True for the XML definition of whitespace (space, tab, CR, LF).
+inline bool IsXmlWhitespace(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+}  // namespace condtd
+
+#endif  // CONDTD_BASE_STRINGS_H_

@@ -1,0 +1,205 @@
+#include "baseline/trang_like.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+#include <tuple>
+
+#include "automaton/two_t_inf.h"
+#include "regex/normalize.h"
+#include "regex/properties.h"
+
+namespace condtd {
+
+namespace {
+
+/// Kosaraju SCC over SOA states. Returns component id per state.
+std::vector<int> ComputeScc(const Soa& soa, int* num_components) {
+  const int n = soa.NumStates();
+  std::vector<int> order;
+  std::vector<bool> visited(n, false);
+  for (int start = 0; start < n; ++start) {
+    if (visited[start]) continue;
+    // Iterative post-order DFS.
+    std::vector<std::pair<int, size_t>> stack = {{start, 0}};
+    visited[start] = true;
+    while (!stack.empty()) {
+      auto& [v, idx] = stack.back();
+      std::vector<int> succ = soa.Successors(v);
+      if (idx < succ.size()) {
+        int w = succ[idx++];
+        if (!visited[w]) {
+          visited[w] = true;
+          stack.emplace_back(w, 0);
+        }
+      } else {
+        order.push_back(v);
+        stack.pop_back();
+      }
+    }
+  }
+  std::vector<int> component(n, -1);
+  int comp = 0;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if (component[*it] >= 0) continue;
+    std::queue<int> frontier;
+    frontier.push(*it);
+    component[*it] = comp;
+    while (!frontier.empty()) {
+      int v = frontier.front();
+      frontier.pop();
+      for (int w : soa.Predecessors(v)) {
+        if (component[w] < 0) {
+          component[w] = comp;
+          frontier.push(w);
+        }
+      }
+    }
+    ++comp;
+  }
+  *num_components = comp;
+  return component;
+}
+
+}  // namespace
+
+Result<ReRef> TrangLikeFromSoa(const Soa& soa) {
+  const int n = soa.NumStates();
+  if (n == 0) {
+    return Status::FailedPrecondition(
+        "trang-like: the SOA has no states (language is empty or {ε})");
+  }
+  int num_components = 0;
+  std::vector<int> component = ComputeScc(soa, &num_components);
+
+  std::vector<std::vector<Symbol>> members(num_components);
+  std::vector<bool> cyclic(num_components, false);
+  for (int q = 0; q < n; ++q) {
+    members[component[q]].push_back(soa.LabelOf(q));
+    if (soa.HasEdge(q, q)) cyclic[component[q]] = true;
+  }
+  for (int c = 0; c < num_components; ++c) {
+    if (members[c].size() > 1) cyclic[c] = true;
+    std::sort(members[c].begin(), members[c].end());
+  }
+
+  std::vector<std::set<int>> succ(num_components);
+  std::set<int> initial_comps;
+  std::set<int> final_comps;
+  for (int q = 0; q < n; ++q) {
+    for (int to : soa.Successors(q)) {
+      if (component[q] != component[to]) {
+        succ[component[q]].insert(component[to]);
+      }
+    }
+    if (soa.IsInitial(q)) initial_comps.insert(component[q]);
+    if (soa.IsFinal(q)) final_comps.insert(component[q]);
+  }
+
+  // Like Trang's DAG simplification (and CRX's step 2-3): merge
+  // single-symbol nodes that share predecessor and successor sets — this
+  // is what turns {volume, month} into (volume | month).
+  std::vector<bool> alive(num_components, true);
+  std::vector<std::set<int>> pred(num_components);
+  auto recompute_preds = [&] {
+    for (int c = 0; c < num_components; ++c) pred[c].clear();
+    for (int c = 0; c < num_components; ++c) {
+      if (!alive[c]) continue;
+      for (int d : succ[c]) pred[d].insert(c);
+    }
+  };
+  recompute_preds();
+  bool merged_any = true;
+  while (merged_any) {
+    merged_any = false;
+    std::map<std::tuple<std::vector<int>, std::vector<int>, bool, bool>,
+             std::vector<int>>
+        groups;
+    for (int c = 0; c < num_components; ++c) {
+      if (!alive[c] || members[c].size() != 1) continue;
+      groups[{std::vector<int>(pred[c].begin(), pred[c].end()),
+              std::vector<int>(succ[c].begin(), succ[c].end()),
+              initial_comps.count(c) > 0, final_comps.count(c) > 0}]
+          .push_back(c);
+    }
+    for (const auto& [key, group] : groups) {
+      if (group.size() < 2) continue;
+      int target = group[0];
+      for (size_t i = 1; i < group.size(); ++i) {
+        int c = group[i];
+        members[target].push_back(members[c][0]);
+        cyclic[target] = cyclic[target] || cyclic[c];
+        alive[c] = false;
+        for (int p : pred[c]) succ[p].erase(c);
+        succ[c].clear();
+        initial_comps.erase(c);
+        final_comps.erase(c);
+      }
+      std::sort(members[target].begin(), members[target].end());
+      recompute_preds();
+      merged_any = true;
+      break;
+    }
+  }
+
+  // A component is mandatory iff every source→sink path passes it (and
+  // the empty word is not accepted).
+  auto avoidable = [&](int banned) {
+    std::queue<int> frontier;
+    std::vector<bool> seen(num_components, false);
+    for (int c : initial_comps) {
+      if (c == banned) continue;
+      seen[c] = true;
+      frontier.push(c);
+    }
+    while (!frontier.empty()) {
+      int c = frontier.front();
+      frontier.pop();
+      if (final_comps.count(c) > 0) return true;
+      for (int d : succ[c]) {
+        if (d != banned && !seen[d]) {
+          seen[d] = true;
+          frontier.push(d);
+        }
+      }
+    }
+    return false;
+  };
+
+  // Stable topological sort: among ready components take the one with
+  // the smallest member symbol.
+  std::vector<int> indegree(num_components, 0);
+  for (int c = 0; c < num_components; ++c) {
+    for (int d : succ[c]) ++indegree[d];
+  }
+  auto cmp = [&](int a, int b) { return members[a][0] > members[b][0]; };
+  std::priority_queue<int, std::vector<int>, decltype(cmp)> ready(cmp);
+  for (int c = 0; c < num_components; ++c) {
+    if (alive[c] && indegree[c] == 0) ready.push(c);
+  }
+  std::vector<ReRef> factors;
+  while (!ready.empty()) {
+    int c = ready.top();
+    ready.pop();
+    std::vector<ReRef> alts;
+    alts.reserve(members[c].size());
+    for (Symbol s : members[c]) alts.push_back(Re::Sym(s));
+    ReRef factor = Re::Disj(std::move(alts));
+    if (cyclic[c]) factor = Re::Plus(factor);
+    if (soa.accepts_empty() || avoidable(c)) factor = Re::Opt(factor);
+    factors.push_back(std::move(factor));
+    for (int d : succ[c]) {
+      if (--indegree[d] == 0) ready.push(d);
+    }
+  }
+  ReRef result = Re::Concat(std::move(factors));
+  if (soa.accepts_empty() && !Nullable(result)) result = Re::Opt(result);
+  return Normalize(result);
+}
+
+Result<ReRef> TrangLikeInfer(const std::vector<Word>& sample) {
+  return TrangLikeFromSoa(Infer2T(sample));
+}
+
+}  // namespace condtd

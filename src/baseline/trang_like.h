@@ -1,0 +1,28 @@
+#ifndef CONDTD_BASELINE_TRANG_LIKE_H_
+#define CONDTD_BASELINE_TRANG_LIKE_H_
+
+#include <vector>
+
+#include "automaton/soa.h"
+#include "base/status.h"
+#include "regex/ast.h"
+
+namespace condtd {
+
+/// The mechanism Section 8.1 reverse-engineers from Trang's source:
+/// 2T-INF builds the SOA, every strongly connected component is merged
+/// into one node (eliminating cycles), and the resulting DAG is
+/// linearized into a regular expression. We linearize with a stable
+/// topological sort; a node keeps a `+` when its SCC contained a cycle
+/// and becomes optional unless every source→sink path passes through it.
+/// Like Trang (and CRX) this has no completeness guarantee beyond
+/// producing a superset of the sample, and coincides with CRX's output
+/// on CHARE-shaped data.
+Result<ReRef> TrangLikeInfer(const std::vector<Word>& sample);
+
+/// SOA-level entry point (exposed for tests).
+Result<ReRef> TrangLikeFromSoa(const Soa& soa);
+
+}  // namespace condtd
+
+#endif  // CONDTD_BASELINE_TRANG_LIKE_H_

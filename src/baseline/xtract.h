@@ -1,0 +1,45 @@
+#ifndef CONDTD_BASELINE_XTRACT_H_
+#define CONDTD_BASELINE_XTRACT_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "regex/ast.h"
+
+namespace condtd {
+
+/// Reimplementation of the XTRACT system of Garofalakis et al. [24],
+/// following its three published stages:
+///
+///  1. generalization — per input sequence, candidate REs are produced
+///     by collapsing symbol runs (a a a → a*) and adjacent tandem
+///     repeats (w w → (w)*), hierarchically;
+///  2. factoring — common prefixes/suffixes of the candidate
+///     disjunction are factored out (the logic-optimization step);
+///  3. MDL — a subset of candidates covering all sequences is chosen to
+///     minimize theory cost + data encoding cost. The exact subproblem
+///     is NP-hard [20]; like the original we use a greedy cover.
+///
+/// The reported shortcomings are reproduced by construction: the result
+/// is a disjunction over per-string generalizations, so its size grows
+/// with the number of distinct input strings, and inputs beyond
+/// `max_strings` distinct sequences abort with kResourceExhausted (the
+/// original exhausts >1 GB of RAM above ~1000 strings).
+struct XtractOptions {
+  int max_strings = 1000;
+  int max_candidates = 20000;
+};
+
+Result<ReRef> XtractInfer(const std::vector<Word>& sample,
+                          const XtractOptions& options = {});
+
+/// Stage 1 exposed for tests: candidate generalizations of one sequence.
+std::vector<ReRef> XtractGeneralize(const Word& word);
+
+/// Stage 2 exposed for tests: factors common leading/trailing parts out
+/// of a disjunction.
+ReRef XtractFactor(const ReRef& re);
+
+}  // namespace condtd
+
+#endif  // CONDTD_BASELINE_XTRACT_H_

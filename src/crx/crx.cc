@@ -1,0 +1,336 @@
+#include "crx/crx.h"
+
+#include <algorithm>
+#include <functional>
+#include <queue>
+
+namespace condtd {
+
+void CrxState::AddWord(const Word& word) {
+  ++num_words_;
+  if (word.empty()) {
+    ++empty_count_;
+    return;
+  }
+  std::map<Symbol, int> counts;
+  for (Symbol s : word) {
+    symbols_.insert(s);
+    ++counts[s];
+  }
+  for (size_t i = 0; i + 1 < word.size(); ++i) {
+    edges_.emplace(word[i], word[i + 1]);
+  }
+  Histogram histogram(counts.begin(), counts.end());
+  ++histograms_[histogram];
+}
+
+void CrxState::AddWords(const std::vector<Word>& words) {
+  for (const Word& w : words) AddWord(w);
+}
+
+void CrxState::RestoreEdge(Symbol from, Symbol to) {
+  edges_.emplace(from, to);
+  symbols_.insert(from);
+  symbols_.insert(to);
+}
+
+void CrxState::RestoreHistogram(const Histogram& histogram, int64_t count) {
+  for (const auto& [sym, n] : histogram) {
+    (void)n;
+    symbols_.insert(sym);
+  }
+  histograms_[histogram] += count;
+  num_words_ += count;
+}
+
+void CrxState::RestoreEmpty(int64_t count) {
+  empty_count_ += count;
+  num_words_ += count;
+}
+
+namespace {
+
+/// Tarjan's strongly connected components over the symbol graph. Returns
+/// class ids per symbol index; classes are numbered in reverse
+/// topological discovery order (we re-sort later anyway).
+class SccFinder {
+ public:
+  SccFinder(const std::vector<Symbol>& symbols,
+            const std::set<std::pair<Symbol, Symbol>>& edges) {
+    int n = static_cast<int>(symbols.size());
+    for (int i = 0; i < n; ++i) index_of_[symbols[i]] = i;
+    adj_.resize(n);
+    for (const auto& [a, b] : edges) {
+      adj_[index_of_.at(a)].push_back(index_of_.at(b));
+    }
+    low_.assign(n, -1);
+    disc_.assign(n, -1);
+    on_stack_.assign(n, false);
+    component_.assign(n, -1);
+    for (int v = 0; v < n; ++v) {
+      if (disc_[v] < 0) Visit(v);
+    }
+  }
+
+  int ComponentOf(int v) const { return component_[v]; }
+  int num_components() const { return num_components_; }
+
+ private:
+  void Visit(int root) {
+    // Iterative Tarjan to survive deep graphs.
+    struct Frame {
+      int v;
+      size_t next_child = 0;
+    };
+    std::vector<Frame> call_stack = {{root}};
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      int v = frame.v;
+      if (frame.next_child == 0) {
+        disc_[v] = low_[v] = timer_++;
+        stack_.push_back(v);
+        on_stack_[v] = true;
+      }
+      bool descended = false;
+      while (frame.next_child < adj_[v].size()) {
+        int w = adj_[v][frame.next_child++];
+        if (disc_[w] < 0) {
+          call_stack.push_back({w});
+          descended = true;
+          break;
+        }
+        if (on_stack_[w]) low_[v] = std::min(low_[v], disc_[w]);
+      }
+      if (descended) continue;
+      if (low_[v] == disc_[v]) {
+        while (true) {
+          int w = stack_.back();
+          stack_.pop_back();
+          on_stack_[w] = false;
+          component_[w] = num_components_;
+          if (w == v) break;
+        }
+        ++num_components_;
+      }
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        int parent = call_stack.back().v;
+        low_[parent] = std::min(low_[parent], low_[v]);
+      }
+    }
+  }
+
+  std::map<Symbol, int> index_of_;
+  std::vector<std::vector<int>> adj_;
+  std::vector<int> low_, disc_, component_;
+  std::vector<bool> on_stack_;
+  std::vector<int> stack_;
+  int timer_ = 0;
+  int num_components_ = 0;
+};
+
+}  // namespace
+
+Result<ReRef> CrxState::Infer(int min_symbol_support) const {
+  // Section 9 noise handling: exclude symbols below the support
+  // threshold (total occurrences across the sample).
+  std::set<Symbol> kept = symbols_;
+  if (min_symbol_support > 0) {
+    std::map<Symbol, int64_t> support;
+    for (const auto& [histogram, count] : histograms_) {
+      for (const auto& [sym, n] : histogram) {
+        support[sym] += static_cast<int64_t>(n) * count;
+      }
+    }
+    for (Symbol s : symbols_) {
+      if (support[s] < min_symbol_support) kept.erase(s);
+    }
+  }
+  std::vector<Symbol> symbols(kept.begin(), kept.end());
+  if (symbols.empty()) {
+    return Status::FailedPrecondition(
+        "CRX: no symbol observed (language is empty or {ε})");
+  }
+  std::set<std::pair<Symbol, Symbol>> edges;
+  for (const auto& [a, b] : edges_) {
+    if (kept.count(a) > 0 && kept.count(b) > 0) edges.emplace(a, b);
+  }
+
+  // Step 1: equivalence classes of ≈_W = SCCs of →_W.
+  SccFinder scc(symbols, edges);
+  int num_classes = scc.num_components();
+  std::vector<std::vector<Symbol>> members(num_classes);
+  for (size_t i = 0; i < symbols.size(); ++i) {
+    members[scc.ComponentOf(static_cast<int>(i))].push_back(symbols[i]);
+  }
+  std::map<Symbol, int> class_of;
+  for (int c = 0; c < num_classes; ++c) {
+    for (Symbol s : members[c]) class_of[s] = c;
+  }
+
+  // Class-level DAG of the partial order ≼_W.
+  std::vector<std::set<int>> succ(num_classes);
+  for (const auto& [a, b] : edges) {
+    int ca = class_of.at(a);
+    int cb = class_of.at(b);
+    if (ca != cb) succ[ca].insert(cb);
+  }
+
+  // Hasse diagram: drop transitive edges. reach[c] = classes reachable
+  // from c via >= 1 edge, computed bottom-up in reverse topological
+  // order of the DAG.
+  std::vector<int> topo;
+  {
+    std::vector<int> indegree(num_classes, 0);
+    for (int c = 0; c < num_classes; ++c) {
+      for (int d : succ[c]) ++indegree[d];
+    }
+    std::queue<int> ready;
+    for (int c = 0; c < num_classes; ++c) {
+      if (indegree[c] == 0) ready.push(c);
+    }
+    while (!ready.empty()) {
+      int c = ready.front();
+      ready.pop();
+      topo.push_back(c);
+      for (int d : succ[c]) {
+        if (--indegree[d] == 0) ready.push(d);
+      }
+    }
+  }
+  std::vector<std::set<int>> reach(num_classes);
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    int c = *it;
+    for (int d : succ[c]) {
+      reach[c].insert(d);
+      reach[c].insert(reach[d].begin(), reach[d].end());
+    }
+  }
+  for (int c = 0; c < num_classes; ++c) {
+    std::set<int> direct = succ[c];
+    for (int d : direct) {
+      // (c, d) is transitive iff d is reachable from another successor.
+      for (int e : direct) {
+        if (e != d && reach[e].count(d) > 0) {
+          succ[c].erase(d);
+          break;
+        }
+      }
+    }
+  }
+  std::vector<std::set<int>> pred(num_classes);
+  for (int c = 0; c < num_classes; ++c) {
+    for (int d : succ[c]) pred[d].insert(c);
+  }
+
+  // Steps 2-3: repeatedly merge maximal sets of singleton nodes sharing
+  // predecessor and successor sets in the Hasse diagram.
+  std::vector<bool> alive(num_classes, true);
+  bool merged_any = true;
+  while (merged_any) {
+    merged_any = false;
+    std::map<std::pair<std::vector<int>, std::vector<int>>, std::vector<int>>
+        groups;
+    for (int c = 0; c < num_classes; ++c) {
+      if (!alive[c] || members[c].size() != 1) continue;
+      groups[{std::vector<int>(pred[c].begin(), pred[c].end()),
+              std::vector<int>(succ[c].begin(), succ[c].end())}]
+          .push_back(c);
+    }
+    for (const auto& [key, group] : groups) {
+      if (group.size() < 2) continue;
+      int target = group[0];
+      for (size_t i = 1; i < group.size(); ++i) {
+        int c = group[i];
+        members[target].push_back(members[c][0]);
+        alive[c] = false;
+        for (int p : pred[c]) succ[p].erase(c);
+        for (int s : succ[c]) pred[s].erase(c);
+        succ[c].clear();
+        pred[c].clear();
+      }
+      std::sort(members[target].begin(), members[target].end());
+      merged_any = true;
+      break;  // neighborhoods changed; recompute the grouping
+    }
+  }
+
+  // Step 4: deterministic topological sort — among ready classes pick the
+  // one whose smallest member symbol is smallest.
+  std::vector<int> order;
+  {
+    std::vector<int> indegree(num_classes, 0);
+    for (int c = 0; c < num_classes; ++c) {
+      if (!alive[c]) continue;
+      for (int d : succ[c]) ++indegree[d];
+    }
+    auto key = [&](int c) {
+      return *std::min_element(members[c].begin(), members[c].end());
+    };
+    auto cmp = [&](int a, int b) { return key(a) > key(b); };
+    std::priority_queue<int, std::vector<int>, decltype(cmp)> ready(cmp);
+    for (int c = 0; c < num_classes; ++c) {
+      if (alive[c] && indegree[c] == 0) ready.push(c);
+    }
+    while (!ready.empty()) {
+      int c = ready.top();
+      ready.pop();
+      order.push_back(c);
+      for (int d : succ[c]) {
+        if (--indegree[d] == 0) ready.push(d);
+      }
+    }
+  }
+
+  // Steps 5-13: qualifiers from per-word occurrence totals.
+  std::vector<ReRef> factors;
+  factors.reserve(order.size());
+  for (int c : order) {
+    bool all_exactly_one = true;
+    bool all_at_most_one = true;
+    bool all_at_least_one = true;
+    bool any_two_or_more = false;
+    auto account = [&](int total) {
+      if (total != 1) all_exactly_one = false;
+      if (total > 1) {
+        all_at_most_one = false;
+        any_two_or_more = true;
+      }
+      if (total < 1) all_at_least_one = false;
+    };
+    for (const auto& [histogram, count] : histograms_) {
+      int total = 0;
+      for (const auto& [sym, n] : histogram) {
+        if (std::binary_search(members[c].begin(), members[c].end(), sym)) {
+          total += n;
+        }
+      }
+      account(total);
+    }
+    if (empty_count_ > 0) account(0);
+
+    std::vector<ReRef> alts;
+    alts.reserve(members[c].size());
+    for (Symbol s : members[c]) alts.push_back(Re::Sym(s));
+    ReRef factor = Re::Disj(std::move(alts));
+    if (all_exactly_one) {
+      // bare (a1 + ... + an)
+    } else if (all_at_most_one) {
+      factor = Re::Opt(factor);
+    } else if (all_at_least_one && any_two_or_more) {
+      factor = Re::Plus(factor);
+    } else {
+      factor = Re::Star(factor);
+    }
+    factors.push_back(std::move(factor));
+  }
+  return Re::Concat(std::move(factors));
+}
+
+Result<ReRef> CrxInfer(const std::vector<Word>& sample) {
+  CrxState state;
+  state.AddWords(sample);
+  return state.Infer();
+}
+
+}  // namespace condtd

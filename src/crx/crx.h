@@ -1,0 +1,88 @@
+#ifndef CONDTD_CRX_CRX_H_
+#define CONDTD_CRX_CRX_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "alphabet/alphabet.h"
+#include "base/status.h"
+#include "regex/ast.h"
+
+namespace condtd {
+
+/// Incremental state of the CRX algorithm (Section 7 / Section 9
+/// "Incremental computation"). Only two summaries of the data are kept:
+///
+///  * the direct-successor relation →_W over symbols (quadratic in the
+///    number of element names, independent of the data size), and
+///  * a deduplicated multiset of per-word symbol histograms. The
+///    histograms are what Algorithm 3's steps 6–13 need to assign the
+///    ?/+/* qualifiers exactly — and because real corpora contain few
+///    distinct content sequences, this summary stays tiny relative to
+///    the XML data, which can be discarded after folding.
+class CrxState {
+ public:
+  CrxState() = default;
+
+  /// Folds one word into the state. O(|word| log |word|).
+  void AddWord(const Word& word);
+
+  /// Folds a batch.
+  void AddWords(const std::vector<Word>& words);
+
+  /// Runs Algorithm 3 on the summarized sample: equivalence classes of
+  /// ≈_W (Tarjan SCC), Hasse diagram of the induced partial order
+  /// (transitive reduction), merging of singleton classes with equal
+  /// neighborhoods, deterministic topological sort, qualifier
+  /// assignment. Returns a CHARE r with W ⊆ L(r) (Theorem 3); fails with
+  /// kFailedPrecondition when no symbol has been observed.
+  ///
+  /// Symbols observed fewer than `min_symbol_support` times in total are
+  /// treated as noise and excluded (Section 9: "consider the support of
+  /// each element name and simply disregard [it] when less than a given
+  /// threshold").
+  Result<ReRef> Infer(int min_symbol_support = 0) const;
+
+  /// Sparse per-word histogram: sorted (symbol, count) pairs.
+  using Histogram = std::vector<std::pair<Symbol, int>>;
+
+  int64_t num_words() const { return num_words_; }
+  bool has_empty_word() const { return empty_count_ > 0; }
+  int64_t empty_count() const { return empty_count_; }
+  /// Number of distinct per-word histograms retained.
+  int num_distinct_histograms() const {
+    return static_cast<int>(histograms_.size());
+  }
+  /// Deduplicated histogram multiset (histogram → number of words).
+  /// Consumed by the numeric-predicate post-processing of Section 9.
+  const std::map<Histogram, int64_t>& histograms() const {
+    return histograms_;
+  }
+  /// The direct-successor relation →_W (for persistence).
+  const std::set<std::pair<Symbol, Symbol>>& edges() const {
+    return edges_;
+  }
+
+  /// Restoration hooks used by the state (de)serializer: they merge raw
+  /// summary entries without going through words.
+  void RestoreEdge(Symbol from, Symbol to);
+  void RestoreHistogram(const Histogram& histogram, int64_t count);
+  void RestoreEmpty(int64_t count);
+
+ private:
+  std::set<std::pair<Symbol, Symbol>> edges_;
+  std::set<Symbol> symbols_;
+  std::map<Histogram, int64_t> histograms_;
+  int64_t empty_count_ = 0;
+  int64_t num_words_ = 0;
+};
+
+/// One-shot CRX: fold `sample` and infer.
+Result<ReRef> CrxInfer(const std::vector<Word>& sample);
+
+}  // namespace condtd
+
+#endif  // CONDTD_CRX_CRX_H_

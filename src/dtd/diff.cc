@@ -1,0 +1,195 @@
+#include "dtd/diff.h"
+
+#include <algorithm>
+#include <set>
+
+#include "regex/equivalence.h"
+#include "regex/properties.h"
+
+namespace condtd {
+
+const char* ModelRelationToString(ModelRelation relation) {
+  switch (relation) {
+    case ModelRelation::kEqual:
+      return "equal";
+    case ModelRelation::kStricter:
+      return "left is stricter";
+    case ModelRelation::kLooser:
+      return "left is looser";
+    case ModelRelation::kIncomparable:
+      return "incomparable";
+    case ModelRelation::kOnlyLeft:
+      return "only in left";
+    case ModelRelation::kOnlyRight:
+      return "only in right";
+  }
+  return "?";
+}
+
+bool DtdDiff::Identical() const {
+  for (const ElementDiff& entry : entries) {
+    if (entry.relation != ModelRelation::kEqual) return false;
+  }
+  return true;
+}
+
+int DtdDiff::CountWhere(ModelRelation relation) const {
+  int count = 0;
+  for (const ElementDiff& entry : entries) {
+    if (entry.relation == relation) ++count;
+  }
+  return count;
+}
+
+namespace {
+
+/// The child-sequence language of a content model as a complete DFA:
+/// EMPTY and (#PCDATA) admit only the empty child sequence, mixed
+/// content admits any sequence over its symbols, ANY admits everything.
+Dfa ModelDfa(const ContentModel& model, int num_symbols) {
+  switch (model.kind) {
+    case ContentKind::kChildren:
+      return CompileToDfa(model.regex, num_symbols);
+    case ContentKind::kEmpty:
+    case ContentKind::kPcdataOnly: {
+      Dfa dfa(num_symbols);
+      int accept = dfa.AddState(true);
+      int dead = dfa.AddState(false);
+      for (Symbol s = 0; s < num_symbols; ++s) {
+        dfa.SetTransition(accept, s, dead);
+        dfa.SetTransition(dead, s, dead);
+      }
+      dfa.set_initial(accept);
+      return dfa;
+    }
+    case ContentKind::kMixed: {
+      Dfa dfa(num_symbols);
+      int accept = dfa.AddState(true);
+      int dead = dfa.AddState(false);
+      std::set<Symbol> allowed(model.mixed_symbols.begin(),
+                               model.mixed_symbols.end());
+      for (Symbol s = 0; s < num_symbols; ++s) {
+        dfa.SetTransition(accept, s,
+                          allowed.count(s) > 0 ? accept : dead);
+        dfa.SetTransition(dead, s, dead);
+      }
+      dfa.set_initial(accept);
+      return dfa;
+    }
+    case ContentKind::kAny: {
+      Dfa dfa(num_symbols);
+      int accept = dfa.AddState(true);
+      for (Symbol s = 0; s < num_symbols; ++s) {
+        dfa.SetTransition(accept, s, accept);
+      }
+      dfa.set_initial(accept);
+      return dfa;
+    }
+  }
+  Dfa dfa(num_symbols);
+  dfa.AddState(false);
+  return dfa;
+}
+
+int AlphabetCeiling(const Dtd& dtd) {
+  Symbol max_symbol = -1;
+  for (const auto& [element, model] : dtd.elements) {
+    max_symbol = std::max(max_symbol, element);
+    if (model.kind == ContentKind::kChildren) {
+      for (Symbol s : SymbolsOf(model.regex)) {
+        max_symbol = std::max(max_symbol, s);
+      }
+    }
+    for (Symbol s : model.mixed_symbols) {
+      max_symbol = std::max(max_symbol, s);
+    }
+  }
+  return static_cast<int>(max_symbol) + 1;
+}
+
+}  // namespace
+
+DtdDiff CompareDtds(const Dtd& left, const Dtd& right) {
+  DtdDiff diff;
+  int num_symbols =
+      std::max({AlphabetCeiling(left), AlphabetCeiling(right), 1});
+  std::set<Symbol> all_elements;
+  for (const auto& [element, model] : left.elements) {
+    all_elements.insert(element);
+  }
+  for (const auto& [element, model] : right.elements) {
+    all_elements.insert(element);
+  }
+  for (Symbol element : all_elements) {
+    ElementDiff entry;
+    entry.element = element;
+    auto left_it = left.elements.find(element);
+    auto right_it = right.elements.find(element);
+    if (left_it == left.elements.end()) {
+      entry.relation = ModelRelation::kOnlyRight;
+      diff.entries.push_back(std::move(entry));
+      continue;
+    }
+    if (right_it == right.elements.end()) {
+      entry.relation = ModelRelation::kOnlyLeft;
+      diff.entries.push_back(std::move(entry));
+      continue;
+    }
+    Dfa left_dfa = ModelDfa(left_it->second, num_symbols);
+    Dfa right_dfa = ModelDfa(right_it->second, num_symbols);
+    bool left_in_right = Dfa::IsSubset(left_dfa, right_dfa);
+    bool right_in_left = Dfa::IsSubset(right_dfa, left_dfa);
+    if (left_in_right && right_in_left) {
+      entry.relation = ModelRelation::kEqual;
+    } else {
+      entry.relation = left_in_right ? ModelRelation::kStricter
+                       : right_in_left ? ModelRelation::kLooser
+                                       : ModelRelation::kIncomparable;
+      Result<Word> witness =
+          FindDistinguishingWordDfa(left_dfa, right_dfa);
+      if (witness.ok()) {
+        entry.witness = witness.value();
+        entry.has_witness = true;
+      }
+    }
+    diff.entries.push_back(std::move(entry));
+  }
+  return diff;
+}
+
+std::string DiffToString(const DtdDiff& diff, const Dtd& left,
+                         const Dtd& right, const Alphabet& alphabet) {
+  std::string out;
+  for (const ElementDiff& entry : diff.entries) {
+    out += alphabet.Name(entry.element);
+    out += ": ";
+    out += ModelRelationToString(entry.relation);
+    switch (entry.relation) {
+      case ModelRelation::kEqual:
+      case ModelRelation::kOnlyLeft:
+      case ModelRelation::kOnlyRight:
+        out += "\n";
+        continue;
+      default:
+        break;
+    }
+    out += "\n  left : " +
+           ContentModelToString(left.elements.at(entry.element), alphabet);
+    out += "\n  right: " +
+           ContentModelToString(right.elements.at(entry.element),
+                                alphabet);
+    if (entry.has_witness) {
+      out += "\n  e.g. \"";
+      for (size_t i = 0; i < entry.witness.size(); ++i) {
+        if (i > 0) out += ' ';
+        out += alphabet.Name(entry.witness[i]);
+      }
+      out += entry.witness.empty() ? "(empty)\"" : "\"";
+      out += " is allowed by only one side";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace condtd

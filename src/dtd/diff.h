@@ -1,0 +1,57 @@
+#ifndef CONDTD_DTD_DIFF_H_
+#define CONDTD_DTD_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "dtd/model.h"
+
+namespace condtd {
+
+/// Per-element relationship between two DTDs' content models, decided
+/// with the exact DFA oracle.
+enum class ModelRelation {
+  kEqual,         ///< same language
+  kStricter,      ///< left ⊂ right (left is the more specific model)
+  kLooser,        ///< left ⊃ right
+  kIncomparable,  ///< neither contains the other
+  kOnlyLeft,      ///< element declared only in the left DTD
+  kOnlyRight,     ///< element declared only in the right DTD
+};
+
+const char* ModelRelationToString(ModelRelation relation);
+
+/// One element's diff entry.
+struct ElementDiff {
+  Symbol element = kInvalidSymbol;
+  ModelRelation relation = ModelRelation::kEqual;
+  /// For kStricter/kLooser/kIncomparable children models: a shortest
+  /// witness word accepted by exactly one side.
+  Word witness;
+  bool has_witness = false;
+};
+
+/// Result of comparing two DTDs sharing one alphabet.
+struct DtdDiff {
+  std::vector<ElementDiff> entries;
+
+  bool Identical() const;
+  int CountWhere(ModelRelation relation) const;
+};
+
+/// Compares `left` and `right` element by element. This is the paper's
+/// schema-cleaning workflow (Section 1.1): diff the official schema
+/// against the one inferred from the data and read off where the data
+/// is stricter — and its noise workflow (Section 9): diff the inferred
+/// schema against the specification to get "a uniform view of the kind
+/// of errors". Both DTDs must use the same Alphabet.
+DtdDiff CompareDtds(const Dtd& left, const Dtd& right);
+
+/// Human-readable rendering ("refinfo: data is stricter; e.g. official
+/// allows 'volume month' which the data never shows").
+std::string DiffToString(const DtdDiff& diff, const Dtd& left,
+                         const Dtd& right, const Alphabet& alphabet);
+
+}  // namespace condtd
+
+#endif  // CONDTD_DTD_DIFF_H_

@@ -1,0 +1,344 @@
+#include "dtd/dtd_parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "base/strings.h"
+
+namespace condtd {
+
+namespace {
+
+bool IsDtdNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == ':' || c == '-' || c == '.';
+}
+
+/// Recursive-descent parser for children content models.
+class ModelParser {
+ public:
+  ModelParser(std::string_view text, Alphabet* alphabet)
+      : text_(text), alphabet_(alphabet) {}
+
+  Result<ReRef> Parse() {
+    Result<ReRef> re = ParseCp();
+    if (!re.ok()) return re;
+    Skip();
+    if (pos_ != text_.size()) {
+      return Status::ParseError("trailing input in content model '" +
+                                std::string(text_) + "'");
+    }
+    return re;
+  }
+
+ private:
+  void Skip() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    Skip();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  ReRef ApplyPostfix(ReRef re) {
+    // Postfix operators attach without intervening whitespace per the
+    // XML spec, but we are permissive and skip whitespace.
+    while (true) {
+      char c = Peek();
+      if (c == '?') {
+        re = Re::Opt(re);
+        ++pos_;
+      } else if (c == '*') {
+        re = Re::Star(re);
+        ++pos_;
+      } else if (c == '+') {
+        re = Re::Plus(re);
+        ++pos_;
+      } else {
+        return re;
+      }
+    }
+  }
+
+  Result<ReRef> ParseCp() {
+    char c = Peek();
+    ReRef item;
+    if (c == '(') {
+      ++pos_;
+      Result<ReRef> group = ParseGroup();
+      if (!group.ok()) return group;
+      item = group.value();
+    } else if (IsDtdNameChar(c)) {
+      size_t start = pos_;
+      while (pos_ < text_.size() && IsDtdNameChar(text_[pos_])) ++pos_;
+      item = Re::Sym(alphabet_->Intern(text_.substr(start, pos_ - start)));
+    } else {
+      return Status::ParseError("expected name or '(' in content model '" +
+                                std::string(text_) + "' at offset " +
+                                std::to_string(pos_));
+    }
+    return ApplyPostfix(item);
+  }
+
+  /// Inside '(' ... ')': either a ','-sequence or a '|'-choice.
+  Result<ReRef> ParseGroup() {
+    std::vector<ReRef> items;
+    Result<ReRef> first = ParseCp();
+    if (!first.ok()) return first;
+    items.push_back(first.value());
+    char sep = '\0';
+    while (true) {
+      char c = Peek();
+      if (c == ')') {
+        ++pos_;
+        if (items.size() == 1) return items[0];
+        return sep == '|' ? Re::Disj(std::move(items))
+                          : Re::Concat(std::move(items));
+      }
+      if (c != ',' && c != '|') {
+        return Status::ParseError("expected ',', '|' or ')' in '" +
+                                  std::string(text_) + "' at offset " +
+                                  std::to_string(pos_));
+      }
+      if (sep != '\0' && c != sep) {
+        return Status::ParseError(
+            "mixed ',' and '|' at the same level in '" + std::string(text_) +
+            "'");
+      }
+      sep = c;
+      ++pos_;
+      Result<ReRef> next = ParseCp();
+      if (!next.ok()) return next;
+      items.push_back(next.value());
+    }
+  }
+
+  std::string_view text_;
+  Alphabet* alphabet_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ContentModel> ParseContentModel(std::string_view text,
+                                       Alphabet* alphabet) {
+  std::string_view trimmed = StripWhitespace(text);
+  ContentModel model;
+  if (trimmed == "EMPTY") {
+    model.kind = ContentKind::kEmpty;
+    return model;
+  }
+  if (trimmed == "ANY") {
+    model.kind = ContentKind::kAny;
+    return model;
+  }
+  // Mixed content: (#PCDATA) or (#PCDATA | a | b)*.
+  size_t pcdata = trimmed.find("#PCDATA");
+  if (pcdata != std::string_view::npos) {
+    if (trimmed.front() != '(') {
+      return Status::ParseError("malformed mixed content model '" +
+                                std::string(trimmed) + "'");
+    }
+    size_t close = trimmed.rfind(')');
+    if (close == std::string_view::npos) {
+      return Status::ParseError("missing ')' in mixed content model '" +
+                                std::string(trimmed) + "'");
+    }
+    std::string_view inner = trimmed.substr(1, close - 1);
+    std::vector<std::string> parts = SplitString(inner, '|');
+    std::vector<Symbol> symbols;
+    for (size_t i = 0; i < parts.size(); ++i) {
+      std::string_view part = StripWhitespace(parts[i]);
+      if (i == 0) {
+        if (part != "#PCDATA") {
+          return Status::ParseError("#PCDATA must come first in '" +
+                                    std::string(trimmed) + "'");
+        }
+        continue;
+      }
+      if (part.empty()) {
+        return Status::ParseError("empty alternative in mixed model '" +
+                                  std::string(trimmed) + "'");
+      }
+      symbols.push_back(alphabet->Intern(part));
+    }
+    if (symbols.empty()) {
+      model.kind = ContentKind::kPcdataOnly;
+    } else {
+      model.kind = ContentKind::kMixed;
+      model.mixed_symbols = std::move(symbols);
+    }
+    return model;
+  }
+  ModelParser parser(trimmed, alphabet);
+  Result<ReRef> re = parser.Parse();
+  if (!re.ok()) return re.status();
+  model.kind = ContentKind::kChildren;
+  model.regex = re.value();
+  return model;
+}
+
+Result<Dtd> ParseDtd(std::string_view text, Alphabet* alphabet,
+                     std::string_view root_name) {
+  Dtd dtd;
+  if (!root_name.empty()) dtd.root = alphabet->Intern(root_name);
+  size_t pos = 0;
+  auto skip_ws = [&] {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  };
+  while (true) {
+    skip_ws();
+    if (pos >= text.size()) return dtd;
+    if (StartsWith(text.substr(pos), "<!--")) {
+      size_t end = text.find("-->", pos + 4);
+      if (end == std::string_view::npos) {
+        return Status::ParseError("unterminated comment in DTD");
+      }
+      pos = end + 3;
+      continue;
+    }
+    if (StartsWith(text.substr(pos), "<?")) {
+      size_t end = text.find("?>", pos + 2);
+      if (end == std::string_view::npos) {
+        return Status::ParseError("unterminated PI in DTD");
+      }
+      pos = end + 2;
+      continue;
+    }
+    if (text[pos] == '%') {
+      // Parameter entity reference; external content is unavailable
+      // offline, so skip the reference.
+      size_t end = text.find(';', pos);
+      if (end == std::string_view::npos) {
+        return Status::ParseError("unterminated parameter entity in DTD");
+      }
+      pos = end + 1;
+      continue;
+    }
+    if (!StartsWith(text.substr(pos), "<!")) {
+      return Status::ParseError("unexpected content in DTD at offset " +
+                                std::to_string(pos));
+    }
+    size_t decl_start = pos;
+    // Find the closing '>' (quotes may contain '>').
+    size_t i = pos + 2;
+    char quote = '\0';
+    while (i < text.size()) {
+      char c = text[i];
+      if (quote != '\0') {
+        if (c == quote) quote = '\0';
+      } else if (c == '"' || c == '\'') {
+        quote = c;
+      } else if (c == '>') {
+        break;
+      }
+      ++i;
+    }
+    if (i >= text.size()) {
+      return Status::ParseError("unterminated declaration in DTD");
+    }
+    std::string_view decl = text.substr(decl_start + 2, i - decl_start - 2);
+    pos = i + 1;
+
+    if (StartsWith(decl, "ELEMENT")) {
+      std::string_view body = StripWhitespace(decl.substr(7));
+      size_t name_end = 0;
+      while (name_end < body.size() && IsDtdNameChar(body[name_end])) {
+        ++name_end;
+      }
+      if (name_end == 0) {
+        return Status::ParseError("ELEMENT declaration without a name");
+      }
+      Symbol element = alphabet->Intern(body.substr(0, name_end));
+      Result<ContentModel> model =
+          ParseContentModel(body.substr(name_end), alphabet);
+      if (!model.ok()) return model.status();
+      dtd.elements[element] = model.value();
+      if (dtd.root == kInvalidSymbol) dtd.root = element;
+    } else if (StartsWith(decl, "ATTLIST")) {
+      std::string_view body = StripWhitespace(decl.substr(7));
+      size_t name_end = 0;
+      while (name_end < body.size() && IsDtdNameChar(body[name_end])) {
+        ++name_end;
+      }
+      if (name_end == 0) {
+        return Status::ParseError("ATTLIST declaration without a name");
+      }
+      Symbol element = alphabet->Intern(body.substr(0, name_end));
+      // Tokenize the attribute definitions: name type default, where an
+      // enumeration type is a parenthesized group and defaults may be
+      // quoted strings.
+      std::string_view rest = body.substr(name_end);
+      std::vector<std::string> tokens;
+      size_t j = 0;
+      while (j < rest.size()) {
+        if (std::isspace(static_cast<unsigned char>(rest[j]))) {
+          ++j;
+          continue;
+        }
+        size_t start = j;
+        if (rest[j] == '(') {
+          while (j < rest.size() && rest[j] != ')') ++j;
+          if (j < rest.size()) ++j;
+        } else if (rest[j] == '"' || rest[j] == '\'') {
+          char q = rest[j++];
+          while (j < rest.size() && rest[j] != q) ++j;
+          if (j < rest.size()) ++j;
+        } else {
+          while (j < rest.size() &&
+                 !std::isspace(static_cast<unsigned char>(rest[j]))) {
+            ++j;
+          }
+        }
+        tokens.emplace_back(rest.substr(start, j - start));
+      }
+      size_t t = 0;
+      while (t + 1 < tokens.size()) {
+        Dtd::AttributeDef def;
+        def.name = tokens[t++];
+        def.type = tokens[t++];
+        if (t < tokens.size()) {
+          def.default_decl = tokens[t];
+          if (def.default_decl == "#FIXED" && t + 1 < tokens.size()) {
+            def.default_decl += " " + tokens[t + 1];
+            ++t;
+          }
+          ++t;
+        }
+        dtd.attributes[element].push_back(std::move(def));
+      }
+    }
+    // ENTITY / NOTATION declarations are skipped.
+  }
+}
+
+Result<Dtd> ParseDoctype(std::string_view doctype, Alphabet* alphabet) {
+  std::string_view body = StripWhitespace(doctype);
+  size_t name_end = 0;
+  while (name_end < body.size() && IsDtdNameChar(body[name_end])) ++name_end;
+  if (name_end == 0) {
+    return Status::ParseError("DOCTYPE without a root name");
+  }
+  std::string_view root = body.substr(0, name_end);
+  size_t open = body.find('[', name_end);
+  if (open == std::string_view::npos) {
+    Dtd dtd;
+    dtd.root = alphabet->Intern(root);
+    return dtd;  // external subset only; nothing to parse offline
+  }
+  size_t close = body.rfind(']');
+  if (close == std::string_view::npos || close < open) {
+    return Status::ParseError("unbalanced internal subset in DOCTYPE");
+  }
+  return ParseDtd(body.substr(open + 1, close - open - 1), alphabet, root);
+}
+
+}  // namespace condtd

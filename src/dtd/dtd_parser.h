@@ -1,0 +1,31 @@
+#ifndef CONDTD_DTD_DTD_PARSER_H_
+#define CONDTD_DTD_DTD_PARSER_H_
+
+#include <string_view>
+
+#include "base/status.h"
+#include "dtd/model.h"
+
+namespace condtd {
+
+/// Parses a DTD content model in <!ELEMENT> syntax: `EMPTY`, `ANY`,
+/// `(#PCDATA)`, `(#PCDATA | a | b)*`, or a children model using `,`
+/// (sequence), `|` (choice) and the `? * +` postfix operators.
+Result<ContentModel> ParseContentModel(std::string_view text,
+                                       Alphabet* alphabet);
+
+/// Parses a sequence of markup declarations (<!ELEMENT ...>,
+/// <!ATTLIST ...>; entities/notations/comments/PIs are skipped) — i.e.
+/// the body of a .dtd file or a DOCTYPE internal subset. The DTD's root
+/// stays unset unless `root_name` is non-empty.
+Result<Dtd> ParseDtd(std::string_view text, Alphabet* alphabet,
+                     std::string_view root_name = {});
+
+/// Parses the raw DOCTYPE body captured by the XML parser
+/// ("root SYSTEM \"uri\" [ declarations ]"): extracts the root name and
+/// any internal subset declarations.
+Result<Dtd> ParseDoctype(std::string_view doctype, Alphabet* alphabet);
+
+}  // namespace condtd
+
+#endif  // CONDTD_DTD_DTD_PARSER_H_

@@ -1,0 +1,49 @@
+#include "dtd/dtd_writer.h"
+
+#include <vector>
+
+namespace condtd {
+
+namespace {
+
+std::vector<Symbol> ElementOrder(const Dtd& dtd) {
+  std::vector<Symbol> order;
+  if (dtd.root != kInvalidSymbol && dtd.elements.count(dtd.root) > 0) {
+    order.push_back(dtd.root);
+  }
+  for (const auto& [symbol, model] : dtd.elements) {
+    if (symbol != dtd.root) order.push_back(symbol);
+  }
+  return order;
+}
+
+}  // namespace
+
+std::string WriteDtd(const Dtd& dtd, const Alphabet& alphabet) {
+  std::string out;
+  for (Symbol symbol : ElementOrder(dtd)) {
+    out += "<!ELEMENT " + alphabet.Name(symbol) + " " +
+           ContentModelToString(dtd.elements.at(symbol), alphabet) + ">\n";
+    auto it = dtd.attributes.find(symbol);
+    if (it != dtd.attributes.end() && !it->second.empty()) {
+      out += "<!ATTLIST " + alphabet.Name(symbol);
+      for (const auto& def : it->second) {
+        out += "\n  " + def.name + " " + def.type;
+        if (!def.default_decl.empty()) out += " " + def.default_decl;
+      }
+      out += ">\n";
+    }
+  }
+  return out;
+}
+
+std::string WriteDoctype(const Dtd& dtd, const Alphabet& alphabet) {
+  std::string root = dtd.root != kInvalidSymbol ? alphabet.Name(dtd.root)
+                                                : std::string("root");
+  std::string out = "<!DOCTYPE " + root + " [\n";
+  out += WriteDtd(dtd, alphabet);
+  out += "]>";
+  return out;
+}
+
+}  // namespace condtd

@@ -1,0 +1,21 @@
+#ifndef CONDTD_DTD_DTD_WRITER_H_
+#define CONDTD_DTD_DTD_WRITER_H_
+
+#include <string>
+
+#include "dtd/model.h"
+
+namespace condtd {
+
+/// Serializes the DTD as a sequence of <!ELEMENT> / <!ATTLIST>
+/// declarations. Element order: the root first, then the remaining
+/// elements by symbol id (intern order), so output is deterministic.
+std::string WriteDtd(const Dtd& dtd, const Alphabet& alphabet);
+
+/// Serializes as a complete DOCTYPE with internal subset, suitable for
+/// prepending to a document: <!DOCTYPE root [ ... ]>.
+std::string WriteDoctype(const Dtd& dtd, const Alphabet& alphabet);
+
+}  // namespace condtd
+
+#endif  // CONDTD_DTD_DTD_WRITER_H_

@@ -1,0 +1,110 @@
+#include "dtd/model.h"
+
+namespace condtd {
+
+namespace {
+
+/// DTD syntax printer. `min_prec`: 0 = union context, 1 = sequence
+/// context, 2 = operand of a postfix operator.
+void PrintDtd(const ReRef& re, const Alphabet& alphabet, int min_prec,
+              std::string* out) {
+  auto precedence = [](ReKind kind) {
+    switch (kind) {
+      case ReKind::kDisj:
+        return 0;
+      case ReKind::kConcat:
+        return 1;
+      default:
+        return 2;
+    }
+  };
+  bool parens = precedence(re->kind()) < min_prec;
+  if (parens) *out += '(';
+  switch (re->kind()) {
+    case ReKind::kSymbol:
+      *out += alphabet.Name(re->symbol());
+      break;
+    case ReKind::kConcat:
+      for (size_t i = 0; i < re->children().size(); ++i) {
+        if (i > 0) *out += ", ";
+        PrintDtd(re->children()[i], alphabet, 2, out);
+      }
+      break;
+    case ReKind::kDisj:
+      for (size_t i = 0; i < re->children().size(); ++i) {
+        if (i > 0) *out += " | ";
+        PrintDtd(re->children()[i], alphabet, 1, out);
+      }
+      break;
+    case ReKind::kPlus:
+      PrintDtd(re->child(), alphabet, 2, out);
+      *out += '+';
+      break;
+    case ReKind::kOpt:
+      PrintDtd(re->child(), alphabet, 2, out);
+      *out += '?';
+      break;
+    case ReKind::kStar:
+      PrintDtd(re->child(), alphabet, 2, out);
+      *out += '*';
+      break;
+  }
+  if (parens) *out += ')';
+}
+
+}  // namespace
+
+std::string ToDtdString(const ReRef& re, const Alphabet& alphabet) {
+  std::string out;
+  // DTD children models are always parenthesized at the top level; a
+  // postfix operator on a group keeps its operator outside the parens.
+  switch (re->kind()) {
+    case ReKind::kPlus:
+      out += '(';
+      PrintDtd(re->child(), alphabet, 0, &out);
+      out += ")+";
+      break;
+    case ReKind::kOpt:
+      out += '(';
+      PrintDtd(re->child(), alphabet, 0, &out);
+      out += ")?";
+      break;
+    case ReKind::kStar:
+      out += '(';
+      PrintDtd(re->child(), alphabet, 0, &out);
+      out += ")*";
+      break;
+    default:
+      out += '(';
+      PrintDtd(re, alphabet, 0, &out);
+      out += ')';
+      break;
+  }
+  return out;
+}
+
+std::string ContentModelToString(const ContentModel& model,
+                                 const Alphabet& alphabet) {
+  switch (model.kind) {
+    case ContentKind::kEmpty:
+      return "EMPTY";
+    case ContentKind::kAny:
+      return "ANY";
+    case ContentKind::kPcdataOnly:
+      return "(#PCDATA)";
+    case ContentKind::kMixed: {
+      std::string out = "(#PCDATA";
+      for (Symbol s : model.mixed_symbols) {
+        out += " | ";
+        out += alphabet.Name(s);
+      }
+      out += ")*";
+      return out;
+    }
+    case ContentKind::kChildren:
+      return ToDtdString(model.regex, alphabet);
+  }
+  return "EMPTY";
+}
+
+}  // namespace condtd

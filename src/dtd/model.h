@@ -1,0 +1,56 @@
+#ifndef CONDTD_DTD_MODEL_H_
+#define CONDTD_DTD_MODEL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "alphabet/alphabet.h"
+#include "regex/ast.h"
+
+namespace condtd {
+
+/// Kinds of DTD content models.
+enum class ContentKind {
+  kEmpty,       ///< <!ELEMENT e EMPTY>
+  kAny,         ///< <!ELEMENT e ANY>
+  kPcdataOnly,  ///< <!ELEMENT e (#PCDATA)>
+  kMixed,       ///< <!ELEMENT e (#PCDATA | a | b)*>
+  kChildren,    ///< element content described by a regular expression
+};
+
+/// One element definition. `regex` is set for kChildren; `mixed_symbols`
+/// for kMixed.
+struct ContentModel {
+  ContentKind kind = ContentKind::kEmpty;
+  ReRef regex;
+  std::vector<Symbol> mixed_symbols;
+};
+
+/// Abstraction of a DTD (Section 3): a mapping from element names to
+/// content models plus a start symbol. Attribute lists are carried along
+/// for completeness of the parser/serializer round trip.
+struct Dtd {
+  struct AttributeDef {
+    std::string name;
+    std::string type;          // CDATA, ID, IDREF, NMTOKEN, enumeration...
+    std::string default_decl;  // #REQUIRED, #IMPLIED, #FIXED "v", or "v"
+  };
+
+  Symbol root = kInvalidSymbol;
+  std::map<Symbol, ContentModel> elements;
+  std::map<Symbol, std::vector<AttributeDef>> attributes;
+};
+
+/// Renders a content model in DTD syntax: `EMPTY`, `ANY`, `(#PCDATA)`,
+/// `(#PCDATA | a | b)*`, or a parenthesized children model with `,` for
+/// concatenation and `|` for union.
+std::string ContentModelToString(const ContentModel& model,
+                                 const Alphabet& alphabet);
+
+/// Renders an RE as a DTD children content model (always parenthesized).
+std::string ToDtdString(const ReRef& re, const Alphabet& alphabet);
+
+}  // namespace condtd
+
+#endif  // CONDTD_DTD_MODEL_H_

@@ -1,0 +1,153 @@
+#include "dtd/validator.h"
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "base/strings.h"
+#include "regex/determinism.h"
+#include "regex/matcher.h"
+
+namespace condtd {
+
+namespace {
+
+class ValidatorImpl {
+ public:
+  ValidatorImpl(const Dtd& dtd, Alphabet* alphabet)
+      : dtd_(dtd), alphabet_(alphabet) {}
+
+  void Visit(const XmlElement& element, ValidationReport* report) {
+    ++report->elements_checked;
+    Symbol symbol = alphabet_->Intern(element.name());
+    auto decl = dtd_.elements.find(symbol);
+    if (decl == dtd_.elements.end()) {
+      report->issues.push_back(
+          {element.name(), "element is not declared in the DTD"});
+    } else {
+      CheckContent(element, decl->second, report);
+    }
+    CheckAttributes(element, symbol, report);
+    for (const auto& child : element.children()) {
+      Visit(*child, report);
+    }
+  }
+
+ private:
+  void CheckContent(const XmlElement& element, const ContentModel& model,
+                    ValidationReport* report) {
+    switch (model.kind) {
+      case ContentKind::kEmpty:
+        if (!element.children().empty() || element.HasSignificantText()) {
+          report->issues.push_back(
+              {element.name(), "declared EMPTY but has content"});
+        }
+        break;
+      case ContentKind::kAny:
+        break;
+      case ContentKind::kPcdataOnly:
+        if (!element.children().empty()) {
+          report->issues.push_back(
+              {element.name(),
+               "declared (#PCDATA) but has element children"});
+        }
+        break;
+      case ContentKind::kMixed: {
+        std::set<Symbol> allowed(model.mixed_symbols.begin(),
+                                 model.mixed_symbols.end());
+        for (const auto& child : element.children()) {
+          Symbol cs = alphabet_->Intern(child->name());
+          if (allowed.count(cs) == 0) {
+            report->issues.push_back(
+                {element.name(), "child <" + child->name() +
+                                     "> not allowed in mixed content"});
+          }
+        }
+        break;
+      }
+      case ContentKind::kChildren: {
+        if (element.HasSignificantText()) {
+          report->issues.push_back(
+              {element.name(),
+               "element content model but character data present"});
+        }
+        Word children;
+        children.reserve(element.children().size());
+        for (const auto& child : element.children()) {
+          children.push_back(alphabet_->Intern(child->name()));
+        }
+        if (!MatcherFor(model.regex)->Matches(children)) {
+          std::string sequence;
+          for (const auto& child : element.children()) {
+            if (!sequence.empty()) sequence += ' ';
+            sequence += child->name();
+          }
+          report->issues.push_back(
+              {element.name(),
+               "children (" + sequence + ") do not match " +
+                   ToDtdString(model.regex, *alphabet_)});
+        }
+        break;
+      }
+    }
+  }
+
+  void CheckAttributes(const XmlElement& element, Symbol symbol,
+                       ValidationReport* report) {
+    auto it = dtd_.attributes.find(symbol);
+    if (it == dtd_.attributes.end()) return;
+    for (const auto& def : it->second) {
+      if (def.default_decl == "#REQUIRED" &&
+          element.FindAttribute(def.name) == nullptr) {
+        report->issues.push_back(
+            {element.name(),
+             "required attribute '" + def.name + "' is missing"});
+      }
+    }
+  }
+
+  /// Matchers are compiled once per content model.
+  const Matcher* MatcherFor(const ReRef& re) {
+    auto it = matchers_.find(re.get());
+    if (it == matchers_.end()) {
+      it = matchers_.emplace(re.get(), std::make_unique<Matcher>(re)).first;
+    }
+    return it->second.get();
+  }
+
+  const Dtd& dtd_;
+  Alphabet* alphabet_;
+  std::map<const Re*, std::unique_ptr<Matcher>> matchers_;
+};
+
+}  // namespace
+
+ValidationReport Validate(const XmlDocument& doc, const Dtd& dtd,
+                          Alphabet* alphabet) {
+  ValidationReport report;
+  // Schema-level sanity: the XML spec requires deterministic content
+  // models. Everything this library infers is a SORE and therefore
+  // deterministic; hand-written DTDs may not be.
+  for (const auto& [symbol, model] : dtd.elements) {
+    if (model.kind == ContentKind::kChildren &&
+        !IsDeterministic(model.regex)) {
+      report.warnings.push_back(
+          {alphabet->Name(symbol),
+           "content model is not deterministic (one-unambiguous)"});
+    }
+  }
+  if (doc.root == nullptr) {
+    report.issues.push_back({"", "document has no root element"});
+    return report;
+  }
+  if (dtd.root != kInvalidSymbol &&
+      alphabet->Intern(doc.root->name()) != dtd.root) {
+    report.issues.push_back(
+        {doc.root->name(), "root element does not match the DOCTYPE root"});
+  }
+  ValidatorImpl impl(dtd, alphabet);
+  impl.Visit(*doc.root, &report);
+  return report;
+}
+
+}  // namespace condtd

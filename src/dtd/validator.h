@@ -1,0 +1,39 @@
+#ifndef CONDTD_DTD_VALIDATOR_H_
+#define CONDTD_DTD_VALIDATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "dtd/model.h"
+#include "xml/dom.h"
+
+namespace condtd {
+
+/// One violation found during validation.
+struct ValidationIssue {
+  std::string element;  ///< element name where the issue occurred
+  std::string message;
+};
+
+/// Outcome of validating a document against a DTD.
+struct ValidationReport {
+  std::vector<ValidationIssue> issues;
+  /// Non-fatal schema problems, e.g. non-deterministic content models
+  /// (forbidden by the XML spec but common in real-world DTDs).
+  std::vector<ValidationIssue> warnings;
+  /// Elements checked (element occurrences visited).
+  int elements_checked = 0;
+
+  bool valid() const { return issues.empty(); }
+};
+
+/// Validates `doc` against `dtd`: root element name, per-element content
+/// models (children sequences matched against the Glushkov automaton of
+/// the declared RE), EMPTY/ANY/#PCDATA/mixed semantics, and #REQUIRED
+/// attributes. Elements without a declaration are reported.
+ValidationReport Validate(const XmlDocument& doc, const Dtd& dtd,
+                          Alphabet* alphabet);
+
+}  // namespace condtd
+
+#endif  // CONDTD_DTD_VALIDATOR_H_

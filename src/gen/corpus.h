@@ -1,0 +1,60 @@
+#ifndef CONDTD_GEN_CORPUS_H_
+#define CONDTD_GEN_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "alphabet/alphabet.h"
+#include "base/rng.h"
+#include "regex/ast.h"
+
+namespace condtd {
+
+/// One experimental case: an element definition (or synthetic RE), the
+/// expression the observed data actually follows, and the generated
+/// sample. The paper's corpora (Protein Sequence Database, Mondial) are
+/// not redistributable, so the samples are synthesized from the content
+/// models listed verbatim in Table 1 together with the data biases the
+/// paper reports (see DESIGN.md, "Substitutions").
+struct ExperimentCase {
+  std::string name;
+  Alphabet alphabet;
+  ReRef original;   ///< the content model from the real DTD
+  ReRef observed;   ///< what the corpus data actually exercises
+  int sample_size = 0;
+  int xtract_sample_size = 0;  ///< cap used for XTRACT (it cannot scale)
+  std::vector<Word> sample;
+  /// The paper's reported outputs (paper notation), for EXPERIMENTS.md.
+  std::string paper_crx;
+  std::string paper_idtd;
+  std::string paper_xtract;
+};
+
+/// The nine non-trivial element definitions of Table 1 with generated
+/// samples at the paper's sample sizes.
+std::vector<ExperimentCase> BuildTable1Cases(uint64_t seed);
+
+/// The five sophisticated expressions of Table 2 (example1–example5).
+std::vector<ExperimentCase> BuildTable2Cases(uint64_t seed);
+
+/// Expression (‡) of Section 8.2: (a1 (a2+...+a12)+ (a13+a14))+, used by
+/// the third Figure 4 plot. `sample_size` words.
+ExperimentCase BuildDaggerCase(int sample_size, uint64_t seed);
+
+/// Section 9 noise corpus: `num_words` paragraph-content words over a
+/// 41-symbol repeated disjunction, plus twelve intruder element names
+/// (table, iframe, ...) each inserted into `num_noisy_words` words —
+/// matching the paper's "a dozen of disallowed elements ... on average
+/// in around 10 strings". Returns the case (observed == clean RE) with
+/// the noisy sample; intruder symbols are interned in the alphabet.
+ExperimentCase BuildNoisyParagraphCase(int num_words, int num_noisy_words,
+                                       uint64_t seed);
+
+/// A repeated disjunction (a1+...+an)* over fresh symbols — the
+/// Section 7 sample-complexity workload.
+ExperimentCase BuildRepeatedDisjunctionCase(int n, int sample_size,
+                                            uint64_t seed);
+
+}  // namespace condtd
+
+#endif  // CONDTD_GEN_CORPUS_H_

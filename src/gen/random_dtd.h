@@ -1,0 +1,28 @@
+#ifndef CONDTD_GEN_RANDOM_DTD_H_
+#define CONDTD_GEN_RANDOM_DTD_H_
+
+#include "base/rng.h"
+#include "dtd/model.h"
+#include "gen/random_regex.h"
+
+namespace condtd {
+
+/// Shape knobs for random DTD generation (end-to-end pipeline fuzzing).
+struct RandomDtdOptions {
+  int num_elements = 8;        ///< total element declarations
+  int max_children = 5;        ///< alphabet size per content model
+  double leaf_pcdata_p = 0.6;  ///< leaves: #PCDATA vs EMPTY
+  double chare_p = 0.7;        ///< CHARE vs general SORE content models
+  RandomRegexOptions regex;
+};
+
+/// Generates a random, non-recursive DTD: element 0 is the root, every
+/// content model only references strictly higher-numbered elements (so
+/// generated documents always terminate), and leaves are #PCDATA or
+/// EMPTY. Element names are e0..e<n-1>, interned into `alphabet`.
+Dtd RandomDtd(Alphabet* alphabet, Rng* rng,
+              const RandomDtdOptions& options = {});
+
+}  // namespace condtd
+
+#endif  // CONDTD_GEN_RANDOM_DTD_H_

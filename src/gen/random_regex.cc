@@ -1,0 +1,91 @@
+#include "gen/random_regex.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace condtd {
+
+namespace {
+
+ReRef MaybeWrap(ReRef re, Rng* rng, const RandomRegexOptions& options) {
+  if (!rng->Bernoulli(options.unary_p)) return re;
+  switch (rng->NextBelow(3)) {
+    case 0:
+      return Re::Opt(std::move(re));
+    case 1:
+      return Re::Plus(std::move(re));
+    default:
+      return Re::Star(std::move(re));
+  }
+}
+
+ReRef BuildSore(const std::vector<Symbol>& symbols, size_t begin, size_t end,
+                Rng* rng, const RandomRegexOptions& options) {
+  if (end - begin == 1) {
+    return MaybeWrap(Re::Sym(symbols[begin]), rng, options);
+  }
+  size_t n = end - begin;
+  size_t fanout =
+      2 + rng->NextBelow(std::min<size_t>(options.max_fanout - 1, n - 1));
+  if (fanout > n) fanout = n;
+  // Random split points.
+  std::vector<size_t> cuts = {begin, end};
+  while (cuts.size() < fanout + 1) {
+    size_t cut = begin + 1 + rng->NextBelow(n - 1);
+    bool duplicate = false;
+    for (size_t c : cuts) {
+      if (c == cut) duplicate = true;
+    }
+    if (!duplicate) cuts.push_back(cut);
+  }
+  std::sort(cuts.begin(), cuts.end());
+  std::vector<ReRef> children;
+  for (size_t i = 0; i + 1 < cuts.size(); ++i) {
+    children.push_back(BuildSore(symbols, cuts[i], cuts[i + 1], rng, options));
+  }
+  ReRef node = rng->Bernoulli(options.disj_p) ? Re::Disj(std::move(children))
+                                              : Re::Concat(std::move(children));
+  return MaybeWrap(std::move(node), rng, options);
+}
+
+}  // namespace
+
+ReRef RandomSore(int num_symbols, Rng* rng,
+                 const RandomRegexOptions& options) {
+  std::vector<Symbol> symbols;
+  symbols.reserve(num_symbols);
+  for (Symbol s = 0; s < num_symbols; ++s) symbols.push_back(s);
+  rng->Shuffle(&symbols);
+  return BuildSore(symbols, 0, symbols.size(), rng, options);
+}
+
+ReRef RandomChare(int num_symbols, Rng* rng,
+                  const RandomRegexOptions& options) {
+  std::vector<ReRef> factors;
+  Symbol next = 0;
+  while (next < num_symbols) {
+    int width = 1 + static_cast<int>(rng->NextBelow(options.max_fanout));
+    std::vector<ReRef> alts;
+    for (int i = 0; i < width && next < num_symbols; ++i) {
+      alts.push_back(Re::Sym(next++));
+    }
+    ReRef factor = Re::Disj(std::move(alts));
+    switch (rng->NextBelow(4)) {
+      case 0:
+        break;  // bare
+      case 1:
+        factor = Re::Opt(factor);
+        break;
+      case 2:
+        factor = Re::Plus(factor);
+        break;
+      default:
+        factor = Re::Star(factor);
+        break;
+    }
+    factors.push_back(std::move(factor));
+  }
+  return Re::Concat(std::move(factors));
+}
+
+}  // namespace condtd

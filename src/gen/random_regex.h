@@ -1,0 +1,33 @@
+#ifndef CONDTD_GEN_RANDOM_REGEX_H_
+#define CONDTD_GEN_RANDOM_REGEX_H_
+
+#include "base/rng.h"
+#include "regex/ast.h"
+
+namespace condtd {
+
+/// Shape knobs for random expression generation.
+struct RandomRegexOptions {
+  /// Probability that an internal node is a disjunction (vs concat).
+  double disj_p = 0.4;
+  /// Probability of wrapping a subexpression in ? / + / * (split evenly).
+  double unary_p = 0.5;
+  /// Maximum children per internal node.
+  int max_fanout = 4;
+};
+
+/// Generates a random SORE over the symbols [0, num_symbols): symbols are
+/// partitioned across the tree, so single occurrence holds by
+/// construction. Intern num_symbols names in your Alphabet beforehand
+/// (ids must be dense).
+ReRef RandomSore(int num_symbols, Rng* rng,
+                 const RandomRegexOptions& options = {});
+
+/// Generates a random CHARE over [0, num_symbols): consecutive symbols
+/// are grouped into factors with random ?/+/*/plain qualifiers.
+ReRef RandomChare(int num_symbols, Rng* rng,
+                  const RandomRegexOptions& options = {});
+
+}  // namespace condtd
+
+#endif  // CONDTD_GEN_RANDOM_REGEX_H_

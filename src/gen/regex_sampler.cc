@@ -1,0 +1,55 @@
+#include "gen/regex_sampler.h"
+
+namespace condtd {
+
+namespace {
+
+void Emit(const ReRef& re, Rng* rng, const SampleOptions& options,
+          Word* out) {
+  switch (re->kind()) {
+    case ReKind::kSymbol:
+      out->push_back(re->symbol());
+      break;
+    case ReKind::kConcat:
+      for (const auto& c : re->children()) Emit(c, rng, options, out);
+      break;
+    case ReKind::kDisj: {
+      size_t pick = rng->NextBelow(re->children().size());
+      Emit(re->children()[pick], rng, options, out);
+      break;
+    }
+    case ReKind::kPlus: {
+      int n = rng->RepeatCount(options.repeat_continue_p, options.max_repeat);
+      for (int i = 0; i < n; ++i) Emit(re->child(), rng, options, out);
+      break;
+    }
+    case ReKind::kOpt:
+      if (rng->Bernoulli(options.opt_p)) Emit(re->child(), rng, options, out);
+      break;
+    case ReKind::kStar:
+      if (rng->Bernoulli(options.opt_p)) {
+        int n =
+            rng->RepeatCount(options.repeat_continue_p, options.max_repeat);
+        for (int i = 0; i < n; ++i) Emit(re->child(), rng, options, out);
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+Word SampleWord(const ReRef& re, Rng* rng, const SampleOptions& options) {
+  Word out;
+  Emit(re, rng, options, &out);
+  return out;
+}
+
+std::vector<Word> SampleWords(const ReRef& re, int count, Rng* rng,
+                              const SampleOptions& options) {
+  std::vector<Word> out;
+  out.reserve(count);
+  for (int i = 0; i < count; ++i) out.push_back(SampleWord(re, rng, options));
+  return out;
+}
+
+}  // namespace condtd

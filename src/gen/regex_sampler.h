@@ -1,0 +1,30 @@
+#ifndef CONDTD_GEN_REGEX_SAMPLER_H_
+#define CONDTD_GEN_REGEX_SAMPLER_H_
+
+#include <vector>
+
+#include "base/rng.h"
+#include "regex/ast.h"
+
+namespace condtd {
+
+/// Knobs for random derivation sampling (our stand-in for ToXgene [5]).
+struct SampleOptions {
+  /// Probability of taking another iteration of a `+`/`*` loop.
+  double repeat_continue_p = 0.45;
+  /// Hard cap on loop iterations.
+  int max_repeat = 8;
+  /// Probability that an `r?` picks r rather than ε.
+  double opt_p = 0.5;
+};
+
+/// Samples one word from L(re) by a random derivation.
+Word SampleWord(const ReRef& re, Rng* rng, const SampleOptions& options = {});
+
+/// Samples `count` words.
+std::vector<Word> SampleWords(const ReRef& re, int count, Rng* rng,
+                              const SampleOptions& options = {});
+
+}  // namespace condtd
+
+#endif  // CONDTD_GEN_REGEX_SAMPLER_H_

@@ -1,0 +1,97 @@
+#include "gen/representative.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+
+#include "gen/regex_sampler.h"
+#include "regex/glushkov.h"
+#include "regex/properties.h"
+
+namespace condtd {
+
+std::vector<Word> RepresentativeSample(const ReRef& re) {
+  Nfa nfa = BuildGlushkovNfa(re);
+  const int n = nfa.num_states();
+
+  // Shortest word prefix reaching each state (BFS from the initial state).
+  std::vector<Word> prefix(n);
+  std::vector<bool> have_prefix(n, false);
+  {
+    std::queue<int> frontier;
+    frontier.push(nfa.initial());
+    have_prefix[nfa.initial()] = true;
+    while (!frontier.empty()) {
+      int q = frontier.front();
+      frontier.pop();
+      for (const auto& [sym, to] : nfa.TransitionsFrom(q)) {
+        if (have_prefix[to]) continue;
+        have_prefix[to] = true;
+        prefix[to] = prefix[q];
+        prefix[to].push_back(sym);
+        frontier.push(to);
+      }
+    }
+  }
+
+  // Shortest word suffix from each state to an accepting state (BFS on
+  // the reversed automaton).
+  std::vector<Word> suffix(n);
+  std::vector<bool> have_suffix(n, false);
+  {
+    std::vector<std::vector<std::pair<Symbol, int>>> reverse(n);
+    for (int q = 0; q < n; ++q) {
+      for (const auto& [sym, to] : nfa.TransitionsFrom(q)) {
+        reverse[to].emplace_back(sym, q);
+      }
+    }
+    std::queue<int> frontier;
+    for (int q = 0; q < n; ++q) {
+      if (nfa.IsAccepting(q)) {
+        have_suffix[q] = true;
+        frontier.push(q);
+      }
+    }
+    while (!frontier.empty()) {
+      int q = frontier.front();
+      frontier.pop();
+      for (const auto& [sym, from] : reverse[q]) {
+        if (have_suffix[from]) continue;
+        have_suffix[from] = true;
+        suffix[from] = {sym};
+        suffix[from].insert(suffix[from].end(), suffix[q].begin(),
+                            suffix[q].end());
+        frontier.push(from);
+      }
+    }
+  }
+
+  // One witness word per transition: prefix(q) · sym · suffix(to).
+  std::set<Word> words;
+  for (int q = 0; q < n; ++q) {
+    if (!have_prefix[q]) continue;
+    for (const auto& [sym, to] : nfa.TransitionsFrom(q)) {
+      if (!have_suffix[to]) continue;
+      Word word = prefix[q];
+      word.push_back(sym);
+      word.insert(word.end(), suffix[to].begin(), suffix[to].end());
+      words.insert(std::move(word));
+    }
+  }
+  if (Nullable(re)) words.insert(Word{});
+  return std::vector<Word>(words.begin(), words.end());
+}
+
+std::vector<Word> GeneratedCorpus(const ReRef& re, int size, uint64_t seed) {
+  std::vector<Word> corpus = RepresentativeSample(re);
+  Rng rng(seed);
+  while (static_cast<int>(corpus.size()) < size) {
+    corpus.push_back(SampleWord(re, &rng));
+  }
+  rng.Shuffle(&corpus);
+  if (static_cast<int>(corpus.size()) > size) corpus.resize(size);
+  return corpus;
+}
+
+}  // namespace condtd

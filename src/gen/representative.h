@@ -1,0 +1,26 @@
+#ifndef CONDTD_GEN_REPRESENTATIVE_H_
+#define CONDTD_GEN_REPRESENTATIVE_H_
+
+#include <vector>
+
+#include "base/rng.h"
+#include "regex/ast.h"
+
+namespace condtd {
+
+/// Builds a minimal representative sample for `re` (Section 4/8.2): a set
+/// of words of L(re) that covers every transition of the Glushkov
+/// automaton, so 2T-INF recovers the full SOA with no missing edges
+/// ("representative w.r.t. a SORE when it contains all corresponding
+/// 2-grams"). If re is nullable the empty word is included. Works for
+/// non-SORE REs too (covers every projected 2-gram realizable in L(re)).
+std::vector<Word> RepresentativeSample(const ReRef& re);
+
+/// A generated corpus in the style of Section 8 (Table 2): the
+/// representative sample padded with random derivations up to `size`
+/// words, deterministically shuffled.
+std::vector<Word> GeneratedCorpus(const ReRef& re, int size, uint64_t seed);
+
+}  // namespace condtd
+
+#endif  // CONDTD_GEN_REPRESENTATIVE_H_

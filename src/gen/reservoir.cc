@@ -1,0 +1,88 @@
+#include "gen/reservoir.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace condtd {
+
+std::vector<Word> ReservoirSample(const std::vector<Word>& items, int k,
+                                  Rng* rng) {
+  if (k >= static_cast<int>(items.size())) return items;
+  std::vector<Word> reservoir(items.begin(), items.begin() + k);
+  for (size_t i = k; i < items.size(); ++i) {
+    uint64_t j = rng->NextBelow(i + 1);
+    if (j < static_cast<uint64_t>(k)) reservoir[j] = items[i];
+  }
+  return reservoir;
+}
+
+namespace {
+
+std::set<Symbol> MissingSymbols(const std::vector<Word>& sample,
+                                const std::vector<Symbol>& required) {
+  std::set<Symbol> missing(required.begin(), required.end());
+  for (const Word& w : sample) {
+    for (Symbol s : w) missing.erase(s);
+  }
+  return missing;
+}
+
+}  // namespace
+
+std::vector<Word> ReservoirSampleCovering(const std::vector<Word>& items,
+                                          int k,
+                                          const std::vector<Symbol>& required,
+                                          Rng* rng, int max_attempts) {
+  std::vector<Word> sample;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    sample = ReservoirSample(items, k, rng);
+    if (MissingSymbols(sample, required).empty()) return sample;
+  }
+  // Greedy fallback: for each still-missing symbol, swap in a covering
+  // word, evicting a sample member whose required symbols all remain
+  // covered at least twice (so the swap never un-covers anything).
+  std::set<Symbol> required_set(required.begin(), required.end());
+  auto coverage = [&] {
+    std::map<Symbol, int> counts;
+    for (const Word& w : sample) {
+      std::set<Symbol> distinct(w.begin(), w.end());
+      for (Symbol s : distinct) {
+        if (required_set.count(s) > 0) ++counts[s];
+      }
+    }
+    return counts;
+  };
+  std::set<Symbol> missing = MissingSymbols(sample, required);
+  for (Symbol m : std::set<Symbol>(missing)) {
+    const Word* candidate = nullptr;
+    for (const Word& w : items) {
+      for (Symbol s : w) {
+        if (s == m) candidate = &w;
+      }
+      if (candidate != nullptr) break;
+    }
+    if (candidate == nullptr) continue;  // symbol absent from population
+    std::map<Symbol, int> counts = coverage();
+    int victim = -1;
+    for (size_t i = 0; i < sample.size(); ++i) {
+      bool safe = true;
+      std::set<Symbol> distinct(sample[i].begin(), sample[i].end());
+      for (Symbol s : distinct) {
+        if (required_set.count(s) > 0 && counts[s] < 2) safe = false;
+      }
+      if (safe) {
+        victim = static_cast<int>(i);
+        break;
+      }
+    }
+    if (victim >= 0) {
+      sample[victim] = *candidate;
+    } else {
+      sample.push_back(*candidate);  // grow rather than lose coverage
+    }
+  }
+  return sample;
+}
+
+}  // namespace condtd

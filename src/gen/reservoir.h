@@ -1,0 +1,30 @@
+#ifndef CONDTD_GEN_RESERVOIR_H_
+#define CONDTD_GEN_RESERVOIR_H_
+
+#include <vector>
+
+#include "alphabet/alphabet.h"
+#include "base/rng.h"
+
+namespace condtd {
+
+/// Vitter's algorithm R: a uniform sample of `k` items from `items`
+/// (all items when k >= |items|). Order of the reservoir is not
+/// meaningful. Used by the Figure 4 experiment ("generating 200
+/// subsamples using reservoir sampling for each size").
+std::vector<Word> ReservoirSample(const std::vector<Word>& items, int k,
+                                  Rng* rng);
+
+/// Figure 4's fairness constraint: a reservoir sample conditioned on
+/// containing every symbol of `required` ("it is ensured that the
+/// subsamples contain all alphabet symbols of the target expressions").
+/// Retries up to `max_attempts`, then falls back to greedily swapping in
+/// covering words.
+std::vector<Word> ReservoirSampleCovering(const std::vector<Word>& items,
+                                          int k,
+                                          const std::vector<Symbol>& required,
+                                          Rng* rng, int max_attempts = 64);
+
+}  // namespace condtd
+
+#endif  // CONDTD_GEN_RESERVOIR_H_

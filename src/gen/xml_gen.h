@@ -1,0 +1,35 @@
+#ifndef CONDTD_GEN_XML_GEN_H_
+#define CONDTD_GEN_XML_GEN_H_
+
+#include "base/rng.h"
+#include "base/status.h"
+#include "dtd/model.h"
+#include "gen/regex_sampler.h"
+#include "xml/dom.h"
+
+namespace condtd {
+
+/// Options for DTD-driven document generation (the ToXgene substitute at
+/// the document level).
+struct XmlGenOptions {
+  /// Below this depth, content is sampled freely; at or beyond it, the
+  /// shortest derivation of each content model is used so recursive DTDs
+  /// terminate.
+  int max_depth = 8;
+  SampleOptions sampling;
+};
+
+/// Generates one random document valid w.r.t. `dtd` (root = dtd.root).
+/// Elements with #PCDATA content receive filler text. Fails when the DTD
+/// has no root or the root is undeclared.
+Result<XmlDocument> GenerateDocument(const Dtd& dtd, const Alphabet& alphabet,
+                                     Rng* rng,
+                                     const XmlGenOptions& options = {});
+
+/// The shortest word of L(re) (minimal derivation; ties broken toward
+/// the first alternative).
+Word MinimalWord(const ReRef& re);
+
+}  // namespace condtd
+
+#endif  // CONDTD_GEN_XML_GEN_H_

@@ -1,0 +1,64 @@
+#ifndef CONDTD_GFA_REWRITE_H_
+#define CONDTD_GFA_REWRITE_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "gfa/gfa.h"
+
+namespace condtd {
+
+/// The four rewrite rules of Section 5. Each returns whether it changed
+/// the automaton; they are exposed individually for unit testing. All
+/// rules preserve the language of the GFA and keep it single occurrence.
+
+/// Rule 3 (self-loop): for every node with a real self edge, delete the
+/// edge and wrap the label in `+`. Applies everywhere at once.
+bool ApplySelfLoopRule(Gfa* gfa);
+
+/// Rule 2 (concatenation): merges every maximal chain r1→...→rn in which
+/// each ri has out-degree 1 (besides rn... see paper: every node besides
+/// rn has exactly one outgoing edge and every node besides r1 exactly one
+/// incoming edge) into a single concatenation node. An edge rn→r1 becomes
+/// a self edge on the merged node.
+bool ApplyConcatenationRule(Gfa* gfa);
+
+/// Rule 1 (disjunction): merges one set of >= 2 nodes whose predecessor
+/// and successor sets over the ε-closure coincide into a disjunction
+/// node; when the members are mutually connected in the closure the
+/// merged node receives a self edge.
+bool ApplyDisjunctionRule(Gfa* gfa);
+
+/// Rule 4 (optional): picks one node r with a non-nullable label such
+/// that every closure-predecessor r' (other than r itself) satisfies
+/// Succ(r) ⊆ Succ(r'); wraps the label in `?` and deletes the now
+/// redundant skip edges (r', r'') with r'' ∈ Succ(r) \ {r}.
+bool ApplyOptionalRule(Gfa* gfa);
+
+/// Cleanup rule: removes a real edge (p, s) when a real path p→...→s
+/// through nullable intermediate nodes exists (the path derives every
+/// word the edge does). Language-preserving; needed to consume the
+/// ε edge source→sink once the remaining node's label is itself
+/// nullable.
+bool ApplyRedundantSkipEdgeRule(Gfa* gfa);
+
+/// Runs the rules to a fixpoint (self-loop eagerly, then concatenation,
+/// disjunction, optional, redundant-skip-edge cleanup — Claim 2 makes
+/// the order irrelevant for SORE-equivalent inputs). Returns the number
+/// of rule applications.
+int RewriteFixpoint(Gfa* gfa);
+
+/// Algorithm 1: transforms the SOA into an equivalent SORE, or fails
+/// with kNoEquivalentSore when the automaton is not SORE-definable.
+/// The output is normalized (Kleene stars reintroduced). A SOA with
+/// accepts_empty yields a nullable SORE (the ε word becomes a source→sink
+/// edge that the optional rule consumes); a SOA without states fails with
+/// kFailedPrecondition.
+Result<ReRef> RewriteSoaToSore(const Soa& soa);
+
+/// Convenience: 2T-INF on `sample` followed by RewriteSoaToSore.
+Result<ReRef> RewriteInfer(const std::vector<Word>& sample);
+
+}  // namespace condtd
+
+#endif  // CONDTD_GFA_REWRITE_H_

@@ -1,0 +1,151 @@
+#include "idtd/idtd.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "automaton/two_t_inf.h"
+#include "gfa/rewrite.h"
+#include "idtd/repair.h"
+#include "regex/normalize.h"
+
+namespace condtd {
+
+namespace {
+
+/// True when every live node is reachable from the source and co-reaches
+/// the sink over real edges.
+bool FullyConnected(const Gfa& gfa) {
+  std::vector<int> live = gfa.LiveNodes();
+  std::set<int> reach;
+  std::queue<int> q;
+  q.push(gfa.source());
+  reach.insert(gfa.source());
+  while (!q.empty()) {
+    int u = q.front();
+    q.pop();
+    for (int v : gfa.Out(u)) {
+      if (reach.insert(v).second) q.push(v);
+    }
+  }
+  std::set<int> coreach;
+  q.push(gfa.sink());
+  coreach.insert(gfa.sink());
+  while (!q.empty()) {
+    int u = q.front();
+    q.pop();
+    for (int v : gfa.In(u)) {
+      if (coreach.insert(v).second) q.push(v);
+    }
+  }
+  for (int v : live) {
+    if (reach.count(v) == 0 || coreach.count(v) == 0) return false;
+  }
+  return true;
+}
+
+/// Section 9 noise handling: drops the lowest-support real edge below the
+/// threshold whose removal keeps the automaton connected.
+bool TryRemoveNoisyEdge(Gfa* gfa, int threshold) {
+  struct Candidate {
+    int support;
+    int from;
+    int to;
+  };
+  std::vector<Candidate> candidates;
+  std::vector<int> nodes = gfa->LiveNodes();
+  nodes.push_back(gfa->source());
+  for (int u : nodes) {
+    for (int v : gfa->Out(u)) {
+      int support = gfa->EdgeSupport(u, v);
+      if (support < threshold) candidates.push_back({support, u, v});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.support != b.support) return a.support < b.support;
+              if (a.from != b.from) return a.from < b.from;
+              return a.to < b.to;
+            });
+  for (const Candidate& c : candidates) {
+    int support = gfa->EdgeSupport(c.from, c.to);
+    gfa->RemoveEdge(c.from, c.to);
+    if (FullyConnected(*gfa)) return true;
+    gfa->AddEdge(c.from, c.to, support);  // undo
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<ReRef> IdtdFromSoa(const Soa& input, const IdtdOptions& options) {
+  Soa soa = options.noise_symbol_threshold > 0
+                ? PruneSoaByStateSupport(input,
+                                         options.noise_symbol_threshold)
+                : input;
+  if (soa.NumStates() == 0) {
+    return Status::FailedPrecondition(
+        "iDTD: the SOA has no states (language is empty or {ε})");
+  }
+  Gfa gfa = Gfa::FromSoa(soa);
+  RewriteFixpoint(&gfa);
+
+  int k = options.initial_k;
+  int budget = options.max_repair_steps > 0
+                   ? options.max_repair_steps
+                   : 4 * soa.NumStates() * soa.NumStates() + 64;
+  int steps = 0;
+  while (!gfa.IsFinal()) {
+    if (++steps > budget) {
+      if (!options.enable_full_merge_fallback) {
+        return Status::NoEquivalentSore(
+            "iDTD (restricted): repair budget exhausted before reaching a "
+            "final form");
+      }
+      FullMergeFallback(&gfa);
+      RewriteFixpoint(&gfa);
+      break;
+    }
+    if (options.noise_edge_threshold > 0 &&
+        TryRemoveNoisyEdge(&gfa, options.noise_edge_threshold)) {
+      RewriteFixpoint(&gfa);
+      continue;
+    }
+    if (options.enable_disjunction_repair && EnableDisjunction(&gfa, k)) {
+      RewriteFixpoint(&gfa);
+      continue;
+    }
+    if (options.enable_optional_repair && EnableOptional(&gfa, k)) {
+      RewriteFixpoint(&gfa);
+      continue;
+    }
+    if (k < options.max_k) {
+      ++k;
+      continue;
+    }
+    if (!options.enable_full_merge_fallback) {
+      return Status::NoEquivalentSore(
+          "iDTD (restricted): no repair rule applies at k <= " +
+          std::to_string(options.max_k));
+    }
+    FullMergeFallback(&gfa);
+    RewriteFixpoint(&gfa);
+    break;
+  }
+  if (!gfa.IsFinal()) {
+    return Status::Internal(
+        "iDTD: automaton did not reach the final form even after the "
+        "full-merge fallback");
+  }
+  return Normalize(gfa.FinalExpression());
+}
+
+Result<ReRef> IdtdInfer(const std::vector<Word>& sample,
+                        const IdtdOptions& options) {
+  return IdtdFromSoa(Infer2T(sample), options);
+}
+
+}  // namespace condtd

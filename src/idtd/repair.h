@@ -1,0 +1,43 @@
+#ifndef CONDTD_IDTD_REPAIR_H_
+#define CONDTD_IDTD_REPAIR_H_
+
+#include "gfa/gfa.h"
+
+namespace condtd {
+
+/// Repair rules of Section 6. Both add edges to the GFA so that a rewrite
+/// rule becomes applicable; this is what makes iDTD return a SORE
+/// denoting a superset of L(G_W) when the sample is not representative.
+/// `k` is the fuzziness parameter bounding how dissimilar two
+/// neighborhoods may be.
+
+/// enable-disjunction. Considers node pairs {r1, r2} that are either
+/// (a) neighborhood-similar: Pred(r1) ∩ Pred(r2) ≠ ∅,
+///     |Pred(r1) \ Pred(r2)| ≤ k and |Pred(r2) \ Pred(r1)| ≤ k (and the
+///     same for the successor sets), or
+/// (b) mutually connected in the ε-closure.
+/// Applies the cheapest candidate: adds the minimal set of real edges
+/// that equalizes the real predecessor and successor sets of r1 and r2
+/// (on the Figure 2 automaton this adds exactly the seven observations
+/// separating it from Figure 1). Returns false when no candidate exists
+/// or every candidate needs zero additions.
+bool EnableDisjunction(Gfa* gfa, int k);
+
+/// enable-optional. Considers nodes r with either
+/// (a) at least one real edge from a closure-predecessor of r to a
+///     closure-successor of r (partial skip evidence), or
+/// (b) a single predecessor r' with |Succ(r') \ {r, r'}| ≤ k.
+/// Applies the cheapest candidate: adds all missing skip edges
+/// Pred(r) × Succ(r); afterwards the optional rewrite rule fires on r and
+/// removes them again.
+bool EnableOptional(Gfa* gfa, int k);
+
+/// Last-resort fallback guaranteeing termination of the unrestricted
+/// iDTD variant: fully interconnects all remaining internal nodes and
+/// equalizes their external neighborhoods, after which the disjunction
+/// and self-loop rules collapse them into (r1 + ... + rn)+.
+void FullMergeFallback(Gfa* gfa);
+
+}  // namespace condtd
+
+#endif  // CONDTD_IDTD_REPAIR_H_

@@ -1,0 +1,93 @@
+#ifndef CONDTD_INFER_CONTEXTUAL_H_
+#define CONDTD_INFER_CONTEXTUAL_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+#include "infer/inferrer.h"
+
+namespace condtd {
+
+/// The paper's stated next step (Sections 1.2, 9, 10): XSDs are, per
+/// [9], DTDs extended with *vertical* context — the type of an element
+/// may depend on where it occurs. This module implements the simplest
+/// vertical extension: 1-local types, where content models are learned
+/// per (parent, element) pair and merged back to a single DTD type when
+/// the per-parent languages agree.
+///
+/// This is exactly the k = 1 ancestor-based fragment of the XSD
+/// inference the paper leaves as future work; it reuses the same
+/// per-context SOA/CRX machinery.
+class ContextualInferrer {
+ public:
+  explicit ContextualInferrer(InferenceOptions options = {});
+
+  Alphabet* alphabet() { return &alphabet_; }
+  const Alphabet& alphabet() const { return alphabet_; }
+
+  Status AddXml(std::string_view xml);
+  void AddDocument(const XmlDocument& doc);
+
+  /// One inferred type of an element together with the parents it
+  /// occurs under (kInvalidSymbol = document root). Parents whose
+  /// learned languages coincide are merged into one type.
+  struct ContextType {
+    std::vector<Symbol> parents;
+    ContentModel model;
+    int64_t occurrences = 0;
+  };
+
+  /// The result: for every element, its per-parent types after merging
+  /// language-equivalent ones, plus the single DTD type (the union of
+  /// contexts) for comparison.
+  struct Report {
+    struct ElementTypes {
+      Symbol element;
+      /// Distinct types; size() == 1 means the element is DTD-expressible.
+      std::vector<ContextType> types;
+      /// What a plain DTD must use (all contexts pooled).
+      ContentModel merged;
+    };
+    std::vector<ElementTypes> elements;
+
+    /// Elements that genuinely need vertical context (>= 2 types).
+    int NumContextDependent() const;
+  };
+
+  Result<Report> Infer() const;
+
+  /// Human-readable rendering of the report.
+  std::string ReportToString(const Report& report) const;
+
+  /// An XML Schema using *local element declarations* (russian-doll
+  /// style) for the context-dependent elements — the schema a DTD cannot
+  /// express. Uniform elements are declared globally and referenced;
+  /// context-dependent ones are declared inline under each parent with
+  /// their per-context type. Recursive context chains fall back to the
+  /// pooled global declaration to stay finite.
+  Result<std::string> InferLocalXsd() const;
+
+ private:
+  struct ContextState {
+    Soa soa;
+    CrxState crx;
+    bool has_text = false;
+    int64_t occurrences = 0;
+  };
+
+  Result<ContentModel> InferContext(const ContextState& state) const;
+
+  InferenceOptions options_;
+  Alphabet alphabet_;
+  // (element, parent) -> state; parent kInvalidSymbol for roots.
+  std::map<std::pair<Symbol, Symbol>, ContextState> contexts_;
+  // Pooled per-element state, for the DTD-equivalent merged model.
+  std::map<Symbol, ContextState> pooled_;
+};
+
+}  // namespace condtd
+
+#endif  // CONDTD_INFER_CONTEXTUAL_H_

@@ -1,0 +1,432 @@
+#include "infer/inferrer.h"
+
+#include <algorithm>
+
+#include "automaton/two_t_inf.h"
+#include "base/strings.h"
+#include "gfa/rewrite.h"
+#include "regex/properties.h"
+#include "xml/parser.h"
+#include "xsd/numeric.h"
+
+namespace condtd {
+
+DtdInferrer::DtdInferrer(InferenceOptions options)
+    : options_(std::move(options)) {}
+
+Status DtdInferrer::AddXml(std::string_view xml) {
+  Result<XmlDocument> doc =
+      options_.lenient_xml ? ParseXmlLenient(xml) : ParseXml(xml);
+  if (!doc.ok()) return doc.status();
+  AddDocument(doc.value());
+  return Status::OK();
+}
+
+void DtdInferrer::AddDocument(const XmlDocument& doc) {
+  if (doc.root == nullptr) return;
+  ++root_counts_[alphabet_.Intern(doc.root->name())];
+
+  // Iterative traversal collecting each element's child-name word.
+  std::vector<const XmlElement*> stack = {doc.root.get()};
+  while (!stack.empty()) {
+    const XmlElement* element = stack.back();
+    stack.pop_back();
+    Symbol symbol = alphabet_.Intern(element->name());
+    ElementState& state = states_[symbol];
+    ++state.occurrences;
+
+    Word word;
+    word.reserve(element->children().size());
+    for (const auto& child : element->children()) {
+      Symbol cs = alphabet_.Intern(child->name());
+      word.push_back(cs);
+      seen_as_child_.insert(cs);
+      stack.push_back(child.get());
+    }
+    Fold2T(word, &state.soa);
+    state.crx.AddWord(word);
+
+    if (element->HasSignificantText()) {
+      state.has_text = true;
+      if (static_cast<int>(state.text_samples.size()) <
+          options_.max_text_samples) {
+        state.text_samples.emplace_back(StripWhitespace(element->text()));
+      }
+    }
+    if (options_.infer_attributes) {
+      for (const auto& [key, value] : element->attributes()) {
+        ++state.attribute_counts[key];
+      }
+    }
+  }
+}
+
+void DtdInferrer::AddWords(Symbol element, const std::vector<Word>& words) {
+  ElementState& state = states_[element];
+  for (const Word& word : words) {
+    ++state.occurrences;
+    Fold2T(word, &state.soa);
+    state.crx.AddWord(word);
+    for (Symbol s : word) seen_as_child_.insert(s);
+  }
+}
+
+int64_t DtdInferrer::WordCount(Symbol element) const {
+  auto it = states_.find(element);
+  return it == states_.end() ? 0 : it->second.occurrences;
+}
+
+std::vector<Symbol> DtdInferrer::Elements() const {
+  std::vector<Symbol> out;
+  out.reserve(states_.size());
+  for (const auto& [symbol, state] : states_) out.push_back(symbol);
+  return out;
+}
+
+Result<ReRef> DtdInferrer::LearnRegex(const ElementState& state) const {
+  InferenceAlgorithm algorithm = options_.algorithm;
+  if (algorithm == InferenceAlgorithm::kAuto) {
+    algorithm = state.occurrences >= options_.auto_idtd_min_words
+                    ? InferenceAlgorithm::kIdtd
+                    : InferenceAlgorithm::kCrx;
+  }
+  switch (algorithm) {
+    case InferenceAlgorithm::kCrx:
+      return state.crx.Infer(options_.noise_symbol_threshold);
+    case InferenceAlgorithm::kRewriteOnly:
+      return RewriteSoaToSore(state.soa);
+    case InferenceAlgorithm::kIdtd:
+    case InferenceAlgorithm::kAuto:
+      break;
+  }
+  IdtdOptions idtd_options = options_.idtd;
+  if (options_.noise_symbol_threshold > 0 &&
+      idtd_options.noise_symbol_threshold == 0) {
+    idtd_options.noise_symbol_threshold = options_.noise_symbol_threshold;
+  }
+  return IdtdFromSoa(state.soa, idtd_options);
+}
+
+Result<ContentModel> DtdInferrer::InferContentModel(Symbol element) const {
+  auto it = states_.find(element);
+  if (it == states_.end()) {
+    std::string name = element >= 0 && element < alphabet_.size()
+                           ? alphabet_.Name(element)
+                           : "#" + std::to_string(element);
+    return Status::NotFound("element never observed: " + name);
+  }
+  const ElementState& state = it->second;
+  ContentModel model;
+  const bool any_children = state.crx.num_distinct_histograms() > 0;
+  if (!any_children) {
+    model.kind =
+        state.has_text ? ContentKind::kPcdataOnly : ContentKind::kEmpty;
+    return model;
+  }
+  if (state.has_text) {
+    // Mixed content: DTDs can only express (#PCDATA | a | b)*.
+    model.kind = ContentKind::kMixed;
+    for (int q = 0; q < state.soa.NumStates(); ++q) {
+      if (options_.noise_symbol_threshold > 0 &&
+          state.soa.StateSupport(q) < options_.noise_symbol_threshold) {
+        continue;
+      }
+      model.mixed_symbols.push_back(state.soa.LabelOf(q));
+    }
+    std::sort(model.mixed_symbols.begin(), model.mixed_symbols.end());
+    return model;
+  }
+  Result<ReRef> re = LearnRegex(state);
+  if (!re.ok()) return re.status();
+  model.kind = ContentKind::kChildren;
+  model.regex = re.value();
+  // Elements that sometimes appear empty need a nullable model; the
+  // learners already account for it (the ε word is part of the SOA and
+  // of the CRX histograms), so this is just a sanity fallback.
+  if (state.soa.accepts_empty() && !Nullable(model.regex)) {
+    model.regex = Re::Opt(model.regex);
+  }
+  return model;
+}
+
+Result<Dtd> DtdInferrer::InferDtd() const {
+  if (states_.empty()) {
+    return Status::FailedPrecondition("no documents have been added");
+  }
+  Dtd dtd;
+  // Root: prefer the observed document root(s); with direct AddWords
+  // usage, fall back to an element never seen as a child.
+  if (!root_counts_.empty()) {
+    int64_t best = -1;
+    for (const auto& [symbol, count] : root_counts_) {
+      if (count > best) {
+        best = count;
+        dtd.root = symbol;
+      }
+    }
+  } else {
+    for (const auto& [symbol, state] : states_) {
+      if (seen_as_child_.count(symbol) == 0) {
+        dtd.root = symbol;
+        break;
+      }
+    }
+    if (dtd.root == kInvalidSymbol) dtd.root = states_.begin()->first;
+  }
+  for (const auto& [symbol, state] : states_) {
+    Result<ContentModel> model = InferContentModel(symbol);
+    if (!model.ok()) return model.status();
+    dtd.elements[symbol] = model.value();
+    if (options_.infer_attributes) {
+      for (const auto& [name, count] : state.attribute_counts) {
+        Dtd::AttributeDef def;
+        def.name = name;
+        def.type = "CDATA";
+        def.default_decl =
+            count == state.occurrences ? "#REQUIRED" : "#IMPLIED";
+        dtd.attributes[symbol].push_back(std::move(def));
+      }
+    }
+  }
+  return dtd;
+}
+
+namespace {
+
+/// Percent-escaping for free text carried in the line-based state format
+/// (space, %, CR, LF).
+std::string EscapeText(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  static const char* kHex = "0123456789ABCDEF";
+  for (unsigned char c : text) {
+    if (c == ' ' || c == '%' || c == '\n' || c == '\r') {
+      out += '%';
+      out += kHex[c >> 4];
+      out += kHex[c & 0xF];
+    } else {
+      out += static_cast<char>(c);
+    }
+  }
+  return out;
+}
+
+std::string UnescapeText(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '%' && i + 2 < text.size()) {
+      auto hex = [](char c) {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        return 0;
+      };
+      out += static_cast<char>(hex(text[i + 1]) * 16 + hex(text[i + 2]));
+      i += 2;
+    } else {
+      out += text[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string DtdInferrer::SaveState() const {
+  std::string out = "condtd-state 1\n";
+  auto name = [&](Symbol s) { return alphabet_.Name(s); };
+  for (const auto& [symbol, count] : root_counts_) {
+    out += "root " + name(symbol) + " " + std::to_string(count) + "\n";
+  }
+  for (Symbol symbol : seen_as_child_) {
+    out += "child " + name(symbol) + "\n";
+  }
+  for (const auto& [symbol, state] : states_) {
+    out += "element " + name(symbol) + " " +
+           std::to_string(state.occurrences) + " " +
+           (state.has_text ? "1" : "0") + "\n";
+    for (const auto& [attr, count] : state.attribute_counts) {
+      out += "attr " + attr + " " + std::to_string(count) + "\n";
+    }
+    for (const std::string& sample : state.text_samples) {
+      out += "text " + EscapeText(sample) + "\n";
+    }
+    const Soa& soa = state.soa;
+    for (int q = 0; q < soa.NumStates(); ++q) {
+      out += "soa.state " + name(soa.LabelOf(q)) + " " +
+             std::to_string(soa.StateSupport(q)) + "\n";
+      if (soa.IsInitial(q)) {
+        out += "soa.init " + name(soa.LabelOf(q)) + " " +
+               std::to_string(soa.InitialSupport(q)) + "\n";
+      }
+      if (soa.IsFinal(q)) {
+        out += "soa.final " + name(soa.LabelOf(q)) + " " +
+               std::to_string(soa.FinalSupport(q)) + "\n";
+      }
+      for (int to : soa.Successors(q)) {
+        out += "soa.edge " + name(soa.LabelOf(q)) + " " +
+               name(soa.LabelOf(to)) + " " +
+               std::to_string(soa.EdgeSupport(q, to)) + "\n";
+      }
+    }
+    if (soa.accepts_empty()) {
+      out += "soa.empty " + std::to_string(soa.empty_support()) + "\n";
+    }
+    const CrxState& crx = state.crx;
+    for (const auto& [from, to] : crx.edges()) {
+      out += "crx.edge " + name(from) + " " + name(to) + "\n";
+    }
+    if (crx.empty_count() > 0) {
+      out += "crx.empty " + std::to_string(crx.empty_count()) + "\n";
+    }
+    for (const auto& [histogram, count] : crx.histograms()) {
+      out += "crx.hist " + std::to_string(count);
+      for (const auto& [sym, n] : histogram) {
+        out += " " + name(sym) + "=" + std::to_string(n);
+      }
+      out += "\n";
+    }
+  }
+  out += "end\n";
+  return out;
+}
+
+Status DtdInferrer::LoadState(std::string_view serialized) {
+  std::vector<std::string> lines = SplitString(serialized, '\n');
+  if (lines.empty() || lines[0] != "condtd-state 1") {
+    return Status::ParseError("unrecognized state header");
+  }
+  ElementState* current = nullptr;
+  bool saw_end = false;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;
+    std::vector<std::string> fields = SplitString(lines[i], ' ');
+    const std::string& tag = fields[0];
+    auto require = [&](size_t n) {
+      return fields.size() == n
+                 ? Status::OK()
+                 : Status::ParseError("state line " + std::to_string(i + 1) +
+                                      ": expected " + std::to_string(n) +
+                                      " fields");
+    };
+    if (tag == "end") {
+      saw_end = true;
+      break;
+    }
+    if (tag == "root") {
+      CONDTD_RETURN_IF_ERROR(require(3));
+      root_counts_[alphabet_.Intern(fields[1])] +=
+          std::atoll(fields[2].c_str());
+      continue;
+    }
+    if (tag == "child") {
+      CONDTD_RETURN_IF_ERROR(require(2));
+      seen_as_child_.insert(alphabet_.Intern(fields[1]));
+      continue;
+    }
+    if (tag == "element") {
+      CONDTD_RETURN_IF_ERROR(require(4));
+      current = &states_[alphabet_.Intern(fields[1])];
+      current->occurrences += std::atoll(fields[2].c_str());
+      current->has_text = current->has_text || fields[3] == "1";
+      continue;
+    }
+    if (current == nullptr) {
+      return Status::ParseError("state line " + std::to_string(i + 1) +
+                                ": '" + tag + "' before any element");
+    }
+    if (tag == "attr") {
+      CONDTD_RETURN_IF_ERROR(require(3));
+      current->attribute_counts[fields[1]] += std::atoll(fields[2].c_str());
+    } else if (tag == "text") {
+      CONDTD_RETURN_IF_ERROR(require(2));
+      if (static_cast<int>(current->text_samples.size()) <
+          options_.max_text_samples) {
+        current->text_samples.push_back(UnescapeText(fields[1]));
+      }
+    } else if (tag == "soa.state") {
+      CONDTD_RETURN_IF_ERROR(require(3));
+      int q = current->soa.AddState(alphabet_.Intern(fields[1]));
+      current->soa.AddStateSupport(q, std::atoi(fields[2].c_str()));
+    } else if (tag == "soa.init") {
+      CONDTD_RETURN_IF_ERROR(require(3));
+      current->soa.AddInitial(
+          current->soa.AddState(alphabet_.Intern(fields[1])),
+          std::atoi(fields[2].c_str()));
+    } else if (tag == "soa.final") {
+      CONDTD_RETURN_IF_ERROR(require(3));
+      current->soa.AddFinal(
+          current->soa.AddState(alphabet_.Intern(fields[1])),
+          std::atoi(fields[2].c_str()));
+    } else if (tag == "soa.edge") {
+      CONDTD_RETURN_IF_ERROR(require(4));
+      current->soa.AddEdge(
+          current->soa.AddState(alphabet_.Intern(fields[1])),
+          current->soa.AddState(alphabet_.Intern(fields[2])),
+          std::atoi(fields[3].c_str()));
+    } else if (tag == "soa.empty") {
+      CONDTD_RETURN_IF_ERROR(require(2));
+      current->soa.set_accepts_empty(true);
+      current->soa.add_empty_support(std::atoi(fields[1].c_str()));
+    } else if (tag == "crx.edge") {
+      CONDTD_RETURN_IF_ERROR(require(3));
+      current->crx.RestoreEdge(alphabet_.Intern(fields[1]),
+                               alphabet_.Intern(fields[2]));
+    } else if (tag == "crx.empty") {
+      CONDTD_RETURN_IF_ERROR(require(2));
+      current->crx.RestoreEmpty(std::atoll(fields[1].c_str()));
+    } else if (tag == "crx.hist") {
+      if (fields.size() < 2) {
+        return Status::ParseError("state line " + std::to_string(i + 1) +
+                                  ": malformed histogram");
+      }
+      CrxState::Histogram histogram;
+      for (size_t f = 2; f < fields.size(); ++f) {
+        size_t eq = fields[f].rfind('=');
+        if (eq == std::string::npos) {
+          return Status::ParseError("state line " + std::to_string(i + 1) +
+                                    ": malformed histogram entry");
+        }
+        histogram.emplace_back(
+            alphabet_.Intern(fields[f].substr(0, eq)),
+            std::atoi(fields[f].c_str() + eq + 1));
+      }
+      std::sort(histogram.begin(), histogram.end());
+      current->crx.RestoreHistogram(histogram,
+                                    std::atoll(fields[1].c_str()));
+    } else {
+      return Status::ParseError("state line " + std::to_string(i + 1) +
+                                ": unknown tag '" + tag + "'");
+    }
+  }
+  if (!saw_end) {
+    return Status::ParseError("truncated state (missing 'end')");
+  }
+  return Status::OK();
+}
+
+Result<std::string> DtdInferrer::InferXsd(bool numeric_predicates) const {
+  Result<Dtd> dtd = InferDtd();
+  if (!dtd.ok()) return dtd.status();
+  std::map<Symbol, XsdElementExtras> extras;
+  for (const auto& [symbol, state] : states_) {
+    XsdElementExtras extra;
+    if (numeric_predicates) {
+      auto model = dtd.value().elements.find(symbol);
+      if (model != dtd.value().elements.end() &&
+          model->second.kind == ContentKind::kChildren) {
+        extra.numeric = AnnotateNumericFromHistograms(
+            model->second.regex, state.crx.histograms(),
+            state.crx.empty_count());
+      }
+    }
+    if (state.has_text) {
+      extra.text_type = InferSimpleType(state.text_samples);
+    }
+    extras[symbol] = std::move(extra);
+  }
+  return WriteXsd(dtd.value(), alphabet_, extras);
+}
+
+}  // namespace condtd

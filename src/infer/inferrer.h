@@ -1,0 +1,127 @@
+#ifndef CONDTD_INFER_INFERRER_H_
+#define CONDTD_INFER_INFERRER_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "alphabet/alphabet.h"
+#include "automaton/soa.h"
+#include "base/status.h"
+#include "crx/crx.h"
+#include "dtd/model.h"
+#include "idtd/idtd.h"
+#include "xml/dom.h"
+#include "xsd/writer.h"
+
+namespace condtd {
+
+/// Which content-model learner to run per element.
+enum class InferenceAlgorithm {
+  /// The paper's two-regime recommendation: iDTD when the element has
+  /// plenty of data (specialization), CRX when data is sparse
+  /// (generalization). The switch is `auto_idtd_min_words`.
+  kAuto,
+  kIdtd,
+  kCrx,
+  kRewriteOnly,  ///< plain Algorithm 1 (fails on non-representative data)
+};
+
+struct InferenceOptions {
+  InferenceAlgorithm algorithm = InferenceAlgorithm::kAuto;
+  /// kAuto threshold: elements with at least this many observed words go
+  /// through iDTD, sparser ones through CRX.
+  int auto_idtd_min_words = 100;
+  /// Section 9 noise handling: element names supported by fewer than
+  /// this many occurrences are dropped from content models (0 = off).
+  int noise_symbol_threshold = 0;
+  /// Forwarded to iDTD (includes its edge-support noise threshold).
+  IdtdOptions idtd;
+  /// Infer <!ATTLIST> declarations (#REQUIRED when an attribute occurs
+  /// on every element occurrence).
+  bool infer_attributes = true;
+  /// Maximum text samples retained per element for the XSD datatype
+  /// heuristic.
+  int max_text_samples = 64;
+  /// Parse documents in tag-soup recovery mode (mismatched/stray/missing
+  /// end tags are repaired instead of rejected) — for corpora like the
+  /// paper's XHTML crawl where 89% of documents are not well-formed.
+  bool lenient_xml = false;
+};
+
+/// The end-to-end DTD inference engine of the paper. Feed it documents
+/// (or raw per-element words); it maintains only the incremental
+/// summaries of Section 9 — a SOA per element for iDTD and a CrxState
+/// per element for CRX — so the XML data never needs to stay resident.
+class DtdInferrer {
+ public:
+  explicit DtdInferrer(InferenceOptions options = {});
+
+  Alphabet* alphabet() { return &alphabet_; }
+  const Alphabet& alphabet() const { return alphabet_; }
+
+  /// Parses and folds an XML document given as text.
+  Status AddXml(std::string_view xml);
+
+  /// Folds a parsed document.
+  void AddDocument(const XmlDocument& doc);
+
+  /// Directly folds words for one element (used by experiments).
+  void AddWords(Symbol element, const std::vector<Word>& words);
+
+  /// Runs the configured learner per element and assembles a DTD. The
+  /// root is the unique root observed across documents (or the one root
+  /// that is never a child).
+  Result<Dtd> InferDtd() const;
+
+  /// Content model for a single element (EMPTY/#PCDATA/mixed detection
+  /// plus the learned RE).
+  Result<ContentModel> InferContentModel(Symbol element) const;
+
+  /// DTD plus per-element numeric/datatype extras rendered as an XSD
+  /// (Section 9, "Generation of XSDs" + "Numerical predicates").
+  Result<std::string> InferXsd(bool numeric_predicates = true) const;
+
+  /// Number of element occurrences folded for `element`.
+  int64_t WordCount(Symbol element) const;
+
+  /// All elements observed so far, ascending.
+  std::vector<Symbol> Elements() const;
+
+  /// Serializes the retained summaries (per-element SOA + CRX state,
+  /// attribute/text statistics, root counts) into a line-based text
+  /// format, realizing Section 9's "store the internal graph
+  /// representation and forget the XML data". Symbol references are by
+  /// name, so states can be restored in a fresh process.
+  std::string SaveState() const;
+
+  /// Merges a previously saved state into this inferrer. Safe to call
+  /// on a non-empty inferrer (supports merging shards); document text
+  /// samples for the XSD datatype heuristic are preserved.
+  Status LoadState(std::string_view serialized);
+
+ private:
+  struct ElementState {
+    Soa soa;
+    CrxState crx;
+    int64_t occurrences = 0;
+    bool has_text = false;
+    std::vector<std::string> text_samples;
+    std::map<std::string, int64_t> attribute_counts;
+  };
+
+  Result<ReRef> LearnRegex(const ElementState& state) const;
+
+  InferenceOptions options_;
+  Alphabet alphabet_;
+  std::map<Symbol, ElementState> states_;
+  std::map<Symbol, int64_t> root_counts_;
+  std::set<Symbol> seen_as_child_;
+};
+
+}  // namespace condtd
+
+#endif  // CONDTD_INFER_INFERRER_H_

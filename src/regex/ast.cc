@@ -1,0 +1,277 @@
+#include "regex/ast.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace condtd {
+
+/// Internal helper granting access to Re's private constructor.
+struct ReFactory {
+  static ReRef Make(ReKind kind, Symbol symbol, std::vector<ReRef> children) {
+    return std::shared_ptr<const Re>(
+        new Re(kind, symbol, std::move(children)));
+  }
+};
+
+ReRef Re::Sym(Symbol symbol) {
+  return ReFactory::Make(ReKind::kSymbol, symbol, {});
+}
+
+ReRef Re::Concat(std::vector<ReRef> children) {
+  assert(!children.empty());
+  std::vector<ReRef> flat;
+  flat.reserve(children.size());
+  for (auto& c : children) {
+    assert(c != nullptr);
+    if (c->kind() == ReKind::kConcat) {
+      for (const auto& gc : c->children()) flat.push_back(gc);
+    } else {
+      flat.push_back(std::move(c));
+    }
+  }
+  if (flat.size() == 1) return flat[0];
+  return ReFactory::Make(ReKind::kConcat, kInvalidSymbol, std::move(flat));
+}
+
+ReRef Re::Disj(std::vector<ReRef> children) {
+  assert(!children.empty());
+  std::vector<ReRef> flat;
+  flat.reserve(children.size());
+  for (auto& c : children) {
+    assert(c != nullptr);
+    if (c->kind() == ReKind::kDisj) {
+      for (const auto& gc : c->children()) flat.push_back(gc);
+    } else {
+      flat.push_back(std::move(c));
+    }
+  }
+  // Canonical alternative order makes outputs reproducible and turns
+  // commutative equality into near-structural equality.
+  std::stable_sort(flat.begin(), flat.end(),
+                   [](const ReRef& a, const ReRef& b) {
+                     return CompareRe(a, b) < 0;
+                   });
+  // Drop structurally duplicate alternatives (r + r = r).
+  flat.erase(std::unique(flat.begin(), flat.end(),
+                         [](const ReRef& a, const ReRef& b) {
+                           return CompareRe(a, b) == 0;
+                         }),
+             flat.end());
+  if (flat.size() == 1) return flat[0];
+  return ReFactory::Make(ReKind::kDisj, kInvalidSymbol, std::move(flat));
+}
+
+ReRef Re::Plus(ReRef child) {
+  assert(child != nullptr);
+  return ReFactory::Make(ReKind::kPlus, kInvalidSymbol, {std::move(child)});
+}
+
+ReRef Re::Opt(ReRef child) {
+  assert(child != nullptr);
+  return ReFactory::Make(ReKind::kOpt, kInvalidSymbol, {std::move(child)});
+}
+
+ReRef Re::Star(ReRef child) {
+  assert(child != nullptr);
+  return ReFactory::Make(ReKind::kStar, kInvalidSymbol, {std::move(child)});
+}
+
+namespace {
+
+/// Binding strength used to decide parenthesization: disjunction binds
+/// weakest, then concatenation, then the postfix operators; symbols are
+/// atoms.
+int Precedence(ReKind kind) {
+  switch (kind) {
+    case ReKind::kDisj:
+      return 0;
+    case ReKind::kConcat:
+      return 1;
+    case ReKind::kPlus:
+    case ReKind::kOpt:
+    case ReKind::kStar:
+      return 2;
+    case ReKind::kSymbol:
+      return 3;
+  }
+  return 3;
+}
+
+/// Name of the symbol whose text would end the rendering of `re` with no
+/// closing delimiter in between (empty when the rendering ends with an
+/// operator or parenthesis).
+std::string RightExposedName(const ReRef& re, const Alphabet& alphabet) {
+  switch (re->kind()) {
+    case ReKind::kSymbol:
+      return alphabet.Name(re->symbol());
+    case ReKind::kConcat:
+      return RightExposedName(re->children().back(), alphabet);
+    default:
+      return "";  // postfix operator or parenthesized group
+  }
+}
+
+/// Symmetric: the symbol name that would start the rendering.
+std::string LeftExposedName(const ReRef& re, const Alphabet& alphabet) {
+  switch (re->kind()) {
+    case ReKind::kSymbol:
+      return alphabet.Name(re->symbol());
+    case ReKind::kConcat:
+      return LeftExposedName(re->children().front(), alphabet);
+    case ReKind::kPlus:
+    case ReKind::kOpt:
+    case ReKind::kStar:
+      // The operand prints first; only a bare symbol stays unwrapped.
+      return re->child()->kind() == ReKind::kSymbol
+                 ? alphabet.Name(re->child()->symbol())
+                 : "";
+    case ReKind::kDisj:
+      return "";  // parenthesized in concatenation context
+  }
+  return "";
+}
+
+void Print(const ReRef& re, const Alphabet& alphabet, PrintStyle style,
+           int min_prec, std::string* out) {
+  const bool parens = Precedence(re->kind()) < min_prec;
+  if (parens) *out += '(';
+  switch (re->kind()) {
+    case ReKind::kSymbol:
+      *out += alphabet.Name(re->symbol());
+      break;
+    case ReKind::kConcat: {
+      for (size_t i = 0; i < re->children().size(); ++i) {
+        if (i > 0) {
+          if (style == PrintStyle::kParseable) {
+            *out += ' ';
+          } else {
+            // Paper style runs single-letter names together but keeps a
+            // space wherever two adjacent name characters would merge
+            // into what reads like one multi-character name.
+            std::string prev = RightExposedName(re->children()[i - 1],
+                                                alphabet);
+            std::string cur = LeftExposedName(re->children()[i], alphabet);
+            if (!prev.empty() && !cur.empty() &&
+                (prev.size() > 1 || cur.size() > 1)) {
+              *out += ' ';
+            }
+          }
+        }
+        Print(re->children()[i], alphabet, style, 2, out);
+      }
+      break;
+    }
+    case ReKind::kDisj: {
+      const char* sep = style == PrintStyle::kParseable ? " | " : " + ";
+      for (size_t i = 0; i < re->children().size(); ++i) {
+        if (i > 0) *out += sep;
+        Print(re->children()[i], alphabet, style, 1, out);
+      }
+      break;
+    }
+    case ReKind::kPlus:
+      Print(re->child(), alphabet, style, 3, out);
+      *out += '+';
+      break;
+    case ReKind::kOpt:
+      Print(re->child(), alphabet, style, 3, out);
+      *out += '?';
+      break;
+    case ReKind::kStar:
+      Print(re->child(), alphabet, style, 3, out);
+      *out += '*';
+      break;
+  }
+  if (parens) *out += ')';
+}
+
+int KindRank(ReKind kind) {
+  switch (kind) {
+    case ReKind::kSymbol:
+      return 0;
+    case ReKind::kConcat:
+      return 1;
+    case ReKind::kDisj:
+      return 2;
+    case ReKind::kPlus:
+      return 3;
+    case ReKind::kOpt:
+      return 4;
+    case ReKind::kStar:
+      return 5;
+  }
+  return 6;
+}
+
+}  // namespace
+
+std::string ToString(const ReRef& re, const Alphabet& alphabet,
+                     PrintStyle style) {
+  std::string out;
+  Print(re, alphabet, style, 0, &out);
+  return out;
+}
+
+int CompareRe(const ReRef& a, const ReRef& b) {
+  if (a.get() == b.get()) return 0;
+  if (a->kind() != b->kind()) return KindRank(a->kind()) - KindRank(b->kind());
+  if (a->kind() == ReKind::kSymbol) {
+    return static_cast<int>(a->symbol()) - static_cast<int>(b->symbol());
+  }
+  const auto& ca = a->children();
+  const auto& cb = b->children();
+  if (ca.size() != cb.size()) {
+    return static_cast<int>(ca.size()) - static_cast<int>(cb.size());
+  }
+  for (size_t i = 0; i < ca.size(); ++i) {
+    int c = CompareRe(ca[i], cb[i]);
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+ReRef RemapSymbols(const ReRef& re,
+                   const std::map<Symbol, Symbol>& mapping) {
+  switch (re->kind()) {
+    case ReKind::kSymbol: {
+      auto it = mapping.find(re->symbol());
+      return it == mapping.end() ? re : Re::Sym(it->second);
+    }
+    case ReKind::kConcat:
+    case ReKind::kDisj: {
+      std::vector<ReRef> kids;
+      kids.reserve(re->children().size());
+      for (const auto& c : re->children()) {
+        kids.push_back(RemapSymbols(c, mapping));
+      }
+      return re->kind() == ReKind::kConcat ? Re::Concat(std::move(kids))
+                                           : Re::Disj(std::move(kids));
+    }
+    case ReKind::kPlus:
+      return Re::Plus(RemapSymbols(re->child(), mapping));
+    case ReKind::kOpt:
+      return Re::Opt(RemapSymbols(re->child(), mapping));
+    case ReKind::kStar:
+      return Re::Star(RemapSymbols(re->child(), mapping));
+  }
+  return re;
+}
+
+bool StructurallyEqual(const ReRef& a, const ReRef& b, bool commutative_disj) {
+  if (a.get() == b.get()) return true;
+  if (a->kind() != b->kind()) return false;
+  if (a->kind() == ReKind::kSymbol) return a->symbol() == b->symbol();
+  const auto& ca = a->children();
+  const auto& cb = b->children();
+  if (ca.size() != cb.size()) return false;
+  if (a->kind() == ReKind::kDisj && commutative_disj) {
+    // Children are canonically sorted at construction, so positional
+    // comparison already realizes multiset comparison; fall through.
+  }
+  for (size_t i = 0; i < ca.size(); ++i) {
+    if (!StructurallyEqual(ca[i], cb[i], commutative_disj)) return false;
+  }
+  return true;
+}
+
+}  // namespace condtd

@@ -1,0 +1,94 @@
+#ifndef CONDTD_REGEX_AST_H_
+#define CONDTD_REGEX_AST_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "alphabet/alphabet.h"
+
+namespace condtd {
+
+/// Node kinds of the regular expression AST. Following the paper
+/// (Section 3), ε and ∅ are not expressible as basic symbols; the empty
+/// word can only be matched through `?` / `*` operators.
+enum class ReKind {
+  kSymbol,  ///< A single alphabet symbol.
+  kConcat,  ///< r1 · r2 · ... · rn (n >= 2 after flattening).
+  kDisj,    ///< r1 + r2 + ... + rn (n >= 2 after flattening).
+  kPlus,    ///< r+
+  kOpt,     ///< r?
+  kStar,    ///< r* — used in final output; rewrite internally uses (r+)?.
+};
+
+class Re;
+/// Regular expressions are immutable and shared; structural sharing keeps
+/// rewriting cheap.
+using ReRef = std::shared_ptr<const Re>;
+
+/// Immutable regular expression node. Construct via the static factories,
+/// which flatten nested concatenations/disjunctions and collapse trivial
+/// one-child wrappers so the invariants above hold by construction.
+class Re {
+ public:
+  static ReRef Sym(Symbol symbol);
+  /// Flattens nested concats; returns the sole child for size-1 input.
+  /// `children` must be non-empty.
+  static ReRef Concat(std::vector<ReRef> children);
+  /// Flattens nested disjunctions and deduplicates structurally identical
+  /// alternatives; returns the sole child for size-1 input.
+  static ReRef Disj(std::vector<ReRef> children);
+  static ReRef Plus(ReRef child);
+  static ReRef Opt(ReRef child);
+  static ReRef Star(ReRef child);
+
+  ReKind kind() const { return kind_; }
+  /// Valid only for kSymbol.
+  Symbol symbol() const { return symbol_; }
+  /// Valid for kConcat / kDisj.
+  const std::vector<ReRef>& children() const { return children_; }
+  /// Valid for unary kinds (kPlus / kOpt / kStar).
+  const ReRef& child() const { return children_[0]; }
+
+ private:
+  friend struct ReFactory;
+  Re(ReKind kind, Symbol symbol, std::vector<ReRef> children)
+      : kind_(kind), symbol_(symbol), children_(std::move(children)) {}
+
+  ReKind kind_;
+  Symbol symbol_;
+  std::vector<ReRef> children_;
+};
+
+/// Output flavor for ToString.
+enum class PrintStyle {
+  /// The paper's notation: concatenation by juxtaposition, union as `+`.
+  /// Single-character names are run together; longer names get spaces.
+  kPaper,
+  /// Unambiguous, round-trippable: union as `|`, concatenation items
+  /// separated by spaces.
+  kParseable,
+};
+
+/// Renders `re` using names from `alphabet`.
+std::string ToString(const ReRef& re, const Alphabet& alphabet,
+                     PrintStyle style = PrintStyle::kParseable);
+
+/// Structural equality. When `commutative_disj` is true, disjunctions are
+/// compared as multisets (Theorem 5's "equal up to commutativity of +").
+bool StructurallyEqual(const ReRef& a, const ReRef& b,
+                       bool commutative_disj = true);
+
+/// A stable total order on REs used to canonicalize disjunction child
+/// order. Returns <0, 0, >0.
+int CompareRe(const ReRef& a, const ReRef& b);
+
+/// Structurally copies `re`, replacing every symbol through `mapping`
+/// (symbols without an entry are kept). Disjunctions re-canonicalize
+/// under the new symbol order.
+ReRef RemapSymbols(const ReRef& re, const std::map<Symbol, Symbol>& mapping);
+
+}  // namespace condtd
+
+#endif  // CONDTD_REGEX_AST_H_

@@ -1,0 +1,22 @@
+#include "regex/determinism.h"
+
+#include <set>
+#include <utility>
+
+#include "regex/glushkov.h"
+
+namespace condtd {
+
+bool IsDeterministic(const ReRef& re) {
+  Nfa nfa = BuildGlushkovNfa(re);
+  for (int q = 0; q < nfa.num_states(); ++q) {
+    std::set<Symbol> seen;
+    for (const auto& [symbol, to] : nfa.TransitionsFrom(q)) {
+      (void)to;
+      if (!seen.insert(symbol).second) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace condtd

@@ -1,0 +1,17 @@
+#ifndef CONDTD_REGEX_DETERMINISM_H_
+#define CONDTD_REGEX_DETERMINISM_H_
+
+#include "regex/ast.h"
+
+namespace condtd {
+
+/// True iff `re` is deterministic (one-unambiguous in the sense of
+/// Brüggemann-Klein & Wood [12]), i.e. its Glushkov automaton is
+/// deterministic. The XML specification requires DTD content models to
+/// be deterministic; every SORE — and hence every expression this
+/// library infers — is deterministic by construction (Section 1.2).
+bool IsDeterministic(const ReRef& re);
+
+}  // namespace condtd
+
+#endif  // CONDTD_REGEX_DETERMINISM_H_

@@ -1,0 +1,87 @@
+#include "regex/equivalence.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+#include <utility>
+
+#include "regex/glushkov.h"
+#include "regex/properties.h"
+
+namespace condtd {
+
+namespace {
+
+int CommonAlphabetSize(const ReRef& a, const ReRef& b) {
+  Symbol max_sym = -1;
+  for (Symbol s : SymbolsOf(a)) max_sym = std::max(max_sym, s);
+  for (Symbol s : SymbolsOf(b)) max_sym = std::max(max_sym, s);
+  return static_cast<int>(max_sym) + 1;
+}
+
+}  // namespace
+
+Dfa CompileToDfa(const ReRef& re, int num_symbols) {
+  return Dfa::FromNfa(BuildGlushkovNfa(re), num_symbols);
+}
+
+bool LanguageEquivalent(const ReRef& a, const ReRef& b) {
+  int n = CommonAlphabetSize(a, b);
+  if (n == 0) n = 1;
+  return Dfa::Equivalent(CompileToDfa(a, n), CompileToDfa(b, n));
+}
+
+bool LanguageSubset(const ReRef& a, const ReRef& b) {
+  int n = CommonAlphabetSize(a, b);
+  if (n == 0) n = 1;
+  return Dfa::IsSubset(CompileToDfa(a, n), CompileToDfa(b, n));
+}
+
+Result<Word> FindDistinguishingWord(const ReRef& a, const ReRef& b) {
+  int n = CommonAlphabetSize(a, b);
+  if (n == 0) n = 1;
+  return FindDistinguishingWordDfa(CompileToDfa(a, n),
+                                   CompileToDfa(b, n));
+}
+
+Result<Word> FindDistinguishingWordDfa(const Dfa& da, const Dfa& db) {
+  const int n = da.num_symbols();
+  if (n != db.num_symbols()) {
+    return Status::InvalidArgument(
+        "distinguishing-word search needs matching alphabets");
+  }
+  // BFS over the product, remembering the word spelled to each pair.
+  std::map<std::pair<int, int>, std::pair<std::pair<int, int>, Symbol>>
+      parent;
+  std::queue<std::pair<int, int>> pending;
+  std::pair<int, int> start{da.initial(), db.initial()};
+  std::set<std::pair<int, int>> seen = {start};
+  pending.push(start);
+  while (!pending.empty()) {
+    auto pair = pending.front();
+    pending.pop();
+    if (da.IsAccepting(pair.first) != db.IsAccepting(pair.second)) {
+      Word word;
+      std::pair<int, int> cur = pair;
+      while (cur != start) {
+        auto [prev, symbol] = parent.at(cur);
+        word.push_back(symbol);
+        cur = prev;
+      }
+      std::reverse(word.begin(), word.end());
+      return word;
+    }
+    for (Symbol s = 0; s < n; ++s) {
+      std::pair<int, int> next{da.Transition(pair.first, s),
+                               db.Transition(pair.second, s)};
+      if (seen.insert(next).second) {
+        parent.emplace(next, std::make_pair(pair, s));
+        pending.push(next);
+      }
+    }
+  }
+  return Status::NotFound("languages are equal");
+}
+
+}  // namespace condtd

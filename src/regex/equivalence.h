@@ -1,0 +1,31 @@
+#ifndef CONDTD_REGEX_EQUIVALENCE_H_
+#define CONDTD_REGEX_EQUIVALENCE_H_
+
+#include "automaton/dfa.h"
+#include "base/status.h"
+#include "regex/ast.h"
+
+namespace condtd {
+
+/// Compiles `re` to a complete DFA over symbols [0, num_symbols).
+Dfa CompileToDfa(const ReRef& re, int num_symbols);
+
+/// Exact language equality L(a) = L(b). Used as the oracle in property
+/// tests for Theorem 1 / Claim 2 and in EXPERIMENTS.md verification.
+bool LanguageEquivalent(const ReRef& a, const ReRef& b);
+
+/// Exact language containment L(a) ⊆ L(b) — the iDTD guarantee of
+/// Theorem 2 is checked with this.
+bool LanguageSubset(const ReRef& a, const ReRef& b);
+
+/// A shortest word in the symmetric difference L(a) Δ L(b), or
+/// kNotFound when the languages are equal. Used to produce concrete
+/// counterexamples in diagnostics and EXPERIMENTS.md.
+Result<Word> FindDistinguishingWord(const ReRef& a, const ReRef& b);
+
+/// DFA-level form of the same search (both DFAs must share num_symbols).
+Result<Word> FindDistinguishingWordDfa(const Dfa& a, const Dfa& b);
+
+}  // namespace condtd
+
+#endif  // CONDTD_REGEX_EQUIVALENCE_H_

@@ -1,0 +1,125 @@
+#include "regex/glushkov.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace condtd {
+
+namespace {
+
+/// First/last/follow over position indices.
+struct PosSets {
+  std::vector<int> first;
+  std::vector<int> last;
+  bool nullable = false;
+};
+
+struct Builder {
+  std::vector<Symbol> position_symbol;              // position -> symbol
+  std::vector<std::vector<int>> follow;             // position -> positions
+
+  PosSets Visit(const ReRef& re) {
+    switch (re->kind()) {
+      case ReKind::kSymbol: {
+        int pos = static_cast<int>(position_symbol.size());
+        position_symbol.push_back(re->symbol());
+        follow.emplace_back();
+        PosSets out;
+        out.first = {pos};
+        out.last = {pos};
+        out.nullable = false;
+        return out;
+      }
+      case ReKind::kConcat: {
+        std::vector<PosSets> parts;
+        parts.reserve(re->children().size());
+        for (const auto& c : re->children()) parts.push_back(Visit(c));
+        PosSets out;
+        out.nullable = true;
+        for (const auto& p : parts) out.nullable = out.nullable && p.nullable;
+        for (const auto& p : parts) {
+          out.first.insert(out.first.end(), p.first.begin(), p.first.end());
+          if (!p.nullable) break;
+        }
+        for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+          out.last.insert(out.last.end(), it->last.begin(), it->last.end());
+          if (!it->nullable) break;
+        }
+        for (size_t i = 0; i < parts.size(); ++i) {
+          for (size_t j = i + 1; j < parts.size(); ++j) {
+            for (int a : parts[i].last) {
+              for (int b : parts[j].first) {
+                follow[a].push_back(b);
+              }
+            }
+            if (!parts[j].nullable) break;
+          }
+        }
+        return out;
+      }
+      case ReKind::kDisj: {
+        PosSets out;
+        for (const auto& c : re->children()) {
+          PosSets p = Visit(c);
+          out.first.insert(out.first.end(), p.first.begin(), p.first.end());
+          out.last.insert(out.last.end(), p.last.begin(), p.last.end());
+          out.nullable = out.nullable || p.nullable;
+        }
+        return out;
+      }
+      case ReKind::kPlus:
+      case ReKind::kStar: {
+        PosSets out = Visit(re->child());
+        for (int a : out.last) {
+          for (int b : out.first) {
+            follow[a].push_back(b);
+          }
+        }
+        if (re->kind() == ReKind::kStar) out.nullable = true;
+        return out;
+      }
+      case ReKind::kOpt: {
+        PosSets out = Visit(re->child());
+        out.nullable = true;
+        return out;
+      }
+    }
+    return {};
+  }
+};
+
+}  // namespace
+
+Nfa BuildGlushkovNfa(const ReRef& re) {
+  Builder builder;
+  PosSets top = builder.Visit(re);
+
+  Nfa nfa;
+  int initial = nfa.AddState(top.nullable);
+  nfa.set_initial(initial);
+  std::vector<int> state_of(builder.position_symbol.size());
+  std::vector<bool> is_last(builder.position_symbol.size(), false);
+  for (int pos : top.last) is_last[pos] = true;
+  for (size_t pos = 0; pos < builder.position_symbol.size(); ++pos) {
+    state_of[pos] = nfa.AddState(is_last[pos]);
+  }
+  // first/follow lists can contain duplicates (a position may be derived
+  // as a follower along several paths); deduplicate so the automaton has
+  // simple edges.
+  auto add_unique = [&](int from, const std::vector<int>& positions) {
+    std::vector<int> sorted = positions;
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    for (int to : sorted) {
+      nfa.AddTransition(from, builder.position_symbol[to], state_of[to]);
+    }
+  };
+  add_unique(initial, top.first);
+  for (size_t pos = 0; pos < builder.follow.size(); ++pos) {
+    add_unique(state_of[pos], builder.follow[pos]);
+  }
+  return nfa;
+}
+
+}  // namespace condtd

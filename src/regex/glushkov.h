@@ -1,0 +1,17 @@
+#ifndef CONDTD_REGEX_GLUSHKOV_H_
+#define CONDTD_REGEX_GLUSHKOV_H_
+
+#include "automaton/nfa.h"
+#include "regex/ast.h"
+
+namespace condtd {
+
+/// Builds the Glushkov (position) automaton of `re`: one state per symbol
+/// occurrence plus an initial state; no epsilon transitions. For a
+/// deterministic (one-unambiguous) RE — e.g. any SORE — the result is
+/// deterministic.
+Nfa BuildGlushkovNfa(const ReRef& re);
+
+}  // namespace condtd
+
+#endif  // CONDTD_REGEX_GLUSHKOV_H_

@@ -1,0 +1,13 @@
+#include "regex/matcher.h"
+
+#include "regex/glushkov.h"
+
+namespace condtd {
+
+Matcher::Matcher(const ReRef& re) : nfa_(BuildGlushkovNfa(re)) {}
+
+bool Matches(const ReRef& re, const Word& word) {
+  return Matcher(re).Matches(word);
+}
+
+}  // namespace condtd

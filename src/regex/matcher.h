@@ -1,0 +1,26 @@
+#ifndef CONDTD_REGEX_MATCHER_H_
+#define CONDTD_REGEX_MATCHER_H_
+
+#include "automaton/nfa.h"
+#include "regex/ast.h"
+
+namespace condtd {
+
+/// Compiled membership tester. Construction builds the Glushkov automaton
+/// once; Matches then runs a subset simulation per word.
+class Matcher {
+ public:
+  explicit Matcher(const ReRef& re);
+
+  bool Matches(const Word& word) const { return nfa_.Accepts(word); }
+
+ private:
+  Nfa nfa_;
+};
+
+/// One-shot convenience wrapper around Matcher.
+bool Matches(const ReRef& re, const Word& word);
+
+}  // namespace condtd
+
+#endif  // CONDTD_REGEX_MATCHER_H_

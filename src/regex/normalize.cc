@@ -1,0 +1,151 @@
+#include "regex/normalize.h"
+
+#include <vector>
+
+#include "regex/properties.h"
+
+namespace condtd {
+
+namespace {
+
+/// One bottom-up pass of the no-star rules. Children are already
+/// normalized when a node is processed, and rule outputs are re-normalized
+/// recursively, so a single outer call reaches a fixpoint.
+ReRef NormalizeNode(const ReRef& re);
+
+ReRef NormalizeChildren(const ReRef& re) {
+  switch (re->kind()) {
+    case ReKind::kSymbol:
+      return re;
+    case ReKind::kConcat: {
+      std::vector<ReRef> kids;
+      kids.reserve(re->children().size());
+      for (const auto& c : re->children()) kids.push_back(NormalizeNode(c));
+      return Re::Concat(std::move(kids));
+    }
+    case ReKind::kDisj: {
+      std::vector<ReRef> kids;
+      kids.reserve(re->children().size());
+      for (const auto& c : re->children()) kids.push_back(NormalizeNode(c));
+      return Re::Disj(std::move(kids));
+    }
+    case ReKind::kPlus:
+      return Re::Plus(NormalizeNode(re->child()));
+    case ReKind::kOpt:
+      return Re::Opt(NormalizeNode(re->child()));
+    case ReKind::kStar:
+      // Star is eliminated in the internal form: r* = (r+)?.
+      return Re::Opt(Re::Plus(NormalizeNode(re->child())));
+  }
+  return re;
+}
+
+ReRef NormalizeNode(const ReRef& input) {
+  ReRef re = NormalizeChildren(input);
+  switch (re->kind()) {
+    case ReKind::kDisj: {
+      // (a? + b) = (a + b)? — hoist options out of the union.
+      bool any_opt = false;
+      for (const auto& c : re->children()) {
+        if (c->kind() == ReKind::kOpt) {
+          any_opt = true;
+          break;
+        }
+      }
+      if (any_opt) {
+        std::vector<ReRef> kids;
+        kids.reserve(re->children().size());
+        for (const auto& c : re->children()) {
+          kids.push_back(c->kind() == ReKind::kOpt ? c->child() : c);
+        }
+        return NormalizeNode(Re::Opt(Re::Disj(std::move(kids))));
+      }
+      return re;
+    }
+    case ReKind::kPlus: {
+      const ReRef& c = re->child();
+      if (c->kind() == ReKind::kPlus) return c;                     // (s+)+ = s+
+      if (c->kind() == ReKind::kOpt) {
+        // (s?)+ = (s+)?
+        return NormalizeNode(Re::Opt(Re::Plus(c->child())));
+      }
+      if (c->kind() == ReKind::kDisj) {
+        // (r + s+)+ = (r + s)+ — the outer repetition absorbs inner
+        // closures of the alternatives.
+        bool any_plus = false;
+        for (const auto& alt : c->children()) {
+          if (alt->kind() == ReKind::kPlus) {
+            any_plus = true;
+            break;
+          }
+        }
+        if (any_plus) {
+          std::vector<ReRef> kids;
+          kids.reserve(c->children().size());
+          for (const auto& alt : c->children()) {
+            kids.push_back(alt->kind() == ReKind::kPlus ? alt->child() : alt);
+          }
+          return NormalizeNode(Re::Plus(Re::Disj(std::move(kids))));
+        }
+      }
+      return re;
+    }
+    case ReKind::kOpt: {
+      const ReRef& c = re->child();
+      if (c->kind() == ReKind::kOpt) return c;  // s?? = s?
+      if (Nullable(c)) return c;                // s already matches ε
+      return re;
+    }
+    default:
+      return re;
+  }
+}
+
+/// Reintroduces the Kleene star for output: (r+)? and (r?)+ become r*.
+ReRef Starify(const ReRef& re) {
+  switch (re->kind()) {
+    case ReKind::kSymbol:
+      return re;
+    case ReKind::kConcat: {
+      std::vector<ReRef> kids;
+      kids.reserve(re->children().size());
+      for (const auto& c : re->children()) kids.push_back(Starify(c));
+      return Re::Concat(std::move(kids));
+    }
+    case ReKind::kDisj: {
+      std::vector<ReRef> kids;
+      kids.reserve(re->children().size());
+      for (const auto& c : re->children()) kids.push_back(Starify(c));
+      return Re::Disj(std::move(kids));
+    }
+    case ReKind::kPlus: {
+      ReRef c = Starify(re->child());
+      if (c->kind() == ReKind::kOpt) return Re::Star(c->child());
+      if (c->kind() == ReKind::kStar) return c;
+      return Re::Plus(c);
+    }
+    case ReKind::kOpt: {
+      ReRef c = Starify(re->child());
+      if (c->kind() == ReKind::kPlus) return Re::Star(c->child());
+      if (c->kind() == ReKind::kStar) return c;
+      return Re::Opt(c);
+    }
+    case ReKind::kStar: {
+      ReRef c = Starify(re->child());
+      if (c->kind() == ReKind::kPlus || c->kind() == ReKind::kOpt ||
+          c->kind() == ReKind::kStar) {
+        return Re::Star(c->child());
+      }
+      return Re::Star(c);
+    }
+  }
+  return re;
+}
+
+}  // namespace
+
+ReRef NormalizeNoStar(const ReRef& re) { return NormalizeNode(re); }
+
+ReRef Normalize(const ReRef& re) { return Starify(NormalizeNode(re)); }
+
+}  // namespace condtd

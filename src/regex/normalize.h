@@ -1,0 +1,23 @@
+#ifndef CONDTD_REGEX_NORMALIZE_H_
+#define CONDTD_REGEX_NORMALIZE_H_
+
+#include "regex/ast.h"
+
+namespace condtd {
+
+/// Rewrites `re` into the normal form used inside the rewrite system
+/// (proof of Claim 1): no Kleene star (r* becomes (r+)?), no superfluous
+/// operator stacks ((s+)+ → s+, s?? → s?, (s?)+ → (s+)?), options hoisted
+/// out of disjunctions ((a? + b) → (a + b)?), and inner closures absorbed
+/// into repeated disjunctions ((a+ + b)+ → (a+b)+, (a? + b)+ → ((a+b)+)?).
+/// All rules preserve the language (covered by property tests).
+ReRef NormalizeNoStar(const ReRef& re);
+
+/// Full normalization for human-facing output: NormalizeNoStar followed
+/// by the post-processing step of Section 5 which reintroduces the star
+/// ((r+)? → r*, (r?)+ → r*).
+ReRef Normalize(const ReRef& re);
+
+}  // namespace condtd
+
+#endif  // CONDTD_REGEX_NORMALIZE_H_

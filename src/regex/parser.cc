@@ -1,0 +1,176 @@
+#include "regex/parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace condtd {
+
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '.' || c == ':' || c == '-';
+}
+
+/// Recursive-descent parser over the raw text. Whitespace sensitivity
+/// (postfix `+` vs union `+`) is resolved by looking at adjacency.
+class Parser {
+ public:
+  Parser(std::string_view text, Alphabet* alphabet,
+         const RegexParseOptions& options)
+      : text_(text), alphabet_(alphabet), options_(options) {}
+
+  Result<ReRef> Parse() {
+    Result<ReRef> re = ParseDisj();
+    if (!re.ok()) return re;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::ParseError("trailing input at offset " +
+                                std::to_string(pos_) + " in regex '" +
+                                std::string(text_) + "'");
+    }
+    return re;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  /// True if the `+` at the current position is a union separator: it is
+  /// one iff it is separated from the preceding atom by whitespace.
+  bool PlusIsUnion(size_t plus_pos) const {
+    return plus_pos == 0 ||
+           std::isspace(static_cast<unsigned char>(text_[plus_pos - 1]));
+  }
+
+  Result<ReRef> ParseDisj() {
+    Result<ReRef> first = ParseConcat();
+    if (!first.ok()) return first;
+    std::vector<ReRef> alts = {first.value()};
+    while (true) {
+      SkipSpace();
+      size_t op_pos = pos_;
+      char c = Peek();
+      bool is_union = false;
+      if (c == '|') {
+        is_union = true;
+      } else if (c == '+' && PlusIsUnion(op_pos)) {
+        is_union = true;
+      }
+      if (!is_union) break;
+      ++pos_;
+      Result<ReRef> next = ParseConcat();
+      if (!next.ok()) return next;
+      alts.push_back(next.value());
+    }
+    if (alts.size() == 1) return alts[0];
+    return Re::Disj(std::move(alts));
+  }
+
+  Result<ReRef> ParseConcat() {
+    std::vector<ReRef> items;
+    while (true) {
+      SkipSpace();
+      char c = Peek();
+      if (c == '(' || IsNameStart(c) ||
+          (options_.char_symbols &&
+           std::isalnum(static_cast<unsigned char>(c)))) {
+        Result<ReRef> item = ParsePostfix();
+        if (!item.ok()) return item;
+        items.push_back(item.value());
+        continue;
+      }
+      break;
+    }
+    if (items.empty()) {
+      return Status::ParseError("expected atom at offset " +
+                                std::to_string(pos_) + " in regex '" +
+                                std::string(text_) + "'");
+    }
+    if (items.size() == 1) return items[0];
+    return Re::Concat(std::move(items));
+  }
+
+  Result<ReRef> ParsePostfix() {
+    Result<ReRef> atom = ParseAtom();
+    if (!atom.ok()) return atom;
+    ReRef re = atom.value();
+    // Postfix operators must be adjacent (no whitespace).
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '?') {
+        re = Re::Opt(re);
+        ++pos_;
+      } else if (c == '*') {
+        re = Re::Star(re);
+        ++pos_;
+      } else if (c == '+' && !PlusIsUnion(pos_)) {
+        re = Re::Plus(re);
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return re;
+  }
+
+  Result<ReRef> ParseAtom() {
+    SkipSpace();
+    char c = Peek();
+    if (c == '(') {
+      ++pos_;
+      Result<ReRef> inner = ParseDisj();
+      if (!inner.ok()) return inner;
+      SkipSpace();
+      if (Peek() != ')') {
+        return Status::ParseError("missing ')' at offset " +
+                                  std::to_string(pos_) + " in regex '" +
+                                  std::string(text_) + "'");
+      }
+      ++pos_;
+      return inner;
+    }
+    if (options_.char_symbols) {
+      if (std::isalnum(static_cast<unsigned char>(c))) {
+        ++pos_;
+        return Re::Sym(alphabet_->Intern(std::string_view(&text_[pos_ - 1], 1)));
+      }
+    } else if (IsNameStart(c)) {
+      size_t start = pos_;
+      while (pos_ < text_.size() && IsNameChar(text_[pos_])) ++pos_;
+      return Re::Sym(
+          alphabet_->Intern(text_.substr(start, pos_ - start)));
+    }
+    return Status::ParseError("unexpected character '" + std::string(1, c) +
+                              "' at offset " + std::to_string(pos_) +
+                              " in regex '" + std::string(text_) + "'");
+  }
+
+  std::string_view text_;
+  Alphabet* alphabet_;
+  RegexParseOptions options_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ReRef> ParseRegex(std::string_view text, Alphabet* alphabet,
+                         const RegexParseOptions& options) {
+  if (alphabet == nullptr) {
+    return Status::InvalidArgument("alphabet must not be null");
+  }
+  return Parser(text, alphabet, options).Parse();
+}
+
+}  // namespace condtd

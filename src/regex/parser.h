@@ -1,0 +1,34 @@
+#ifndef CONDTD_REGEX_PARSER_H_
+#define CONDTD_REGEX_PARSER_H_
+
+#include <string_view>
+
+#include "base/status.h"
+#include "regex/ast.h"
+
+namespace condtd {
+
+/// Options controlling ParseRegex.
+struct RegexParseOptions {
+  /// When true, every alphanumeric character is its own symbol, so
+  /// "abc" parses as a·b·c (handy for the paper's one-letter examples).
+  /// When false, identifiers are maximal [A-Za-z_][A-Za-z0-9_.:-]* runs
+  /// and concatenation needs whitespace between names.
+  bool char_symbols = false;
+};
+
+/// Parses the paper's regular expression notation.
+///
+/// Grammar: union is `|` or a `+` adjacent to whitespace; the postfix
+/// operators `+ ? *` attach to the immediately preceding atom with no
+/// whitespace in between; concatenation is juxtaposition. Names are
+/// interned into `alphabet`.
+///
+/// Examples: "((b?(a|c))+d)+e" with char_symbols, or
+/// "a1+ | a2? a3+" / "a1+ + (a2? a3+)" without.
+Result<ReRef> ParseRegex(std::string_view text, Alphabet* alphabet,
+                         const RegexParseOptions& options = {});
+
+}  // namespace condtd
+
+#endif  // CONDTD_REGEX_PARSER_H_

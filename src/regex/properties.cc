@@ -1,0 +1,207 @@
+#include "regex/properties.h"
+
+#include <algorithm>
+
+namespace condtd {
+
+bool Nullable(const ReRef& re) {
+  switch (re->kind()) {
+    case ReKind::kSymbol:
+      return false;
+    case ReKind::kConcat:
+      for (const auto& c : re->children()) {
+        if (!Nullable(c)) return false;
+      }
+      return true;
+    case ReKind::kDisj:
+      for (const auto& c : re->children()) {
+        if (Nullable(c)) return true;
+      }
+      return false;
+    case ReKind::kPlus:
+      return Nullable(re->child());
+    case ReKind::kOpt:
+    case ReKind::kStar:
+      return true;
+  }
+  return false;
+}
+
+namespace {
+
+void Collect(const ReRef& re, std::map<Symbol, int>* counts) {
+  if (re->kind() == ReKind::kSymbol) {
+    ++(*counts)[re->symbol()];
+    return;
+  }
+  for (const auto& c : re->children()) Collect(c, counts);
+}
+
+}  // namespace
+
+std::vector<Symbol> SymbolsOf(const ReRef& re) {
+  std::map<Symbol, int> counts;
+  Collect(re, &counts);
+  std::vector<Symbol> out;
+  out.reserve(counts.size());
+  for (const auto& [sym, n] : counts) out.push_back(sym);
+  return out;
+}
+
+std::map<Symbol, int> SymbolOccurrences(const ReRef& re) {
+  std::map<Symbol, int> counts;
+  Collect(re, &counts);
+  return counts;
+}
+
+int CountSymbolOccurrences(const ReRef& re) {
+  if (re->kind() == ReKind::kSymbol) return 1;
+  int total = 0;
+  for (const auto& c : re->children()) total += CountSymbolOccurrences(c);
+  return total;
+}
+
+int CountTokens(const ReRef& re) {
+  switch (re->kind()) {
+    case ReKind::kSymbol:
+      return 1;
+    case ReKind::kConcat: {
+      int total = 0;
+      for (const auto& c : re->children()) total += CountTokens(c);
+      return total;
+    }
+    case ReKind::kDisj: {
+      int total = static_cast<int>(re->children().size()) - 1;
+      for (const auto& c : re->children()) total += CountTokens(c);
+      return total;
+    }
+    case ReKind::kPlus:
+    case ReKind::kOpt:
+    case ReKind::kStar:
+      return 1 + CountTokens(re->child());
+  }
+  return 0;
+}
+
+bool IsSore(const ReRef& re) {
+  for (const auto& [sym, n] : SymbolOccurrences(re)) {
+    if (n > 1) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// True iff `re` is a disjunction of plain symbols (or a single symbol).
+bool IsSymbolDisjunction(const ReRef& re) {
+  if (re->kind() == ReKind::kSymbol) return true;
+  if (re->kind() != ReKind::kDisj) return false;
+  for (const auto& c : re->children()) {
+    if (c->kind() != ReKind::kSymbol) return false;
+  }
+  return true;
+}
+
+/// True iff `re` is a CHARE factor: (a1+...+ak) with an optional single
+/// postfix operator.
+bool IsChareFactor(const ReRef& re) {
+  switch (re->kind()) {
+    case ReKind::kPlus:
+    case ReKind::kOpt:
+    case ReKind::kStar:
+      return IsSymbolDisjunction(re->child());
+    default:
+      return IsSymbolDisjunction(re);
+  }
+}
+
+}  // namespace
+
+bool IsChare(const ReRef& re) {
+  if (!IsSore(re)) return false;
+  if (re->kind() == ReKind::kConcat) {
+    for (const auto& c : re->children()) {
+      if (!IsChareFactor(c)) return false;
+    }
+    return true;
+  }
+  return IsChareFactor(re);
+}
+
+SymbolSets ComputeSymbolSets(const ReRef& re) {
+  switch (re->kind()) {
+    case ReKind::kSymbol: {
+      SymbolSets out;
+      out.first.insert(re->symbol());
+      out.last.insert(re->symbol());
+      out.nullable = false;
+      return out;
+    }
+    case ReKind::kConcat: {
+      std::vector<SymbolSets> parts;
+      parts.reserve(re->children().size());
+      for (const auto& c : re->children()) {
+        parts.push_back(ComputeSymbolSets(c));
+      }
+      SymbolSets out;
+      out.nullable = true;
+      for (const auto& p : parts) out.nullable = out.nullable && p.nullable;
+      // First: union over the nullable prefix plus the first non-nullable.
+      for (const auto& p : parts) {
+        out.first.insert(p.first.begin(), p.first.end());
+        if (!p.nullable) break;
+      }
+      // Last: symmetric from the right.
+      for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+        out.last.insert(it->last.begin(), it->last.end());
+        if (!it->nullable) break;
+      }
+      // Follow: inner follows plus cross pairs over nullable gaps.
+      for (const auto& p : parts) {
+        out.follow.insert(p.follow.begin(), p.follow.end());
+      }
+      for (size_t i = 0; i < parts.size(); ++i) {
+        for (size_t j = i + 1; j < parts.size(); ++j) {
+          for (Symbol a : parts[i].last) {
+            for (Symbol b : parts[j].first) {
+              out.follow.emplace(a, b);
+            }
+          }
+          if (!parts[j].nullable) break;
+        }
+      }
+      return out;
+    }
+    case ReKind::kDisj: {
+      SymbolSets out;
+      out.nullable = false;
+      for (const auto& c : re->children()) {
+        SymbolSets p = ComputeSymbolSets(c);
+        out.first.insert(p.first.begin(), p.first.end());
+        out.last.insert(p.last.begin(), p.last.end());
+        out.follow.insert(p.follow.begin(), p.follow.end());
+        out.nullable = out.nullable || p.nullable;
+      }
+      return out;
+    }
+    case ReKind::kPlus:
+    case ReKind::kStar: {
+      SymbolSets out = ComputeSymbolSets(re->child());
+      for (Symbol a : out.last) {
+        for (Symbol b : out.first) {
+          out.follow.emplace(a, b);
+        }
+      }
+      if (re->kind() == ReKind::kStar) out.nullable = true;
+      return out;
+    }
+    case ReKind::kOpt: {
+      SymbolSets out = ComputeSymbolSets(re->child());
+      out.nullable = true;
+      return out;
+    }
+  }
+  return {};
+}
+
+}  // namespace condtd

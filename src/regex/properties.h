@@ -1,0 +1,54 @@
+#ifndef CONDTD_REGEX_PROPERTIES_H_
+#define CONDTD_REGEX_PROPERTIES_H_
+
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "regex/ast.h"
+
+namespace condtd {
+
+/// True iff the empty word belongs to L(re).
+bool Nullable(const ReRef& re);
+
+/// All distinct symbols occurring in `re`, sorted ascending.
+std::vector<Symbol> SymbolsOf(const ReRef& re);
+
+/// Number of occurrences of each symbol in the expression tree.
+std::map<Symbol, int> SymbolOccurrences(const ReRef& re);
+
+/// Total number of symbol occurrences (leaves).
+int CountSymbolOccurrences(const ReRef& re);
+
+/// Size metric used when reporting XTRACT-style "tokens": symbol
+/// occurrences plus operator applications (a union over k alternatives
+/// counts k-1, every postfix operator counts 1, concatenation is free).
+int CountTokens(const ReRef& re);
+
+/// True iff `re` is a single occurrence regular expression: every
+/// alphabet symbol occurs at most once (Section 1.2).
+bool IsSore(const ReRef& re);
+
+/// True iff `re` is a chain regular expression: a concatenation of
+/// factors of the form (a1+...+ak), (a1+...+ak)?, (a1+...+ak)+ or
+/// (a1+...+ak)* where the ai are symbols (Section 1.2).
+bool IsChare(const ReRef& re);
+
+/// Glushkov-style first/last/follow information projected onto symbols.
+/// For a SORE this exactly describes its unique SOA (Proposition 1); for
+/// general REs it describes the smallest SOA whose language contains
+/// L(re).
+struct SymbolSets {
+  std::set<Symbol> first;
+  std::set<Symbol> last;
+  std::set<std::pair<Symbol, Symbol>> follow;
+  bool nullable = false;
+};
+
+SymbolSets ComputeSymbolSets(const ReRef& re);
+
+}  // namespace condtd
+
+#endif  // CONDTD_REGEX_PROPERTIES_H_

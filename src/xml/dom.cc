@@ -1,0 +1,84 @@
+#include "xml/dom.h"
+
+#include "base/strings.h"
+
+namespace condtd {
+
+namespace {
+
+std::string EscapeXml(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::string* XmlElement::FindAttribute(const std::string& key) const {
+  for (const auto& [k, v] : attributes_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+XmlElement* XmlElement::AddChild(std::string name) {
+  children_.push_back(std::make_unique<XmlElement>(std::move(name)));
+  return children_.back().get();
+}
+
+bool XmlElement::HasSignificantText() const {
+  return !StripWhitespace(text_).empty();
+}
+
+std::string XmlElement::ToXml(int indent) const {
+  std::string pad(indent * 2, ' ');
+  std::string out = pad + "<" + name_;
+  for (const auto& [k, v] : attributes_) {
+    out += ' ' + k + "=\"" + EscapeXml(v) + '"';
+  }
+  if (children_.empty() && !HasSignificantText()) {
+    out += "/>\n";
+    return out;
+  }
+  out += ">";
+  if (HasSignificantText()) {
+    out += EscapeXml(std::string(StripWhitespace(text_)));
+    if (children_.empty()) {
+      out += "</" + name_ + ">\n";
+      return out;
+    }
+  }
+  out += "\n";
+  for (const auto& child : children_) {
+    out += child->ToXml(indent + 1);
+  }
+  out += pad + "</" + name_ + ">\n";
+  return out;
+}
+
+std::string XmlDocument::ToXml() const {
+  std::string out = "<?xml version=\"1.0\"?>\n";
+  if (!doctype.empty()) out += "<!DOCTYPE " + doctype + ">\n";
+  if (root != nullptr) out += root->ToXml();
+  return out;
+}
+
+}  // namespace condtd

@@ -1,0 +1,63 @@
+#ifndef CONDTD_XML_DOM_H_
+#define CONDTD_XML_DOM_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace condtd {
+
+/// An element node of the document tree. Character data is aggregated
+/// per element (the inference algorithms only need to know whether an
+/// element carries text, plus the child-element sequence in order).
+class XmlElement {
+ public:
+  explicit XmlElement(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  const std::vector<std::pair<std::string, std::string>>& attributes()
+      const {
+    return attributes_;
+  }
+  void AddAttribute(std::string key, std::string value) {
+    attributes_.emplace_back(std::move(key), std::move(value));
+  }
+  /// Returns the value of `key` or nullptr.
+  const std::string* FindAttribute(const std::string& key) const;
+
+  const std::vector<std::unique_ptr<XmlElement>>& children() const {
+    return children_;
+  }
+  XmlElement* AddChild(std::string name);
+
+  /// Concatenated character data appearing directly below this element.
+  const std::string& text() const { return text_; }
+  void AppendText(const std::string& text) { text_ += text; }
+  /// True when the element contains non-whitespace character data.
+  bool HasSignificantText() const;
+
+  /// Serializes the subtree as XML (entities escaped, 2-space indent).
+  std::string ToXml(int indent = 0) const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> attributes_;
+  std::vector<std::unique_ptr<XmlElement>> children_;
+  std::string text_;
+};
+
+/// A parsed document: the root element plus the raw DOCTYPE declaration
+/// (if any) so the DTD parser can consume internal subsets.
+struct XmlDocument {
+  std::unique_ptr<XmlElement> root;
+  /// Raw text between "<!DOCTYPE" and the matching ">", empty if absent.
+  std::string doctype;
+
+  std::string ToXml() const;
+};
+
+}  // namespace condtd
+
+#endif  // CONDTD_XML_DOM_H_

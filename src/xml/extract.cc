@@ -1,0 +1,37 @@
+#include "xml/extract.h"
+
+namespace condtd {
+
+namespace {
+
+void Visit(const XmlElement& element, Alphabet* alphabet,
+           ElementContexts* out) {
+  Symbol self = alphabet->Intern(element.name());
+  Word children;
+  children.reserve(element.children().size());
+  for (const auto& child : element.children()) {
+    children.push_back(alphabet->Intern(child->name()));
+  }
+  out->contexts[self].push_back(std::move(children));
+  if (element.HasSignificantText()) out->has_text.insert(self);
+  for (const auto& child : element.children()) {
+    Visit(*child, alphabet, out);
+  }
+}
+
+}  // namespace
+
+void FoldContexts(const XmlDocument& doc, Alphabet* alphabet,
+                  ElementContexts* out) {
+  if (doc.root == nullptr) return;
+  out->roots.insert(alphabet->Intern(doc.root->name()));
+  Visit(*doc.root, alphabet, out);
+}
+
+ElementContexts ExtractContexts(const XmlDocument& doc, Alphabet* alphabet) {
+  ElementContexts out;
+  FoldContexts(doc, alphabet, &out);
+  return out;
+}
+
+}  // namespace condtd

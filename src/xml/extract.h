@@ -1,0 +1,34 @@
+#ifndef CONDTD_XML_EXTRACT_H_
+#define CONDTD_XML_EXTRACT_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "alphabet/alphabet.h"
+#include "xml/dom.h"
+
+namespace condtd {
+
+/// The per-element training data for DTD inference: for every element
+/// name, all child-element-name sequences observed below occurrences of
+/// that element (the "strings" of the paper).
+struct ElementContexts {
+  std::map<Symbol, std::vector<Word>> contexts;
+  /// Element names that ever carry non-whitespace character data
+  /// (reported as #PCDATA / mixed content by the inferrer).
+  std::set<Symbol> has_text;
+  /// Root element names seen across the folded documents.
+  std::set<Symbol> roots;
+};
+
+/// Folds one document into `out`, interning names into `alphabet`.
+void FoldContexts(const XmlDocument& doc, Alphabet* alphabet,
+                  ElementContexts* out);
+
+/// Extracts contexts from a single document.
+ElementContexts ExtractContexts(const XmlDocument& doc, Alphabet* alphabet);
+
+}  // namespace condtd
+
+#endif  // CONDTD_XML_EXTRACT_H_

@@ -1,0 +1,245 @@
+#include "xml/lexer.h"
+
+#include <cctype>
+
+#include "base/strings.h"
+
+namespace condtd {
+
+namespace {
+
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == ':' || c == '-' || c == '.';
+}
+
+}  // namespace
+
+Status XmlLexer::DecodeEntities(std::string_view raw, std::string* out) const {
+  out->reserve(out->size() + raw.size());
+  for (size_t i = 0; i < raw.size();) {
+    if (raw[i] != '&') {
+      *out += raw[i++];
+      continue;
+    }
+    size_t end = raw.find(';', i);
+    if (end == std::string_view::npos) {
+      return Status::ParseError("unterminated entity reference");
+    }
+    std::string_view entity = raw.substr(i + 1, end - i - 1);
+    if (entity == "amp") {
+      *out += '&';
+    } else if (entity == "lt") {
+      *out += '<';
+    } else if (entity == "gt") {
+      *out += '>';
+    } else if (entity == "apos") {
+      *out += '\'';
+    } else if (entity == "quot") {
+      *out += '"';
+    } else if (!entity.empty() && entity[0] == '#') {
+      int code = 0;
+      bool hex = entity.size() > 1 && (entity[1] == 'x' || entity[1] == 'X');
+      for (size_t j = hex ? 2 : 1; j < entity.size(); ++j) {
+        char c = entity[j];
+        int digit;
+        if (c >= '0' && c <= '9') {
+          digit = c - '0';
+        } else if (hex && c >= 'a' && c <= 'f') {
+          digit = c - 'a' + 10;
+        } else if (hex && c >= 'A' && c <= 'F') {
+          digit = c - 'A' + 10;
+        } else {
+          return Status::ParseError("bad character reference &" +
+                                    std::string(entity) + ";");
+        }
+        code = code * (hex ? 16 : 10) + digit;
+      }
+      // Encode as UTF-8.
+      if (code < 0x80) {
+        *out += static_cast<char>(code);
+      } else if (code < 0x800) {
+        *out += static_cast<char>(0xC0 | (code >> 6));
+        *out += static_cast<char>(0x80 | (code & 0x3F));
+      } else {
+        *out += static_cast<char>(0xE0 | (code >> 12));
+        *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+        *out += static_cast<char>(0x80 | (code & 0x3F));
+      }
+    } else {
+      // Unknown entity (e.g. from an unresolved DTD): keep verbatim so
+      // noisy real-world data does not abort parsing.
+      *out += '&';
+      *out += entity;
+      *out += ';';
+    }
+    i = end + 1;
+  }
+  return Status::OK();
+}
+
+Result<XmlToken> XmlLexer::Next() {
+  while (pos_ < input_.size()) {
+    size_t start = pos_;
+    if (input_[pos_] != '<') {
+      size_t lt = input_.find('<', pos_);
+      if (lt == std::string_view::npos) lt = input_.size();
+      std::string_view raw = input_.substr(pos_, lt - pos_);
+      pos_ = lt;
+      XmlToken token;
+      token.kind = XmlTokenKind::kText;
+      token.offset = start;
+      CONDTD_RETURN_IF_ERROR(DecodeEntities(raw, &token.text));
+      // Skip pure-whitespace runs between tags.
+      if (StripWhitespace(token.text).empty()) continue;
+      return token;
+    }
+    // '<' dispatch.
+    if (StartsWith(input_.substr(pos_), "<!--")) {
+      size_t end = input_.find("-->", pos_ + 4);
+      if (end == std::string_view::npos) {
+        return Status::ParseError("unterminated comment at offset " +
+                                  std::to_string(pos_));
+      }
+      pos_ = end + 3;
+      continue;
+    }
+    if (StartsWith(input_.substr(pos_), "<![CDATA[")) {
+      size_t end = input_.find("]]>", pos_ + 9);
+      if (end == std::string_view::npos) {
+        return Status::ParseError("unterminated CDATA at offset " +
+                                  std::to_string(pos_));
+      }
+      XmlToken token;
+      token.kind = XmlTokenKind::kText;
+      token.offset = start;
+      token.text = std::string(input_.substr(pos_ + 9, end - pos_ - 9));
+      pos_ = end + 3;
+      if (StripWhitespace(token.text).empty()) continue;
+      return token;
+    }
+    if (StartsWith(input_.substr(pos_), "<?")) {
+      size_t end = input_.find("?>", pos_ + 2);
+      if (end == std::string_view::npos) {
+        return Status::ParseError(
+            "unterminated processing instruction at offset " +
+            std::to_string(pos_));
+      }
+      pos_ = end + 2;
+      continue;
+    }
+    if (StartsWith(input_.substr(pos_), "<!DOCTYPE")) {
+      // Scan to the matching '>', skipping a bracketed internal subset.
+      size_t i = pos_ + 9;
+      int bracket_depth = 0;
+      while (i < input_.size()) {
+        char c = input_[i];
+        if (c == '[') {
+          ++bracket_depth;
+        } else if (c == ']') {
+          --bracket_depth;
+        } else if (c == '>' && bracket_depth == 0) {
+          break;
+        }
+        ++i;
+      }
+      if (i >= input_.size()) {
+        return Status::ParseError("unterminated DOCTYPE at offset " +
+                                  std::to_string(pos_));
+      }
+      XmlToken token;
+      token.kind = XmlTokenKind::kDoctype;
+      token.offset = start;
+      token.text =
+          std::string(StripWhitespace(input_.substr(pos_ + 9, i - pos_ - 9)));
+      pos_ = i + 1;
+      return token;
+    }
+    return LexTag();
+  }
+  XmlToken token;
+  token.kind = XmlTokenKind::kEof;
+  token.offset = pos_;
+  return token;
+}
+
+Result<XmlToken> XmlLexer::LexTag() {
+  XmlToken token;
+  token.offset = pos_;
+  ++pos_;  // consume '<'
+  bool closing = false;
+  if (pos_ < input_.size() && input_[pos_] == '/') {
+    closing = true;
+    ++pos_;
+  }
+  if (pos_ >= input_.size() || !IsNameStartChar(input_[pos_])) {
+    return Status::ParseError("malformed tag at offset " +
+                              std::to_string(token.offset));
+  }
+  size_t name_start = pos_;
+  while (pos_ < input_.size() && IsNameChar(input_[pos_])) ++pos_;
+  token.name = std::string(input_.substr(name_start, pos_ - name_start));
+  token.kind = closing ? XmlTokenKind::kEndTag : XmlTokenKind::kStartTag;
+
+  // Attributes.
+  while (true) {
+    while (pos_ < input_.size() && IsXmlWhitespace(input_[pos_])) ++pos_;
+    if (pos_ >= input_.size()) {
+      return Status::ParseError("unterminated tag <" + token.name + ">");
+    }
+    char c = input_[pos_];
+    if (c == '>') {
+      ++pos_;
+      return token;
+    }
+    if (c == '/') {
+      if (pos_ + 1 >= input_.size() || input_[pos_ + 1] != '>') {
+        return Status::ParseError("malformed tag end in <" + token.name +
+                                  ">");
+      }
+      token.self_closing = true;
+      pos_ += 2;
+      return token;
+    }
+    if (closing || !IsNameStartChar(c)) {
+      return Status::ParseError("unexpected character '" +
+                                std::string(1, c) + "' in tag <" +
+                                token.name + ">");
+    }
+    size_t attr_start = pos_;
+    while (pos_ < input_.size() && IsNameChar(input_[pos_])) ++pos_;
+    std::string key(input_.substr(attr_start, pos_ - attr_start));
+    while (pos_ < input_.size() && IsXmlWhitespace(input_[pos_])) ++pos_;
+    if (pos_ >= input_.size() || input_[pos_] != '=') {
+      // Permissive: attribute without value (common in noisy HTML-ish
+      // data); record it with an empty value.
+      token.attributes.emplace_back(std::move(key), "");
+      continue;
+    }
+    ++pos_;
+    while (pos_ < input_.size() && IsXmlWhitespace(input_[pos_])) ++pos_;
+    if (pos_ >= input_.size() ||
+        (input_[pos_] != '"' && input_[pos_] != '\'')) {
+      return Status::ParseError("attribute '" + key + "' of <" + token.name +
+                                "> has an unquoted value");
+    }
+    char quote = input_[pos_++];
+    size_t value_start = pos_;
+    size_t value_end = input_.find(quote, pos_);
+    if (value_end == std::string_view::npos) {
+      return Status::ParseError("unterminated attribute value for '" + key +
+                                "'");
+    }
+    std::string value;
+    CONDTD_RETURN_IF_ERROR(DecodeEntities(
+        input_.substr(value_start, value_end - value_start), &value));
+    token.attributes.emplace_back(std::move(key), std::move(value));
+    pos_ = value_end + 1;
+  }
+}
+
+}  // namespace condtd

@@ -1,0 +1,56 @@
+#ifndef CONDTD_XML_LEXER_H_
+#define CONDTD_XML_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+
+namespace condtd {
+
+/// Token kinds produced by the XML lexer. Comments and processing
+/// instructions are consumed silently; DOCTYPE declarations surface their
+/// raw body so the DTD parser can read internal subsets.
+enum class XmlTokenKind {
+  kStartTag,   ///< <name attr="v" ...> ; self_closing for <name/>.
+  kEndTag,     ///< </name>
+  kText,       ///< character data (entities decoded) or CDATA content
+  kDoctype,    ///< raw body of <!DOCTYPE ...>
+  kEof,
+};
+
+struct XmlToken {
+  XmlTokenKind kind = XmlTokenKind::kEof;
+  std::string name;  // tag name
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::string text;  // character data / doctype body
+  bool self_closing = false;
+  size_t offset = 0;  // byte offset for error messages
+};
+
+/// Pull lexer over an in-memory XML document. Handles tags, attributes
+/// (single or double quoted), comments, processing instructions, CDATA
+/// sections, DOCTYPE (including a bracketed internal subset) and the
+/// predefined plus numeric character entities.
+class XmlLexer {
+ public:
+  explicit XmlLexer(std::string_view input) : input_(input) {}
+
+  /// Produces the next token, or a ParseError status.
+  Result<XmlToken> Next();
+
+  size_t offset() const { return pos_; }
+
+ private:
+  Result<XmlToken> LexTag();
+  Status DecodeEntities(std::string_view raw, std::string* out) const;
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace condtd
+
+#endif  // CONDTD_XML_LEXER_H_

@@ -1,0 +1,159 @@
+#include "xml/parser.h"
+#include <string>
+
+#include <vector>
+
+#include "xml/lexer.h"
+
+namespace condtd {
+
+Result<XmlDocument> ParseXmlLenient(
+    std::string_view input, std::vector<std::string>* recovered_errors) {
+  XmlLexer lexer(input);
+  XmlDocument doc;
+  std::vector<XmlElement*> stack;
+  bool root_done = false;
+  auto note = [&](const std::string& message) {
+    if (recovered_errors != nullptr) recovered_errors->push_back(message);
+  };
+
+  while (true) {
+    Result<XmlToken> next = lexer.Next();
+    if (!next.ok()) return next.status();  // lexical errors still fail
+    const XmlToken& token = next.value();
+    switch (token.kind) {
+      case XmlTokenKind::kEof:
+        if (!stack.empty()) {
+          note("closed " + std::to_string(stack.size()) +
+               " unclosed element(s) at end of input");
+          stack.clear();
+        }
+        if (doc.root == nullptr) {
+          return Status::ParseError("document has no root element");
+        }
+        return doc;
+      case XmlTokenKind::kDoctype:
+        if (doc.root == nullptr) doc.doctype = token.text;
+        break;
+      case XmlTokenKind::kText:
+        if (!stack.empty()) {
+          stack.back()->AppendText(token.text);
+        } else {
+          note("dropped character data outside the root element");
+        }
+        break;
+      case XmlTokenKind::kStartTag: {
+        if (stack.empty() && root_done) {
+          note("dropped content after the root element (<" + token.name +
+               ">)");
+          // Consume the subtree by tracking nesting without building it:
+          // simplest recovery — skip just this tag.
+          break;
+        }
+        XmlElement* element;
+        if (stack.empty()) {
+          doc.root = std::make_unique<XmlElement>(token.name);
+          element = doc.root.get();
+          root_done = true;
+        } else {
+          element = stack.back()->AddChild(token.name);
+        }
+        for (const auto& [k, v] : token.attributes) {
+          element->AddAttribute(k, v);
+        }
+        if (!token.self_closing) stack.push_back(element);
+        break;
+      }
+      case XmlTokenKind::kEndTag: {
+        // Find the nearest open element with this name.
+        int match = -1;
+        for (int i = static_cast<int>(stack.size()) - 1; i >= 0; --i) {
+          if (stack[i]->name() == token.name) {
+            match = i;
+            break;
+          }
+        }
+        if (match < 0) {
+          note("dropped stray closing tag </" + token.name + ">");
+          break;
+        }
+        if (match + 1 != static_cast<int>(stack.size())) {
+          note("auto-closed " +
+               std::to_string(stack.size() - match - 1) +
+               " element(s) at </" + token.name + ">");
+        }
+        stack.resize(match);
+        break;
+      }
+    }
+  }
+}
+
+Result<XmlDocument> ParseXml(std::string_view input) {
+  XmlLexer lexer(input);
+  XmlDocument doc;
+  std::vector<XmlElement*> stack;
+
+  while (true) {
+    Result<XmlToken> next = lexer.Next();
+    if (!next.ok()) return next.status();
+    const XmlToken& token = next.value();
+    switch (token.kind) {
+      case XmlTokenKind::kEof:
+        if (!stack.empty()) {
+          return Status::ParseError("unexpected end of document inside <" +
+                                    stack.back()->name() + ">");
+        }
+        if (doc.root == nullptr) {
+          return Status::ParseError("document has no root element");
+        }
+        return doc;
+      case XmlTokenKind::kDoctype:
+        if (doc.root != nullptr || !stack.empty()) {
+          return Status::ParseError("DOCTYPE after the root element");
+        }
+        doc.doctype = token.text;
+        break;
+      case XmlTokenKind::kText:
+        if (stack.empty()) {
+          return Status::ParseError(
+              "character data outside the root element at offset " +
+              std::to_string(token.offset));
+        }
+        stack.back()->AppendText(token.text);
+        break;
+      case XmlTokenKind::kStartTag: {
+        XmlElement* element;
+        if (stack.empty()) {
+          if (doc.root != nullptr) {
+            return Status::ParseError("multiple root elements (<" +
+                                      token.name + ">)");
+          }
+          doc.root = std::make_unique<XmlElement>(token.name);
+          element = doc.root.get();
+        } else {
+          element = stack.back()->AddChild(token.name);
+        }
+        for (const auto& [k, v] : token.attributes) {
+          element->AddAttribute(k, v);
+        }
+        if (!token.self_closing) stack.push_back(element);
+        break;
+      }
+      case XmlTokenKind::kEndTag:
+        if (stack.empty()) {
+          return Status::ParseError("stray closing tag </" + token.name +
+                                    ">");
+        }
+        if (stack.back()->name() != token.name) {
+          return Status::ParseError("mismatched closing tag </" +
+                                    token.name + ">; expected </" +
+                                    stack.back()->name() + ">");
+        }
+        stack.pop_back();
+        break;
+    }
+  }
+}
+
+}  // namespace condtd

@@ -1,0 +1,33 @@
+#ifndef CONDTD_XSD_PARSER_H_
+#define CONDTD_XSD_PARSER_H_
+
+#include <string_view>
+
+#include "base/status.h"
+#include "dtd/model.h"
+
+namespace condtd {
+
+/// Reads the DTD-expressible subset of W3C XML Schema — per [9], 85% of
+/// real-world XSDs are structurally equivalent to a DTD, and everything
+/// this library's writer emits is in the subset. Supported: global
+/// xs:element declarations with inline xs:complexType, xs:sequence /
+/// xs:choice particles, xs:element ref/name leaves, minOccurs/maxOccurs
+/// (numeric bounds are expanded into plain REs: r{2,unbounded} becomes
+/// r r r*), mixed="true" content, xs:any, xs:attribute, and the built-in
+/// simple types for text-only elements.
+///
+/// Fails with kInvalidArgument for constructs outside the subset
+/// (xs:all, named type references, substitution groups, ...).
+Result<Dtd> ParseXsd(std::string_view xsd_text, Alphabet* alphabet);
+
+/// Expands occurrence bounds into a plain RE over the operators the
+/// paper allows: min==max==1 → re; {0,1} → re?; {1,unbounded} → re+;
+/// {0,unbounded} → re*; {m,n} → m copies then (n-m) optional tails;
+/// {m,unbounded} → m copies then re*. max == -1 means unbounded.
+/// Returns nullptr for {0,0} (the empty word).
+ReRef ExpandOccurrences(const ReRef& re, int min_occurs, int max_occurs);
+
+}  // namespace condtd
+
+#endif  // CONDTD_XSD_PARSER_H_

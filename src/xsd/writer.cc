@@ -1,0 +1,267 @@
+#include "xsd/writer.h"
+
+#include <cctype>
+
+#include "base/strings.h"
+
+namespace condtd {
+
+namespace {
+
+std::string OccursAttributes(int min_occurs, int max_occurs) {
+  std::string out;
+  if (min_occurs != 1) {
+    out += " minOccurs=\"" + std::to_string(min_occurs) + "\"";
+  }
+  if (max_occurs == NumericAnnotation::kUnbounded) {
+    out += " maxOccurs=\"unbounded\"";
+  } else if (max_occurs != 1) {
+    out += " maxOccurs=\"" + std::to_string(max_occurs) + "\"";
+  }
+  return out;
+}
+
+class XsdPrinter {
+ public:
+  XsdPrinter(const Alphabet& alphabet, const NumericAnnotations* numeric)
+      : alphabet_(alphabet), numeric_(numeric) {}
+
+  /// Renders `re` as a particle with the given occurrence bounds.
+  void Particle(const ReRef& re, int min_occurs, int max_occurs, int indent,
+                std::string* out) {
+    // Fold unary operators into occurrence bounds where possible.
+    switch (re->kind()) {
+      case ReKind::kPlus:
+      case ReKind::kStar:
+      case ReKind::kOpt: {
+        int child_min;
+        int child_max;
+        if (numeric_ != nullptr) {
+          auto it = numeric_->find(re.get());
+          if (it != numeric_->end()) {
+            Particle(re->child(), it->second.min_occurs,
+                     it->second.max_occurs, indent, out);
+            return;
+          }
+        }
+        if (re->kind() == ReKind::kPlus) {
+          child_min = 1;
+          child_max = NumericAnnotation::kUnbounded;
+        } else if (re->kind() == ReKind::kStar) {
+          child_min = 0;
+          child_max = NumericAnnotation::kUnbounded;
+        } else {
+          child_min = 0;
+          child_max = 1;
+        }
+        // Composing bounds of stacked operators is only exact for the
+        // simple (and after normalization, only occurring) cases where
+        // the outer particle has bounds 1..1.
+        if (min_occurs == 1 && max_occurs == 1) {
+          Particle(re->child(), child_min, child_max, indent, out);
+          return;
+        }
+        // Otherwise wrap in a sequence carrying the outer bounds.
+        std::string pad(indent * 2, ' ');
+        *out += pad + "<xs:sequence" +
+                OccursAttributes(min_occurs, max_occurs) + ">\n";
+        Particle(re->child(), child_min, child_max, indent + 1, out);
+        *out += pad + "</xs:sequence>\n";
+        return;
+      }
+      case ReKind::kSymbol: {
+        std::string pad(indent * 2, ' ');
+        *out += pad + "<xs:element ref=\"" + alphabet_.Name(re->symbol()) +
+                "\"" + OccursAttributes(min_occurs, max_occurs) + "/>\n";
+        return;
+      }
+      case ReKind::kConcat: {
+        std::string pad(indent * 2, ' ');
+        *out += pad + "<xs:sequence" +
+                OccursAttributes(min_occurs, max_occurs) + ">\n";
+        for (const auto& c : re->children()) {
+          Particle(c, 1, 1, indent + 1, out);
+        }
+        *out += pad + "</xs:sequence>\n";
+        return;
+      }
+      case ReKind::kDisj: {
+        std::string pad(indent * 2, ' ');
+        *out += pad + "<xs:choice" + OccursAttributes(min_occurs, max_occurs) +
+                ">\n";
+        for (const auto& c : re->children()) {
+          Particle(c, 1, 1, indent + 1, out);
+        }
+        *out += pad + "</xs:choice>\n";
+        return;
+      }
+    }
+  }
+
+ private:
+  const Alphabet& alphabet_;
+  const NumericAnnotations* numeric_;
+};
+
+}  // namespace
+
+std::string WriteXsd(const Dtd& dtd, const Alphabet& alphabet,
+                     const std::map<Symbol, XsdElementExtras>& extras) {
+  std::string out =
+      "<?xml version=\"1.0\"?>\n"
+      "<xs:schema xmlns:xs=\"http://www.w3.org/2001/XMLSchema\">\n";
+  std::vector<Symbol> order;
+  if (dtd.root != kInvalidSymbol && dtd.elements.count(dtd.root) > 0) {
+    order.push_back(dtd.root);
+  }
+  for (const auto& [symbol, model] : dtd.elements) {
+    if (symbol != dtd.root) order.push_back(symbol);
+  }
+  for (Symbol symbol : order) {
+    const ContentModel& model = dtd.elements.at(symbol);
+    auto extra_it = extras.find(symbol);
+    const XsdElementExtras* extra =
+        extra_it == extras.end() ? nullptr : &extra_it->second;
+    const std::string& name = alphabet.Name(symbol);
+    auto attrs_it = dtd.attributes.find(symbol);
+    bool has_attrs =
+        attrs_it != dtd.attributes.end() && !attrs_it->second.empty();
+
+    auto write_attributes = [&](int indent) {
+      if (!has_attrs) return;
+      std::string pad(indent * 2, ' ');
+      for (const auto& def : attrs_it->second) {
+        out += pad + "<xs:attribute name=\"" + def.name +
+               "\" type=\"xs:string\"";
+        if (def.default_decl == "#REQUIRED") out += " use=\"required\"";
+        out += "/>\n";
+      }
+    };
+
+    switch (model.kind) {
+      case ContentKind::kPcdataOnly:
+        if (!has_attrs) {
+          std::string type = extra != nullptr && !extra->text_type.empty()
+                                 ? extra->text_type
+                                 : "xs:string";
+          out += "  <xs:element name=\"" + name + "\" type=\"" + type +
+                 "\"/>\n";
+        } else {
+          out += "  <xs:element name=\"" + name + "\">\n";
+          out += "    <xs:complexType mixed=\"true\">\n";
+          write_attributes(3);
+          out += "    </xs:complexType>\n";
+          out += "  </xs:element>\n";
+        }
+        break;
+      case ContentKind::kEmpty:
+        out += "  <xs:element name=\"" + name + "\">\n";
+        out += "    <xs:complexType>\n";
+        write_attributes(3);
+        out += "    </xs:complexType>\n";
+        out += "  </xs:element>\n";
+        break;
+      case ContentKind::kAny:
+        out += "  <xs:element name=\"" + name + "\">\n";
+        out += "    <xs:complexType mixed=\"true\">\n";
+        out += "      <xs:sequence>\n";
+        out += "        <xs:any minOccurs=\"0\" maxOccurs=\"unbounded\" "
+               "processContents=\"lax\"/>\n";
+        out += "      </xs:sequence>\n";
+        write_attributes(3);
+        out += "    </xs:complexType>\n";
+        out += "  </xs:element>\n";
+        break;
+      case ContentKind::kMixed: {
+        out += "  <xs:element name=\"" + name + "\">\n";
+        out += "    <xs:complexType mixed=\"true\">\n";
+        out += "      <xs:choice minOccurs=\"0\" maxOccurs=\"unbounded\">\n";
+        for (Symbol child : model.mixed_symbols) {
+          out += "        <xs:element ref=\"" + alphabet.Name(child) +
+                 "\"/>\n";
+        }
+        out += "      </xs:choice>\n";
+        write_attributes(3);
+        out += "    </xs:complexType>\n";
+        out += "  </xs:element>\n";
+        break;
+      }
+      case ContentKind::kChildren: {
+        out += "  <xs:element name=\"" + name + "\">\n";
+        out += "    <xs:complexType>\n";
+        XsdPrinter printer(alphabet,
+                           extra != nullptr ? &extra->numeric : nullptr);
+        // A complexType's particle must be a model group; a content
+        // model that boils down to one element gets an xs:sequence
+        // wrapper.
+        const Re* skeleton = model.regex.get();
+        while (skeleton->kind() == ReKind::kPlus ||
+               skeleton->kind() == ReKind::kOpt ||
+               skeleton->kind() == ReKind::kStar) {
+          skeleton = skeleton->child().get();
+        }
+        bool wrap = skeleton->kind() == ReKind::kSymbol;
+        if (wrap) out += "      <xs:sequence>\n";
+        printer.Particle(model.regex, 1, 1, wrap ? 4 : 3, &out);
+        if (wrap) out += "      </xs:sequence>\n";
+        write_attributes(3);
+        out += "    </xs:complexType>\n";
+        out += "  </xs:element>\n";
+        break;
+      }
+    }
+  }
+  out += "</xs:schema>\n";
+  return out;
+}
+
+std::string InferSimpleType(const std::vector<std::string>& samples) {
+  if (samples.empty()) return "xs:string";
+  bool all_int = true;
+  bool all_decimal = true;
+  bool all_date = true;
+  bool all_bool = true;
+  for (const std::string& raw : samples) {
+    std::string_view text = StripWhitespace(raw);
+    if (text.empty()) {
+      all_int = all_decimal = all_date = all_bool = false;
+      break;
+    }
+    // boolean
+    if (!(text == "true" || text == "false" || text == "0" || text == "1")) {
+      all_bool = false;
+    }
+    // integer / decimal
+    size_t i = 0;
+    if (text[0] == '+' || text[0] == '-') i = 1;
+    bool digits = i < text.size();
+    bool dot = false;
+    bool decimal_ok = true;
+    for (size_t j = i; j < text.size(); ++j) {
+      if (text[j] == '.') {
+        if (dot) decimal_ok = false;
+        dot = true;
+      } else if (!std::isdigit(static_cast<unsigned char>(text[j]))) {
+        digits = false;
+        decimal_ok = false;
+      }
+    }
+    if (!digits || dot) all_int = false;
+    if (!decimal_ok || !digits) all_decimal = false;
+    // date: YYYY-MM-DD
+    bool date = text.size() == 10 && text[4] == '-' && text[7] == '-';
+    if (date) {
+      for (size_t j : {0u, 1u, 2u, 3u, 5u, 6u, 8u, 9u}) {
+        if (!std::isdigit(static_cast<unsigned char>(text[j]))) date = false;
+      }
+    }
+    if (!date) all_date = false;
+  }
+  if (all_bool) return "xs:boolean";
+  if (all_int) return "xs:integer";
+  if (all_decimal) return "xs:decimal";
+  if (all_date) return "xs:date";
+  return "xs:string";
+}
+
+}  // namespace condtd

@@ -1,0 +1,36 @@
+#ifndef CONDTD_XSD_WRITER_H_
+#define CONDTD_XSD_WRITER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dtd/model.h"
+#include "xsd/numeric.h"
+
+namespace condtd {
+
+/// Extra per-element information the XSD writer can exploit beyond what
+/// a DTD expresses (Section 9, "Generation of XSDs").
+struct XsdElementExtras {
+  /// Occurrence bounds (minOccurs/maxOccurs) for content-model nodes.
+  NumericAnnotations numeric;
+  /// Built-in simple type for text content ("xs:integer", ...); empty
+  /// means xs:string.
+  std::string text_type;
+};
+
+/// Serializes the DTD as a W3C XML Schema document (the 85% of XSDs that
+/// are structurally equivalent to a DTD, per [9]). Uses one global
+/// xs:element per name with ref-based content models.
+std::string WriteXsd(const Dtd& dtd, const Alphabet& alphabet,
+                     const std::map<Symbol, XsdElementExtras>& extras = {});
+
+/// Section 9's datatype heuristic: inspects sample text values and
+/// returns "xs:integer", "xs:decimal", "xs:date", "xs:boolean" or
+/// "xs:string".
+std::string InferSimpleType(const std::vector<std::string>& samples);
+
+}  // namespace condtd
+
+#endif  // CONDTD_XSD_WRITER_H_

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "automaton/dfa.h"
+#include "automaton/nfa.h"
+#include "automaton/soa.h"
+#include "automaton/state_elimination.h"
+#include "automaton/two_t_inf.h"
+#include "base/rng.h"
+#include "gen/random_regex.h"
+#include "gen/representative.h"
+#include "gfa/rewrite.h"
+#include "regex/equivalence.h"
+#include "regex/glushkov.h"
+#include "regex/properties.h"
+#include "tests/testing.h"
+
+namespace condtd {
+namespace {
+
+using testing_util::ParseChars;
+using testing_util::WordsFromStrings;
+
+// --- 2T-INF / SOA -----------------------------------------------------------
+
+TEST(TwoTInf, Section4Example) {
+  // W = {bacacdacde, cbacdbacde, abccaadcde}: I = {a,b,c}, F = {e},
+  // S = {aa, ad, ac, ab, ba, bc, cb, cc, ca, cd, da, db, dc, de}.
+  Alphabet alphabet;
+  Soa soa = Infer2T(WordsFromStrings(
+      {"bacacdacde", "cbacdbacde", "abccaadcde"}, &alphabet));
+  EXPECT_EQ(soa.NumStates(), 5);
+  auto state = [&](const char* name) {
+    return soa.StateOf(alphabet.Find(name));
+  };
+  for (const char* name : {"a", "b", "c"}) {
+    EXPECT_TRUE(soa.IsInitial(state(name))) << name;
+  }
+  EXPECT_FALSE(soa.IsInitial(state("d")));
+  EXPECT_TRUE(soa.IsFinal(state("e")));
+  EXPECT_FALSE(soa.IsFinal(state("a")));
+  const std::vector<std::string> grams = {"aa", "ad", "ac", "ab", "ba",
+                                          "bc", "cb", "cc", "ca", "cd",
+                                          "da", "db", "dc", "de"};
+  int edges = 0;
+  for (const std::string& g : grams) {
+    EXPECT_TRUE(soa.HasEdge(state(g.substr(0, 1).c_str()),
+                            state(g.substr(1, 1).c_str())))
+        << g;
+    ++edges;
+  }
+  EXPECT_EQ(soa.NumEdges(), edges);
+  EXPECT_FALSE(soa.accepts_empty());
+}
+
+TEST(TwoTInf, SupportsCountObservations) {
+  Alphabet alphabet;
+  Soa soa = Infer2T(WordsFromStrings({"ab", "ab", "ab", "ac"}, &alphabet));
+  int a = soa.StateOf(alphabet.Find("a"));
+  int b = soa.StateOf(alphabet.Find("b"));
+  int c = soa.StateOf(alphabet.Find("c"));
+  EXPECT_EQ(soa.EdgeSupport(a, b), 3);
+  EXPECT_EQ(soa.EdgeSupport(a, c), 1);
+  EXPECT_EQ(soa.InitialSupport(a), 4);
+  EXPECT_EQ(soa.StateSupport(a), 4);
+}
+
+TEST(Soa, AcceptsIsTwoTestable) {
+  Alphabet alphabet;
+  Soa soa = Infer2T(WordsFromStrings({"abc"}, &alphabet));
+  // 2-testability accepts any first/last/2-gram-consistent word, e.g. the
+  // original and nothing with unseen grams.
+  EXPECT_TRUE(soa.Accepts(alphabet.WordFromChars("abc")));
+  EXPECT_FALSE(soa.Accepts(alphabet.WordFromChars("ab")));
+  EXPECT_FALSE(soa.Accepts(alphabet.WordFromChars("acb")));
+  EXPECT_FALSE(soa.Accepts(Word{}));
+}
+
+TEST(Soa, EmptyWordFlag) {
+  Alphabet alphabet;
+  std::vector<Word> sample = WordsFromStrings({"a"}, &alphabet);
+  sample.push_back(Word{});
+  Soa soa = Infer2T(sample);
+  EXPECT_TRUE(soa.accepts_empty());
+  EXPECT_TRUE(soa.Accepts(Word{}));
+  EXPECT_EQ(soa.empty_support(), 1);
+}
+
+TEST(Soa, Proposition1UniqueSoaPerSore) {
+  // The SOA built from a SORE equals the SOA 2T-INF infers from a
+  // representative sample (Proposition 1: SOAs are unique up to
+  // isomorphism and labels pin the isomorphism).
+  Rng rng(321);
+  for (int trial = 0; trial < 40; ++trial) {
+    ReRef target = RandomSore(1 + rng.NextBelow(9), &rng);
+    Soa direct = SoaFromRegex(target);
+    Soa inferred = Infer2T(RepresentativeSample(target));
+    EXPECT_TRUE(direct.Equals(inferred));
+    EXPECT_TRUE(inferred.Equals(direct));
+  }
+}
+
+TEST(Soa, EqualsDetectsDifferences) {
+  Alphabet alphabet;
+  Soa x = Infer2T(WordsFromStrings({"ab"}, &alphabet));
+  Soa y = Infer2T(WordsFromStrings({"ab", "b"}, &alphabet));
+  EXPECT_FALSE(x.Equals(y));
+  Soa z = Infer2T(WordsFromStrings({"ab", "ab"}, &alphabet));
+  EXPECT_TRUE(x.Equals(z));  // supports are ignored
+}
+
+// --- Glushkov / DFA ----------------------------------------------------------
+
+TEST(Glushkov, DeterministicForSores) {
+  // SOREs are deterministic REs, so no Glushkov state may carry two
+  // outgoing transitions on one symbol.
+  Rng rng(77);
+  for (int trial = 0; trial < 30; ++trial) {
+    ReRef re = RandomSore(1 + rng.NextBelow(8), &rng);
+    Nfa nfa = BuildGlushkovNfa(re);
+    for (int q = 0; q < nfa.num_states(); ++q) {
+      std::set<Symbol> seen;
+      for (const auto& [sym, to] : nfa.TransitionsFrom(q)) {
+        EXPECT_TRUE(seen.insert(sym).second)
+            << "nondeterministic on state " << q;
+      }
+    }
+  }
+}
+
+TEST(Dfa, MinimizeReducesAndPreserves) {
+  Alphabet alphabet;
+  ReRef re = ParseChars("(a|b)+c", &alphabet);
+  Dfa dfa = CompileToDfa(re, 3);
+  Dfa minimal = dfa.Minimize();
+  EXPECT_LE(minimal.num_states(), dfa.num_states());
+  EXPECT_TRUE(Dfa::Equivalent(dfa, minimal));
+  // Check some words.
+  EXPECT_TRUE(minimal.Accepts(alphabet.WordFromChars("abc")));
+  EXPECT_FALSE(minimal.Accepts(alphabet.WordFromChars("c")));
+}
+
+TEST(Dfa, SubsetAndEquivalence) {
+  Alphabet alphabet;
+  Dfa small = CompileToDfa(ParseChars("ab", &alphabet), 2);
+  Dfa big = CompileToDfa(ParseChars("a+b+", &alphabet), 2);
+  EXPECT_TRUE(Dfa::IsSubset(small, big));
+  EXPECT_FALSE(Dfa::IsSubset(big, small));
+  EXPECT_FALSE(Dfa::Equivalent(small, big));
+}
+
+// --- State elimination --------------------------------------------------------
+
+TEST(StateElimination, ProducesEquivalentExpression) {
+  Rng rng(55);
+  for (int trial = 0; trial < 25; ++trial) {
+    ReRef target = RandomSore(1 + rng.NextBelow(6), &rng);
+    Soa soa = SoaFromRegex(target);
+    for (EliminationOrder order :
+         {EliminationOrder::kNatural, EliminationOrder::kMinDegreeProduct}) {
+      Result<ReRef> eliminated = StateEliminationRegex(soa, order);
+      ASSERT_TRUE(eliminated.ok()) << eliminated.status().ToString();
+      EXPECT_TRUE(LanguageEquivalent(target, eliminated.value()));
+    }
+  }
+}
+
+TEST(StateElimination, BlowsUpWhereRewriteStaysLinear) {
+  // The motivation of Section 1.3.1: on the Figure 1 automaton the
+  // classical algorithm produces an expression like (†) that dwarfs the
+  // SORE (‡) found by rewrite.
+  Alphabet alphabet;
+  Soa soa = Infer2T(WordsFromStrings(
+      {"bacacdacde", "cbacdbacde", "abccaadcde"}, &alphabet));
+  Result<ReRef> eliminated = StateEliminationRegex(soa);
+  ASSERT_TRUE(eliminated.ok());
+  Result<ReRef> rewritten = RewriteSoaToSore(soa);
+  ASSERT_TRUE(rewritten.ok());
+  EXPECT_TRUE(LanguageEquivalent(eliminated.value(), rewritten.value()));
+  EXPECT_LE(CountSymbolOccurrences(rewritten.value()), 5);
+  EXPECT_GE(CountSymbolOccurrences(eliminated.value()), 20)
+      << ToString(eliminated.value(), alphabet);
+}
+
+TEST(StateElimination, EmptyLanguageFails) {
+  Soa soa;
+  soa.AddState(0);  // state with no initial/final markers
+  EXPECT_FALSE(StateEliminationRegex(soa).ok());
+}
+
+}  // namespace
+}  // namespace condtd

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "alphabet/alphabet.h"
+#include "base/status.h"
+#include "base/strings.h"
+
+namespace condtd {
+namespace {
+
+TEST(Status, CodesAndMessages) {
+  EXPECT_TRUE(Status::OK().ok());
+  Status err = Status::ParseError("bad input");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), StatusCode::kParseError);
+  EXPECT_EQ(err.ToString(), "ParseError: bad input");
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> ok = 42;
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  Result<int> err = Status::NotFound("nope");
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Strings, SplitJoinStrip) {
+  EXPECT_EQ(SplitString("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(SplitString("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(JoinStrings({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(StripWhitespace("  x y\t\n"), "x y");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_TRUE(StartsWith("<!ELEMENT", "<!"));
+  EXPECT_FALSE(StartsWith("<", "<!"));
+  EXPECT_TRUE(EndsWith("file.dtd", ".dtd"));
+}
+
+TEST(Alphabet, InterningIsStableAndBidirectional) {
+  Alphabet alphabet;
+  Symbol a = alphabet.Intern("author");
+  Symbol b = alphabet.Intern("book");
+  EXPECT_EQ(alphabet.Intern("author"), a);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(alphabet.Name(a), "author");
+  EXPECT_EQ(alphabet.Find("book"), b);
+  EXPECT_EQ(alphabet.Find("unknown"), kInvalidSymbol);
+  EXPECT_EQ(alphabet.size(), 2);
+}
+
+TEST(Alphabet, WordHelpers) {
+  Alphabet alphabet;
+  Word w = alphabet.WordFromChars("abca");
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w[0], w[3]);
+  EXPECT_EQ(alphabet.WordToString(w), "abca");
+  Symbol longname = alphabet.Intern("year");
+  EXPECT_EQ(alphabet.WordToString({w[0], longname}), "a year");
+}
+
+}  // namespace
+}  // namespace condtd

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "baseline/trang_like.h"
+#include "baseline/xtract.h"
+#include "crx/crx.h"
+#include "gen/random_regex.h"
+#include "gen/regex_sampler.h"
+#include "gen/representative.h"
+#include "regex/equivalence.h"
+#include "regex/matcher.h"
+#include "regex/properties.h"
+#include "tests/testing.h"
+
+namespace condtd {
+namespace {
+
+using testing_util::ParseChars;
+using testing_util::WordsFromStrings;
+
+// --- XTRACT -----------------------------------------------------------------
+
+TEST(Xtract, GeneralizeCollapsesRuns) {
+  Alphabet alphabet;
+  Word word = alphabet.WordFromChars("aaab");
+  std::vector<ReRef> candidates = XtractGeneralize(word);
+  ASSERT_GE(candidates.size(), 2u);
+  // The plain candidate and a collapsed a*b candidate.
+  EXPECT_EQ(ToString(candidates[0], alphabet), "a a a b");
+  EXPECT_EQ(ToString(candidates[1], alphabet), "a* b");
+}
+
+TEST(Xtract, GeneralizeCollapsesTandemRepeats) {
+  Alphabet alphabet;
+  Word word = alphabet.WordFromChars("ababc");
+  std::vector<ReRef> candidates = XtractGeneralize(word);
+  bool found = false;
+  for (const ReRef& c : candidates) {
+    if (ToString(c, alphabet) == "(a b)* c") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Xtract, FactorSharedPrefix) {
+  Alphabet alphabet;
+  ReRef disj = Re::Disj({ParseChars("abc", &alphabet),
+                         ParseChars("abd", &alphabet)});
+  ReRef factored = XtractFactor(disj);
+  // a b (c | d) — the common prefix is pulled out.
+  EXPECT_EQ(CountSymbolOccurrences(factored), 4);
+  EXPECT_TRUE(LanguageEquivalent(disj, factored));
+}
+
+TEST(Xtract, CoversAllInputStrings) {
+  Rng rng(5);
+  for (int trial = 0; trial < 15; ++trial) {
+    ReRef target = RandomSore(2 + rng.NextBelow(5), &rng);
+    std::vector<Word> sample = SampleWords(target, 25, &rng);
+    Result<ReRef> learned = XtractInfer(sample);
+    bool has_nonempty = false;
+    for (const Word& w : sample) has_nonempty = has_nonempty || !w.empty();
+    if (!has_nonempty) continue;
+    ASSERT_TRUE(learned.ok()) << learned.status().ToString();
+    Matcher matcher(learned.value());
+    for (const Word& w : sample) {
+      EXPECT_TRUE(matcher.Matches(w));
+    }
+  }
+}
+
+TEST(Xtract, OutputGrowsWithDistinctStrings) {
+  // The paper's observation (1): XTRACT's output is a disjunction over
+  // per-string candidates, so token counts grow with sample diversity,
+  // while CRX stays linear in the alphabet.
+  Alphabet alphabet;
+  ReRef target = ParseChars("a(b|c|d|e)*f", &alphabet);
+  Rng rng(6);
+  std::vector<Word> small = SampleWords(target, 20, &rng);
+  std::vector<Word> large = SampleWords(target, 400, &rng);
+  Result<ReRef> xtract_small = XtractInfer(small);
+  Result<ReRef> xtract_large = XtractInfer(large);
+  ASSERT_TRUE(xtract_small.ok());
+  ASSERT_TRUE(xtract_large.ok());
+  Result<ReRef> crx_large = CrxInfer(large);
+  ASSERT_TRUE(crx_large.ok());
+  EXPECT_GT(CountTokens(xtract_large.value()),
+            CountTokens(xtract_small.value()));
+  EXPECT_GT(CountTokens(xtract_large.value()),
+            4 * CountTokens(crx_large.value()));
+}
+
+TEST(Xtract, FailsBeyondAThousandDistinctStrings) {
+  // The paper's observation (2): XTRACT cannot handle data sets with
+  // more than ~1000 strings.
+  Rng rng(7);
+  std::vector<Word> sample;
+  for (int i = 0; i < 1500; ++i) {
+    Word w;
+    for (int j = 0; j < 8; ++j) {
+      w.push_back(static_cast<Symbol>(rng.NextBelow(12)));
+    }
+    sample.push_back(std::move(w));
+  }
+  Result<ReRef> learned = XtractInfer(sample);
+  ASSERT_FALSE(learned.ok());
+  EXPECT_EQ(learned.status().code(), StatusCode::kResourceExhausted);
+}
+
+// --- Trang-like --------------------------------------------------------------
+
+TEST(TrangLike, MatchesCrxOnChareData) {
+  // Section 8.1: "In all but one case, Trang produced exactly the same
+  // output as crx" — reproduce the agreement on CHARE-shaped corpora.
+  Rng rng(8);
+  int agreements = 0;
+  int total = 0;
+  for (int trial = 0; trial < 25; ++trial) {
+    ReRef target = RandomChare(2 + rng.NextBelow(8), &rng);
+    std::vector<Word> sample = RepresentativeSample(target);
+    for (const Word& w : SampleWords(target, 40, &rng)) sample.push_back(w);
+    Result<ReRef> trang = TrangLikeInfer(sample);
+    Result<ReRef> crx = CrxInfer(sample);
+    ASSERT_TRUE(trang.ok());
+    ASSERT_TRUE(crx.ok());
+    ++total;
+    if (LanguageEquivalent(trang.value(), crx.value())) ++agreements;
+  }
+  // Strong but not perfect agreement, as the paper reports.
+  EXPECT_GE(agreements * 10, total * 8);
+}
+
+TEST(TrangLike, SampleIsAccepted) {
+  Rng rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    ReRef target = RandomSore(2 + rng.NextBelow(6), &rng);
+    std::vector<Word> sample = SampleWords(target, 15, &rng);
+    Result<ReRef> learned = TrangLikeInfer(sample);
+    bool has_nonempty = false;
+    for (const Word& w : sample) has_nonempty = has_nonempty || !w.empty();
+    if (!has_nonempty) {
+      EXPECT_FALSE(learned.ok());
+      continue;
+    }
+    ASSERT_TRUE(learned.ok());
+    Matcher matcher(learned.value());
+    for (const Word& w : sample) {
+      EXPECT_TRUE(matcher.Matches(w));
+    }
+  }
+}
+
+TEST(TrangLike, MergesCyclesIntoRepeatedDisjunction) {
+  Alphabet alphabet;
+  Result<ReRef> learned =
+      TrangLikeInfer(WordsFromStrings({"abab", "ba"}, &alphabet));
+  ASSERT_TRUE(learned.ok());
+  // a and b form one SCC → (a|b)+ (mandatory since every path uses it).
+  EXPECT_EQ(ToString(learned.value(), alphabet), "(a | b)+");
+}
+
+TEST(TrangLike, Example1ShapeIsChareApproximation) {
+  // On example1 = a1+ + (a2? a3+) Trang (like CRX) can only produce the
+  // CHARE super-approximation a1* a2? a3*.
+  Alphabet alphabet;
+  ReRef target = ParseChars("d+|(e?f+)", &alphabet);  // isomorphic shape
+  std::vector<Word> sample = RepresentativeSample(target);
+  Rng rng(10);
+  for (const Word& w : SampleWords(target, 40, &rng)) sample.push_back(w);
+  Result<ReRef> learned = TrangLikeInfer(sample);
+  ASSERT_TRUE(learned.ok());
+  EXPECT_TRUE(LanguageSubset(target, learned.value()));
+  EXPECT_EQ(ToString(learned.value(), alphabet), "d* e? f*");
+}
+
+}  // namespace
+}  // namespace condtd

@@ -1,0 +1,215 @@
+// Integration tests for the `condtd` command-line tool: every
+// subcommand is exercised end to end through a real process. The binary
+// path is injected by CMake (CONDTD_CLI_PATH).
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+#include "base/file.h"
+
+namespace condtd {
+namespace {
+
+#ifndef CONDTD_CLI_PATH
+#define CONDTD_CLI_PATH "condtd"
+#endif
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr
+};
+
+CommandResult RunCli(const std::string& args) {
+  std::string command = std::string(CONDTD_CLI_PATH) + " " + args + " 2>&1";
+  CommandResult result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buffer;
+  size_t n;
+  while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    result.output.append(buffer.data(), n);
+  }
+  int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/condtd_cli_" + name;
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    xml1_ = TempPath("doc1.xml");
+    xml2_ = TempPath("doc2.xml");
+    ASSERT_TRUE(WriteStringToFile(
+                    xml1_,
+                    "<library><book id=\"1\"><title>A</title>"
+                    "<author>x</author><author>y</author></book></library>")
+                    .ok());
+    ASSERT_TRUE(WriteStringToFile(
+                    xml2_,
+                    "<library><book><title>B</title>"
+                    "<author>z</author><year>2001</year></book></library>")
+                    .ok());
+  }
+
+  std::string xml1_;
+  std::string xml2_;
+};
+
+TEST_F(CliTest, UsageOnNoArguments) {
+  CommandResult result = RunCli("");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, InferDtd) {
+  CommandResult result = RunCli("infer " + xml1_ + " " + xml2_);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  // Each document has exactly one book, so the inferred model is (book).
+  EXPECT_NE(result.output.find("<!ELEMENT library (book)>"),
+            std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("<!ELEMENT book (title, author+, year?)>"),
+            std::string::npos)
+      << result.output;
+}
+
+TEST_F(CliTest, InferXsdAndValidateAgainstIt) {
+  std::string xsd_path = TempPath("schema.xsd");
+  CommandResult infer =
+      RunCli("infer --xsd --out=" + xsd_path + " " + xml1_ + " " + xml2_);
+  ASSERT_EQ(infer.exit_code, 0) << infer.output;
+  CommandResult validate =
+      RunCli("validate --schema=" + xsd_path + " " + xml1_ + " " + xml2_);
+  EXPECT_EQ(validate.exit_code, 0) << validate.output;
+  EXPECT_NE(validate.output.find("valid"), std::string::npos);
+}
+
+TEST_F(CliTest, StatePipelineMatchesOneShot) {
+  std::string state = TempPath("state");
+  ASSERT_EQ(RunCli("infer --state-out=" + state + " " + xml1_).exit_code,
+            0);
+  CommandResult resumed =
+      RunCli("infer --state-in=" + state + " " + xml2_);
+  ASSERT_EQ(resumed.exit_code, 0) << resumed.output;
+  CommandResult oneshot = RunCli("infer " + xml1_ + " " + xml2_);
+  EXPECT_EQ(resumed.output, oneshot.output);
+}
+
+TEST_F(CliTest, ValidateCatchesViolations) {
+  std::string dtd_path = TempPath("strict.dtd");
+  ASSERT_TRUE(WriteStringToFile(dtd_path,
+                                "<!ELEMENT library (book)>\n"
+                                "<!ELEMENT book (title)>\n"
+                                "<!ELEMENT title (#PCDATA)>\n")
+                  .ok());
+  CommandResult result =
+      RunCli("validate --schema=" + dtd_path + " " + xml1_);
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("do not match"), std::string::npos)
+      << result.output;
+}
+
+TEST_F(CliTest, GenProducesValidatableDocuments) {
+  std::string dtd_path = TempPath("gen.dtd");
+  ASSERT_TRUE(WriteStringToFile(dtd_path,
+                                "<!ELEMENT db (rec*)>\n"
+                                "<!ELEMENT rec (#PCDATA)>\n")
+                  .ok());
+  std::string prefix = TempPath("gendoc");
+  CommandResult gen = RunCli("gen --schema=" + dtd_path +
+                             " --count=3 --prefix=" + prefix);
+  ASSERT_EQ(gen.exit_code, 0) << gen.output;
+  CommandResult validate =
+      RunCli("validate --schema=" + dtd_path + " " + prefix + "0.xml " +
+             prefix + "1.xml " + prefix + "2.xml");
+  EXPECT_EQ(validate.exit_code, 0) << validate.output;
+}
+
+TEST_F(CliTest, RegexMembership) {
+  CommandResult result =
+      RunCli("regex \"((b?(a|c))+d)+e\" bacacdacde abe");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("bacacdacde"), std::string::npos);
+  EXPECT_NE(result.output.find("accepted"), std::string::npos);
+  EXPECT_NE(result.output.find("rejected"), std::string::npos);
+}
+
+TEST_F(CliTest, StatsClassifiesContentModels) {
+  std::string dtd_path = TempPath("stats.dtd");
+  ASSERT_TRUE(WriteStringToFile(
+                  dtd_path,
+                  "<!ELEMENT r (a, (b | c)*, d?)>\n"
+                  "<!ELEMENT a EMPTY>\n<!ELEMENT b EMPTY>\n"
+                  "<!ELEMENT c EMPTY>\n<!ELEMENT d EMPTY>\n")
+                  .ok());
+  CommandResult result = RunCli("stats " + dtd_path);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("100% CHAREs"), std::string::npos)
+      << result.output;
+}
+
+TEST_F(CliTest, ContextReportAndLocalXsd) {
+  std::string shop = TempPath("shop.xml");
+  ASSERT_TRUE(WriteStringToFile(
+                  shop,
+                  "<shop><person><name><first>A</first></name></person>"
+                  "<company><name><legal>B</legal></name></company>"
+                  "</shop>")
+                  .ok());
+  CommandResult report = RunCli("context " + shop);
+  EXPECT_EQ(report.exit_code, 0) << report.output;
+  EXPECT_NE(report.output.find("context-dependent"), std::string::npos)
+      << report.output;
+  CommandResult xsd = RunCli("context --xsd " + shop);
+  EXPECT_EQ(xsd.exit_code, 0) << xsd.output;
+  EXPECT_NE(xsd.output.find("xs:schema"), std::string::npos);
+}
+
+TEST_F(CliTest, DiffReportsStricterModels) {
+  std::string official = TempPath("official.dtd");
+  std::string inferred = TempPath("inferred.dtd");
+  ASSERT_TRUE(WriteStringToFile(official,
+                                "<!ELEMENT r (v?, m?)>\n"
+                                "<!ELEMENT v EMPTY>\n<!ELEMENT m EMPTY>\n")
+                  .ok());
+  ASSERT_TRUE(WriteStringToFile(inferred,
+                                "<!ELEMENT r (v | m)>\n"
+                                "<!ELEMENT v EMPTY>\n<!ELEMENT m EMPTY>\n")
+                  .ok());
+  CommandResult result = RunCli("diff " + inferred + " " + official);
+  EXPECT_EQ(result.exit_code, 1);  // not language-equal
+  EXPECT_NE(result.output.find("left is stricter"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("allowed by only one side"),
+            std::string::npos);
+  // Identical inputs exit 0.
+  CommandResult same = RunCli("diff " + official + " " + official);
+  EXPECT_EQ(same.exit_code, 0) << same.output;
+}
+
+TEST_F(CliTest, LenientInfersFromTagSoup) {
+  std::string soup = TempPath("soup.xml");
+  ASSERT_TRUE(WriteStringToFile(
+                  soup, "<html><body><p>one<p>two</body></html>")
+                  .ok());
+  EXPECT_EQ(RunCli("infer " + soup).exit_code, 1);  // strict rejects
+  CommandResult lenient = RunCli("infer --lenient " + soup);
+  EXPECT_EQ(lenient.exit_code, 0) << lenient.output;
+  EXPECT_NE(lenient.output.find("<!ELEMENT html"), std::string::npos);
+}
+
+TEST_F(CliTest, MissingFileFails) {
+  CommandResult result = RunCli("infer /nonexistent/x.xml");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("NotFound"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace condtd

@@ -1,0 +1,275 @@
+#include "infer/contextual.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "base/rng.h"
+#include "dtd/diff.h"
+#include "dtd/dtd_writer.h"
+#include "dtd/validator.h"
+#include "gen/random_dtd.h"
+#include "gen/xml_gen.h"
+#include "regex/equivalence.h"
+#include "regex/matcher.h"
+#include "regex/properties.h"
+#include "xml/parser.h"
+
+namespace condtd {
+namespace {
+
+constexpr char kShopXml[] = R"(
+<shop>
+  <person><name><first>A</first><last>B</last></name></person>
+  <person><name><first>C</first><last>D</last></name></person>
+  <company><name><legal>E Corp</legal></name></company>
+  <company><name><legal>F Ltd</legal></name></company>
+</shop>)";
+
+TEST(Contextual, DetectsParentDependentTypes) {
+  // "name" has different content under person (first, last) and under
+  // company (legal) — the XSD-style vertical context a DTD cannot
+  // express.
+  ContextualInferrer inferrer;
+  ASSERT_TRUE(inferrer.AddXml(kShopXml).ok());
+  Result<ContextualInferrer::Report> report = inferrer.Infer();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->NumContextDependent(), 1);
+
+  const Alphabet& alphabet = *inferrer.alphabet();
+  Symbol name = alphabet.Find("name");
+  const ContextualInferrer::Report::ElementTypes* entry = nullptr;
+  for (const auto& e : report->elements) {
+    if (e.element == name) entry = &e;
+  }
+  ASSERT_NE(entry, nullptr);
+  ASSERT_EQ(entry->types.size(), 2u);
+  // The DTD approximation pools both shapes.
+  ASSERT_EQ(entry->merged.kind, ContentKind::kChildren);
+  Symbol first = alphabet.Find("first");
+  Symbol legal = alphabet.Find("legal");
+  EXPECT_TRUE(Matches(entry->merged.regex,
+                      {first, alphabet.Find("last")}));
+  EXPECT_TRUE(Matches(entry->merged.regex, {legal}));
+}
+
+TEST(Contextual, MergesEquivalentContexts) {
+  // "id" looks the same under both parents → one uniform type.
+  ContextualInferrer inferrer;
+  ASSERT_TRUE(inferrer
+                  .AddXml("<r><x><id/></x><y><id/></y>"
+                          "<x><id/></x></r>")
+                  .ok());
+  Result<ContextualInferrer::Report> report = inferrer.Infer();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->NumContextDependent(), 0);
+  for (const auto& entry : report->elements) {
+    EXPECT_EQ(entry.types.size(), 1u);
+  }
+  std::string text = inferrer.ReportToString(report.value());
+  EXPECT_NE(text.find("uniform; DTD-expressible"), std::string::npos);
+}
+
+TEST(Contextual, LocalTypesXsd) {
+  ContextualInferrer inferrer;
+  ASSERT_TRUE(inferrer.AddXml(kShopXml).ok());
+  Result<std::string> xsd = inferrer.InferLocalXsd();
+  ASSERT_TRUE(xsd.ok()) << xsd.status().ToString();
+  // Uniform children stay refs; the context-dependent <name> is declared
+  // inline (local) under both parents.
+  EXPECT_NE(xsd->find("<xs:element name=\"person\">"), std::string::npos)
+      << *xsd;
+  size_t first_local = xsd->find("<xs:element name=\"name\"");
+  ASSERT_NE(first_local, std::string::npos) << *xsd;
+  size_t second_local =
+      xsd->find("<xs:element name=\"name\"", first_local + 1);
+  EXPECT_NE(second_local, std::string::npos)
+      << "expected a second local declaration of <name>\n"
+      << *xsd;
+  // The two local declarations carry different types.
+  EXPECT_NE(xsd->find("\"first\""), std::string::npos);
+  EXPECT_NE(xsd->find("\"legal\""), std::string::npos);
+  // Output is well-formed XML.
+  EXPECT_TRUE(ParseXml(*xsd).ok());
+}
+
+TEST(Contextual, LocalXsdHandlesRecursiveContexts) {
+  // section under section vs under doc: the inline chain must terminate
+  // via the global-ref fallback.
+  ContextualInferrer inferrer;
+  ASSERT_TRUE(inferrer
+                  .AddXml("<doc><section><title>a</title>"
+                          "<section><para>b</para></section>"
+                          "</section></doc>")
+                  .ok());
+  Result<std::string> xsd = inferrer.InferLocalXsd();
+  ASSERT_TRUE(xsd.ok()) << xsd.status().ToString();
+  EXPECT_TRUE(ParseXml(*xsd).ok()) << *xsd;
+}
+
+TEST(Contextual, ReportRendering) {
+  ContextualInferrer inferrer;
+  ASSERT_TRUE(inferrer.AddXml(kShopXml).ok());
+  Result<ContextualInferrer::Report> report = inferrer.Infer();
+  ASSERT_TRUE(report.ok());
+  std::string text = inferrer.ReportToString(report.value());
+  EXPECT_NE(text.find("context-dependent"), std::string::npos);
+  EXPECT_NE(text.find("under person"), std::string::npos);
+  EXPECT_NE(text.find("under company"), std::string::npos);
+  EXPECT_NE(text.find("DTD approximation"), std::string::npos);
+}
+
+// --- Random-DTD end-to-end pipeline fuzz ------------------------------------
+
+TEST(RandomDtdPipeline, GenerateInferValidateRoundTrip) {
+  Rng rng(20060912);
+  for (int trial = 0; trial < 12; ++trial) {
+    Alphabet alphabet;
+    RandomDtdOptions options;
+    options.num_elements = 4 + static_cast<int>(rng.NextBelow(8));
+    Dtd truth = RandomDtd(&alphabet, &rng, options);
+
+    // Every generated document is valid against its generator...
+    std::vector<std::string> corpus;
+    for (int i = 0; i < 80; ++i) {
+      Result<XmlDocument> doc = GenerateDocument(truth, alphabet, &rng);
+      ASSERT_TRUE(doc.ok());
+      ValidationReport report = Validate(doc.value(), truth, &alphabet);
+      ASSERT_TRUE(report.valid())
+          << report.issues[0].element << ": " << report.issues[0].message
+          << "\nDTD:\n"
+          << WriteDtd(truth, alphabet);
+      corpus.push_back(doc->ToXml());
+    }
+    // ...and valid against the re-inferred DTD.
+    DtdInferrer inferrer;
+    for (const std::string& text : corpus) {
+      ASSERT_TRUE(inferrer.AddXml(text).ok());
+    }
+    Result<Dtd> inferred = inferrer.InferDtd();
+    ASSERT_TRUE(inferred.ok()) << inferred.status().ToString();
+    Alphabet inferred_alphabet = *inferrer.alphabet();
+    for (const std::string& text : corpus) {
+      Result<XmlDocument> doc = ParseXml(text);
+      ASSERT_TRUE(doc.ok());
+      ValidationReport report =
+          Validate(doc.value(), inferred.value(), &inferred_alphabet);
+      EXPECT_TRUE(report.valid())
+          << report.issues[0].element << ": "
+          << report.issues[0].message << "\ninferred:\n"
+          << WriteDtd(inferred.value(), inferred_alphabet);
+    }
+    // The contextual inferrer agrees that a DTD-generated corpus never
+    // needs vertical context... except where distinct elements happen to
+    // produce colliding names, which RandomDtd never does.
+    ContextualInferrer contextual;
+    for (const std::string& text : corpus) {
+      ASSERT_TRUE(contextual.AddXml(text).ok());
+    }
+    Result<ContextualInferrer::Report> report = contextual.Infer();
+    ASSERT_TRUE(report.ok());
+    // Sparse contexts may under-generalize relative to each other, so a
+    // hard equality is wrong; but no element may need more types than it
+    // has distinct parents.
+    for (const auto& entry : report->elements) {
+      EXPECT_GE(entry.types.size(), 1u);
+    }
+  }
+}
+
+TEST(RandomDtdPipeline, PooledContextEqualsFlatInference) {
+  // The contextual inferrer's "DTD approximation" must coincide with the
+  // plain DtdInferrer's content model — they pool the same data.
+  Rng rng(31);
+  for (int trial = 0; trial < 8; ++trial) {
+    Alphabet alphabet;
+    Dtd truth = RandomDtd(&alphabet, &rng);
+    std::vector<std::string> corpus;
+    for (int i = 0; i < 40; ++i) {
+      Result<XmlDocument> doc = GenerateDocument(truth, alphabet, &rng);
+      corpus.push_back(doc->ToXml());
+    }
+    DtdInferrer flat;
+    ContextualInferrer contextual;
+    for (const std::string& text : corpus) {
+      ASSERT_TRUE(flat.AddXml(text).ok());
+      ASSERT_TRUE(contextual.AddXml(text).ok());
+    }
+    Result<ContextualInferrer::Report> report = contextual.Infer();
+    ASSERT_TRUE(report.ok());
+    for (const auto& entry : report->elements) {
+      Symbol flat_symbol = flat.alphabet()->Find(
+          contextual.alphabet()->Name(entry.element));
+      ASSERT_NE(flat_symbol, kInvalidSymbol);
+      Result<ContentModel> flat_model =
+          flat.InferContentModel(flat_symbol);
+      ASSERT_TRUE(flat_model.ok());
+      ASSERT_EQ(flat_model->kind, entry.merged.kind);
+      if (flat_model->kind == ContentKind::kChildren) {
+        EXPECT_TRUE(
+            LanguageEquivalent(flat_model->regex, entry.merged.regex));
+      }
+    }
+  }
+}
+
+TEST(RandomDtdPipeline, LenientParserSurvivesMutilation) {
+  // Randomly delete end tags from well-formed documents: the lenient
+  // parser must still produce a tree, and strict parsing must reject.
+  Rng rng(37);
+  for (int trial = 0; trial < 10; ++trial) {
+    Alphabet alphabet;
+    Dtd truth = RandomDtd(&alphabet, &rng);
+    Result<XmlDocument> doc = GenerateDocument(truth, alphabet, &rng);
+    std::string text = doc->ToXml();
+    // Remove one random closing tag (if any).
+    size_t close = text.find("</");
+    std::vector<size_t> closes;
+    while (close != std::string::npos) {
+      closes.push_back(close);
+      close = text.find("</", close + 1);
+    }
+    if (closes.empty()) continue;
+    size_t victim = closes[rng.NextBelow(closes.size())];
+    size_t end = text.find('>', victim);
+    ASSERT_NE(end, std::string::npos);
+    text.erase(victim, end - victim + 1);
+
+    EXPECT_FALSE(ParseXml(text).ok());
+    std::vector<std::string> repairs;
+    Result<XmlDocument> recovered = ParseXmlLenient(text, &repairs);
+    ASSERT_TRUE(recovered.ok()) << text;
+    EXPECT_GE(repairs.size(), 1u);
+    EXPECT_NE(recovered->root, nullptr);
+  }
+}
+
+TEST(RandomDtdPipeline, DiffOfDtdWithItselfIsIdentical) {
+  Rng rng(41);
+  for (int trial = 0; trial < 10; ++trial) {
+    Alphabet alphabet;
+    Dtd truth = RandomDtd(&alphabet, &rng);
+    DtdDiff diff = CompareDtds(truth, truth);
+    EXPECT_TRUE(diff.Identical());
+  }
+}
+
+TEST(RandomDtd, StructureInvariants) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    Alphabet alphabet;
+    Dtd dtd = RandomDtd(&alphabet, &rng);
+    EXPECT_EQ(dtd.root, alphabet.Find("e0"));
+    EXPECT_FALSE(dtd.elements.empty());
+    // Acyclic by construction: children only reference higher ids.
+    for (const auto& [symbol, model] : dtd.elements) {
+      if (model.kind != ContentKind::kChildren) continue;
+      for (Symbol child : SymbolsOf(model.regex)) {
+        EXPECT_GT(child, symbol);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace condtd

@@ -1,0 +1,133 @@
+#include "dtd/diff.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dtd/dtd_parser.h"
+#include "infer/inferrer.h"
+#include "regex/matcher.h"
+
+namespace condtd {
+namespace {
+
+TEST(DtdDiff, IdenticalDtds) {
+  Alphabet alphabet;
+  Result<Dtd> a = ParseDtd(
+      "<!ELEMENT r (x, y?)> <!ELEMENT x EMPTY> <!ELEMENT y (#PCDATA)>",
+      &alphabet);
+  Result<Dtd> b = ParseDtd(
+      "<!ELEMENT r (x, y?)> <!ELEMENT x EMPTY> <!ELEMENT y (#PCDATA)>",
+      &alphabet);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  DtdDiff diff = CompareDtds(a.value(), b.value());
+  EXPECT_TRUE(diff.Identical());
+  EXPECT_EQ(diff.entries.size(), 3u);
+}
+
+TEST(DtdDiff, DetectsStricterAndWitness) {
+  // The paper's refinfo story: the data-derived model (volume | month)
+  // is stricter than the official volume?, month?.
+  Alphabet alphabet;
+  Result<Dtd> official = ParseDtd(
+      "<!ELEMENT refinfo (authors, volume?, month?)>", &alphabet);
+  Result<Dtd> inferred = ParseDtd(
+      "<!ELEMENT refinfo (authors, (volume | month))>", &alphabet);
+  ASSERT_TRUE(official.ok());
+  ASSERT_TRUE(inferred.ok());
+  DtdDiff diff = CompareDtds(inferred.value(), official.value());
+  ASSERT_EQ(diff.entries.size(), 1u);
+  EXPECT_EQ(diff.entries[0].relation, ModelRelation::kStricter);
+  ASSERT_TRUE(diff.entries[0].has_witness);
+  // The witness is a word the official model allows but the data never
+  // shows — e.g. "authors" alone or "authors volume month".
+  Matcher official_matcher(
+      official->elements.at(alphabet.Find("refinfo")).regex);
+  Matcher inferred_matcher(
+      inferred->elements.at(alphabet.Find("refinfo")).regex);
+  EXPECT_NE(official_matcher.Matches(diff.entries[0].witness),
+            inferred_matcher.Matches(diff.entries[0].witness));
+  // Swapping sides flips the relation.
+  DtdDiff reverse = CompareDtds(official.value(), inferred.value());
+  EXPECT_EQ(reverse.entries[0].relation, ModelRelation::kLooser);
+}
+
+TEST(DtdDiff, IncomparableAndMissingElements) {
+  Alphabet alphabet;
+  Result<Dtd> a = ParseDtd(
+      "<!ELEMENT r (x | y)> <!ELEMENT x EMPTY> <!ELEMENT extra EMPTY>",
+      &alphabet);
+  Result<Dtd> b = ParseDtd(
+      "<!ELEMENT r (x, y?)> <!ELEMENT x (#PCDATA | q)*>", &alphabet);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  DtdDiff diff = CompareDtds(a.value(), b.value());
+  // r: {x, y} vs {x, xy} — incomparable. x: EMPTY's child language {ε}
+  // is inside mixed content's q* — stricter. extra: only left.
+  EXPECT_EQ(diff.CountWhere(ModelRelation::kIncomparable), 1);
+  EXPECT_EQ(diff.CountWhere(ModelRelation::kStricter), 1);
+  EXPECT_EQ(diff.CountWhere(ModelRelation::kOnlyLeft), 1);
+  std::string text = DiffToString(diff, a.value(), b.value(), alphabet);
+  EXPECT_NE(text.find("incomparable"), std::string::npos);
+  EXPECT_NE(text.find("only in left"), std::string::npos);
+  EXPECT_NE(text.find("is allowed by only one side"), std::string::npos);
+}
+
+TEST(DtdDiff, MixedVersusChildrenAndAny) {
+  Alphabet alphabet;
+  Result<Dtd> a =
+      ParseDtd("<!ELEMENT p (#PCDATA | em)*> <!ELEMENT q ANY>", &alphabet);
+  Result<Dtd> b =
+      ParseDtd("<!ELEMENT p (em*)> <!ELEMENT q (em)>", &alphabet);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  DtdDiff diff = CompareDtds(a.value(), b.value());
+  for (const ElementDiff& entry : diff.entries) {
+    if (entry.element == alphabet.Find("p")) {
+      // Child-sequence-wise (#PCDATA | em)* and (em*) admit the same
+      // sequences of em children.
+      EXPECT_EQ(entry.relation, ModelRelation::kEqual);
+    }
+    if (entry.element == alphabet.Find("q")) {
+      // ANY is looser than (em).
+      EXPECT_EQ(entry.relation, ModelRelation::kLooser);
+    }
+  }
+}
+
+TEST(DtdDiff, SchemaCleaningEndToEnd) {
+  // Infer from data, diff against the official schema, and find the
+  // tightening — the complete Section 1.1 workflow.
+  DtdInferrer inferrer;
+  ASSERT_TRUE(inferrer
+                  .AddXml("<db>"
+                          "<ref><authors>x</authors><volume>1</volume>"
+                          "</ref>"
+                          "<ref><authors>y</authors><month>2</month>"
+                          "</ref>"
+                          "</db>")
+                  .ok());
+  Result<Dtd> inferred = inferrer.InferDtd();
+  ASSERT_TRUE(inferred.ok());
+  Result<Dtd> official = ParseDtd(
+      "<!ELEMENT db (ref+)>\n"
+      "<!ELEMENT ref (authors, volume?, month?)>\n"
+      "<!ELEMENT authors (#PCDATA)>\n"
+      "<!ELEMENT volume (#PCDATA)>\n"
+      "<!ELEMENT month (#PCDATA)>\n",
+      inferrer.alphabet());
+  ASSERT_TRUE(official.ok());
+  DtdDiff diff = CompareDtds(inferred.value(), official.value());
+  bool found = false;
+  for (const ElementDiff& entry : diff.entries) {
+    if (entry.element == inferrer.alphabet()->Find("ref")) {
+      EXPECT_EQ(entry.relation, ModelRelation::kStricter);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace condtd

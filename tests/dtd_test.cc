@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dtd/dtd_parser.h"
+#include "dtd/dtd_writer.h"
+#include "dtd/model.h"
+#include "dtd/validator.h"
+#include "xml/parser.h"
+
+namespace condtd {
+namespace {
+
+TEST(ContentModelParser, SpecialForms) {
+  Alphabet alphabet;
+  EXPECT_EQ(ParseContentModel("EMPTY", &alphabet)->kind,
+            ContentKind::kEmpty);
+  EXPECT_EQ(ParseContentModel("ANY", &alphabet)->kind, ContentKind::kAny);
+  EXPECT_EQ(ParseContentModel("(#PCDATA)", &alphabet)->kind,
+            ContentKind::kPcdataOnly);
+  Result<ContentModel> mixed =
+      ParseContentModel("(#PCDATA | em | strong)*", &alphabet);
+  ASSERT_TRUE(mixed.ok());
+  EXPECT_EQ(mixed->kind, ContentKind::kMixed);
+  EXPECT_EQ(mixed->mixed_symbols.size(), 2u);
+}
+
+TEST(ContentModelParser, ChildrenModels) {
+  Alphabet alphabet;
+  Result<ContentModel> model = ParseContentModel(
+      "(authors, citation, (volume | month), year, pages?, "
+      "(title | description)?, xrefs?)",
+      &alphabet);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  ASSERT_EQ(model->kind, ContentKind::kChildren);
+  // Round trip through the DTD printer.
+  std::string printed = ToDtdString(model->regex, alphabet);
+  Result<ContentModel> again = ParseContentModel(printed, &alphabet);
+  ASSERT_TRUE(again.ok()) << printed;
+  EXPECT_TRUE(StructurallyEqual(model->regex, again->regex)) << printed;
+}
+
+TEST(ContentModelParser, PostfixOperators) {
+  Alphabet alphabet;
+  Result<ContentModel> model =
+      ParseContentModel("(a+, b*, c?, (d | e)+)", &alphabet);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(ToDtdString(model->regex, alphabet), "(a+, b*, c?, (d | e)+)");
+}
+
+TEST(ContentModelParser, Errors) {
+  Alphabet alphabet;
+  EXPECT_FALSE(ParseContentModel("(a, b | c)", &alphabet).ok());  // mixed seps
+  EXPECT_FALSE(ParseContentModel("(a,", &alphabet).ok());
+  EXPECT_FALSE(ParseContentModel("()", &alphabet).ok());
+  EXPECT_FALSE(ParseContentModel("(a | #PCDATA)", &alphabet).ok());
+}
+
+TEST(DtdParser, DeclarationsAndAttlist) {
+  Alphabet alphabet;
+  Result<Dtd> dtd = ParseDtd(
+      "<!-- protein -->\n"
+      "<!ELEMENT db (entry*)>\n"
+      "<!ELEMENT entry (name, seq)>\n"
+      "<!ELEMENT name (#PCDATA)>\n"
+      "<!ELEMENT seq (#PCDATA)>\n"
+      "<!ATTLIST entry id CDATA #REQUIRED kind (a|b) \"a\">\n",
+      &alphabet);
+  ASSERT_TRUE(dtd.ok()) << dtd.status().ToString();
+  EXPECT_EQ(dtd->elements.size(), 4u);
+  EXPECT_EQ(dtd->root, alphabet.Find("db"));
+  const auto& attrs = dtd->attributes.at(alphabet.Find("entry"));
+  ASSERT_EQ(attrs.size(), 2u);
+  EXPECT_EQ(attrs[0].name, "id");
+  EXPECT_EQ(attrs[0].default_decl, "#REQUIRED");
+  EXPECT_EQ(attrs[1].type, "(a|b)");
+}
+
+TEST(DtdParser, DoctypeFromXmlDocument) {
+  Result<XmlDocument> doc = ParseXml(
+      "<!DOCTYPE r [ <!ELEMENT r (a, b?)> <!ELEMENT a EMPTY> "
+      "<!ELEMENT b EMPTY> ]><r><a/></r>");
+  ASSERT_TRUE(doc.ok());
+  Alphabet alphabet;
+  Result<Dtd> dtd = ParseDoctype(doc->doctype, &alphabet);
+  ASSERT_TRUE(dtd.ok()) << dtd.status().ToString();
+  EXPECT_EQ(dtd->root, alphabet.Find("r"));
+  EXPECT_EQ(dtd->elements.size(), 3u);
+}
+
+TEST(DtdWriter, RoundTrip) {
+  Alphabet alphabet;
+  Result<Dtd> dtd = ParseDtd(
+      "<!ELEMENT refinfo (authors, citation, (volume | month), year, "
+      "pages?, (title | description)?, xrefs?)>\n"
+      "<!ELEMENT authors (author+)>\n"
+      "<!ELEMENT author (#PCDATA)>\n",
+      &alphabet);
+  ASSERT_TRUE(dtd.ok());
+  std::string text = WriteDtd(dtd.value(), alphabet);
+  Result<Dtd> again = ParseDtd(text, &alphabet);
+  ASSERT_TRUE(again.ok()) << text;
+  EXPECT_EQ(again->elements.size(), dtd->elements.size());
+  for (const auto& [symbol, model] : dtd->elements) {
+    ASSERT_TRUE(again->elements.count(symbol) > 0);
+    EXPECT_EQ(again->elements.at(symbol).kind, model.kind);
+  }
+}
+
+TEST(Validator, AcceptsValidDocument) {
+  Alphabet alphabet;
+  Result<Dtd> dtd = ParseDtd(
+      "<!ELEMENT r (a+, b?)> <!ELEMENT a (#PCDATA)> <!ELEMENT b EMPTY>",
+      &alphabet);
+  ASSERT_TRUE(dtd.ok());
+  Result<XmlDocument> doc = ParseXml("<r><a>x</a><a>y</a><b/></r>");
+  ASSERT_TRUE(doc.ok());
+  ValidationReport report = Validate(doc.value(), dtd.value(), &alphabet);
+  EXPECT_TRUE(report.valid()) << report.issues[0].message;
+  EXPECT_EQ(report.elements_checked, 4);
+}
+
+TEST(Validator, ReportsContentModelViolations) {
+  Alphabet alphabet;
+  Result<Dtd> dtd = ParseDtd(
+      "<!ELEMENT r (a, b)> <!ELEMENT a EMPTY> <!ELEMENT b EMPTY>",
+      &alphabet);
+  ASSERT_TRUE(dtd.ok());
+  Result<XmlDocument> doc = ParseXml("<r><b/><a/></r>");
+  ASSERT_TRUE(doc.ok());
+  ValidationReport report = Validate(doc.value(), dtd.value(), &alphabet);
+  ASSERT_FALSE(report.valid());
+  EXPECT_EQ(report.issues[0].element, "r");
+}
+
+TEST(Validator, ReportsUndeclaredElementsAndEmptyViolations) {
+  Alphabet alphabet;
+  Result<Dtd> dtd =
+      ParseDtd("<!ELEMENT r (a)> <!ELEMENT a EMPTY>", &alphabet);
+  ASSERT_TRUE(dtd.ok());
+  Result<XmlDocument> doc = ParseXml("<r><a><x/></a></r>");
+  ASSERT_TRUE(doc.ok());
+  ValidationReport report = Validate(doc.value(), dtd.value(), &alphabet);
+  EXPECT_EQ(report.issues.size(), 2u);  // a not EMPTY; x undeclared
+}
+
+TEST(Validator, RequiredAttributes) {
+  Alphabet alphabet;
+  Result<Dtd> dtd = ParseDtd(
+      "<!ELEMENT r EMPTY> <!ATTLIST r id CDATA #REQUIRED>", &alphabet);
+  ASSERT_TRUE(dtd.ok());
+  Result<XmlDocument> good = ParseXml("<r id=\"1\"/>");
+  Result<XmlDocument> bad = ParseXml("<r/>");
+  ASSERT_TRUE(good.ok());
+  ASSERT_TRUE(bad.ok());
+  EXPECT_TRUE(Validate(good.value(), dtd.value(), &alphabet).valid());
+  EXPECT_FALSE(Validate(bad.value(), dtd.value(), &alphabet).valid());
+}
+
+TEST(Validator, MixedContent) {
+  Alphabet alphabet;
+  Result<Dtd> dtd = ParseDtd(
+      "<!ELEMENT p (#PCDATA | em)*> <!ELEMENT em (#PCDATA)>", &alphabet);
+  ASSERT_TRUE(dtd.ok());
+  Result<XmlDocument> good = ParseXml("<p>hello <em>world</em>!</p>");
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(Validate(good.value(), dtd.value(), &alphabet).valid());
+  Result<XmlDocument> bad = ParseXml("<p>x<table/></p>");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(Validate(bad.value(), dtd.value(), &alphabet).valid());
+}
+
+}  // namespace
+}  // namespace condtd

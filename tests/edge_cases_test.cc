@@ -1,0 +1,355 @@
+// Edge cases and robustness tests across modules: malformed inputs,
+// boundary sizes, unusual-but-legal XML/DTD constructs, and invariants
+// under stress.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "automaton/soa.h"
+#include "automaton/state_elimination.h"
+#include "automaton/two_t_inf.h"
+#include "base/rng.h"
+#include "baseline/xtract.h"
+#include "crx/crx.h"
+#include "dtd/dtd_parser.h"
+#include "dtd/dtd_writer.h"
+#include "gen/random_regex.h"
+#include "gen/regex_sampler.h"
+#include "gfa/rewrite.h"
+#include "idtd/idtd.h"
+#include "infer/inferrer.h"
+#include "regex/equivalence.h"
+#include "regex/matcher.h"
+#include "regex/normalize.h"
+#include "regex/parser.h"
+#include "regex/properties.h"
+#include "xml/parser.h"
+#include "tests/testing.h"
+
+namespace condtd {
+namespace {
+
+using testing_util::ParseChars;
+using testing_util::WordsFromStrings;
+
+// --- XML corner cases --------------------------------------------------------
+
+TEST(XmlEdge, DeeplyNestedDocument) {
+  std::string open;
+  std::string close;
+  const int kDepth = 2000;
+  for (int i = 0; i < kDepth; ++i) {
+    open += "<d>";
+    close += "</d>";
+  }
+  Result<XmlDocument> doc = ParseXml(open + close);
+  ASSERT_TRUE(doc.ok());
+  // Extraction and inference must survive the depth (iterative walks).
+  DtdInferrer inferrer;
+  ASSERT_TRUE(inferrer.AddXml(open + close).ok());
+  Result<Dtd> dtd = inferrer.InferDtd();
+  ASSERT_TRUE(dtd.ok());
+  // d contains either one d or nothing.
+  const ContentModel& model =
+      dtd->elements.at(inferrer.alphabet()->Find("d"));
+  ASSERT_EQ(model.kind, ContentKind::kChildren);
+  EXPECT_TRUE(Nullable(model.regex));
+}
+
+TEST(XmlEdge, HexEntitiesAndSupplementaryPlanes) {
+  Result<XmlDocument> doc = ParseXml("<r>&#x41;&#x20AC;</r>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->text(), "A\xE2\x82\xAC");  // 'A' + euro sign
+}
+
+TEST(XmlEdge, WhitespaceOnlyTextIsNotContent) {
+  Result<XmlDocument> doc = ParseXml("<r>\n  <a/>\n  \t\n</r>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(doc->root->HasSignificantText());
+}
+
+TEST(XmlEdge, AttributesWithAngleInValue) {
+  Result<XmlDocument> doc = ParseXml("<r a=\"x&lt;y&gt;z\"/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(*doc->root->FindAttribute("a"), "x<y>z");
+}
+
+TEST(XmlEdge, MultipleCdataSections) {
+  Result<XmlDocument> doc =
+      ParseXml("<r><![CDATA[a]]>mid<![CDATA[b]]></r>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->text(), "amidb");
+}
+
+TEST(XmlEdge, DoctypeWithoutSubsetRoundTrips) {
+  Result<XmlDocument> doc =
+      ParseXml("<!DOCTYPE html SYSTEM \"x.dtd\"><html/>");
+  ASSERT_TRUE(doc.ok());
+  Alphabet alphabet;
+  Result<Dtd> dtd = ParseDoctype(doc->doctype, &alphabet);
+  ASSERT_TRUE(dtd.ok());
+  EXPECT_EQ(dtd->root, alphabet.Find("html"));
+  EXPECT_TRUE(dtd->elements.empty());
+}
+
+// --- Lenient (tag-soup) parsing -------------------------------------------------
+
+TEST(LenientXml, RepairsMismatchedAndMissingTags) {
+  std::vector<std::string> repairs;
+  Result<XmlDocument> doc = ParseXmlLenient(
+      "<html><body><p>one<p>two</body><div>tail</html>", &repairs);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  // </body> auto-closes the two open <p>s (generic recovery keeps the
+  // second <p> nested — unlike an HTML5 parser, no implied end tags);
+  // </html> auto-closes <div>.
+  EXPECT_GE(repairs.size(), 2u);
+  ASSERT_EQ(doc->root->name(), "html");
+  const auto& body = doc->root->children()[0];
+  EXPECT_EQ(body->name(), "body");
+  ASSERT_EQ(body->children().size(), 1u);
+  EXPECT_EQ(body->children()[0]->name(), "p");
+  ASSERT_EQ(body->children()[0]->children().size(), 1u);
+  EXPECT_EQ(body->children()[0]->children()[0]->name(), "p");
+  // The <div> after </body> stayed inside <html>.
+  ASSERT_EQ(doc->root->children().size(), 2u);
+  EXPECT_EQ(doc->root->children()[1]->name(), "div");
+}
+
+TEST(LenientXml, DropsStrayEndTagsAndClosesAtEof) {
+  std::vector<std::string> repairs;
+  Result<XmlDocument> doc =
+      ParseXmlLenient("<a></b><c>", &repairs);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(repairs.size(), 2u);  // stray </b>, unclosed at EOF
+  EXPECT_EQ(doc->root->children().size(), 1u);
+}
+
+TEST(LenientXml, StrictModeStillRejects) {
+  EXPECT_FALSE(ParseXml("<a><b></a>").ok());
+  EXPECT_TRUE(ParseXmlLenient("<a><b></a>").ok());
+}
+
+TEST(LenientXml, InferrerLenientOption) {
+  InferenceOptions options;
+  options.lenient_xml = true;
+  DtdInferrer inferrer(options);
+  ASSERT_TRUE(
+      inferrer.AddXml("<html><body><p>x<p>y</body></html>").ok());
+  Result<Dtd> dtd = inferrer.InferDtd();
+  ASSERT_TRUE(dtd.ok());
+  // The tag soup became a tree: body contains p (which nests p), and
+  // everything got a declaration.
+  EXPECT_TRUE(dtd->elements.count(inferrer.alphabet()->Find("body")) > 0);
+  EXPECT_TRUE(dtd->elements.count(inferrer.alphabet()->Find("p")) > 0);
+}
+
+// --- DTD corner cases ----------------------------------------------------------
+
+TEST(DtdEdge, NestedGroupsAndAllOperators) {
+  Alphabet alphabet;
+  Result<ContentModel> model = ParseContentModel(
+      "((a, (b | c)+)?, ((d, e)* | f)+)", &alphabet);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  // Round trip through the printer.
+  std::string printed = ToDtdString(model->regex, alphabet);
+  Result<ContentModel> again = ParseContentModel(printed, &alphabet);
+  ASSERT_TRUE(again.ok()) << printed;
+  EXPECT_TRUE(LanguageEquivalent(model->regex, again->regex));
+}
+
+TEST(DtdEdge, CommentsAndPEReferencesAreSkipped) {
+  Alphabet alphabet;
+  Result<Dtd> dtd = ParseDtd(
+      "<!-- preamble -->\n"
+      "%common;\n"
+      "<!ELEMENT r (a)>\n"
+      "<?pi data?>\n"
+      "<!ENTITY % common \"ignored\">\n"
+      "<!ELEMENT a EMPTY>\n",
+      &alphabet);
+  ASSERT_TRUE(dtd.ok()) << dtd.status().ToString();
+  EXPECT_EQ(dtd->elements.size(), 2u);
+}
+
+TEST(DtdEdge, AttlistDefaultsWithQuotedGt) {
+  Alphabet alphabet;
+  Result<Dtd> dtd = ParseDtd(
+      "<!ELEMENT r EMPTY>\n"
+      "<!ATTLIST r label CDATA \"a > b\">\n",
+      &alphabet);
+  ASSERT_TRUE(dtd.ok()) << dtd.status().ToString();
+  const auto& attrs = dtd->attributes.at(alphabet.Find("r"));
+  ASSERT_EQ(attrs.size(), 1u);
+  EXPECT_EQ(attrs[0].default_decl, "\"a > b\"");
+}
+
+TEST(DtdEdge, WriterEscapesNothingButStaysParseable) {
+  // Inferred DTDs over odd-but-legal names (colons, dots, dashes).
+  DtdInferrer inferrer;
+  ASSERT_TRUE(
+      inferrer.AddXml("<ns:root><x.y-z_1/><x.y-z_1/></ns:root>").ok());
+  Result<Dtd> dtd = inferrer.InferDtd();
+  ASSERT_TRUE(dtd.ok());
+  std::string text = WriteDtd(dtd.value(), *inferrer.alphabet());
+  Alphabet alphabet;
+  EXPECT_TRUE(ParseDtd(text, &alphabet).ok()) << text;
+}
+
+// --- Regex parser corner cases ---------------------------------------------------
+
+TEST(RegexEdge, DeepNestingParses) {
+  Alphabet alphabet;
+  std::string text;
+  for (int i = 0; i < 200; ++i) text += "(";
+  text += "a";
+  for (int i = 0; i < 200; ++i) text += ")?";
+  Result<ReRef> re = ParseRegex(text, &alphabet);
+  ASSERT_TRUE(re.ok());
+  EXPECT_EQ(ToString(Normalize(re.value()), alphabet), "a?");
+}
+
+TEST(RegexEdge, PostfixChains) {
+  Alphabet alphabet;
+  ReRef re = ParseChars("a+?*", &alphabet);
+  // ((a+)?)* normalizes to a*.
+  EXPECT_EQ(ToString(Normalize(re), alphabet), "a*");
+}
+
+// --- Algorithm boundary sizes -----------------------------------------------------
+
+TEST(BoundarySizes, SingleSymbolEverything) {
+  Alphabet alphabet;
+  std::vector<Word> sample = WordsFromStrings({"a"}, &alphabet);
+  EXPECT_EQ(ToString(RewriteInfer(sample).value(), alphabet), "a");
+  EXPECT_EQ(ToString(IdtdInfer(sample).value(), alphabet), "a");
+  EXPECT_EQ(ToString(CrxInfer(sample).value(), alphabet), "a");
+  EXPECT_EQ(ToString(XtractInfer(sample).value(), alphabet), "a");
+}
+
+TEST(BoundarySizes, LargeAlphabetRewrite) {
+  // 61 symbols in a simple chain: a0 a1 ... a60 — linear rewrite.
+  const int n = 61;
+  Word chain;
+  for (Symbol s = 0; s < n; ++s) chain.push_back(s);
+  Result<ReRef> re = RewriteInfer({chain});
+  ASSERT_TRUE(re.ok());
+  EXPECT_EQ(CountSymbolOccurrences(re.value()), n);
+  EXPECT_TRUE(Matches(re.value(), chain));
+}
+
+TEST(BoundarySizes, LongWordsMatchQuickly) {
+  Alphabet alphabet;
+  ReRef re = ParseChars("(a|b)*c", &alphabet);
+  Word w;
+  for (int i = 0; i < 100000; ++i) {
+    w.push_back(i % 2);
+  }
+  w.push_back(alphabet.Find("c"));
+  Matcher matcher(re);
+  EXPECT_TRUE(matcher.Matches(w));
+  w.push_back(alphabet.Find("a"));
+  EXPECT_FALSE(matcher.Matches(w));
+}
+
+TEST(BoundarySizes, StateEliminationOnDenseAutomaton) {
+  // Dense random SOA: elimination must still terminate and agree across
+  // orders (language-wise), even where the output is huge.
+  Rng rng(13);
+  Soa soa;
+  const int n = 6;
+  for (Symbol s = 0; s < n; ++s) soa.AddState(s);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (rng.Bernoulli(0.5)) soa.AddEdge(i, j);
+    }
+  }
+  soa.AddInitial(0);
+  soa.AddFinal(n - 1);
+  soa.AddEdge(0, n - 1);
+  Result<ReRef> natural =
+      StateEliminationRegex(soa, EliminationOrder::kNatural);
+  Result<ReRef> greedy =
+      StateEliminationRegex(soa, EliminationOrder::kMinDegreeProduct);
+  ASSERT_TRUE(natural.ok());
+  ASSERT_TRUE(greedy.ok());
+  EXPECT_TRUE(LanguageEquivalent(natural.value(), greedy.value()));
+}
+
+// --- XTRACT guards ----------------------------------------------------------------
+
+TEST(XtractEdge, EmptyWordsOnlyFails) {
+  EXPECT_EQ(XtractInfer({Word{}, Word{}}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(XtractEdge, EmptyWordMakesResultNullable) {
+  Alphabet alphabet;
+  std::vector<Word> sample = WordsFromStrings({"ab"}, &alphabet);
+  sample.push_back(Word{});
+  Result<ReRef> re = XtractInfer(sample);
+  ASSERT_TRUE(re.ok());
+  EXPECT_TRUE(Nullable(re.value()));
+  EXPECT_TRUE(Matches(re.value(), Word{}));
+}
+
+TEST(XtractEdge, CandidateBudget) {
+  XtractOptions options;
+  options.max_candidates = 3;
+  Rng rng(3);
+  std::vector<Word> sample;
+  for (int i = 0; i < 50; ++i) {
+    Word w;
+    for (int j = 0; j < 6; ++j) {
+      w.push_back(static_cast<Symbol>(rng.NextBelow(5)));
+    }
+    sample.push_back(std::move(w));
+  }
+  EXPECT_EQ(XtractInfer(sample, options).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+// --- SOA pruning --------------------------------------------------------------------
+
+TEST(SoaPruning, RemovesWeakStatesKeepsStrong) {
+  Alphabet alphabet;
+  std::vector<std::string> strings(20, "ab");
+  strings.push_back("axb");
+  Soa soa = Infer2T(WordsFromStrings(strings, &alphabet));
+  Soa pruned = PruneSoaByStateSupport(soa, 5);
+  EXPECT_EQ(pruned.NumStates(), 2);
+  EXPECT_LT(pruned.StateOf(alphabet.Find("x")), 0);
+  int a = pruned.StateOf(alphabet.Find("a"));
+  int b = pruned.StateOf(alphabet.Find("b"));
+  EXPECT_TRUE(pruned.HasEdge(a, b));
+  EXPECT_EQ(pruned.EdgeSupport(a, b), 20);
+}
+
+TEST(SoaPruning, NoSupportsMeansNoPruning) {
+  // SOAs built without supports (e.g. SoaFromRegex) are untouched.
+  Alphabet alphabet;
+  Soa soa = SoaFromRegex(ParseChars("ab", &alphabet));
+  Soa pruned = PruneSoaByStateSupport(soa, 100);
+  EXPECT_TRUE(pruned.Equals(soa));
+}
+
+// --- CRX stress ---------------------------------------------------------------------
+
+TEST(CrxStress, ManySymbolsManyWords) {
+  // 61 symbols, 5000 words: must finish quickly and produce a CHARE
+  // covering the sample (matches the Section 7 complexity claim).
+  Rng rng(17);
+  ReRef target = RandomChare(61, &rng);
+  std::vector<Word> sample = SampleWords(target, 5000, &rng);
+  Result<ReRef> learned = CrxInfer(sample);
+  ASSERT_TRUE(learned.ok());
+  EXPECT_TRUE(IsChare(learned.value()));
+  Matcher matcher(learned.value());
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(matcher.Matches(sample[i * 25 % sample.size()]));
+  }
+}
+
+}  // namespace
+}  // namespace condtd

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "automaton/dot.h"
+#include "automaton/k_testable.h"
+#include "automaton/two_t_inf.h"
+#include "base/file.h"
+#include "base/rng.h"
+#include "gen/random_regex.h"
+#include "gen/regex_sampler.h"
+#include "gfa/gfa.h"
+#include "regex/determinism.h"
+#include "regex/matcher.h"
+#include "regex/equivalence.h"
+#include "tests/testing.h"
+
+namespace condtd {
+namespace {
+
+using testing_util::ParseChars;
+using testing_util::WordsFromStrings;
+
+// --- Determinism (one-unambiguity) -------------------------------------------
+
+TEST(Determinism, SoresAreAlwaysDeterministic) {
+  Rng rng(1);
+  for (int trial = 0; trial < 40; ++trial) {
+    EXPECT_TRUE(IsDeterministic(RandomSore(1 + rng.NextBelow(10), &rng)));
+  }
+}
+
+TEST(Determinism, ClassicCounterexamples) {
+  Alphabet alphabet;
+  // (a|b)*a is the textbook non-deterministic RE.
+  EXPECT_FALSE(IsDeterministic(ParseChars("(a|b)*a", &alphabet)));
+  EXPECT_FALSE(IsDeterministic(ParseChars("(a|ab)", &alphabet)));
+  EXPECT_FALSE(IsDeterministic(ParseChars("(ab|ac)", &alphabet)));
+  // But a(a|b)* is deterministic: the leading position is forced.
+  EXPECT_TRUE(IsDeterministic(ParseChars("a(a|b)*", &alphabet)));
+  EXPECT_TRUE(IsDeterministic(ParseChars("a(b|c)", &alphabet)));
+  EXPECT_TRUE(IsDeterministic(ParseChars("b?(a|c)", &alphabet)));
+}
+
+// --- Distinguishing words ------------------------------------------------------
+
+TEST(DistinguishingWord, FindsShortestCounterexample) {
+  Alphabet alphabet;
+  ReRef a = ParseChars("(a|b)+", &alphabet);
+  ReRef b = ParseChars("a+|b+", &alphabet);
+  Result<Word> word = FindDistinguishingWord(a, b);
+  ASSERT_TRUE(word.ok());
+  EXPECT_EQ(word->size(), 2u);  // "ab" or "ba"
+  EXPECT_TRUE(Matches(a, word.value()));
+  EXPECT_FALSE(Matches(b, word.value()));
+}
+
+TEST(DistinguishingWord, NotFoundForEqualLanguages) {
+  Alphabet alphabet;
+  Result<Word> word = FindDistinguishingWord(
+      ParseChars("(a+)?", &alphabet), ParseChars("a*", &alphabet));
+  EXPECT_EQ(word.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DistinguishingWord, AgreesWithEquivalenceOracle) {
+  Rng rng(2);
+  for (int trial = 0; trial < 40; ++trial) {
+    ReRef a = RandomSore(1 + rng.NextBelow(6), &rng);
+    ReRef b = RandomSore(1 + rng.NextBelow(6), &rng);
+    Result<Word> word = FindDistinguishingWord(a, b);
+    if (LanguageEquivalent(a, b)) {
+      EXPECT_FALSE(word.ok());
+    } else {
+      ASSERT_TRUE(word.ok());
+      EXPECT_NE(Matches(a, word.value()), Matches(b, word.value()));
+    }
+  }
+}
+
+// --- k-testable inference ------------------------------------------------------
+
+TEST(KTestable, KEquals2MatchesTwoTInf) {
+  // The k = 2 member of the family is exactly 2T-INF / the SOA.
+  Rng rng(3);
+  for (int trial = 0; trial < 25; ++trial) {
+    ReRef target = RandomSore(1 + rng.NextBelow(6), &rng);
+    std::vector<Word> sample = SampleWords(target, 15, &rng);
+    KTestable kt = InferKTestable(sample, 2);
+    Soa soa = Infer2T(sample);
+    // Compare on sample words and random probes.
+    for (const Word& w : sample) {
+      EXPECT_TRUE(kt.Accepts(w));
+      EXPECT_EQ(kt.Accepts(w), soa.Accepts(w));
+    }
+    for (int probe = 0; probe < 30; ++probe) {
+      Word w;
+      int len = static_cast<int>(rng.NextBelow(8));
+      for (int i = 0; i < len; ++i) {
+        w.push_back(static_cast<Symbol>(rng.NextBelow(6)));
+      }
+      EXPECT_EQ(kt.Accepts(w), soa.Accepts(w))
+          << "k=2 disagrees with the SOA";
+    }
+  }
+}
+
+TEST(KTestable, AcceptsSampleForAllK) {
+  Rng rng(4);
+  for (int k = 1; k <= 5; ++k) {
+    for (int trial = 0; trial < 10; ++trial) {
+      ReRef target = RandomSore(1 + rng.NextBelow(6), &rng);
+      std::vector<Word> sample = SampleWords(target, 12, &rng);
+      KTestable kt = InferKTestable(sample, k);
+      for (const Word& w : sample) {
+        EXPECT_TRUE(kt.Accepts(w)) << "k=" << k;
+      }
+    }
+  }
+}
+
+TEST(KTestable, LargerKIsMoreSpecific) {
+  // L_{k+1} ⊆ L_k on the same sample, and strictly tighter on a target
+  // outside the 2-testable class. (A SORE like (ab|cd)+ would show no
+  // separation — SOREs are exactly 2-testable, Proposition 1.)
+  Rng rng(5);
+  Alphabet alphabet;
+  ReRef target = ParseChars("a(b|c)*(d(b|c|e)*)*", &alphabet);
+  std::vector<Word> sample = SampleWords(target, 200, &rng);
+  KTestable k2 = InferKTestable(sample, 2);
+  KTestable k3 = InferKTestable(sample, 3);
+  int k2_accepts = 0;
+  int k3_accepts = 0;
+  for (int probe = 0; probe < 4000; ++probe) {
+    Word w;
+    int len = 1 + static_cast<int>(rng.NextBelow(9));
+    for (int i = 0; i < len; ++i) {
+      w.push_back(static_cast<Symbol>(rng.NextBelow(5)));
+    }
+    bool a2 = k2.Accepts(w);
+    bool a3 = k3.Accepts(w);
+    if (a3) {
+      EXPECT_TRUE(a2) << "k=3 accepted a word k=2 rejects";
+    }
+    k2_accepts += a2;
+    k3_accepts += a3;
+  }
+  EXPECT_LT(k3_accepts, k2_accepts);
+}
+
+TEST(KTestable, NfaAgreesWithSetSemantics) {
+  Rng rng(6);
+  for (int k = 2; k <= 4; ++k) {
+    for (int trial = 0; trial < 10; ++trial) {
+      ReRef target = RandomSore(2 + rng.NextBelow(4), &rng);
+      std::vector<Word> sample = SampleWords(target, 10, &rng);
+      KTestable kt = InferKTestable(sample, k);
+      Nfa nfa = kt.ToNfa();
+      for (const Word& w : sample) {
+        EXPECT_TRUE(nfa.Accepts(w)) << "k=" << k;
+      }
+      for (int probe = 0; probe < 50; ++probe) {
+        Word w;
+        int len = static_cast<int>(rng.NextBelow(2 * k + 2));
+        for (int i = 0; i < len; ++i) {
+          w.push_back(static_cast<Symbol>(rng.NextBelow(6)));
+        }
+        EXPECT_EQ(nfa.Accepts(w), kt.Accepts(w))
+            << "k=" << k << " NFA/set disagreement";
+      }
+    }
+  }
+}
+
+// --- DOT export ----------------------------------------------------------------
+
+TEST(Dot, SoaRendering) {
+  Alphabet alphabet;
+  Soa soa = Infer2T(WordsFromStrings({"ab", "b"}, &alphabet));
+  std::string dot = SoaToDot(soa, alphabet);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);  // final state
+  EXPECT_NE(dot.find("label=\"a\""), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+TEST(Dot, GfaRendering) {
+  Alphabet alphabet;
+  Soa soa = Infer2T(WordsFromStrings({"ab"}, &alphabet));
+  Gfa gfa = Gfa::FromSoa(soa);
+  std::string dot = GfaToDot(gfa, alphabet);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);
+  EXPECT_NE(dot.find("n0 ->"), std::string::npos);
+}
+
+// --- File I/O -------------------------------------------------------------------
+
+TEST(File, RoundTrip) {
+  std::string path = ::testing::TempDir() + "/condtd_file_test.txt";
+  ASSERT_TRUE(WriteStringToFile(path, "hello\nworld").ok());
+  Result<std::string> content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(content.value(), "hello\nworld");
+  std::remove(path.c_str());
+}
+
+TEST(File, MissingFileIsNotFound) {
+  EXPECT_EQ(ReadFileToString("/nonexistent/condtd").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace condtd

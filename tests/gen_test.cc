@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "automaton/soa.h"
+#include "automaton/two_t_inf.h"
+#include "base/rng.h"
+#include "dtd/dtd_parser.h"
+#include "dtd/validator.h"
+#include "gen/corpus.h"
+#include "gen/random_regex.h"
+#include "gen/regex_sampler.h"
+#include "gen/representative.h"
+#include "gen/reservoir.h"
+#include "gen/xml_gen.h"
+#include "regex/matcher.h"
+#include "regex/properties.h"
+#include "tests/testing.h"
+
+namespace condtd {
+namespace {
+
+using testing_util::ParseChars;
+
+TEST(Sampler, WordsAreInLanguage) {
+  Rng rng(1);
+  for (int trial = 0; trial < 30; ++trial) {
+    ReRef re = RandomSore(1 + rng.NextBelow(8), &rng);
+    Matcher matcher(re);
+    for (const Word& w : SampleWords(re, 15, &rng)) {
+      EXPECT_TRUE(matcher.Matches(w));
+    }
+  }
+}
+
+TEST(Representative, SampleRecoversExactSoa) {
+  // The defining property: 2T-INF on the representative sample yields
+  // exactly the SOA of the expression ("no edges missing").
+  Rng rng(2);
+  for (int trial = 0; trial < 40; ++trial) {
+    ReRef re = RandomSore(1 + rng.NextBelow(10), &rng);
+    std::vector<Word> sample = RepresentativeSample(re);
+    Matcher matcher(re);
+    for (const Word& w : sample) {
+      EXPECT_TRUE(matcher.Matches(w));  // within the language
+    }
+    Soa from_sample = Infer2T(sample);
+    EXPECT_TRUE(from_sample.Equals(SoaFromRegex(re)));
+  }
+}
+
+TEST(Representative, GeneratedCorpusHasRequestedSize) {
+  Alphabet alphabet;
+  ReRef re = ParseChars("a(b|c)*d+(e|f)?", &alphabet);
+  std::vector<Word> corpus = GeneratedCorpus(re, 500, 42);
+  EXPECT_EQ(corpus.size(), 500u);
+  Matcher matcher(re);
+  for (const Word& w : corpus) EXPECT_TRUE(matcher.Matches(w));
+  // Deterministic for a fixed seed.
+  EXPECT_EQ(corpus, GeneratedCorpus(re, 500, 42));
+  EXPECT_NE(corpus, GeneratedCorpus(re, 500, 43));
+}
+
+TEST(Reservoir, UniformSubsetProperties) {
+  Rng rng(3);
+  std::vector<Word> population;
+  for (Symbol s = 0; s < 100; ++s) population.push_back({s});
+  std::vector<Word> sample = ReservoirSample(population, 10, &rng);
+  EXPECT_EQ(sample.size(), 10u);
+  std::set<Word> population_set(population.begin(), population.end());
+  for (const Word& w : sample) EXPECT_TRUE(population_set.count(w) > 0);
+  // k >= n returns everything.
+  EXPECT_EQ(ReservoirSample(population, 1000, &rng).size(), 100u);
+}
+
+TEST(Reservoir, CoveringSampleContainsAllSymbols) {
+  Rng rng(4);
+  std::vector<Word> population;
+  for (Symbol s = 0; s < 20; ++s) {
+    for (int i = 0; i < 50; ++i) population.push_back({s});
+  }
+  std::vector<Symbol> required;
+  for (Symbol s = 0; s < 20; ++s) required.push_back(s);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Word> sample =
+        ReservoirSampleCovering(population, 25, required, &rng);
+    std::set<Symbol> seen;
+    for (const Word& w : sample) seen.insert(w.begin(), w.end());
+    EXPECT_EQ(seen.size(), 20u);
+  }
+}
+
+TEST(Corpus, Table1CasesAreWellFormed) {
+  std::vector<ExperimentCase> cases = BuildTable1Cases(2006);
+  ASSERT_EQ(cases.size(), 9u);
+  std::set<std::string> names;
+  for (const ExperimentCase& c : cases) {
+    names.insert(c.name);
+    EXPECT_EQ(static_cast<int>(c.sample.size()), c.sample_size) << c.name;
+    // Observed language is within the original DTD's language: samples
+    // validate against the original definition.
+    Matcher original(c.original);
+    for (const Word& w : c.sample) {
+      EXPECT_TRUE(original.Matches(w)) << c.name;
+    }
+  }
+  EXPECT_TRUE(names.count("refinfo") > 0);
+  EXPECT_TRUE(names.count("authors") > 0);
+}
+
+TEST(Corpus, RefinfoBiasesHold) {
+  // The documented corpus biases: volume (a3) and month (a4) never
+  // co-occur, and a8 is never followed (even transitively) by a9.
+  std::vector<ExperimentCase> cases = BuildTable1Cases(2006);
+  const ExperimentCase* refinfo = nullptr;
+  for (const ExperimentCase& c : cases) {
+    if (c.name == "refinfo") refinfo = &c;
+  }
+  ASSERT_NE(refinfo, nullptr);
+  Symbol a3 = refinfo->alphabet.Find("a3");
+  Symbol a4 = refinfo->alphabet.Find("a4");
+  Symbol a8 = refinfo->alphabet.Find("a8");
+  Symbol a9 = refinfo->alphabet.Find("a9");
+  for (const Word& w : refinfo->sample) {
+    bool saw3 = false;
+    bool saw4 = false;
+    bool saw8 = false;
+    for (Symbol s : w) {
+      if (s == a3) saw3 = true;
+      if (s == a4) saw4 = true;
+      if (s == a8) saw8 = true;
+      if (s == a9) {
+        EXPECT_FALSE(saw8) << "a8 followed by a9";
+      }
+    }
+    EXPECT_FALSE(saw3 && saw4) << "volume and month co-occur";
+  }
+}
+
+TEST(Corpus, Table2CasesMatchPaperShapes) {
+  std::vector<ExperimentCase> cases = BuildTable2Cases(2006);
+  ASSERT_EQ(cases.size(), 5u);
+  EXPECT_EQ(cases[0].name, "example1");
+  // example3's SOA has ~1897 edges per the paper; ours counts the same
+  // order of magnitude (the exact number depends on the expression).
+  Soa soa3 = SoaFromRegex(cases[2].observed);
+  EXPECT_GT(soa3.NumEdges(), 1500);
+  EXPECT_EQ(static_cast<int>(cases[3].sample.size()), 10000);
+  // Only the first three examples are SOREs; none are CHAREs.
+  EXPECT_TRUE(IsSore(cases[0].observed));
+  EXPECT_TRUE(IsSore(cases[1].observed));
+  EXPECT_TRUE(IsSore(cases[2].observed));
+  EXPECT_FALSE(IsSore(cases[4].observed));
+  for (const ExperimentCase& c : cases) {
+    EXPECT_FALSE(IsChare(c.observed)) << c.name;
+  }
+}
+
+TEST(Corpus, NoisyParagraphHasIntruders) {
+  ExperimentCase noisy = BuildNoisyParagraphCase(3000, 10, 99);
+  EXPECT_EQ(noisy.sample.size(), 3000u);
+  Symbol table = noisy.alphabet.Find("table");
+  ASSERT_NE(table, kInvalidSymbol);
+  // Twelve intruder element names, each in about 10 words.
+  int intruder_words = 0;
+  for (const Word& w : noisy.sample) {
+    for (Symbol s : w) {
+      if (noisy.alphabet.Name(s).size() > 3) {  // intruders have long names
+        ++intruder_words;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(intruder_words, 50);
+  EXPECT_LE(intruder_words, 12 * 10);
+}
+
+TEST(XmlGen, DocumentsValidateAgainstTheirDtd) {
+  Alphabet alphabet;
+  Result<Dtd> dtd = ParseDtd(
+      "<!ELEMENT db (entry+)>\n"
+      "<!ELEMENT entry (name, seq?, (ref | note)*)>\n"
+      "<!ELEMENT name (#PCDATA)>\n"
+      "<!ELEMENT seq (#PCDATA)>\n"
+      "<!ELEMENT ref EMPTY>\n"
+      "<!ELEMENT note (#PCDATA)>\n"
+      "<!ATTLIST entry id CDATA #REQUIRED>\n",
+      &alphabet);
+  ASSERT_TRUE(dtd.ok());
+  Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    Result<XmlDocument> doc = GenerateDocument(dtd.value(), alphabet, &rng);
+    ASSERT_TRUE(doc.ok());
+    ValidationReport report = Validate(doc.value(), dtd.value(), &alphabet);
+    EXPECT_TRUE(report.valid())
+        << report.issues[0].element << ": " << report.issues[0].message;
+  }
+}
+
+TEST(XmlGen, RecursiveDtdTerminates) {
+  Alphabet alphabet;
+  Result<Dtd> dtd2 =
+      ParseDtd("<!ELEMENT tree (leaf | (tree, tree))>\n"
+               "<!ELEMENT leaf EMPTY>\n",
+               &alphabet);
+  ASSERT_TRUE(dtd2.ok());
+  Rng rng(8);
+  XmlGenOptions options;
+  options.max_depth = 6;
+  Result<XmlDocument> doc =
+      GenerateDocument(dtd2.value(), alphabet, &rng, options);
+  ASSERT_TRUE(doc.ok());
+  // Depth is bounded: count the maximum nesting.
+  int max_depth = 0;
+  std::vector<std::pair<const XmlElement*, int>> stack = {
+      {doc->root.get(), 0}};
+  while (!stack.empty()) {
+    auto [el, d] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, d);
+    for (const auto& c : el->children()) stack.emplace_back(c.get(), d + 1);
+  }
+  EXPECT_LE(max_depth, 12);
+}
+
+TEST(XmlGen, MinimalWord) {
+  Alphabet alphabet;
+  EXPECT_TRUE(MinimalWord(ParseChars("a*", &alphabet)).empty());
+  EXPECT_EQ(MinimalWord(ParseChars("a+b", &alphabet)).size(), 2u);
+  EXPECT_EQ(MinimalWord(ParseChars("(ab|c)", &alphabet)).size(), 1u);
+}
+
+TEST(RandomRegex, SoreAndChareInvariants) {
+  Rng rng(9);
+  for (int trial = 0; trial < 50; ++trial) {
+    int n = 1 + static_cast<int>(rng.NextBelow(12));
+    ReRef sore = RandomSore(n, &rng);
+    EXPECT_TRUE(IsSore(sore));
+    EXPECT_EQ(CountSymbolOccurrences(sore), n);
+    ReRef chare = RandomChare(n, &rng);
+    EXPECT_TRUE(IsChare(chare));
+    EXPECT_EQ(CountSymbolOccurrences(chare), n);
+  }
+}
+
+TEST(Rng, DeterministicAndRoughlyUniform) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  Rng c(124);
+  int buckets[10] = {0};
+  for (int i = 0; i < 10000; ++i) ++buckets[c.NextBelow(10)];
+  for (int count : buckets) {
+    EXPECT_GT(count, 800);
+    EXPECT_LT(count, 1200);
+  }
+}
+
+}  // namespace
+}  // namespace condtd

@@ -1,0 +1,222 @@
+#include "gfa/gfa.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "automaton/two_t_inf.h"
+#include "gfa/rewrite.h"
+#include "idtd/repair.h"
+#include "regex/normalize.h"
+#include "tests/testing.h"
+
+namespace condtd {
+namespace {
+
+using testing_util::ParseChars;
+using testing_util::WordsFromStrings;
+
+// --- Graph plumbing ----------------------------------------------------------
+
+TEST(Gfa, FromSoaShapesSourceAndSink) {
+  Alphabet alphabet;
+  Soa soa = Infer2T(WordsFromStrings({"ab", "b"}, &alphabet));
+  Gfa gfa = Gfa::FromSoa(soa);
+  EXPECT_EQ(gfa.NumLiveNodes(), 2);
+  // src -> a, src -> b (both initial), b -> snk, a -> b.
+  EXPECT_EQ(gfa.OutDegree(gfa.source()), 2);
+  EXPECT_EQ(gfa.InDegree(gfa.sink()), 1);
+  EXPECT_FALSE(gfa.IsFinal());
+}
+
+TEST(Gfa, EmptyWordBecomesSourceSinkEdge) {
+  Alphabet alphabet;
+  std::vector<Word> sample = WordsFromStrings({"a"}, &alphabet);
+  sample.push_back(Word{});
+  Gfa gfa = Gfa::FromSoa(Infer2T(sample));
+  EXPECT_TRUE(gfa.HasEdge(gfa.source(), gfa.sink()));
+}
+
+TEST(Gfa, RemoveNodeDetachesEdges) {
+  Alphabet alphabet;
+  Soa soa = Infer2T(WordsFromStrings({"ab"}, &alphabet));
+  Gfa gfa = Gfa::FromSoa(soa);
+  std::vector<int> live = gfa.LiveNodes();
+  gfa.RemoveNode(live[0]);
+  EXPECT_EQ(gfa.NumLiveNodes(), 1);
+  for (int v : gfa.LiveNodes()) {
+    for (int to : gfa.Out(v)) {
+      EXPECT_TRUE(gfa.IsAlive(to) || to == gfa.sink());
+    }
+  }
+}
+
+TEST(Gfa, EdgeSupportAccumulates) {
+  Gfa gfa;
+  int n = gfa.AddNode(Re::Sym(0));
+  gfa.AddEdge(gfa.source(), n, 3);
+  gfa.AddEdge(gfa.source(), n, 4);
+  EXPECT_EQ(gfa.EdgeSupport(gfa.source(), n), 7);
+  gfa.RemoveEdge(gfa.source(), n);
+  EXPECT_EQ(gfa.EdgeSupport(gfa.source(), n), 0);
+}
+
+// --- ε-closure ----------------------------------------------------------------
+
+TEST(GfaClosure, VirtualSelfLoopForPlusLabels) {
+  Gfa gfa;
+  Alphabet alphabet;
+  int plus = gfa.AddNode(ParseChars("a+", &alphabet));
+  int opt_plus = gfa.AddNode(ParseChars("(b+)?", &alphabet));
+  int star = gfa.AddNode(ParseChars("c*", &alphabet));
+  int opt = gfa.AddNode(ParseChars("d?", &alphabet));
+  int plain = gfa.AddNode(ParseChars("e", &alphabet));
+  EXPECT_TRUE(gfa.HasVirtualSelfLoop(plus));
+  EXPECT_TRUE(gfa.HasVirtualSelfLoop(opt_plus));
+  EXPECT_TRUE(gfa.HasVirtualSelfLoop(star));
+  EXPECT_FALSE(gfa.HasVirtualSelfLoop(opt));
+  EXPECT_FALSE(gfa.HasVirtualSelfLoop(plain));
+}
+
+TEST(GfaClosure, PathsThroughNullableIntermediates) {
+  // src -> x -> y? -> z -> snk: the closure must contain (x, z) because
+  // y? derives ε, but not (src, z) (x is not nullable).
+  Gfa gfa;
+  Alphabet alphabet;
+  int x = gfa.AddNode(ParseChars("x", &alphabet));
+  int y = gfa.AddNode(ParseChars("y?", &alphabet));
+  int z = gfa.AddNode(ParseChars("z", &alphabet));
+  gfa.AddEdge(gfa.source(), x);
+  gfa.AddEdge(x, y);
+  gfa.AddEdge(y, z);
+  gfa.AddEdge(z, gfa.sink());
+  Gfa::Closure closure = gfa.ComputeClosure();
+  EXPECT_TRUE(closure.succ[x].count(z) > 0);
+  EXPECT_TRUE(closure.pred[z].count(x) > 0);
+  EXPECT_FALSE(closure.succ[gfa.source()].count(z) > 0);
+  // Direct edges are always present.
+  EXPECT_TRUE(closure.succ[x].count(y) > 0);
+}
+
+TEST(GfaClosure, ChainsOfNullables) {
+  Gfa gfa;
+  Alphabet alphabet;
+  int a = gfa.AddNode(ParseChars("a?", &alphabet));
+  int b = gfa.AddNode(ParseChars("b?", &alphabet));
+  int c = gfa.AddNode(ParseChars("c", &alphabet));
+  gfa.AddEdge(gfa.source(), a);
+  gfa.AddEdge(a, b);
+  gfa.AddEdge(b, c);
+  gfa.AddEdge(c, gfa.sink());
+  Gfa::Closure closure = gfa.ComputeClosure();
+  // src reaches c through two nullable hops.
+  EXPECT_TRUE(closure.succ[gfa.source()].count(c) > 0);
+}
+
+// --- Repair rules in isolation --------------------------------------------------
+
+TEST(Repair, EnableOptionalAddsSkipEdges) {
+  // a -> b -> c plus partial skip evidence a -> c missing… build a case
+  // with two predecessors where one skip edge exists: p1 -> r -> s and
+  // p2 -> r with p1 -> s present (case (a)); the repair must add p2 -> s.
+  Gfa gfa;
+  Alphabet alphabet;
+  int p1 = gfa.AddNode(ParseChars("a", &alphabet));
+  int p2 = gfa.AddNode(ParseChars("b", &alphabet));
+  int r = gfa.AddNode(ParseChars("c", &alphabet));
+  int s = gfa.AddNode(ParseChars("d", &alphabet));
+  gfa.AddEdge(gfa.source(), p1);
+  gfa.AddEdge(gfa.source(), p2);
+  gfa.AddEdge(p1, r);
+  gfa.AddEdge(p2, r);
+  gfa.AddEdge(r, s);
+  gfa.AddEdge(p1, s);  // the partial evidence
+  gfa.AddEdge(s, gfa.sink());
+  ASSERT_TRUE(EnableOptional(&gfa, /*k=*/2));
+  EXPECT_TRUE(gfa.HasEdge(p2, s));
+  // Now the optional rewrite rule fires on r and removes the skips.
+  ASSERT_TRUE(ApplyOptionalRule(&gfa));
+  EXPECT_FALSE(gfa.HasEdge(p1, s));
+  EXPECT_FALSE(gfa.HasEdge(p2, s));
+  EXPECT_EQ(ToString(gfa.Label(r), alphabet), "c?");
+}
+
+TEST(Repair, EnableDisjunctionPrefersMutualPairs) {
+  // A mutual pair (u <-> v) and a merely similar pair must resolve
+  // toward the mutual one (the Figure 2 walkthrough's choice).
+  Alphabet alphabet;
+  std::vector<Word> words =
+      WordsFromStrings({"bacacdacde", "cbacdbacde"}, &alphabet);
+  Gfa gfa = Gfa::FromSoa(Infer2T(words));
+  ASSERT_TRUE(EnableDisjunction(&gfa, 2));
+  // After the repair both a and c have identical in/out neighborhoods.
+  int a = -1;
+  int c = -1;
+  for (int v : gfa.LiveNodes()) {
+    std::string label = ToString(gfa.Label(v), alphabet);
+    if (label == "a") a = v;
+    if (label == "c") c = v;
+  }
+  ASSERT_GE(a, 0);
+  ASSERT_GE(c, 0);
+  EXPECT_EQ(gfa.In(a).size(), gfa.In(c).size());
+  EXPECT_EQ(gfa.Out(a).size(), gfa.Out(c).size());
+}
+
+TEST(Repair, FullMergeFallbackReachesFinalForm) {
+  // Disconnected neighborhoods where no repair precondition holds.
+  Gfa gfa;
+  Alphabet alphabet;
+  int a = gfa.AddNode(ParseChars("a", &alphabet));
+  int b = gfa.AddNode(ParseChars("b", &alphabet));
+  int c = gfa.AddNode(ParseChars("c", &alphabet));
+  gfa.AddEdge(gfa.source(), a);
+  gfa.AddEdge(a, b);
+  gfa.AddEdge(b, c);
+  gfa.AddEdge(c, gfa.sink());
+  gfa.AddEdge(a, gfa.sink());
+  FullMergeFallback(&gfa);
+  RewriteFixpoint(&gfa);
+  EXPECT_TRUE(gfa.IsFinal());
+}
+
+// --- Redundant skip edge rule ----------------------------------------------------
+
+TEST(RedundantSkipEdge, RemovesEpsilonBypassedEdges) {
+  Gfa gfa;
+  Alphabet alphabet;
+  int x = gfa.AddNode(ParseChars("(a+)?", &alphabet));
+  gfa.AddEdge(gfa.source(), x);
+  gfa.AddEdge(x, gfa.sink());
+  gfa.AddEdge(gfa.source(), gfa.sink());  // ε word, bypassed via x
+  ASSERT_TRUE(ApplyRedundantSkipEdgeRule(&gfa));
+  EXPECT_FALSE(gfa.HasEdge(gfa.source(), gfa.sink()));
+  EXPECT_TRUE(gfa.IsFinal());
+}
+
+TEST(RedundantSkipEdge, KeepsNecessaryEdges) {
+  Gfa gfa;
+  Alphabet alphabet;
+  int x = gfa.AddNode(ParseChars("a", &alphabet));  // not nullable
+  gfa.AddEdge(gfa.source(), x);
+  gfa.AddEdge(x, gfa.sink());
+  gfa.AddEdge(gfa.source(), gfa.sink());
+  EXPECT_FALSE(ApplyRedundantSkipEdgeRule(&gfa));
+}
+
+// --- Rewrite counts -----------------------------------------------------------
+
+TEST(RewriteFixpointCount, LinearInAutomatonSize) {
+  // Theorem 1: at most O(n) rewrite steps since every step adds an
+  // operator and operators are never removed.
+  Alphabet alphabet;
+  ReRef target = ParseChars("a(b|c)*d+(e|f)?", &alphabet);
+  Gfa gfa = Gfa::FromSoa(SoaFromRegex(target));
+  int steps = RewriteFixpoint(&gfa);
+  EXPECT_TRUE(gfa.IsFinal());
+  EXPECT_LE(steps, 4 * 6);  // generous linear bound for 6 symbols
+}
+
+}  // namespace
+}  // namespace condtd

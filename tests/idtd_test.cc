@@ -1,0 +1,201 @@
+#include "idtd/idtd.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "automaton/two_t_inf.h"
+#include "base/rng.h"
+#include "gen/random_regex.h"
+#include "gen/regex_sampler.h"
+#include "gen/representative.h"
+#include "gen/reservoir.h"
+#include "idtd/repair.h"
+#include "gfa/rewrite.h"
+#include "regex/equivalence.h"
+#include "regex/matcher.h"
+#include "regex/properties.h"
+#include "tests/testing.h"
+
+namespace condtd {
+namespace {
+
+using testing_util::ParseChars;
+using testing_util::WordsFromStrings;
+
+TEST(Repair, EnableDisjunctionRestoresFigure1FromFigure2) {
+  // Section 6's worked example: the Figure 2 automaton (inferred from
+  // only two strings) is repaired by enable-disjunction on {a, c}; the
+  // added edges are exactly the observations separating Figure 2 from
+  // Figure 1.
+  Alphabet alphabet;
+  std::vector<Word> partial =
+      WordsFromStrings({"bacacdacde", "cbacdbacde"}, &alphabet);
+  Soa soa2 = Infer2T(partial);
+  std::vector<Word> full = WordsFromStrings(
+      {"bacacdacde", "cbacdbacde", "abccaadcde"}, &alphabet);
+  Soa soa1 = Infer2T(full);
+
+  Gfa gfa = Gfa::FromSoa(soa2);
+  ASSERT_EQ(RewriteFixpoint(&gfa), 0);  // rewrite is stuck on Figure 2
+  ASSERT_TRUE(EnableDisjunction(&gfa, /*k=*/2));
+  // After the repair the edge set matches Figure 1: 5 states, the six
+  // missing 2-grams {aa, ab, ad, bc, cc, dc} plus initial marker a.
+  Gfa expected = Gfa::FromSoa(soa1);
+  EXPECT_EQ(gfa.NumEdges(), expected.NumEdges());
+  for (int v : expected.LiveNodes()) {
+    for (int w : expected.Out(v)) {
+      EXPECT_TRUE(gfa.HasEdge(v, w)) << v << "->" << w;
+    }
+  }
+}
+
+TEST(Idtd, RecoversIntendedExpressionFromFigure2) {
+  // iDTD started on the Figure 2 automaton still derives the intended
+  // ((b?(a+c))+d)+e.
+  Alphabet alphabet;
+  std::vector<Word> partial =
+      WordsFromStrings({"bacacdacde", "cbacdbacde"}, &alphabet);
+  Result<ReRef> learned = IdtdInfer(partial);
+  ASSERT_TRUE(learned.ok()) << learned.status().ToString();
+  ReRef paper = ParseChars("((b?(a|c))+d)+e", &alphabet);
+  EXPECT_TRUE(LanguageEquivalent(paper, learned.value()))
+      << ToString(learned.value(), alphabet);
+}
+
+TEST(Idtd, AgreesWithRewriteOnRepresentativeSamples) {
+  // When rewrite alone succeeds, iDTD must return the same language (it
+  // only repairs when stuck).
+  Rng rng(31337);
+  for (int trial = 0; trial < 25; ++trial) {
+    ReRef target = RandomSore(2 + rng.NextBelow(8), &rng);
+    std::vector<Word> sample = RepresentativeSample(target);
+    Result<ReRef> via_rewrite = RewriteInfer(sample);
+    ASSERT_TRUE(via_rewrite.ok());
+    Result<ReRef> via_idtd = IdtdInfer(sample);
+    ASSERT_TRUE(via_idtd.ok());
+    EXPECT_TRUE(LanguageEquivalent(via_rewrite.value(), via_idtd.value()));
+  }
+}
+
+// Theorem 2: iDTD always produces a SORE r with L(A) ⊆ L(r), even on
+// heavily subsampled (non-representative) SOAs.
+class IdtdSupersetSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(IdtdSupersetSweep, SupersetOnSubsampledData) {
+  const int num_symbols = GetParam();
+  Rng rng(777 + num_symbols);
+  for (int trial = 0; trial < 15; ++trial) {
+    ReRef target = RandomSore(num_symbols, &rng);
+    std::vector<Word> full = RepresentativeSample(target);
+    for (const Word& w : SampleWords(target, 10, &rng)) full.push_back(w);
+    // Subsample aggressively so edges go missing.
+    int k = 1 + static_cast<int>(rng.NextBelow(full.size()));
+    std::vector<Word> sample = ReservoirSample(full, k, &rng);
+    if (sample.empty()) continue;
+    bool all_empty = true;
+    for (const Word& w : sample) all_empty = all_empty && w.empty();
+    if (all_empty) continue;
+
+    Result<ReRef> learned = IdtdInfer(sample);
+    ASSERT_TRUE(learned.ok()) << learned.status().ToString();
+    EXPECT_TRUE(IsSore(learned.value()));
+    // Every sample word must be accepted (L(G_W) ⊆ L(r)).
+    Matcher matcher(learned.value());
+    for (const Word& w : sample) {
+      Alphabet names;
+      for (int i = 0; i < num_symbols; ++i) {
+        names.Intern(std::string(1, 'a' + i));
+      }
+      EXPECT_TRUE(matcher.Matches(w))
+          << "learned " << ToString(learned.value(), names) << " rejects "
+          << names.WordToString(w);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, IdtdSupersetSweep,
+                         ::testing::Values(2, 3, 5, 8, 12, 16));
+
+TEST(Idtd, SoaLanguageSubsetOfResult) {
+  // The stronger form of Theorem 2, checked exactly with the DFA
+  // oracle: L(SOA) ⊆ L(iDTD(SOA)).
+  Rng rng(4242);
+  for (int trial = 0; trial < 20; ++trial) {
+    ReRef target = RandomSore(2 + rng.NextBelow(6), &rng);
+    std::vector<Word> sample = SampleWords(target, 6, &rng);
+    bool all_empty = true;
+    for (const Word& w : sample) all_empty = all_empty && w.empty();
+    if (all_empty) continue;
+    Soa soa = Infer2T(sample);
+    Result<ReRef> learned = IdtdFromSoa(soa);
+    ASSERT_TRUE(learned.ok());
+    int num_symbols = 0;
+    for (Symbol s : SymbolsOf(learned.value())) {
+      num_symbols = std::max(num_symbols, static_cast<int>(s) + 1);
+    }
+    Dfa soa_dfa = Dfa::FromNfa(soa.ToNfa(), num_symbols);
+    Dfa re_dfa = CompileToDfa(learned.value(), num_symbols);
+    EXPECT_TRUE(Dfa::IsSubset(soa_dfa, re_dfa));
+  }
+}
+
+TEST(Idtd, FallbackTerminatesOnAdversarialAutomaton) {
+  // A dense random SOA with no SORE structure: the unrestricted variant
+  // (escalating k + full merge) must still terminate with a SORE.
+  Rng rng(9);
+  Soa soa;
+  const int n = 10;
+  for (Symbol s = 0; s < n; ++s) soa.AddState(s);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (rng.Bernoulli(0.31)) soa.AddEdge(i, j);
+    }
+  }
+  soa.AddInitial(0);
+  soa.AddFinal(n - 1);
+  soa.AddEdge(0, n - 1);
+  Result<ReRef> learned = IdtdFromSoa(soa);
+  ASSERT_TRUE(learned.ok()) << learned.status().ToString();
+  EXPECT_TRUE(IsSore(learned.value()));
+}
+
+TEST(Idtd, NoiseThresholdDropsLowSupportEdges) {
+  // 200 clean words of (ab)+ plus one noisy word with an inverted pair;
+  // with edge-support noise handling the clean SORE is recovered.
+  Alphabet alphabet;
+  std::vector<std::string> strings;
+  for (int i = 0; i < 100; ++i) {
+    strings.push_back("ab");
+    strings.push_back("abab");
+  }
+  strings.push_back("ba");  // noise: starts with b, edge b->a start
+  std::vector<Word> sample = WordsFromStrings(strings, &alphabet);
+
+  IdtdOptions options;
+  options.noise_edge_threshold = 5;
+  Result<ReRef> learned = IdtdInfer(sample, options);
+  ASSERT_TRUE(learned.ok());
+  ReRef clean = ParseChars("(ab)+", &alphabet);
+  EXPECT_TRUE(LanguageEquivalent(clean, learned.value()))
+      << ToString(learned.value(), alphabet);
+}
+
+TEST(Idtd, EmptySoaFails) {
+  Soa soa;
+  EXPECT_EQ(IdtdFromSoa(soa).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(Idtd, SingleStateSoa) {
+  Alphabet alphabet;
+  Result<ReRef> learned =
+      IdtdInfer(WordsFromStrings({"a", "aa"}, &alphabet));
+  ASSERT_TRUE(learned.ok());
+  EXPECT_EQ(ToString(learned.value(), alphabet), "a+");
+}
+
+}  // namespace
+}  // namespace condtd

@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "gen/random_regex.h"
+#include "regex/ast.h"
+#include "regex/equivalence.h"
+#include "regex/matcher.h"
+#include "regex/normalize.h"
+#include "regex/parser.h"
+#include "regex/properties.h"
+#include "tests/testing.h"
+
+namespace condtd {
+namespace {
+
+using testing_util::ParseChars;
+using testing_util::ParseNames;
+
+// --- AST construction -------------------------------------------------------
+
+TEST(ReAst, ConcatFlattens) {
+  ReRef a = Re::Sym(0);
+  ReRef b = Re::Sym(1);
+  ReRef c = Re::Sym(2);
+  ReRef nested = Re::Concat({Re::Concat({a, b}), c});
+  EXPECT_EQ(nested->kind(), ReKind::kConcat);
+  EXPECT_EQ(nested->children().size(), 3u);
+}
+
+TEST(ReAst, ConcatOfOneIsIdentity) {
+  ReRef a = Re::Sym(0);
+  EXPECT_EQ(Re::Concat({a}).get(), a.get());
+}
+
+TEST(ReAst, DisjFlattensSortsAndDedups) {
+  ReRef d = Re::Disj({Re::Sym(2), Re::Disj({Re::Sym(0), Re::Sym(2)})});
+  ASSERT_EQ(d->kind(), ReKind::kDisj);
+  ASSERT_EQ(d->children().size(), 2u);
+  EXPECT_EQ(d->children()[0]->symbol(), 0);
+  EXPECT_EQ(d->children()[1]->symbol(), 2);
+}
+
+TEST(ReAst, StructuralEqualityIsCommutativeForDisj) {
+  ReRef x = Re::Disj({Re::Sym(0), Re::Sym(1)});
+  ReRef y = Re::Disj({Re::Sym(1), Re::Sym(0)});
+  EXPECT_TRUE(StructurallyEqual(x, y));
+}
+
+// --- Printing ----------------------------------------------------------------
+
+TEST(RePrint, PaperNotationMatchesPaperExamples) {
+  Alphabet alphabet;
+  ReRef re = ParseChars("((b?(a|c))+d)+e", &alphabet);
+  EXPECT_EQ(ToString(re, alphabet, PrintStyle::kPaper), "((b?(a + c))+d)+e");
+}
+
+TEST(RePrint, ParseableRoundTrip) {
+  Alphabet alphabet;
+  std::vector<std::string> cases = {
+      "((b?(a|c))+d)+e", "a(b|c)*d+(e|f)?", "a?b?c", "(a|b|c)*",
+      "((ab)+c)+",       "a+",              "(a+|b)c"};
+  for (const std::string& text : cases) {
+    ReRef re = ParseChars(text, &alphabet);
+    std::string printed = ToString(re, alphabet, PrintStyle::kParseable);
+    RegexParseOptions options;  // parseable output uses spaces, so the
+    Result<ReRef> back =        // multi-char tokenizer handles it
+        ParseRegex(printed, &alphabet, options);
+    ASSERT_TRUE(back.ok()) << printed << ": " << back.status().ToString();
+    EXPECT_TRUE(StructurallyEqual(re, back.value())) << printed;
+  }
+}
+
+TEST(RePrint, PaperModeSpacesAmbiguousNameBoundaries) {
+  // The paper's tables rely on subscripts to run names together
+  // ("a1a2a3a4+"); in ASCII a space is inserted exactly where two name
+  // characters would otherwise merge into one token.
+  Alphabet alphabet;
+  ReRef re = ParseNames("a1 a2+ (a3 | a4)?", &alphabet);
+  EXPECT_EQ(ToString(re, alphabet, PrintStyle::kPaper), "a1 a2+(a3 + a4)?");
+  ReRef re2 = ParseNames("a1 a2 a3", &alphabet);
+  EXPECT_EQ(ToString(re2, alphabet, PrintStyle::kPaper), "a1 a2 a3");
+  // Single-letter examples still run together.
+  Alphabet letters;
+  ReRef re3 = ParseChars("ab+c?", &letters);
+  EXPECT_EQ(ToString(re3, letters, PrintStyle::kPaper), "ab+c?");
+}
+
+// --- Parser ------------------------------------------------------------------
+
+TEST(ReParse, PostfixPlusVersusUnionPlus) {
+  Alphabet alphabet;
+  // "a1+ + (a2 a3)" is the paper's notation for union with Kleene plus.
+  ReRef re = ParseNames("a1+ + (a2 a3)", &alphabet);
+  ASSERT_EQ(re->kind(), ReKind::kDisj);
+  ASSERT_EQ(re->children().size(), 2u);
+  // Alternatives are canonically sorted (concat before plus).
+  EXPECT_EQ(re->children()[0]->kind(), ReKind::kConcat);
+  EXPECT_EQ(re->children()[1]->kind(), ReKind::kPlus);
+}
+
+TEST(ReParse, Errors) {
+  Alphabet alphabet;
+  EXPECT_FALSE(ParseRegex("", &alphabet).ok());
+  EXPECT_FALSE(ParseRegex("(a", &alphabet).ok());
+  EXPECT_FALSE(ParseRegex("a)", &alphabet).ok());
+  EXPECT_FALSE(ParseRegex("|a", &alphabet).ok());
+  EXPECT_FALSE(ParseRegex("a | ", &alphabet).ok());
+  EXPECT_FALSE(ParseRegex(nullptr == nullptr ? "a" : "", nullptr).ok());
+}
+
+TEST(ReParse, CharSymbolsMode) {
+  Alphabet alphabet;
+  ReRef re = ParseChars("abc", &alphabet);
+  ASSERT_EQ(re->kind(), ReKind::kConcat);
+  EXPECT_EQ(re->children().size(), 3u);
+}
+
+// --- Properties --------------------------------------------------------------
+
+TEST(ReProperties, Nullable) {
+  Alphabet alphabet;
+  EXPECT_FALSE(Nullable(ParseChars("a", &alphabet)));
+  EXPECT_TRUE(Nullable(ParseChars("a?", &alphabet)));
+  EXPECT_TRUE(Nullable(ParseChars("a*", &alphabet)));
+  EXPECT_FALSE(Nullable(ParseChars("a+", &alphabet)));
+  EXPECT_TRUE(Nullable(ParseChars("a?b?", &alphabet)));
+  EXPECT_FALSE(Nullable(ParseChars("a?b", &alphabet)));
+  EXPECT_TRUE(Nullable(ParseChars("a|b?", &alphabet)));
+}
+
+TEST(ReProperties, IsSore) {
+  Alphabet alphabet;
+  EXPECT_TRUE(IsSore(ParseChars("((b?(a|c))+d)+e", &alphabet)));
+  EXPECT_FALSE(IsSore(ParseChars("a(a|b)*", &alphabet)));
+}
+
+TEST(ReProperties, IsChare) {
+  Alphabet alphabet;
+  EXPECT_TRUE(IsChare(ParseChars("a(b|c)*d+(e|f)?", &alphabet)));
+  EXPECT_FALSE(IsChare(ParseChars("(ab|c)*", &alphabet)));
+  EXPECT_FALSE(IsChare(ParseChars("(a*|b?)*", &alphabet)));
+  EXPECT_TRUE(IsChare(ParseChars("a", &alphabet)));
+  EXPECT_TRUE(IsChare(ParseChars("(a|b)+", &alphabet)));
+  // Every CHARE is a SORE but not vice versa.
+  ReRef sore = ParseChars("((b?(a|c))+d)+e", &alphabet);
+  EXPECT_TRUE(IsSore(sore));
+  EXPECT_FALSE(IsChare(sore));
+}
+
+TEST(ReProperties, SymbolSetsMatchSection4Example) {
+  // r = (a+b)+c: I = {a, b}, F = {c}, 2-grams {aa, ab, ba, bb, ac, bc}.
+  Alphabet alphabet;
+  ReRef re = ParseChars("(a|b)+c", &alphabet);
+  SymbolSets sets = ComputeSymbolSets(re);
+  Symbol a = alphabet.Find("a");
+  Symbol b = alphabet.Find("b");
+  Symbol c = alphabet.Find("c");
+  EXPECT_EQ(sets.first, (std::set<Symbol>{a, b}));
+  EXPECT_EQ(sets.last, (std::set<Symbol>{c}));
+  std::set<std::pair<Symbol, Symbol>> expected = {
+      {a, a}, {a, b}, {b, a}, {b, b}, {a, c}, {b, c}};
+  EXPECT_EQ(sets.follow, expected);
+  EXPECT_FALSE(sets.nullable);
+}
+
+TEST(ReProperties, CountTokens) {
+  Alphabet alphabet;
+  EXPECT_EQ(CountTokens(ParseChars("abc", &alphabet)), 3);
+  EXPECT_EQ(CountTokens(ParseChars("(a|b)+c", &alphabet)), 5);
+  EXPECT_EQ(CountTokens(ParseChars("a?", &alphabet)), 2);
+}
+
+// --- Normalization -----------------------------------------------------------
+
+TEST(ReNormalize, PaperRules) {
+  Alphabet alphabet;
+  struct Case {
+    std::string input;
+    std::string expected;  // Normalize output, parseable style
+  };
+  std::vector<Case> cases = {
+      {"(a+)+", "a+"},      {"a??", "a?"},        {"(a?)+", "a*"},
+      {"(a+)?", "a*"},      {"(a*)*", "a*"},      {"(a+|b)+", "(a | b)+"},
+      {"(a?|b)+", "(a | b)*"},                    {"(a|b?)", "(a | b)?"},
+      {"((a|b)+)?", "(a | b)*"},
+  };
+  for (const Case& c : cases) {
+    ReRef re = ParseChars(c.input, &alphabet);
+    EXPECT_EQ(ToString(Normalize(re), alphabet), c.expected) << c.input;
+  }
+}
+
+TEST(ReNormalize, NoStarFormHasNoStars) {
+  Rng rng(2006);
+  for (int trial = 0; trial < 50; ++trial) {
+    ReRef re = RandomSore(1 + rng.NextBelow(8), &rng);
+    ReRef normalized = NormalizeNoStar(re);
+    std::vector<const Re*> stack = {normalized.get()};
+    while (!stack.empty()) {
+      const Re* node = stack.back();
+      stack.pop_back();
+      EXPECT_NE(node->kind(), ReKind::kStar);
+      for (const auto& c : node->children()) stack.push_back(c.get());
+    }
+  }
+}
+
+TEST(ReNormalize, PreservesLanguage) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 60; ++trial) {
+    ReRef re = RandomSore(1 + rng.NextBelow(8), &rng);
+    EXPECT_TRUE(LanguageEquivalent(re, Normalize(re)));
+    EXPECT_TRUE(LanguageEquivalent(re, NormalizeNoStar(re)));
+  }
+}
+
+// --- Matching ----------------------------------------------------------------
+
+TEST(ReMatch, BasicMembership) {
+  Alphabet alphabet;
+  ReRef re = ParseChars("((b?(a|c))+d)+e", &alphabet);
+  Matcher matcher(re);
+  EXPECT_TRUE(matcher.Matches(alphabet.WordFromChars("bacacdacde")));
+  EXPECT_TRUE(matcher.Matches(alphabet.WordFromChars("ade")));
+  EXPECT_FALSE(matcher.Matches(alphabet.WordFromChars("e")));
+  EXPECT_FALSE(matcher.Matches(alphabet.WordFromChars("abe")));
+  EXPECT_FALSE(matcher.Matches(Word{}));
+}
+
+TEST(ReMatch, EmptyWordOnlyForNullable) {
+  Alphabet alphabet;
+  EXPECT_TRUE(Matches(ParseChars("a*", &alphabet), Word{}));
+  EXPECT_FALSE(Matches(ParseChars("a+", &alphabet), Word{}));
+}
+
+// --- Equivalence oracle -------------------------------------------------------
+
+TEST(ReEquivalence, KnownPairs) {
+  Alphabet alphabet;
+  EXPECT_TRUE(LanguageEquivalent(ParseChars("(a+)?", &alphabet),
+                                 ParseChars("a*", &alphabet)));
+  EXPECT_TRUE(LanguageEquivalent(ParseChars("(a?|b)+", &alphabet),
+                                 ParseChars("(a|b)*", &alphabet)));
+  EXPECT_FALSE(LanguageEquivalent(ParseChars("(a|b)+", &alphabet),
+                                  ParseChars("(a+|b+)", &alphabet)));
+  EXPECT_TRUE(LanguageSubset(ParseChars("(a+|b+)", &alphabet),
+                             ParseChars("(a|b)+", &alphabet)));
+  EXPECT_FALSE(LanguageSubset(ParseChars("(a|b)+", &alphabet),
+                              ParseChars("(a+|b+)", &alphabet)));
+}
+
+TEST(ReEquivalence, DisagreesOnWitnessWords) {
+  // Sanity-check the oracle itself against brute-force enumeration for
+  // small alphabets.
+  Alphabet alphabet;
+  ReRef r1 = ParseChars("a(b|c)*", &alphabet);
+  ReRef r2 = ParseChars("a(b*c*)*", &alphabet);
+  EXPECT_TRUE(LanguageEquivalent(r1, r2));
+  Matcher m1(r1);
+  Matcher m2(r2);
+  // Enumerate all words up to length 5 over {a, b, c}.
+  for (int len = 0; len <= 5; ++len) {
+    std::vector<int> idx(len, 0);
+    while (true) {
+      Word w(idx.begin(), idx.end());
+      EXPECT_EQ(m1.Matches(w), m2.Matches(w));
+      int pos = len - 1;
+      while (pos >= 0 && idx[pos] == 2) idx[pos--] = 0;
+      if (pos < 0) break;
+      ++idx[pos];
+    }
+  }
+}
+
+}  // namespace
+}  // namespace condtd

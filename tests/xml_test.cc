@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "xml/extract.h"
+#include "xml/lexer.h"
+#include "xml/parser.h"
+
+namespace condtd {
+namespace {
+
+TEST(XmlParser, MinimalDocument) {
+  Result<XmlDocument> doc = ParseXml("<root/>");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->root->name(), "root");
+  EXPECT_TRUE(doc->root->children().empty());
+}
+
+TEST(XmlParser, NestedElementsInOrder) {
+  Result<XmlDocument> doc = ParseXml(
+      "<book><title>T</title><author>A</author><author>B</author></book>");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->root->children().size(), 3u);
+  EXPECT_EQ(doc->root->children()[0]->name(), "title");
+  EXPECT_EQ(doc->root->children()[1]->name(), "author");
+  EXPECT_EQ(doc->root->children()[2]->name(), "author");
+  EXPECT_EQ(doc->root->children()[0]->text(), "T");
+}
+
+TEST(XmlParser, AttributesAndEntities) {
+  Result<XmlDocument> doc = ParseXml(
+      "<a x=\"1 &amp; 2\" y='&#65;&lt;'><b z/></a>");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->root->attributes().size(), 2u);
+  EXPECT_EQ(*doc->root->FindAttribute("x"), "1 & 2");
+  EXPECT_EQ(*doc->root->FindAttribute("y"), "A<");
+  // Valueless attribute (noisy HTML-style) is tolerated.
+  EXPECT_NE(doc->root->children()[0]->FindAttribute("z"), nullptr);
+}
+
+TEST(XmlParser, CommentsPIsCdata) {
+  Result<XmlDocument> doc = ParseXml(
+      "<?xml version=\"1.0\"?><!-- hi --><r><![CDATA[<not-a-tag>]]></r>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->text(), "<not-a-tag>");
+}
+
+TEST(XmlParser, DoctypeWithInternalSubset) {
+  Result<XmlDocument> doc = ParseXml(
+      "<!DOCTYPE r [ <!ELEMENT r (a, b?)> <!ELEMENT a EMPTY> ]>"
+      "<r><a/></r>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_NE(doc->doctype.find("<!ELEMENT r"), std::string::npos);
+}
+
+TEST(XmlParser, UnknownEntityKeptVerbatim) {
+  Result<XmlDocument> doc = ParseXml("<r>&nbsp;x</r>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->text(), "&nbsp;x");
+}
+
+TEST(XmlParser, Errors) {
+  EXPECT_FALSE(ParseXml("").ok());
+  EXPECT_FALSE(ParseXml("<a><b></a></b>").ok());
+  EXPECT_FALSE(ParseXml("<a>").ok());
+  EXPECT_FALSE(ParseXml("</a>").ok());
+  EXPECT_FALSE(ParseXml("<a/><b/>").ok());
+  EXPECT_FALSE(ParseXml("text only").ok());
+  EXPECT_FALSE(ParseXml("<a x=unquoted/>").ok());
+  EXPECT_FALSE(ParseXml("<a><!-- unterminated").ok());
+}
+
+TEST(XmlParser, RoundTripThroughToXml) {
+  Result<XmlDocument> doc = ParseXml(
+      "<r a=\"v\"><x/><y>text</y><x><z/></x></r>");
+  ASSERT_TRUE(doc.ok());
+  std::string serialized = doc->ToXml();
+  Result<XmlDocument> again = ParseXml(serialized);
+  ASSERT_TRUE(again.ok()) << serialized;
+  EXPECT_EQ(again->root->children().size(), 3u);
+  EXPECT_EQ(*again->root->FindAttribute("a"), "v");
+}
+
+TEST(XmlExtract, ChildSequencesPerElement) {
+  Result<XmlDocument> doc = ParseXml(
+      "<db><rec><k/><v/></rec><rec><k/></rec><note>hi</note></db>");
+  ASSERT_TRUE(doc.ok());
+  Alphabet alphabet;
+  ElementContexts contexts = ExtractContexts(doc.value(), &alphabet);
+  Symbol db = alphabet.Find("db");
+  Symbol rec = alphabet.Find("rec");
+  Symbol note = alphabet.Find("note");
+  ASSERT_EQ(contexts.contexts.at(db).size(), 1u);
+  EXPECT_EQ(contexts.contexts.at(db)[0].size(), 3u);
+  ASSERT_EQ(contexts.contexts.at(rec).size(), 2u);
+  EXPECT_EQ(contexts.contexts.at(rec)[0].size(), 2u);
+  EXPECT_EQ(contexts.contexts.at(rec)[1].size(), 1u);
+  EXPECT_TRUE(contexts.has_text.count(note) > 0);
+  EXPECT_TRUE(contexts.roots.count(db) > 0);
+}
+
+TEST(XmlLexer, TokenStream) {
+  XmlLexer lexer("<a b=\"c\">x</a>");
+  Result<XmlToken> t1 = lexer.Next();
+  ASSERT_TRUE(t1.ok());
+  EXPECT_EQ(t1->kind, XmlTokenKind::kStartTag);
+  EXPECT_EQ(t1->name, "a");
+  ASSERT_EQ(t1->attributes.size(), 1u);
+  Result<XmlToken> t2 = lexer.Next();
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(t2->kind, XmlTokenKind::kText);
+  EXPECT_EQ(t2->text, "x");
+  Result<XmlToken> t3 = lexer.Next();
+  ASSERT_TRUE(t3.ok());
+  EXPECT_EQ(t3->kind, XmlTokenKind::kEndTag);
+  Result<XmlToken> t4 = lexer.Next();
+  ASSERT_TRUE(t4.ok());
+  EXPECT_EQ(t4->kind, XmlTokenKind::kEof);
+}
+
+}  // namespace
+}  // namespace condtd

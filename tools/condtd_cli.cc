@@ -1,0 +1,500 @@
+// condtd — command-line DTD/XSD inference and validation.
+//
+//   condtd infer [options] file.xml...      infer a schema from documents
+//       --xsd                 emit an XML Schema instead of a DTD
+//       --algorithm=auto|crx|idtd|rewrite   learner selection
+//       --noise=N             support threshold for noisy data
+//       --out=FILE            write the schema to FILE instead of stdout
+//       --state-in=FILE       resume from a saved summary state
+//       --state-out=FILE      save the summary state after folding
+//                             (incremental pipelines: keep the state,
+//                             discard the XML — Section 9)
+//   condtd validate --schema=file.dtd file.xml...
+//                                           validate documents; a missing
+//                                           --schema uses each document's
+//                                           internal DOCTYPE subset
+//   condtd regex "expr" word...             membership tests for a paper-
+//                                           notation RE over 1-letter
+//                                           symbols (debug aid)
+//   condtd stats file.dtd...                classify every content model
+//                                           (SORE? CHARE? deterministic?)
+//                                           — the paper's [10] study
+//   condtd gen --schema=file.dtd [--count=N] [--seed=S] [--prefix=P]
+//                                           generate N random documents
+//                                           valid for the DTD (ToXgene
+//                                           substitute); files P0.xml...
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "base/file.h"
+#include "base/rng.h"
+#include "base/strings.h"
+#include "gen/xml_gen.h"
+#include "xsd/parser.h"
+#include "dtd/diff.h"
+#include "dtd/dtd_parser.h"
+#include "dtd/dtd_writer.h"
+#include "dtd/validator.h"
+#include "infer/contextual.h"
+#include "infer/inferrer.h"
+#include "regex/determinism.h"
+#include "regex/matcher.h"
+#include "regex/parser.h"
+#include "regex/properties.h"
+#include "xml/parser.h"
+
+namespace condtd {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  condtd infer [--xsd] [--algorithm=auto|crx|idtd|rewrite]\n"
+      "               [--noise=N] [--out=FILE] [--state-in=FILE]\n"
+      "               [--state-out=FILE] file.xml...\n"
+      "  condtd validate [--schema=file.dtd] file.xml...\n"
+      "  condtd regex \"expr\" word...\n"
+      "  condtd stats file.dtd...\n"
+      "  condtd gen --schema=file.dtd [--count=N] [--seed=S] "
+      "[--prefix=P]\n"
+      "  condtd context [--xsd] file.xml...\n"
+      "  condtd diff left.dtd right.dtd   (exit 0 iff language-equal)\n");
+  return 2;
+}
+
+bool GetFlag(const std::string& arg, const char* name, std::string* value) {
+  std::string prefix = std::string("--") + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+int RunInfer(const std::vector<std::string>& args) {
+  InferenceOptions options;
+  bool emit_xsd = false;
+  std::string out_path;
+  std::string state_in;
+  std::string state_out;
+  std::vector<std::string> files;
+  for (const std::string& arg : args) {
+    std::string value;
+    if (arg == "--xsd") {
+      emit_xsd = true;
+    } else if (arg == "--lenient") {
+      options.lenient_xml = true;
+    } else if (GetFlag(arg, "state-in", &value)) {
+      state_in = value;
+    } else if (GetFlag(arg, "state-out", &value)) {
+      state_out = value;
+    } else if (GetFlag(arg, "algorithm", &value)) {
+      if (value == "crx") {
+        options.algorithm = InferenceAlgorithm::kCrx;
+      } else if (value == "idtd") {
+        options.algorithm = InferenceAlgorithm::kIdtd;
+      } else if (value == "rewrite") {
+        options.algorithm = InferenceAlgorithm::kRewriteOnly;
+      } else if (value == "auto") {
+        options.algorithm = InferenceAlgorithm::kAuto;
+      } else {
+        std::fprintf(stderr, "unknown algorithm '%s'\n", value.c_str());
+        return 2;
+      }
+    } else if (GetFlag(arg, "noise", &value)) {
+      options.noise_symbol_threshold = std::atoi(value.c_str());
+      options.idtd.noise_edge_threshold = options.noise_symbol_threshold;
+    } else if (GetFlag(arg, "out", &value)) {
+      out_path = value;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty() && state_in.empty()) return Usage();
+
+  DtdInferrer inferrer(options);
+  if (!state_in.empty()) {
+    Result<std::string> state = ReadFileToString(state_in);
+    if (!state.ok()) {
+      std::fprintf(stderr, "%s: %s\n", state_in.c_str(),
+                   state.status().ToString().c_str());
+      return 1;
+    }
+    Status status = inferrer.LoadState(state.value());
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s: %s\n", state_in.c_str(),
+                   status.ToString().c_str());
+      return 1;
+    }
+  }
+  for (const std::string& path : files) {
+    Result<std::string> content = ReadFileToString(path);
+    if (!content.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   content.status().ToString().c_str());
+      return 1;
+    }
+    Status status = inferrer.AddXml(content.value());
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   status.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!state_out.empty()) {
+    Status status = WriteStringToFile(state_out, inferrer.SaveState());
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  std::string schema;
+  if (emit_xsd) {
+    Result<std::string> xsd = inferrer.InferXsd();
+    if (!xsd.ok()) {
+      std::fprintf(stderr, "inference failed: %s\n",
+                   xsd.status().ToString().c_str());
+      return 1;
+    }
+    schema = xsd.value();
+  } else {
+    Result<Dtd> dtd = inferrer.InferDtd();
+    if (!dtd.ok()) {
+      std::fprintf(stderr, "inference failed: %s\n",
+                   dtd.status().ToString().c_str());
+      return 1;
+    }
+    schema = WriteDtd(dtd.value(), *inferrer.alphabet());
+  }
+  if (out_path.empty()) {
+    std::fputs(schema.c_str(), stdout);
+  } else {
+    Status status = WriteStringToFile(out_path, schema);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int RunValidate(const std::vector<std::string>& args) {
+  std::string schema_path;
+  std::vector<std::string> files;
+  for (const std::string& arg : args) {
+    std::string value;
+    if (GetFlag(arg, "schema", &value)) {
+      schema_path = value;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) return Usage();
+
+  Alphabet alphabet;
+  Dtd external;
+  bool have_external = false;
+  if (!schema_path.empty()) {
+    Result<std::string> content = ReadFileToString(schema_path);
+    if (!content.ok()) {
+      std::fprintf(stderr, "%s: %s\n", schema_path.c_str(),
+                   content.status().ToString().c_str());
+      return 1;
+    }
+    // XSDs are accepted too: sniff for an xs:schema root and lower the
+    // schema to its DTD-equivalent model.
+    bool is_xsd =
+        content->find("<xs:schema") != std::string::npos ||
+        content->find(":schema") != std::string::npos ||
+        EndsWith(schema_path, ".xsd");
+    Result<Dtd> dtd = is_xsd ? ParseXsd(content.value(), &alphabet)
+                             : ParseDtd(content.value(), &alphabet);
+    if (!dtd.ok()) {
+      std::fprintf(stderr, "%s: %s\n", schema_path.c_str(),
+                   dtd.status().ToString().c_str());
+      return 1;
+    }
+    external = dtd.value();
+    have_external = true;
+  }
+
+  int failures = 0;
+  for (const std::string& path : files) {
+    Result<std::string> content = ReadFileToString(path);
+    if (!content.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   content.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    Result<XmlDocument> doc = ParseXml(content.value());
+    if (!doc.ok()) {
+      std::printf("%s: not well-formed: %s\n", path.c_str(),
+                  doc.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    Dtd dtd;
+    if (have_external) {
+      dtd = external;
+    } else if (!doc->doctype.empty()) {
+      Result<Dtd> internal = ParseDoctype(doc->doctype, &alphabet);
+      if (!internal.ok()) {
+        std::printf("%s: bad DOCTYPE: %s\n", path.c_str(),
+                    internal.status().ToString().c_str());
+        ++failures;
+        continue;
+      }
+      dtd = internal.value();
+    } else {
+      std::printf("%s: no --schema given and no DOCTYPE present\n",
+                  path.c_str());
+      ++failures;
+      continue;
+    }
+    ValidationReport report = Validate(doc.value(), dtd, &alphabet);
+    for (const ValidationIssue& warning : report.warnings) {
+      std::printf("%s: warning: <%s>: %s\n", path.c_str(),
+                  warning.element.c_str(), warning.message.c_str());
+    }
+    if (report.valid()) {
+      std::printf("%s: valid (%d elements)\n", path.c_str(),
+                  report.elements_checked);
+    } else {
+      for (const ValidationIssue& issue : report.issues) {
+        std::printf("%s: <%s>: %s\n", path.c_str(), issue.element.c_str(),
+                    issue.message.c_str());
+      }
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int RunRegex(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  Alphabet alphabet;
+  RegexParseOptions parse_options;
+  parse_options.char_symbols = true;
+  Result<ReRef> re = ParseRegex(args[0], &alphabet, parse_options);
+  if (!re.ok()) {
+    std::fprintf(stderr, "%s\n", re.status().ToString().c_str());
+    return 1;
+  }
+  Matcher matcher(re.value());
+  std::printf("parsed: %s\n",
+              ToString(re.value(), alphabet, PrintStyle::kPaper).c_str());
+  for (size_t i = 1; i < args.size(); ++i) {
+    Word word = alphabet.WordFromChars(args[i]);
+    std::printf("%-20s %s\n", args[i].c_str(),
+                matcher.Matches(word) ? "accepted" : "rejected");
+  }
+  return 0;
+}
+
+int RunStats(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  int total = 0;
+  int trivial = 0;
+  int sores = 0;
+  int chares = 0;
+  int deterministic = 0;
+  for (const std::string& path : args) {
+    Result<std::string> content = ReadFileToString(path);
+    if (!content.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   content.status().ToString().c_str());
+      return 1;
+    }
+    Alphabet alphabet;
+    Result<Dtd> dtd = ParseDtd(content.value(), &alphabet);
+    if (!dtd.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   dtd.status().ToString().c_str());
+      return 1;
+    }
+    for (const auto& [symbol, model] : dtd->elements) {
+      if (model.kind != ContentKind::kChildren) {
+        ++trivial;
+        continue;
+      }
+      ++total;
+      bool sore = IsSore(model.regex);
+      bool chare = IsChare(model.regex);
+      bool det = IsDeterministic(model.regex);
+      sores += sore;
+      chares += chare;
+      deterministic += det;
+      std::printf("%s: %-20s %s  [%s%s]\n", path.c_str(),
+                  alphabet.Name(symbol).c_str(),
+                  ContentModelToString(model, alphabet).c_str(),
+                  chare ? "CHARE" : (sore ? "SORE" : "general"),
+                  det ? ", deterministic" : ", NOT deterministic");
+    }
+  }
+  if (total > 0) {
+    std::printf(
+        "\n%d non-trivial content models (%d trivial): %.0f%% SOREs, "
+        "%.0f%% CHAREs, %.0f%% deterministic\n",
+        total, trivial, 100.0 * sores / total, 100.0 * chares / total,
+        100.0 * deterministic / total);
+  } else {
+    std::printf("no non-trivial content models (%d trivial)\n", trivial);
+  }
+  return 0;
+}
+
+int RunDiff(const std::vector<std::string>& args) {
+  if (args.size() != 2) return Usage();
+  Alphabet alphabet;
+  Dtd dtds[2];
+  for (int i = 0; i < 2; ++i) {
+    Result<std::string> content = ReadFileToString(args[i]);
+    if (!content.ok()) {
+      std::fprintf(stderr, "%s: %s\n", args[i].c_str(),
+                   content.status().ToString().c_str());
+      return 1;
+    }
+    bool is_xsd = content->find(":schema") != std::string::npos ||
+                  EndsWith(args[i], ".xsd");
+    Result<Dtd> dtd = is_xsd ? ParseXsd(content.value(), &alphabet)
+                             : ParseDtd(content.value(), &alphabet);
+    if (!dtd.ok()) {
+      std::fprintf(stderr, "%s: %s\n", args[i].c_str(),
+                   dtd.status().ToString().c_str());
+      return 1;
+    }
+    dtds[i] = dtd.value();
+  }
+  DtdDiff diff = CompareDtds(dtds[0], dtds[1]);
+  std::fputs(DiffToString(diff, dtds[0], dtds[1], alphabet).c_str(),
+             stdout);
+  return diff.Identical() ? 0 : 1;
+}
+
+int RunContext(const std::vector<std::string>& args) {
+  bool emit_xsd = false;
+  std::vector<std::string> files;
+  for (const std::string& arg : args) {
+    if (arg == "--xsd") {
+      emit_xsd = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) return Usage();
+  ContextualInferrer inferrer;
+  for (const std::string& path : files) {
+    Result<std::string> content = ReadFileToString(path);
+    if (!content.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   content.status().ToString().c_str());
+      return 1;
+    }
+    Status status = inferrer.AddXml(content.value());
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   status.ToString().c_str());
+      return 1;
+    }
+  }
+  if (emit_xsd) {
+    Result<std::string> xsd = inferrer.InferLocalXsd();
+    if (!xsd.ok()) {
+      std::fprintf(stderr, "%s\n", xsd.status().ToString().c_str());
+      return 1;
+    }
+    std::fputs(xsd->c_str(), stdout);
+    return 0;
+  }
+  Result<ContextualInferrer::Report> report = inferrer.Infer();
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(inferrer.ReportToString(report.value()).c_str(), stdout);
+  return 0;
+}
+
+int RunGen(const std::vector<std::string>& args) {
+  std::string schema_path;
+  std::string prefix = "doc";
+  int count = 10;
+  uint64_t seed = 20060912;
+  for (const std::string& arg : args) {
+    std::string value;
+    if (GetFlag(arg, "schema", &value)) {
+      schema_path = value;
+    } else if (GetFlag(arg, "count", &value)) {
+      count = std::atoi(value.c_str());
+    } else if (GetFlag(arg, "seed", &value)) {
+      seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (GetFlag(arg, "prefix", &value)) {
+      prefix = value;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (schema_path.empty() || count <= 0) return Usage();
+  Result<std::string> content = ReadFileToString(schema_path);
+  if (!content.ok()) {
+    std::fprintf(stderr, "%s: %s\n", schema_path.c_str(),
+                 content.status().ToString().c_str());
+    return 1;
+  }
+  Alphabet alphabet;
+  Result<Dtd> dtd = ParseDtd(content.value(), &alphabet);
+  if (!dtd.ok()) {
+    std::fprintf(stderr, "%s: %s\n", schema_path.c_str(),
+                 dtd.status().ToString().c_str());
+    return 1;
+  }
+  Rng rng(seed);
+  for (int i = 0; i < count; ++i) {
+    Result<XmlDocument> doc = GenerateDocument(dtd.value(), alphabet, &rng);
+    if (!doc.ok()) {
+      std::fprintf(stderr, "generation failed: %s\n",
+                   doc.status().ToString().c_str());
+      return 1;
+    }
+    std::string path = prefix + std::to_string(i) + ".xml";
+    Status status = WriteStringToFile(path, doc->ToXml());
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", path.c_str());
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (command == "infer") return RunInfer(args);
+  if (command == "validate") return RunValidate(args);
+  if (command == "regex") return RunRegex(args);
+  if (command == "stats") return RunStats(args);
+  if (command == "gen") return RunGen(args);
+  if (command == "context") return RunContext(args);
+  if (command == "diff") return RunDiff(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace condtd
+
+int main(int argc, char** argv) { return condtd::Main(argc, argv); }
