@@ -1,0 +1,139 @@
+// Thread-count scaling of the parallel sharded-ingestion pipeline
+// (ParallelDtdInferrer) on the paper's corpora: Table 2's example4
+// (61 symbols, 10000 strings — one big element, dominated by parse +
+// fold) and a multi-element corpus built from the nine Table 1 content
+// models (exercises the per-element inference fan-out). The sequential
+// DtdInferrer over the same documents is the baseline each sweep is
+// compared against; the run_parallel_scaling.sh runner captures the
+// sweep as BENCH_parallel.json.
+//
+// Note the determinism contract: every thread count produces the same
+// DTD, so the sweep measures pure pipeline overhead/speedup.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "gen/corpus.h"
+#include "infer/inferrer.h"
+#include "infer/parallel.h"
+
+namespace condtd {
+namespace {
+
+/// One document per sample word: <root><a1/><a7/>...</root>.
+std::vector<std::string> DocumentsFromCase(const ExperimentCase& c,
+                                           const std::string& root,
+                                           int max_docs) {
+  std::vector<std::string> documents;
+  int count = static_cast<int>(c.sample.size());
+  if (max_docs > 0 && count > max_docs) count = max_docs;
+  documents.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    std::string xml = "<" + root + ">";
+    for (Symbol s : c.sample[i]) {
+      xml += "<" + std::string(c.alphabet.Name(s)) + "/>";
+    }
+    xml += "</" + root + ">";
+    documents.push_back(std::move(xml));
+  }
+  return documents;
+}
+
+const std::vector<std::string>& Example4Documents() {
+  static const std::vector<std::string>* kDocs = [] {
+    std::vector<ExperimentCase> cases = BuildTable2Cases(20060912);
+    return new std::vector<std::string>(
+        DocumentsFromCase(cases[3], "example4", /*max_docs=*/0));
+  }();
+  return *kDocs;
+}
+
+/// Multi-element corpus: every Table 1 case becomes one element under a
+/// shared root, child names prefixed per case so the nine content models
+/// stay independent. This is the shape where per-element inference
+/// parallelism matters — ten elements learn concurrently.
+const std::vector<std::string>& Table1Documents() {
+  static const std::vector<std::string>* kDocs = [] {
+    std::vector<ExperimentCase> cases = BuildTable1Cases(20060912);
+    auto* documents = new std::vector<std::string>();
+    for (const ExperimentCase& c : cases) {
+      int count = static_cast<int>(c.sample.size());
+      if (count > 200) count = 200;
+      for (int i = 0; i < count; ++i) {
+        std::string xml = "<corpus><" + c.name + ">";
+        for (Symbol s : c.sample[i]) {
+          xml += "<" + c.name + "_" + std::string(c.alphabet.Name(s)) + "/>";
+        }
+        xml += "</" + c.name + "></corpus>";
+        documents->push_back(std::move(xml));
+      }
+    }
+    return documents;
+  }();
+  return *kDocs;
+}
+
+void RunSequential(benchmark::State& state,
+                   const std::vector<std::string>& documents) {
+  for (auto _ : state) {
+    DtdInferrer inferrer;
+    for (const std::string& doc : documents) {
+      if (!inferrer.AddXml(doc).ok()) state.SkipWithError("parse failed");
+    }
+    Result<Dtd> dtd = inferrer.InferDtd();
+    benchmark::DoNotOptimize(dtd.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * documents.size());
+}
+
+void RunParallel(benchmark::State& state,
+                 const std::vector<std::string>& documents) {
+  int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ParallelDtdInferrer inferrer(InferenceOptions{}, threads);
+    for (const std::string& doc : documents) inferrer.AddXml(std::string(doc));
+    Result<Dtd> dtd = inferrer.InferDtd();
+    if (!dtd.ok()) state.SkipWithError("inference failed");
+    benchmark::DoNotOptimize(dtd.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * documents.size());
+}
+
+void BM_Sequential_Example4(benchmark::State& state) {
+  RunSequential(state, Example4Documents());
+}
+BENCHMARK(BM_Sequential_Example4)->Unit(benchmark::kMillisecond);
+
+void BM_Parallel_Example4(benchmark::State& state) {
+  RunParallel(state, Example4Documents());
+}
+BENCHMARK(BM_Parallel_Example4)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_Sequential_Table1(benchmark::State& state) {
+  RunSequential(state, Table1Documents());
+}
+BENCHMARK(BM_Sequential_Table1)->Unit(benchmark::kMillisecond);
+
+void BM_Parallel_Table1(benchmark::State& state) {
+  RunParallel(state, Table1Documents());
+}
+BENCHMARK(BM_Parallel_Table1)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace condtd
+
+BENCHMARK_MAIN();

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Runs the parallel-pipeline scaling sweep and writes BENCH_parallel.json
+# at the repository root (see EXPERIMENTS.md, "Parallel pipeline scaling").
+#
+# Usage: bench/run_parallel_scaling.sh [build-dir]
+set -e
+build="${1:-build}"
+root="$(cd "$(dirname "$0")/.." && pwd)"
+"$root/$build/bench/parallel_scaling" \
+  --benchmark_out="$root/BENCH_parallel.json" \
+  --benchmark_out_format=json \
+  --benchmark_min_warmup_time=0.2
+echo "wrote $root/BENCH_parallel.json"

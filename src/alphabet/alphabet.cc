@@ -3,7 +3,7 @@
 namespace condtd {
 
 Symbol Alphabet::Intern(std::string_view name) {
-  auto it = index_.find(std::string(name));
+  auto it = index_.find(name);
   if (it != index_.end()) return it->second;
   Symbol id = static_cast<Symbol>(names_.size());
   names_.emplace_back(name);
@@ -12,9 +12,14 @@ Symbol Alphabet::Intern(std::string_view name) {
 }
 
 Symbol Alphabet::Find(std::string_view name) const {
-  auto it = index_.find(std::string(name));
+  auto it = index_.find(name);
   if (it == index_.end()) return kInvalidSymbol;
   return it->second;
+}
+
+std::string Alphabet::NameOrPlaceholder(Symbol symbol) const {
+  if (symbol >= 0 && symbol < size()) return names_[symbol];
+  return "#" + std::to_string(symbol);
 }
 
 Word Alphabet::WordFromChars(std::string_view text) {

@@ -35,6 +35,10 @@ class Alphabet {
   /// Returns the name for an id; id must be valid.
   const std::string& Name(Symbol symbol) const { return names_.at(symbol); }
 
+  /// Bounds-checked rendering for error messages and debug output: the
+  /// interned name for a valid id, "#<id>" otherwise.
+  std::string NameOrPlaceholder(Symbol symbol) const;
+
   /// Number of distinct symbols.
   int size() const { return static_cast<int>(names_.size()); }
 
@@ -47,8 +51,19 @@ class Alphabet {
   std::string WordToString(const Word& word) const;
 
  private:
+  /// Transparent hasher so `Intern`/`Find` can probe with the incoming
+  /// string_view directly — no temporary std::string per lookup on the
+  /// ingest hot path (one lookup per element plus one per child).
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view name) const noexcept {
+      return std::hash<std::string_view>{}(name);
+    }
+  };
+
   std::vector<std::string> names_;
-  std::unordered_map<std::string, Symbol> index_;
+  std::unordered_map<std::string, Symbol, StringHash, std::equal_to<>>
+      index_;
 };
 
 }  // namespace condtd

@@ -94,6 +94,38 @@ std::vector<int> Soa::Finals() const {
   return out;
 }
 
+void Soa::MergeFrom(const Soa& other) { MergeMapped(other, nullptr); }
+
+void Soa::MergeFrom(const Soa& other, const std::vector<Symbol>& remap) {
+  MergeMapped(other, &remap);
+}
+
+void Soa::MergeMapped(const Soa& other, const std::vector<Symbol>* remap) {
+  auto translate = [remap](Symbol s) {
+    return remap == nullptr ? s : (*remap)[s];
+  };
+  for (int q = 0; q < other.NumStates(); ++q) {
+    int mine = AddState(translate(other.labels_[q]));
+    state_support_[mine] += other.state_support_[q];
+  }
+  for (const auto& [q, support] : other.initial_) {
+    AddInitial(StateOf(translate(other.labels_[q])), support);
+  }
+  for (const auto& [q, support] : other.final_) {
+    AddFinal(StateOf(translate(other.labels_[q])), support);
+  }
+  for (int q = 0; q < other.NumStates(); ++q) {
+    int from = StateOf(translate(other.labels_[q]));
+    for (const auto& [to, support] : other.out_[q]) {
+      AddEdge(from, StateOf(translate(other.labels_[to])), support);
+    }
+  }
+  if (other.accepts_empty_) {
+    accepts_empty_ = true;
+    empty_support_ += other.empty_support_;
+  }
+}
+
 bool Soa::Accepts(const Word& word) const {
   if (word.empty()) return accepts_empty_;
   int prev = StateOf(word[0]);

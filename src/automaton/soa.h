@@ -66,6 +66,20 @@ class Soa {
   int empty_support() const { return empty_support_; }
   void add_empty_support(int amount) { empty_support_ += amount; }
 
+  /// Merges `other` into this SOA: union of states, edges and
+  /// initial/final markers with support counts summed (Section 9
+  /// "incremental computation" — the SOA summary is associative, which
+  /// is what makes sharded ingestion mergeable). `other` must not alias
+  /// this. The merge is associative and, up to state numbering,
+  /// commutative; `Gfa::FromSoa` canonicalizes the numbering away, so
+  /// downstream learners see identical automata for any merge order.
+  void MergeFrom(const Soa& other);
+
+  /// As above, but `other`'s symbols are first translated through
+  /// `remap` (indexed by `other`'s symbol ids) — used when the shards
+  /// being merged interned their alphabets independently.
+  void MergeFrom(const Soa& other, const std::vector<Symbol>& remap);
+
   /// 2-testable membership: first symbol initial, last symbol final,
   /// every adjacent pair an edge. The empty word needs accepts_empty.
   bool Accepts(const Word& word) const;
@@ -83,6 +97,8 @@ class Soa {
   std::string ToString(const Alphabet& alphabet) const;
 
  private:
+  void MergeMapped(const Soa& other, const std::vector<Symbol>* remap);
+
   std::vector<Symbol> labels_;
   std::unordered_map<Symbol, int> state_of_;
   std::vector<std::unordered_map<int, int>> out_;  // state -> {to: support}

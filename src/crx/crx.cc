@@ -48,6 +48,36 @@ void CrxState::RestoreEmpty(int64_t count) {
   num_words_ += count;
 }
 
+void CrxState::MergeFrom(const CrxState& other) {
+  edges_.insert(other.edges_.begin(), other.edges_.end());
+  symbols_.insert(other.symbols_.begin(), other.symbols_.end());
+  for (const auto& [histogram, count] : other.histograms_) {
+    histograms_[histogram] += count;
+  }
+  empty_count_ += other.empty_count_;
+  num_words_ += other.num_words_;
+}
+
+void CrxState::MergeFrom(const CrxState& other,
+                         const std::vector<Symbol>& remap) {
+  for (const auto& [from, to] : other.edges_) {
+    edges_.emplace(remap[from], remap[to]);
+  }
+  for (Symbol s : other.symbols_) symbols_.insert(remap[s]);
+  for (const auto& [histogram, count] : other.histograms_) {
+    Histogram translated;
+    translated.reserve(histogram.size());
+    for (const auto& [sym, n] : histogram) {
+      translated.emplace_back(remap[sym], n);
+    }
+    // Remapping can reorder entries; histogram keys are kept sorted.
+    std::sort(translated.begin(), translated.end());
+    histograms_[translated] += count;
+  }
+  empty_count_ += other.empty_count_;
+  num_words_ += other.num_words_;
+}
+
 namespace {
 
 /// Tarjan's strongly connected components over the symbol graph. Returns

@@ -72,6 +72,18 @@ class CrxState {
   void RestoreHistogram(const Histogram& histogram, int64_t count);
   void RestoreEmpty(int64_t count);
 
+  /// Merges `other` into this state: union of the successor relation,
+  /// histogram-multiset addition, word/empty count sums (Section 9
+  /// "incremental computation" — both CRX summaries are associative, so
+  /// shard-local states merge losslessly in any order). `other` must not
+  /// alias this. Associative and commutative.
+  void MergeFrom(const CrxState& other);
+
+  /// As above, but `other`'s symbols are first translated through
+  /// `remap` (indexed by `other`'s symbol ids) — for shards that
+  /// interned their alphabets independently.
+  void MergeFrom(const CrxState& other, const std::vector<Symbol>& remap);
+
  private:
   std::set<std::pair<Symbol, Symbol>> edges_;
   std::set<Symbol> symbols_;

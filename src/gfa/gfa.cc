@@ -1,5 +1,6 @@
 #include "gfa/gfa.h"
 
+#include <algorithm>
 #include <queue>
 
 #include "regex/properties.h"
@@ -16,8 +17,18 @@ Gfa::Gfa() {
 
 Gfa Gfa::FromSoa(const Soa& soa) {
   Gfa gfa;
+  // Create nodes in ascending symbol order, not SOA state-insertion
+  // order: node ids drive the rewrite/repair rule application order, so
+  // this makes every downstream learner invariant to the order in which
+  // words were folded into the SOA — the property the sharded ingestion
+  // merge relies on for byte-identical output.
+  std::vector<int> by_symbol(soa.NumStates());
+  for (int q = 0; q < soa.NumStates(); ++q) by_symbol[q] = q;
+  std::sort(by_symbol.begin(), by_symbol.end(), [&](int a, int b) {
+    return soa.LabelOf(a) < soa.LabelOf(b);
+  });
   std::vector<int> node_of(soa.NumStates());
-  for (int q = 0; q < soa.NumStates(); ++q) {
+  for (int q : by_symbol) {
     node_of[q] = gfa.AddNode(Re::Sym(soa.LabelOf(q)));
   }
   for (int q : soa.Initials()) {

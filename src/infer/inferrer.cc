@@ -1,6 +1,8 @@
 #include "infer/inferrer.h"
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
 
 #include "automaton/two_t_inf.h"
 #include "base/strings.h"
@@ -40,7 +42,7 @@ void DtdInferrer::AddDocument(const XmlDocument& doc) {
     for (const auto& child : element->children()) {
       Symbol cs = alphabet_.Intern(child->name());
       word.push_back(cs);
-      seen_as_child_.insert(cs);
+      MarkSeenAsChild(cs);
       stack.push_back(child.get());
     }
     Fold2T(word, &state.soa);
@@ -67,7 +69,52 @@ void DtdInferrer::AddWords(Symbol element, const std::vector<Word>& words) {
     ++state.occurrences;
     Fold2T(word, &state.soa);
     state.crx.AddWord(word);
-    for (Symbol s : word) seen_as_child_.insert(s);
+    for (Symbol s : word) MarkSeenAsChild(s);
+  }
+}
+
+void DtdInferrer::MarkSeenAsChild(Symbol symbol) {
+  if (symbol >= static_cast<Symbol>(seen_as_child_.size())) {
+    seen_as_child_.resize(symbol + 1, false);
+  }
+  seen_as_child_[symbol] = true;
+}
+
+bool DtdInferrer::SeenAsChild(Symbol symbol) const {
+  return symbol >= 0 &&
+         symbol < static_cast<Symbol>(seen_as_child_.size()) &&
+         seen_as_child_[symbol];
+}
+
+void DtdInferrer::MergeFrom(const DtdInferrer& other) {
+  // Translate other's symbol ids into ours, interning names as needed.
+  std::vector<Symbol> remap(other.alphabet_.size());
+  for (Symbol s = 0; s < static_cast<Symbol>(remap.size()); ++s) {
+    remap[s] = alphabet_.Intern(other.alphabet_.Name(s));
+  }
+  for (const auto& [symbol, count] : other.root_counts_) {
+    root_counts_[remap[symbol]] += count;
+  }
+  for (Symbol s = 0; s < static_cast<Symbol>(other.seen_as_child_.size());
+       ++s) {
+    if (other.seen_as_child_[s]) MarkSeenAsChild(remap[s]);
+  }
+  for (const auto& [symbol, theirs] : other.states_) {
+    ElementState& state = states_[remap[symbol]];
+    state.occurrences += theirs.occurrences;
+    state.has_text = state.has_text || theirs.has_text;
+    for (const std::string& sample : theirs.text_samples) {
+      if (static_cast<int>(state.text_samples.size()) >=
+          options_.max_text_samples) {
+        break;
+      }
+      state.text_samples.push_back(sample);
+    }
+    for (const auto& [attr, count] : theirs.attribute_counts) {
+      state.attribute_counts[attr] += count;
+    }
+    state.soa.MergeFrom(theirs.soa, remap);
+    state.crx.MergeFrom(theirs.crx, remap);
   }
 }
 
@@ -110,10 +157,8 @@ Result<ReRef> DtdInferrer::LearnRegex(const ElementState& state) const {
 Result<ContentModel> DtdInferrer::InferContentModel(Symbol element) const {
   auto it = states_.find(element);
   if (it == states_.end()) {
-    std::string name = element >= 0 && element < alphabet_.size()
-                           ? alphabet_.Name(element)
-                           : "#" + std::to_string(element);
-    return Status::NotFound("element never observed: " + name);
+    return Status::NotFound("element never observed: " +
+                            alphabet_.NameOrPlaceholder(element));
   }
   const ElementState& state = it->second;
   ContentModel model;
@@ -149,7 +194,7 @@ Result<ContentModel> DtdInferrer::InferContentModel(Symbol element) const {
   return model;
 }
 
-Result<Dtd> DtdInferrer::InferDtd() const {
+Result<Dtd> DtdInferrer::InferDtd(int num_threads) const {
   if (states_.empty()) {
     return Status::FailedPrecondition("no documents have been added");
   }
@@ -166,18 +211,46 @@ Result<Dtd> DtdInferrer::InferDtd() const {
     }
   } else {
     for (const auto& [symbol, state] : states_) {
-      if (seen_as_child_.count(symbol) == 0) {
+      if (!SeenAsChild(symbol)) {
         dtd.root = symbol;
         break;
       }
     }
     if (dtd.root == kInvalidSymbol) dtd.root = states_.begin()->first;
   }
-  for (const auto& [symbol, state] : states_) {
-    Result<ContentModel> model = InferContentModel(symbol);
-    if (!model.ok()) return model.status();
-    dtd.elements[symbol] = model.value();
-    if (options_.infer_attributes) {
+  // Per-element learner calls are fully independent (pure reads of this
+  // inferrer), so they fan out across threads; results are collected by
+  // index and assembled in ascending-symbol order, making the DTD — and
+  // which error wins when several elements fail — identical to the
+  // sequential run.
+  std::vector<Symbol> symbols = Elements();
+  std::vector<Result<ContentModel>> models(
+      symbols.size(), Result<ContentModel>(Status::Internal("unset")));
+  int jobs = std::clamp(num_threads, 1, static_cast<int>(symbols.size()));
+  if (jobs > 1) {
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> workers;
+    workers.reserve(jobs);
+    for (int t = 0; t < jobs; ++t) {
+      workers.emplace_back([&] {
+        for (size_t i = next.fetch_add(1); i < symbols.size();
+             i = next.fetch_add(1)) {
+          models[i] = InferContentModel(symbols[i]);
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+  } else {
+    for (size_t i = 0; i < symbols.size(); ++i) {
+      models[i] = InferContentModel(symbols[i]);
+    }
+  }
+  for (size_t i = 0; i < symbols.size(); ++i) {
+    if (!models[i].ok()) return models[i].status();
+    dtd.elements[symbols[i]] = std::move(models[i].value());
+  }
+  if (options_.infer_attributes) {
+    for (const auto& [symbol, state] : states_) {
       for (const auto& [name, count] : state.attribute_counts) {
         Dtd::AttributeDef def;
         def.name = name;
@@ -239,8 +312,9 @@ std::string DtdInferrer::SaveState() const {
   for (const auto& [symbol, count] : root_counts_) {
     out += "root " + name(symbol) + " " + std::to_string(count) + "\n";
   }
-  for (Symbol symbol : seen_as_child_) {
-    out += "child " + name(symbol) + "\n";
+  for (Symbol symbol = 0;
+       symbol < static_cast<Symbol>(seen_as_child_.size()); ++symbol) {
+    if (seen_as_child_[symbol]) out += "child " + name(symbol) + "\n";
   }
   for (const auto& [symbol, state] : states_) {
     out += "element " + name(symbol) + " " +
@@ -322,7 +396,7 @@ Status DtdInferrer::LoadState(std::string_view serialized) {
     }
     if (tag == "child") {
       CONDTD_RETURN_IF_ERROR(require(2));
-      seen_as_child_.insert(alphabet_.Intern(fields[1]));
+      MarkSeenAsChild(alphabet_.Intern(fields[1]));
       continue;
     }
     if (tag == "element") {
@@ -406,8 +480,9 @@ Status DtdInferrer::LoadState(std::string_view serialized) {
   return Status::OK();
 }
 
-Result<std::string> DtdInferrer::InferXsd(bool numeric_predicates) const {
-  Result<Dtd> dtd = InferDtd();
+Result<std::string> DtdInferrer::InferXsd(bool numeric_predicates,
+                                          int num_threads) const {
+  Result<Dtd> dtd = InferDtd(num_threads);
   if (!dtd.ok()) return dtd.status();
   std::map<Symbol, XsdElementExtras> extras;
   for (const auto& [symbol, state] : states_) {

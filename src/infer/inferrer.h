@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <map>
-#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -72,10 +71,22 @@ class DtdInferrer {
   /// Directly folds words for one element (used by experiments).
   void AddWords(Symbol element, const std::vector<Word>& words);
 
+  /// Merges another inferrer's retained summaries into this one,
+  /// translating symbols between the two alphabets by name (Section 9
+  /// "incremental computation": every summary is associative, so
+  /// shard-local inferrers merge losslessly). Root counts, child marks,
+  /// occurrence/attribute counts and per-element SOA/CRX summaries are
+  /// summed; text samples are concatenated up to `max_text_samples`.
+  /// `other` must not alias this.
+  void MergeFrom(const DtdInferrer& other);
+
   /// Runs the configured learner per element and assembles a DTD. The
   /// root is the unique root observed across documents (or the one root
-  /// that is never a child).
-  Result<Dtd> InferDtd() const;
+  /// that is never a child). Elements are fully independent, so with
+  /// `num_threads` > 1 the per-element learner calls run on that many
+  /// threads (the inferrer itself is only read); the assembled DTD is
+  /// identical to the sequential result.
+  Result<Dtd> InferDtd(int num_threads = 1) const;
 
   /// Content model for a single element (EMPTY/#PCDATA/mixed detection
   /// plus the learned RE).
@@ -83,7 +94,9 @@ class DtdInferrer {
 
   /// DTD plus per-element numeric/datatype extras rendered as an XSD
   /// (Section 9, "Generation of XSDs" + "Numerical predicates").
-  Result<std::string> InferXsd(bool numeric_predicates = true) const;
+  /// `num_threads` is forwarded to InferDtd.
+  Result<std::string> InferXsd(bool numeric_predicates = true,
+                               int num_threads = 1) const;
 
   /// Number of element occurrences folded for `element`.
   int64_t WordCount(Symbol element) const;
@@ -115,11 +128,16 @@ class DtdInferrer {
 
   Result<ReRef> LearnRegex(const ElementState& state) const;
 
+  void MarkSeenAsChild(Symbol symbol);
+  bool SeenAsChild(Symbol symbol) const;
+
   InferenceOptions options_;
   Alphabet alphabet_;
   std::map<Symbol, ElementState> states_;
   std::map<Symbol, int64_t> root_counts_;
-  std::set<Symbol> seen_as_child_;
+  /// Dense flat set keyed by symbol id (symbols are small dense ints;
+  /// this is touched once per child element parsed).
+  std::vector<bool> seen_as_child_;
 };
 
 }  // namespace condtd

@@ -1,0 +1,142 @@
+#include "infer/parallel.h"
+
+#include <algorithm>
+
+namespace condtd {
+
+ParallelDtdInferrer::ParallelDtdInferrer(InferenceOptions options,
+                                         int num_threads)
+    : options_(options),
+      num_threads_(num_threads > 0
+                       ? num_threads
+                       : std::max(1u, std::thread::hardware_concurrency())),
+      merged_(options) {
+  shards_.reserve(num_threads_);
+  workers_.reserve(num_threads_);
+  for (int t = 0; t < num_threads_; ++t) {
+    shards_.push_back(std::make_unique<Shard>(options_));
+  }
+  for (int t = 0; t < num_threads_; ++t) {
+    workers_.emplace_back(&ParallelDtdInferrer::Worker, this,
+                          shards_[t].get());
+  }
+}
+
+ParallelDtdInferrer::~ParallelDtdInferrer() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  ready_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void ParallelDtdInferrer::AddXml(std::string xml) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.emplace_back(next_doc_index_++, std::move(xml));
+  }
+  ready_.notify_one();
+}
+
+Status ParallelDtdInferrer::LoadState(std::string_view serialized) {
+  return merged_.LoadState(serialized);
+}
+
+void ParallelDtdInferrer::Worker(Shard* shard) {
+  for (;;) {
+    std::pair<int64_t, std::string> doc;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ready_.wait(lock, [this] { return !queue_.empty() || closed_; });
+      if (queue_.empty()) return;
+      doc = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    // Parse + fold outside the lock — the hot path touches only
+    // shard-local state.
+    int before = shard->inferrer.alphabet()->size();
+    Status status = shard->inferrer.AddXml(doc.second);
+    int after = shard->inferrer.alphabet()->size();
+    if (after > before) {
+      shard->new_names.push_back({doc.first, before, after});
+    }
+    if (!status.ok()) {
+      shard->errors.push_back({doc.first, std::move(status)});
+    }
+  }
+}
+
+Status ParallelDtdInferrer::Finish() {
+  if (finished_) {
+    return errors_.empty() ? Status::OK() : errors_.front().status;
+  }
+  finished_ = true;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+
+  // Replay newly-interned names in document-submission order so the
+  // merged alphabet matches what a sequential run over the same corpus
+  // would have interned. A name's global first occurrence is in the
+  // earliest document containing it, and within that document the
+  // shard-local log preserves first-encounter order, so the replay
+  // reproduces the sequential id assignment exactly.
+  struct Replay {
+    int64_t doc_index;
+    const Shard* shard;
+    int first;
+    int last;
+  };
+  std::vector<Replay> replays;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    for (const Shard::NewNames& record : shard->new_names) {
+      replays.push_back(
+          {record.doc_index, shard.get(), record.first, record.last});
+    }
+  }
+  std::sort(replays.begin(), replays.end(),
+            [](const Replay& a, const Replay& b) {
+              return a.doc_index < b.doc_index;
+            });
+  Alphabet* alphabet = merged_.alphabet();
+  for (const Replay& replay : replays) {
+    const Alphabet& shard_alphabet = replay.shard->inferrer.alphabet();
+    for (int s = replay.first; s < replay.last; ++s) {
+      alphabet->Intern(shard_alphabet.Name(s));
+    }
+  }
+
+  // With every name already interned, the shard merges are pure remaps;
+  // summaries are associative, so shard order does not matter.
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    merged_.MergeFrom(shard->inferrer);
+    for (DocumentError& error : shard->errors) {
+      errors_.push_back(std::move(error));
+    }
+  }
+  shards_.clear();
+  std::sort(errors_.begin(), errors_.end(),
+            [](const DocumentError& a, const DocumentError& b) {
+              return a.doc_index < b.doc_index;
+            });
+  return errors_.empty() ? Status::OK() : errors_.front().status;
+}
+
+Result<Dtd> ParallelDtdInferrer::InferDtd() {
+  CONDTD_RETURN_IF_ERROR(Finish());
+  return merged_.InferDtd(num_threads_);
+}
+
+Result<std::string> ParallelDtdInferrer::InferXsd(bool numeric_predicates) {
+  CONDTD_RETURN_IF_ERROR(Finish());
+  return merged_.InferXsd(numeric_predicates, num_threads_);
+}
+
+}  // namespace condtd

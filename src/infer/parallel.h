@@ -1,0 +1,128 @@
+#ifndef CONDTD_INFER_PARALLEL_H_
+#define CONDTD_INFER_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+#include "dtd/model.h"
+#include "infer/inferrer.h"
+
+namespace condtd {
+
+/// Corpus-scale front end over DtdInferrer: a fixed pool of worker
+/// threads, each owning a shard-local DtdInferrer (own alphabet, own
+/// summaries — no shared mutable state and no locks on the parse/fold
+/// hot path; the only synchronization is the document queue hand-off).
+/// `Finish()` is the barrier: it drains the queue, joins the pool and
+/// merges the shards; per-element inference then fans the independent
+/// `LearnRegex` calls back out across the same thread count.
+///
+/// Determinism contract: for a well-formed corpus, the inferred DTD is
+/// byte-identical to feeding the same documents in the same order to a
+/// sequential DtdInferrer — for any thread count and any scheduling.
+/// Two ingredients make that hold:
+///  * at the barrier the merged alphabet is rebuilt by replaying each
+///    document's newly-seen names in document-submission order, which
+///    reproduces the sequential interning order exactly (symbol ids are
+///    the tie-breakers throughout the learners), and
+///  * the learner pipeline is invariant to summary merge order — the
+///    SOA/CRX summaries are associative and `Gfa::FromSoa` canonicalizes
+///    state numbering (see those classes).
+/// The one caveat is the XSD datatype heuristic: which `max_text_samples`
+/// text snippets are retained can differ from the sequential run (each
+/// shard keeps its own first samples), so `InferXsd` simple-type picks
+/// may differ on corpora with heterogeneous text; the DTD never does.
+class ParallelDtdInferrer {
+ public:
+  /// `num_threads` <= 0 selects std::thread::hardware_concurrency().
+  explicit ParallelDtdInferrer(InferenceOptions options = {},
+                               int num_threads = 0);
+  ~ParallelDtdInferrer();
+
+  ParallelDtdInferrer(const ParallelDtdInferrer&) = delete;
+  ParallelDtdInferrer& operator=(const ParallelDtdInferrer&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Enqueues one XML document for ingestion by the pool. Parse failures
+  /// do not stop the pipeline; they surface in errors() after Finish(),
+  /// keyed by the document's 0-based submission index.
+  void AddXml(std::string xml);
+
+  /// Loads a previously saved summary state into the merge target (the
+  /// incremental pipelines of Section 9). Must be called before
+  /// Finish(); loaded names intern ahead of the corpus, matching a
+  /// sequential LoadState-then-AddXml run.
+  Status LoadState(std::string_view serialized);
+
+  /// The barrier: closes the queue, joins the pool, merges the shards
+  /// deterministically. Idempotent; AddXml must not be called after.
+  /// Returns the parse failure with the lowest document index, OK when
+  /// every document folded cleanly.
+  Status Finish();
+
+  struct DocumentError {
+    int64_t doc_index = 0;
+    Status status;
+  };
+  /// All parse failures, ascending by document index (valid after
+  /// Finish()).
+  const std::vector<DocumentError>& errors() const { return errors_; }
+
+  /// Finishes (if not already finished) and infers, running the
+  /// per-element learners across the pool's thread count. Fails if any
+  /// document failed to parse — callers that want to keep going can
+  /// inspect errors() and use merged() directly.
+  Result<Dtd> InferDtd();
+  Result<std::string> InferXsd(bool numeric_predicates = true);
+
+  /// The merged inferrer (valid after Finish()): SaveState, alphabet
+  /// access, or keep folding sequentially.
+  DtdInferrer* merged() { return &merged_; }
+
+ private:
+  struct Shard {
+    explicit Shard(const InferenceOptions& options) : inferrer(options) {}
+    DtdInferrer inferrer;
+    /// Alphabet ids [first, last) of this shard that were first interned
+    /// while folding `doc_index` — the replay log for rebuilding the
+    /// sequential interning order at the barrier.
+    struct NewNames {
+      int64_t doc_index;
+      int first;
+      int last;
+    };
+    std::vector<NewNames> new_names;
+    std::vector<DocumentError> errors;
+  };
+
+  void Worker(Shard* shard);
+
+  InferenceOptions options_;
+  int num_threads_;
+  DtdInferrer merged_;
+
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<std::pair<int64_t, std::string>> queue_;
+  bool closed_ = false;
+  int64_t next_doc_index_ = 0;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::thread> workers_;
+  bool finished_ = false;
+  std::vector<DocumentError> errors_;
+};
+
+}  // namespace condtd
+
+#endif  // CONDTD_INFER_PARALLEL_H_

@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "crx/crx.h"
+#include "automaton/soa.h"
+#include "automaton/two_t_inf.h"
+#include "dtd/dtd_parser.h"
+#include "dtd/dtd_writer.h"
+#include "gen/xml_gen.h"
+#include "infer/inferrer.h"
+#include "infer/parallel.h"
+#include "tests/testing.h"
+
+namespace condtd {
+namespace {
+
+using testing_util::WordsFromStrings;
+
+// --- merge algebra --------------------------------------------------------
+
+Soa SoaOf(const std::vector<std::string>& strings, Alphabet* alphabet) {
+  return Infer2T(WordsFromStrings(strings, alphabet));
+}
+
+/// Structural equality plus every support count (Soa::Equals ignores
+/// supports on purpose; the merge tests must not).
+void ExpectSoaIdentical(const Soa& a, const Soa& b) {
+  ASSERT_TRUE(a.Equals(b));
+  EXPECT_EQ(a.empty_support(), b.empty_support());
+  for (int q = 0; q < a.NumStates(); ++q) {
+    int bq = b.StateOf(a.LabelOf(q));
+    ASSERT_GE(bq, 0);
+    EXPECT_EQ(a.StateSupport(q), b.StateSupport(bq));
+    EXPECT_EQ(a.InitialSupport(q), b.InitialSupport(bq));
+    EXPECT_EQ(a.FinalSupport(q), b.FinalSupport(bq));
+    for (int to : a.Successors(q)) {
+      EXPECT_EQ(a.EdgeSupport(q, to),
+                b.EdgeSupport(bq, b.StateOf(a.LabelOf(to))));
+    }
+  }
+}
+
+TEST(SoaMerge, MatchesSequentialFold) {
+  Alphabet alphabet;
+  std::vector<std::string> part1 = {"abc", "", "ab"};
+  std::vector<std::string> part2 = {"cba", "abc", "b"};
+  Soa merged = SoaOf(part1, &alphabet);
+  merged.MergeFrom(SoaOf(part2, &alphabet));
+  std::vector<std::string> all = part1;
+  all.insert(all.end(), part2.begin(), part2.end());
+  ExpectSoaIdentical(merged, SoaOf(all, &alphabet));
+}
+
+TEST(SoaMerge, AssociativeAndCommutative) {
+  Alphabet alphabet;
+  Soa a = SoaOf({"ab", "ba"}, &alphabet);
+  Soa b = SoaOf({"bc", ""}, &alphabet);
+  Soa c = SoaOf({"ca", "abc"}, &alphabet);
+
+  // (a ⊕ b) ⊕ c
+  Soa left = a;
+  left.MergeFrom(b);
+  left.MergeFrom(c);
+  // a ⊕ (b ⊕ c)
+  Soa bc = b;
+  bc.MergeFrom(c);
+  Soa right = a;
+  right.MergeFrom(bc);
+  ExpectSoaIdentical(left, right);
+
+  // b ⊕ a (commutativity, up to state numbering)
+  Soa ba = b;
+  ba.MergeFrom(a);
+  Soa ab = a;
+  ab.MergeFrom(b);
+  ExpectSoaIdentical(ab, ba);
+}
+
+CrxState CrxOf(const std::vector<std::string>& strings,
+               Alphabet* alphabet) {
+  CrxState state;
+  state.AddWords(WordsFromStrings(strings, alphabet));
+  return state;
+}
+
+void ExpectCrxIdentical(const CrxState& a, const CrxState& b) {
+  EXPECT_EQ(a.edges(), b.edges());
+  EXPECT_EQ(a.histograms(), b.histograms());
+  EXPECT_EQ(a.empty_count(), b.empty_count());
+  EXPECT_EQ(a.num_words(), b.num_words());
+}
+
+TEST(CrxMerge, MatchesSequentialFold) {
+  Alphabet alphabet;
+  std::vector<std::string> part1 = {"aab", "", "ba"};
+  std::vector<std::string> part2 = {"ab", "aab", "c"};
+  CrxState merged = CrxOf(part1, &alphabet);
+  merged.MergeFrom(CrxOf(part2, &alphabet));
+  std::vector<std::string> all = part1;
+  all.insert(all.end(), part2.begin(), part2.end());
+  ExpectCrxIdentical(merged, CrxOf(all, &alphabet));
+}
+
+TEST(CrxMerge, AssociativeAndCommutative) {
+  Alphabet alphabet;
+  CrxState a = CrxOf({"ab", "aab", ""}, &alphabet);
+  CrxState b = CrxOf({"bc", "b"}, &alphabet);
+  CrxState c = CrxOf({"ca", "", "abc"}, &alphabet);
+
+  CrxState left = a;
+  left.MergeFrom(b);
+  left.MergeFrom(c);
+  CrxState bc = b;
+  bc.MergeFrom(c);
+  CrxState right = a;
+  right.MergeFrom(bc);
+  ExpectCrxIdentical(left, right);
+
+  CrxState ab = a;
+  ab.MergeFrom(b);
+  CrxState ba = b;
+  ba.MergeFrom(a);
+  ExpectCrxIdentical(ab, ba);
+}
+
+// --- corpus fixtures ------------------------------------------------------
+
+std::vector<std::string> GenerateCorpus(int count, uint64_t seed) {
+  Alphabet alphabet;
+  Result<Dtd> truth = ParseDtd(
+      "<!ELEMENT feed (entry+)>\n"
+      "<!ELEMENT entry (title, updated?, (link | content)*, author)>\n"
+      "<!ELEMENT title (#PCDATA)>\n"
+      "<!ELEMENT updated (#PCDATA)>\n"
+      "<!ELEMENT link EMPTY>\n"
+      "<!ELEMENT content (#PCDATA)>\n"
+      "<!ELEMENT author (name, email?)>\n"
+      "<!ELEMENT name (#PCDATA)>\n"
+      "<!ELEMENT email (#PCDATA)>\n",
+      &alphabet);
+  EXPECT_TRUE(truth.ok());
+  Rng rng(seed);
+  std::vector<std::string> documents;
+  documents.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    Result<XmlDocument> doc =
+        GenerateDocument(truth.value(), alphabet, &rng);
+    EXPECT_TRUE(doc.ok());
+    documents.push_back(doc->ToXml());
+  }
+  return documents;
+}
+
+std::string SequentialDtd(const std::vector<std::string>& documents) {
+  DtdInferrer inferrer;
+  for (const std::string& doc : documents) {
+    Status status = inferrer.AddXml(doc);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  }
+  Result<Dtd> dtd = inferrer.InferDtd();
+  EXPECT_TRUE(dtd.ok()) << dtd.status().ToString();
+  return WriteDtd(dtd.value(), *inferrer.alphabet());
+}
+
+std::string ParallelDtd(const std::vector<std::string>& documents,
+                        int num_threads) {
+  ParallelDtdInferrer inferrer(InferenceOptions{}, num_threads);
+  for (const std::string& doc : documents) inferrer.AddXml(doc);
+  Result<Dtd> dtd = inferrer.InferDtd();
+  EXPECT_TRUE(dtd.ok()) << dtd.status().ToString();
+  return WriteDtd(dtd.value(), *inferrer.merged()->alphabet());
+}
+
+// --- determinism ----------------------------------------------------------
+
+TEST(ParallelInferrer, ShardedIngestionIsByteIdenticalToSequential) {
+  std::vector<std::string> documents = GenerateCorpus(240, 20060912);
+  std::string expected = SequentialDtd(documents);
+  for (int shards : {1, 2, 7}) {
+    EXPECT_EQ(ParallelDtd(documents, shards), expected)
+        << "shard count " << shards;
+  }
+}
+
+TEST(ParallelInferrer, DeterministicForAnyDocumentOrder) {
+  std::vector<std::string> documents = GenerateCorpus(180, 4711);
+  // A permuted corpus must again match its own sequential run (the
+  // contract is parallel == sequential per corpus order, for any order).
+  Rng rng(99);
+  rng.Shuffle(&documents);
+  std::string expected = SequentialDtd(documents);
+  for (int shards : {2, 7}) {
+    EXPECT_EQ(ParallelDtd(documents, shards), expected)
+        << "shard count " << shards;
+  }
+}
+
+TEST(ParallelInferrer, PerElementInferenceThreadsDoNotChangeOutput) {
+  std::vector<std::string> documents = GenerateCorpus(120, 31337);
+  DtdInferrer inferrer;
+  for (const std::string& doc : documents) {
+    ASSERT_TRUE(inferrer.AddXml(doc).ok());
+  }
+  Result<Dtd> sequential = inferrer.InferDtd();
+  Result<Dtd> threaded = inferrer.InferDtd(4);
+  ASSERT_TRUE(sequential.ok());
+  ASSERT_TRUE(threaded.ok());
+  EXPECT_EQ(WriteDtd(sequential.value(), *inferrer.alphabet()),
+            WriteDtd(threaded.value(), *inferrer.alphabet()));
+}
+
+TEST(ParallelInferrer, ReportsParseErrorsByDocumentIndex) {
+  std::vector<std::string> documents = GenerateCorpus(20, 5);
+  documents[7] = "<broken><unclosed></broken>";
+  documents[13] = "not xml at all";
+  ParallelDtdInferrer inferrer(InferenceOptions{}, 3);
+  for (const std::string& doc : documents) inferrer.AddXml(doc);
+  Status status = inferrer.Finish();
+  EXPECT_FALSE(status.ok());
+  ASSERT_EQ(inferrer.errors().size(), 2u);
+  EXPECT_EQ(inferrer.errors()[0].doc_index, 7);
+  EXPECT_EQ(inferrer.errors()[1].doc_index, 13);
+  // The merged state still holds every clean document.
+  EXPECT_EQ(inferrer.merged()->WordCount(
+                inferrer.merged()->alphabet()->Find("feed")),
+            18);
+}
+
+// --- DtdInferrer::MergeFrom ----------------------------------------------
+
+TEST(InferrerMerge, ContiguousShardsMergedInOrderMatchSequential) {
+  std::vector<std::string> documents = GenerateCorpus(150, 2222);
+  std::string expected = SequentialDtd(documents);
+
+  // Three shard inferrers over contiguous corpus blocks, merged in block
+  // order: interning replays in document order, so the result is
+  // byte-identical to the sequential run.
+  DtdInferrer merged;
+  for (int block = 0; block < 3; ++block) {
+    DtdInferrer shard;
+    for (size_t i = block * 50; i < (block + 1) * 50u; ++i) {
+      ASSERT_TRUE(shard.AddXml(documents[i]).ok());
+    }
+    merged.MergeFrom(shard);
+  }
+  Result<Dtd> dtd = merged.InferDtd();
+  ASSERT_TRUE(dtd.ok());
+  EXPECT_EQ(WriteDtd(dtd.value(), *merged.alphabet()), expected);
+}
+
+TEST(InferrerMerge, MergeMatchesLoadStateMerge) {
+  // MergeFrom must agree with the established text-format merge path
+  // (LoadState on a non-empty inferrer), which the persistence tests pin.
+  std::vector<std::string> documents = GenerateCorpus(80, 909);
+  DtdInferrer a;
+  DtdInferrer b;
+  for (size_t i = 0; i < documents.size(); ++i) {
+    ASSERT_TRUE(((i < 40) ? a : b).AddXml(documents[i]).ok());
+  }
+  DtdInferrer via_merge;
+  via_merge.MergeFrom(a);
+  via_merge.MergeFrom(b);
+  DtdInferrer via_state;
+  ASSERT_TRUE(via_state.LoadState(a.SaveState()).ok());
+  ASSERT_TRUE(via_state.LoadState(b.SaveState()).ok());
+  EXPECT_EQ(via_merge.SaveState(), via_state.SaveState());
+}
+
+}  // namespace
+}  // namespace condtd

@@ -4,6 +4,9 @@
 //       --xsd                 emit an XML Schema instead of a DTD
 //       --algorithm=auto|crx|idtd|rewrite   learner selection
 //       --noise=N             support threshold for noisy data
+//       --jobs=N              ingest and infer on N threads (sharded
+//                             pipeline; output identical to N=1;
+//                             0 = hardware concurrency)
 //       --out=FILE            write the schema to FILE instead of stdout
 //       --state-in=FILE       resume from a saved summary state
 //       --state-out=FILE      save the summary state after folding
@@ -26,7 +29,9 @@
 
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "base/file.h"
@@ -40,6 +45,7 @@
 #include "dtd/validator.h"
 #include "infer/contextual.h"
 #include "infer/inferrer.h"
+#include "infer/parallel.h"
 #include "regex/determinism.h"
 #include "regex/matcher.h"
 #include "regex/parser.h"
@@ -54,8 +60,8 @@ int Usage() {
       stderr,
       "usage:\n"
       "  condtd infer [--xsd] [--algorithm=auto|crx|idtd|rewrite]\n"
-      "               [--noise=N] [--out=FILE] [--state-in=FILE]\n"
-      "               [--state-out=FILE] file.xml...\n"
+      "               [--noise=N] [--jobs=N] [--out=FILE]\n"
+      "               [--state-in=FILE] [--state-out=FILE] file.xml...\n"
       "  condtd validate [--schema=file.dtd] file.xml...\n"
       "  condtd regex \"expr\" word...\n"
       "  condtd stats file.dtd...\n"
@@ -76,6 +82,7 @@ bool GetFlag(const std::string& arg, const char* name, std::string* value) {
 int RunInfer(const std::vector<std::string>& args) {
   InferenceOptions options;
   bool emit_xsd = false;
+  int jobs = 1;
   std::string out_path;
   std::string state_in;
   std::string state_out;
@@ -86,6 +93,8 @@ int RunInfer(const std::vector<std::string>& args) {
       emit_xsd = true;
     } else if (arg == "--lenient") {
       options.lenient_xml = true;
+    } else if (GetFlag(arg, "jobs", &value)) {
+      jobs = std::atoi(value.c_str());
     } else if (GetFlag(arg, "state-in", &value)) {
       state_in = value;
     } else if (GetFlag(arg, "state-out", &value)) {
@@ -117,7 +126,16 @@ int RunInfer(const std::vector<std::string>& args) {
   }
   if (files.empty() && state_in.empty()) return Usage();
 
-  DtdInferrer inferrer(options);
+  // --jobs != 1 runs the sharded ingestion-and-inference pipeline; its
+  // output is byte-identical to the sequential engine, so both paths
+  // converge on one DtdInferrer before emitting.
+  std::optional<ParallelDtdInferrer> parallel;
+  std::optional<DtdInferrer> sequential;
+  if (jobs != 1) {
+    parallel.emplace(options, jobs < 0 ? 0 : jobs);
+  } else {
+    sequential.emplace(options);
+  }
   if (!state_in.empty()) {
     Result<std::string> state = ReadFileToString(state_in);
     if (!state.ok()) {
@@ -125,7 +143,8 @@ int RunInfer(const std::vector<std::string>& args) {
                    state.status().ToString().c_str());
       return 1;
     }
-    Status status = inferrer.LoadState(state.value());
+    Status status = parallel ? parallel->LoadState(state.value())
+                             : sequential->LoadState(state.value());
     if (!status.ok()) {
       std::fprintf(stderr, "%s: %s\n", state_in.c_str(),
                    status.ToString().c_str());
@@ -139,13 +158,29 @@ int RunInfer(const std::vector<std::string>& args) {
                    content.status().ToString().c_str());
       return 1;
     }
-    Status status = inferrer.AddXml(content.value());
+    if (parallel) {
+      parallel->AddXml(std::move(content.value()));
+      continue;
+    }
+    Status status = sequential->AddXml(content.value());
     if (!status.ok()) {
       std::fprintf(stderr, "%s: %s\n", path.c_str(),
                    status.ToString().c_str());
       return 1;
     }
   }
+  if (parallel) {
+    parallel->Finish();
+    if (!parallel->errors().empty()) {
+      const auto& error = parallel->errors().front();
+      std::fprintf(stderr, "%s: %s\n",
+                   files[error.doc_index].c_str(),
+                   error.status.ToString().c_str());
+      return 1;
+    }
+  }
+  DtdInferrer& inferrer = parallel ? *parallel->merged() : *sequential;
+  int infer_threads = parallel ? parallel->num_threads() : 1;
   if (!state_out.empty()) {
     Status status = WriteStringToFile(state_out, inferrer.SaveState());
     if (!status.ok()) {
@@ -155,7 +190,8 @@ int RunInfer(const std::vector<std::string>& args) {
   }
   std::string schema;
   if (emit_xsd) {
-    Result<std::string> xsd = inferrer.InferXsd();
+    Result<std::string> xsd =
+        inferrer.InferXsd(/*numeric_predicates=*/true, infer_threads);
     if (!xsd.ok()) {
       std::fprintf(stderr, "inference failed: %s\n",
                    xsd.status().ToString().c_str());
@@ -163,7 +199,7 @@ int RunInfer(const std::vector<std::string>& args) {
     }
     schema = xsd.value();
   } else {
-    Result<Dtd> dtd = inferrer.InferDtd();
+    Result<Dtd> dtd = inferrer.InferDtd(infer_threads);
     if (!dtd.ok()) {
       std::fprintf(stderr, "inference failed: %s\n",
                    dtd.status().ToString().c_str());
