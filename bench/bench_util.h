@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "gen/corpus.h"
 #include "regex/ast.h"
@@ -14,6 +15,95 @@
 
 namespace condtd {
 namespace bench_util {
+
+/// One document per sample word: <root><a1/><a7/>...</root>.
+inline std::vector<std::string> DocumentsFromCase(const ExperimentCase& c,
+                                                  const std::string& root,
+                                                  int max_docs) {
+  std::vector<std::string> documents;
+  int count = static_cast<int>(c.sample.size());
+  if (max_docs > 0 && count > max_docs) count = max_docs;
+  documents.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    std::string xml = "<" + root + ">";
+    for (Symbol s : c.sample[i]) {
+      xml += "<" + std::string(c.alphabet.Name(s)) + "/>";
+    }
+    xml += "</" + root + ">";
+    documents.push_back(std::move(xml));
+  }
+  return documents;
+}
+
+/// Table 2's example4 corpus (61 symbols, 10000 strings): one big
+/// element, dominated by parse + fold.
+inline const std::vector<std::string>& Example4Documents() {
+  static const std::vector<std::string>* kDocs = [] {
+    std::vector<ExperimentCase> cases = BuildTable2Cases(20060912);
+    return new std::vector<std::string>(
+        DocumentsFromCase(cases[3], "example4", /*max_docs=*/0));
+  }();
+  return *kDocs;
+}
+
+/// Multi-element corpus: every Table 1 case becomes one element under a
+/// shared root, child names prefixed per case so the nine content models
+/// stay independent. This is the shape where per-element work spreads
+/// across many element names.
+inline const std::vector<std::string>& Table1Documents() {
+  static const std::vector<std::string>* kDocs = [] {
+    std::vector<ExperimentCase> cases = BuildTable1Cases(20060912);
+    auto* documents = new std::vector<std::string>();
+    for (const ExperimentCase& c : cases) {
+      int count = static_cast<int>(c.sample.size());
+      if (count > 200) count = 200;
+      for (int i = 0; i < count; ++i) {
+        std::string xml = "<corpus><" + c.name + ">";
+        for (Symbol s : c.sample[i]) {
+          xml += "<" + c.name + "_" + std::string(c.alphabet.Name(s)) +
+                 "/>";
+        }
+        xml += "</" + c.name + "></corpus>";
+        documents->push_back(std::move(xml));
+      }
+    }
+    return documents;
+  }();
+  return *kDocs;
+}
+
+/// As `Table1Documents`, but shaped like real-world XML rather than pure
+/// markup: leaf elements carry #PCDATA and the case element an id
+/// attribute, so documents are text-dominant the way the paper's corpora
+/// (DBLP, Mondial, XHTML crawls) are. This is the ingestion-throughput
+/// corpus — character data is where the DOM path pays per-node string
+/// copies and the SAX path lexes zero-copy views.
+inline const std::vector<std::string>& Table1TextDocuments() {
+  static const std::vector<std::string>* kDocs = [] {
+    std::vector<ExperimentCase> cases = BuildTable1Cases(20060912);
+    auto* documents = new std::vector<std::string>();
+    for (const ExperimentCase& c : cases) {
+      int count = static_cast<int>(c.sample.size());
+      if (count > 1000) count = 1000;
+      for (int i = 0; i < count; ++i) {
+        std::string xml = "<corpus><" + c.name + " id=\"" + c.name + "-" +
+                          std::to_string(i) + "\">";
+        for (Symbol s : c.sample[i]) {
+          std::string child = c.name + "_" + std::string(c.alphabet.Name(s));
+          xml += "<" + child + ">record " + std::to_string(i) +
+                 " of the " + c.name +
+                 " sample, with enough character data to resemble a "
+                 "bibliographic field</" +
+                 child + ">";
+        }
+        xml += "</" + c.name + "></corpus>";
+        documents->push_back(std::move(xml));
+      }
+    }
+    return documents;
+  }();
+  return *kDocs;
+}
 
 /// Wall-clock stopwatch for the coarse timings reported in
 /// EXPERIMENTS.md (google-benchmark is used for the fine-grained

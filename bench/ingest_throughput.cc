@@ -1,0 +1,197 @@
+// Ingestion throughput: DOM parse-then-fold vs the streaming SAX fold,
+// with and without word-multiset deduplication, on the paper's corpora
+// (the multi-element Table 1 corpus and Table 2's example4). Reports
+// MB/s over the raw XML bytes, peak RSS, and an FNV-1a fingerprint of
+// the inferred DTD — the fingerprint must agree across modes (the
+// determinism contract), which the run_ingest_throughput.sh runner
+// checks while assembling BENCH_ingest.json. Run each mode in its own
+// process when RSS matters: ru_maxrss is a process-lifetime high-water
+// mark.
+//
+//   ingest_throughput --corpus=table1|table2 --mode=dom|sax|sax-nodedup
+//                     [--repeat=N] [--max-docs=N] [--json]
+
+#include <sys/resource.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "dtd/dtd_writer.h"
+#include "infer/inferrer.h"
+#include "infer/streaming.h"
+
+namespace condtd {
+namespace {
+
+uint64_t Fnv1a(const std::string& text) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+long PeakRssKb() {
+  struct rusage usage;
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;  // KiB on Linux
+}
+
+struct RunResult {
+  double seconds = 0;
+  uint64_t dtd_fingerprint = 0;
+  int64_t distinct_words = 0;  // streaming modes only
+  int64_t words = 0;
+};
+
+RunResult RunOnce(const std::vector<std::string>& documents,
+                  const std::string& mode) {
+  RunResult result;
+  DtdInferrer inferrer;
+  bench_util::Stopwatch timer;
+  if (mode == "dom") {
+    for (const std::string& doc : documents) {
+      Status status = inferrer.AddXml(doc);
+      if (!status.ok()) {
+        std::fprintf(stderr, "ingest failed: %s\n",
+                     status.ToString().c_str());
+        std::exit(1);
+      }
+    }
+  } else {
+    StreamingFolder::Options options;
+    options.dedup_words = mode == "sax";
+    StreamingFolder folder(&inferrer, options);
+    for (const std::string& doc : documents) {
+      Status status = folder.AddXml(doc);
+      if (!status.ok()) {
+        std::fprintf(stderr, "ingest failed: %s\n",
+                     status.ToString().c_str());
+        std::exit(1);
+      }
+    }
+    result.distinct_words = folder.distinct_words_cached();
+    result.words = folder.words_folded();
+    folder.Flush();
+  }
+  result.seconds = timer.ElapsedMs() / 1000.0;
+  Result<Dtd> dtd = inferrer.InferDtd();
+  if (!dtd.ok()) {
+    std::fprintf(stderr, "inference failed: %s\n",
+                 dtd.status().ToString().c_str());
+    std::exit(1);
+  }
+  result.dtd_fingerprint =
+      Fnv1a(WriteDtd(dtd.value(), *inferrer.alphabet()));
+  return result;
+}
+
+int Main(int argc, char** argv) {
+  std::string corpus = "table1";
+  std::string mode = "sax";
+  int repeat = 5;
+  int max_docs = 0;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto flag = [&](const char* name, std::string* value) {
+      std::string prefix = std::string("--") + name + "=";
+      if (arg.rfind(prefix, 0) != 0) return false;
+      *value = arg.substr(prefix.size());
+      return true;
+    };
+    std::string value;
+    if (flag("corpus", &value)) {
+      corpus = value;
+    } else if (flag("mode", &value)) {
+      mode = value;
+    } else if (flag("repeat", &value)) {
+      repeat = std::atoi(value.c_str());
+    } else if (flag("max-docs", &value)) {
+      max_docs = std::atoi(value.c_str());
+    } else if (arg == "--json") {
+      json = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: ingest_throughput --corpus=table1|table2 "
+                   "--mode=dom|sax|sax-nodedup [--repeat=N] "
+                   "[--max-docs=N] [--json]\n");
+      return 2;
+    }
+  }
+  if ((corpus != "table1" && corpus != "table2") ||
+      (mode != "dom" && mode != "sax" && mode != "sax-nodedup") ||
+      repeat < 1) {
+    std::fprintf(stderr, "bad --corpus/--mode/--repeat value\n");
+    return 2;
+  }
+
+  // table1: the nine Table 1 content models with realistic #PCDATA
+  // leaves and attributes (text-dominant, like the paper's corpora).
+  // table2: example4's 10000 pure-markup one-element documents.
+  std::vector<std::string> documents =
+      corpus == "table1" ? bench_util::Table1TextDocuments()
+                         : bench_util::Example4Documents();
+  if (max_docs > 0 && static_cast<int>(documents.size()) > max_docs) {
+    documents.resize(max_docs);
+  }
+  int64_t total_bytes = 0;
+  for (const std::string& doc : documents) {
+    total_bytes += static_cast<int64_t>(doc.size());
+  }
+
+  RunResult best;
+  for (int r = 0; r < repeat; ++r) {
+    RunResult run = RunOnce(documents, mode);
+    if (r == 0 || run.seconds < best.seconds) best = run;
+    if (r > 0 && run.dtd_fingerprint != best.dtd_fingerprint) {
+      std::fprintf(stderr, "non-deterministic DTD across repeats\n");
+      return 1;
+    }
+  }
+  double mb = static_cast<double>(total_bytes) / (1024.0 * 1024.0);
+  double mb_per_s = mb / best.seconds;
+  double docs_per_s = static_cast<double>(documents.size()) / best.seconds;
+
+  if (json) {
+    std::printf(
+        "{\"corpus\": \"%s\", \"mode\": \"%s\", \"documents\": %zu, "
+        "\"bytes\": %lld, \"repeats\": %d, \"best_ingest_seconds\": %.6f, "
+        "\"mb_per_s\": %.2f, \"docs_per_s\": %.0f, \"words\": %lld, "
+        "\"distinct_words\": %lld, \"dtd_fnv1a\": \"%016llx\", "
+        "\"peak_rss_kb\": %ld}\n",
+        corpus.c_str(), mode.c_str(), documents.size(),
+        static_cast<long long>(total_bytes), repeat, best.seconds,
+        mb_per_s, docs_per_s, static_cast<long long>(best.words),
+        static_cast<long long>(best.distinct_words),
+        static_cast<unsigned long long>(best.dtd_fingerprint), PeakRssKb());
+  } else {
+    std::printf(
+        "%s/%s: %zu docs, %.2f MB, best of %d: %.3f s  (%.1f MB/s, "
+        "%.0f docs/s)  dtd=%016llx  peak_rss=%ld KB\n",
+        corpus.c_str(), mode.c_str(), documents.size(), mb, repeat,
+        best.seconds, mb_per_s, docs_per_s,
+        static_cast<unsigned long long>(best.dtd_fingerprint), PeakRssKb());
+    if (best.words > 0) {
+      std::printf("  %lld words folded, %lld distinct (%.1fx dedup)\n",
+                  static_cast<long long>(best.words),
+                  static_cast<long long>(best.distinct_words),
+                  best.distinct_words > 0
+                      ? static_cast<double>(best.words) /
+                            static_cast<double>(best.distinct_words)
+                      : 0.0);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace condtd
+
+int main(int argc, char** argv) { return condtd::Main(argc, argv); }

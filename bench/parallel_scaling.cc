@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "gen/corpus.h"
 #include "infer/inferrer.h"
 #include "infer/parallel.h"
@@ -22,58 +23,8 @@
 namespace condtd {
 namespace {
 
-/// One document per sample word: <root><a1/><a7/>...</root>.
-std::vector<std::string> DocumentsFromCase(const ExperimentCase& c,
-                                           const std::string& root,
-                                           int max_docs) {
-  std::vector<std::string> documents;
-  int count = static_cast<int>(c.sample.size());
-  if (max_docs > 0 && count > max_docs) count = max_docs;
-  documents.reserve(count);
-  for (int i = 0; i < count; ++i) {
-    std::string xml = "<" + root + ">";
-    for (Symbol s : c.sample[i]) {
-      xml += "<" + std::string(c.alphabet.Name(s)) + "/>";
-    }
-    xml += "</" + root + ">";
-    documents.push_back(std::move(xml));
-  }
-  return documents;
-}
-
-const std::vector<std::string>& Example4Documents() {
-  static const std::vector<std::string>* kDocs = [] {
-    std::vector<ExperimentCase> cases = BuildTable2Cases(20060912);
-    return new std::vector<std::string>(
-        DocumentsFromCase(cases[3], "example4", /*max_docs=*/0));
-  }();
-  return *kDocs;
-}
-
-/// Multi-element corpus: every Table 1 case becomes one element under a
-/// shared root, child names prefixed per case so the nine content models
-/// stay independent. This is the shape where per-element inference
-/// parallelism matters — ten elements learn concurrently.
-const std::vector<std::string>& Table1Documents() {
-  static const std::vector<std::string>* kDocs = [] {
-    std::vector<ExperimentCase> cases = BuildTable1Cases(20060912);
-    auto* documents = new std::vector<std::string>();
-    for (const ExperimentCase& c : cases) {
-      int count = static_cast<int>(c.sample.size());
-      if (count > 200) count = 200;
-      for (int i = 0; i < count; ++i) {
-        std::string xml = "<corpus><" + c.name + ">";
-        for (Symbol s : c.sample[i]) {
-          xml += "<" + c.name + "_" + std::string(c.alphabet.Name(s)) + "/>";
-        }
-        xml += "</" + c.name + "></corpus>";
-        documents->push_back(std::move(xml));
-      }
-    }
-    return documents;
-  }();
-  return *kDocs;
-}
+using bench_util::Example4Documents;
+using bench_util::Table1Documents;
 
 void RunSequential(benchmark::State& state,
                    const std::vector<std::string>& documents) {

@@ -1,0 +1,48 @@
+#!/bin/sh
+# Runs the ingestion-throughput comparison (DOM vs streaming SAX vs
+# streaming+dedup) and writes BENCH_ingest.json at the repository root
+# (see EXPERIMENTS.md, "Streaming ingestion throughput"). Each
+# corpus/mode pair runs in its own process so peak-RSS numbers are not
+# contaminated across modes (ru_maxrss is a process high-water mark).
+# Fails if the inferred-DTD fingerprints disagree across modes — the
+# determinism contract every ingestion path must uphold.
+#
+# Usage: bench/run_ingest_throughput.sh [build-dir] [extra-binary-flags]
+set -e
+build="${1:-build}"
+shift 2>/dev/null || true
+root="$(cd "$(dirname "$0")/.." && pwd)"
+binary="$root/$build/bench/ingest_throughput"
+out="$root/BENCH_ingest.json"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+for corpus in table1 table2; do
+  for mode in dom sax sax-nodedup; do
+    "$binary" --corpus="$corpus" --mode="$mode" --json "$@" \
+      >> "$tmp/results.jsonl"
+  done
+  # All three modes must infer the same DTD.
+  fps="$(grep "\"corpus\": \"$corpus\"" "$tmp/results.jsonl" |
+         sed 's/.*"dtd_fnv1a": "\([0-9a-f]*\)".*/\1/' | sort -u)"
+  if [ "$(printf '%s\n' "$fps" | wc -l)" != 1 ]; then
+    echo "FAIL: DTD fingerprints differ across modes for $corpus:" >&2
+    printf '%s\n' "$fps" >&2
+    exit 1
+  fi
+done
+
+{
+  printf '{\n'
+  printf '  "context": {\n'
+  printf '    "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%S+00:00)"
+  printf '    "host_name": "%s",\n' "$(hostname)"
+  printf '    "executable": "%s",\n' "$binary"
+  printf '    "num_cpus": %s\n' "$(nproc)"
+  printf '  },\n'
+  printf '  "results": [\n'
+  sed 's/^/    /; $!s/$/,/' "$tmp/results.jsonl"
+  printf '  ]\n'
+  printf '}\n'
+} > "$out"
+echo "wrote $out"

@@ -2,22 +2,26 @@
 
 namespace condtd {
 
-void Fold2T(const Word& word, Soa* soa) {
+void Fold2T(const Word& word, Soa* soa) { Fold2T(word, soa, 1); }
+
+void Fold2T(const Word& word, Soa* soa, int64_t multiplicity) {
+  if (multiplicity <= 0) return;
+  int support = static_cast<int>(multiplicity);
   if (word.empty()) {
     soa->set_accepts_empty(true);
-    soa->add_empty_support(1);
+    soa->add_empty_support(support);
     return;
   }
   int prev = soa->AddState(word[0]);
-  soa->AddInitial(prev, 1);
-  soa->AddStateSupport(prev, 1);
+  soa->AddInitial(prev, support);
+  soa->AddStateSupport(prev, support);
   for (size_t i = 1; i < word.size(); ++i) {
     int cur = soa->AddState(word[i]);
-    soa->AddStateSupport(cur, 1);
-    soa->AddEdge(prev, cur, 1);
+    soa->AddStateSupport(cur, support);
+    soa->AddEdge(prev, cur, support);
     prev = cur;
   }
-  soa->AddFinal(prev, 1);
+  soa->AddFinal(prev, support);
 }
 
 Soa Infer2T(const std::vector<Word>& sample) {

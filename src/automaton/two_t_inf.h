@@ -1,6 +1,7 @@
 #ifndef CONDTD_AUTOMATON_TWO_T_INF_H_
 #define CONDTD_AUTOMATON_TWO_T_INF_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "automaton/soa.h"
@@ -15,6 +16,13 @@ Soa Infer2T(const std::vector<Word>& sample);
 
 /// Incremental form: folds one word into an existing SOA.
 void Fold2T(const Word& word, Soa* soa);
+
+/// Weighted fold: equivalent to folding `word` `multiplicity` times —
+/// every touched support (state, edge, initial, final, empty) grows by
+/// `multiplicity` instead of 1. This is what makes the streaming
+/// ingestion's word-multiset deduplication exact: hash-consed duplicate
+/// child sequences fold once with their count instead of being replayed.
+void Fold2T(const Word& word, Soa* soa, int64_t multiplicity);
 
 }  // namespace condtd
 

@@ -6,10 +6,13 @@
 
 namespace condtd {
 
-void CrxState::AddWord(const Word& word) {
-  ++num_words_;
+void CrxState::AddWord(const Word& word) { AddWord(word, 1); }
+
+void CrxState::AddWord(const Word& word, int64_t multiplicity) {
+  if (multiplicity <= 0) return;
+  num_words_ += multiplicity;
   if (word.empty()) {
-    ++empty_count_;
+    empty_count_ += multiplicity;
     return;
   }
   std::map<Symbol, int> counts;
@@ -21,7 +24,7 @@ void CrxState::AddWord(const Word& word) {
     edges_.emplace(word[i], word[i + 1]);
   }
   Histogram histogram(counts.begin(), counts.end());
-  ++histograms_[histogram];
+  histograms_[histogram] += multiplicity;
 }
 
 void CrxState::AddWords(const std::vector<Word>& words) {

@@ -30,6 +30,12 @@ class CrxState {
   /// Folds one word into the state. O(|word| log |word|).
   void AddWord(const Word& word);
 
+  /// Weighted fold: equivalent to folding `word` `multiplicity` times —
+  /// the word's histogram and the word/empty counts grow by
+  /// `multiplicity`, the successor relation by set union. Backs the
+  /// streaming ingestion's word-multiset deduplication.
+  void AddWord(const Word& word, int64_t multiplicity);
+
   /// Folds a batch.
   void AddWords(const std::vector<Word>& words);
 

@@ -23,27 +23,41 @@ Status ContextualInferrer::AddXml(std::string_view xml) {
 
 void ContextualInferrer::AddDocument(const XmlDocument& doc) {
   if (doc.root == nullptr) return;
-  struct Frame {
+  // Depth-first, interning each name right before entering its subtree:
+  // the alphabet grows in document (start-tag) order, matching
+  // DtdInferrer's DOM and streaming traversals so symbol-id tie-breaks
+  // agree across all ingestion paths.
+  struct VisitFrame {
     const XmlElement* element;
+    Symbol symbol;
     Symbol parent;
-  };
-  std::vector<Frame> stack = {{doc.root.get(), kInvalidSymbol}};
-  while (!stack.empty()) {
-    auto [element, parent] = stack.back();
-    stack.pop_back();
-    Symbol self = alphabet_.Intern(element->name());
+    size_t next_child = 0;
     Word word;
-    word.reserve(element->children().size());
-    for (const auto& child : element->children()) {
-      word.push_back(alphabet_.Intern(child->name()));
-      stack.push_back({child.get(), self});
-    }
-    for (ContextState* state :
-         {&contexts_[{self, parent}], &pooled_[self]}) {
-      ++state->occurrences;
-      Fold2T(word, &state->soa);
-      state->crx.AddWord(word);
-      if (element->HasSignificantText()) state->has_text = true;
+  };
+  std::vector<VisitFrame> stack;
+  auto open = [&](const XmlElement* element, Symbol symbol, Symbol parent) {
+    stack.push_back({element, symbol, parent, 0, {}});
+    stack.back().word.reserve(element->children().size());
+  };
+  open(doc.root.get(), alphabet_.Intern(doc.root->name()), kInvalidSymbol);
+  while (!stack.empty()) {
+    VisitFrame& frame = stack.back();
+    const auto& children = frame.element->children();
+    if (frame.next_child < children.size()) {
+      const XmlElement* child = children[frame.next_child++].get();
+      Symbol cs = alphabet_.Intern(child->name());
+      frame.word.push_back(cs);
+      open(child, cs, frame.symbol);  // invalidates `frame`
+    } else {
+      for (ContextState* state :
+           {&contexts_[{frame.symbol, frame.parent}],
+            &pooled_[frame.symbol]}) {
+        ++state->occurrences;
+        Fold2T(frame.word, &state->soa);
+        state->crx.AddWord(frame.word);
+        if (frame.element->HasSignificantText()) state->has_text = true;
+      }
+      stack.pop_back();
     }
   }
 }

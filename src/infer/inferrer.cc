@@ -7,6 +7,7 @@
 #include "automaton/two_t_inf.h"
 #include "base/strings.h"
 #include "gfa/rewrite.h"
+#include "infer/streaming.h"
 #include "regex/properties.h"
 #include "xml/parser.h"
 #include "xsd/numeric.h"
@@ -28,26 +29,22 @@ void DtdInferrer::AddDocument(const XmlDocument& doc) {
   if (doc.root == nullptr) return;
   ++root_counts_[alphabet_.Intern(doc.root->name())];
 
-  // Iterative traversal collecting each element's child-name word.
-  std::vector<const XmlElement*> stack = {doc.root.get()};
-  while (!stack.empty()) {
-    const XmlElement* element = stack.back();
-    stack.pop_back();
-    Symbol symbol = alphabet_.Intern(element->name());
+  // Depth-first traversal collecting each element's child-name word.
+  // Each name is interned immediately before its subtree is entered, so
+  // the alphabet grows in document (start-tag) order — the same order the
+  // streaming SAX path interns in, which is what keeps the two ingestion
+  // paths' symbol ids (and therefore their tie-breaks and inferred DTDs)
+  // identical.
+  struct VisitFrame {
+    const XmlElement* element;
+    Symbol symbol;
+    size_t next_child = 0;
+    Word word;
+  };
+  std::vector<VisitFrame> stack;
+  auto open = [&](const XmlElement* element, Symbol symbol) {
     ElementState& state = states_[symbol];
     ++state.occurrences;
-
-    Word word;
-    word.reserve(element->children().size());
-    for (const auto& child : element->children()) {
-      Symbol cs = alphabet_.Intern(child->name());
-      word.push_back(cs);
-      MarkSeenAsChild(cs);
-      stack.push_back(child.get());
-    }
-    Fold2T(word, &state.soa);
-    state.crx.AddWord(word);
-
     if (element->HasSignificantText()) {
       state.has_text = true;
       if (static_cast<int>(state.text_samples.size()) <
@@ -60,7 +57,33 @@ void DtdInferrer::AddDocument(const XmlDocument& doc) {
         ++state.attribute_counts[key];
       }
     }
+    stack.push_back({element, symbol, 0, {}});
+    stack.back().word.reserve(element->children().size());
+  };
+  open(doc.root.get(), alphabet_.Intern(doc.root->name()));
+  while (!stack.empty()) {
+    VisitFrame& frame = stack.back();
+    const auto& children = frame.element->children();
+    if (frame.next_child < children.size()) {
+      const XmlElement* child = children[frame.next_child++].get();
+      Symbol cs = alphabet_.Intern(child->name());
+      frame.word.push_back(cs);
+      MarkSeenAsChild(cs);
+      open(child, cs);  // invalidates `frame`; not used again this round
+    } else {
+      ElementState& state = states_[frame.symbol];
+      Fold2T(frame.word, &state.soa);
+      state.crx.AddWord(frame.word);
+      stack.pop_back();
+    }
   }
+}
+
+Status DtdInferrer::AddXmlStreaming(std::string_view xml) {
+  StreamingFolder folder(this);
+  CONDTD_RETURN_IF_ERROR(folder.AddXml(xml));
+  folder.Flush();
+  return Status::OK();
 }
 
 void DtdInferrer::AddWords(Symbol element, const std::vector<Word>& words) {

@@ -49,6 +49,11 @@ struct InferenceOptions {
   /// end tags are repaired instead of rejected) — for corpora like the
   /// paper's XHTML crawl where 89% of documents are not well-formed.
   bool lenient_xml = false;
+  /// Ingest documents through the streaming SAX fold (no DOM
+  /// materialization) where the caller supports it (CLI `infer`,
+  /// ParallelDtdInferrer shards). The inferred DTD is identical either
+  /// way; this only selects the faster path.
+  bool streaming_ingest = true;
 };
 
 /// The end-to-end DTD inference engine of the paper. Feed it documents
@@ -62,8 +67,17 @@ class DtdInferrer {
   Alphabet* alphabet() { return &alphabet_; }
   const Alphabet& alphabet() const { return alphabet_; }
 
-  /// Parses and folds an XML document given as text.
+  /// Parses and folds an XML document given as text (DOM path: the
+  /// document tree is materialized, then folded).
   Status AddXml(std::string_view xml);
+
+  /// Parses and folds an XML document through the streaming SAX path —
+  /// no `XmlElement` tree is built; element words fold straight into the
+  /// per-element summaries. Produces the same summaries (and therefore a
+  /// byte-identical DTD) as `AddXml`. Corpus-scale callers that want
+  /// cross-document word deduplication should hold a `StreamingFolder`
+  /// instead; this per-call form dedups only within the document.
+  Status AddXmlStreaming(std::string_view xml);
 
   /// Folds a parsed document.
   void AddDocument(const XmlDocument& doc);
@@ -117,13 +131,19 @@ class DtdInferrer {
   Status LoadState(std::string_view serialized);
 
  private:
+  /// The streaming fold driver writes the same per-element summaries the
+  /// DOM path does, without going through an XmlDocument.
+  friend class StreamingFolder;
+
   struct ElementState {
     Soa soa;
     CrxState crx;
     int64_t occurrences = 0;
     bool has_text = false;
     std::vector<std::string> text_samples;
-    std::map<std::string, int64_t> attribute_counts;
+    /// std::less<> so the streaming fold can probe with the
+    /// string_view attribute keys it holds into the document.
+    std::map<std::string, int64_t, std::less<>> attribute_counts;
   };
 
   Result<ReRef> LearnRegex(const ElementState& state) const;

@@ -56,9 +56,13 @@ void ParallelDtdInferrer::Worker(Shard* shard) {
       queue_.pop_front();
     }
     // Parse + fold outside the lock — the hot path touches only
-    // shard-local state.
+    // shard-local state. Streaming (the default) folds SAX events
+    // straight into the shard's summaries; the DOM path stays available
+    // for comparison (`streaming_ingest = false`).
     int before = shard->inferrer.alphabet()->size();
-    Status status = shard->inferrer.AddXml(doc.second);
+    Status status = options_.streaming_ingest
+                        ? shard->folder.AddXml(doc.second)
+                        : shard->inferrer.AddXml(doc.second);
     int after = shard->inferrer.alphabet()->size();
     if (after > before) {
       shard->new_names.push_back({doc.first, before, after});
@@ -114,8 +118,10 @@ Status ParallelDtdInferrer::Finish() {
   }
 
   // With every name already interned, the shard merges are pure remaps;
-  // summaries are associative, so shard order does not matter.
+  // summaries are associative, so shard order does not matter. Each
+  // shard's dedup cache must drain into its inferrer first.
   for (const std::unique_ptr<Shard>& shard : shards_) {
+    shard->folder.Flush();
     merged_.MergeFrom(shard->inferrer);
     for (DocumentError& error : shard->errors) {
       errors_.push_back(std::move(error));

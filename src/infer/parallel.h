@@ -15,6 +15,7 @@
 #include "base/status.h"
 #include "dtd/model.h"
 #include "infer/inferrer.h"
+#include "infer/streaming.h"
 
 namespace condtd {
 
@@ -91,8 +92,14 @@ class ParallelDtdInferrer {
 
  private:
   struct Shard {
-    explicit Shard(const InferenceOptions& options) : inferrer(options) {}
+    explicit Shard(const InferenceOptions& options)
+        : inferrer(options), folder(&inferrer) {}
     DtdInferrer inferrer;
+    /// Streaming fold driver over `inferrer` (used when
+    /// `InferenceOptions::streaming_ingest` is set): folds documents
+    /// without a DOM and dedups repeated words shard-locally. Flushed at
+    /// the barrier before the shard merges.
+    StreamingFolder folder;
     /// Alphabet ids [first, last) of this shard that were first interned
     /// while folding `doc_index` — the replay log for rebuilding the
     /// sequential interning order at the barrier.

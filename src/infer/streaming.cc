@@ -1,0 +1,297 @@
+#include "infer/streaming.h"
+
+#include <string>
+#include <utility>
+
+#include "automaton/two_t_inf.h"
+#include "base/strings.h"
+#include "xml/sax.h"
+
+namespace condtd {
+
+size_t StreamingFolder::WordKeyHash::Mix(Symbol element, const Word& word) {
+  // FNV-ish mix over the element id and the child symbols.
+  size_t h = 0xcbf29ce484222325ull ^ static_cast<size_t>(element);
+  for (Symbol s : word) {
+    h ^= static_cast<size_t>(s) + 0x9e3779b97f4a7c15ull + (h << 6) +
+         (h >> 2);
+  }
+  return h;
+}
+
+StreamingFolder::StreamingFolder(DtdInferrer* inferrer)
+    : StreamingFolder(inferrer, Options()) {}
+
+StreamingFolder::StreamingFolder(DtdInferrer* inferrer, Options options)
+    : inferrer_(inferrer), options_(options) {}
+
+StreamingFolder::~StreamingFolder() { Flush(); }
+
+DtdInferrer::ElementState* StreamingFolder::FindState(Symbol symbol) {
+  size_t index = static_cast<size_t>(symbol);
+  if (index >= state_cache_.size()) state_cache_.resize(index + 1, nullptr);
+  DtdInferrer::ElementState*& entry = state_cache_[index];
+  if (entry == nullptr) {
+    auto it = inferrer_->states_.find(symbol);
+    if (it != inferrer_->states_.end()) entry = &it->second;
+  }
+  return entry;
+}
+
+DtdInferrer::ElementState& StreamingFolder::EnsureState(Symbol symbol) {
+  if (DtdInferrer::ElementState* entry = FindState(symbol)) return *entry;
+  DtdInferrer::ElementState& state = inferrer_->states_[symbol];
+  state_cache_[static_cast<size_t>(symbol)] = &state;
+  return state;
+}
+
+StreamingFolder::Frame& StreamingFolder::PushFrame(Symbol symbol) {
+  if (depth_ == stack_.size()) stack_.emplace_back();
+  Frame& frame = stack_[depth_++];
+  frame.symbol = symbol;
+  frame.word.clear();
+  frame.text.clear();
+  frame.has_text = false;
+  frame.collect_text = false;
+  frame.attr_first = static_cast<uint32_t>(attr_keys_.size());
+  frame.attr_count = 0;
+  return frame;
+}
+
+void StreamingFolder::HandleText(std::string_view text) {
+  Frame& frame = stack_[depth_ - 1];
+  if (!frame.has_text) {
+    frame.has_text = true;
+    // Collect the sample text only while the element is still under its
+    // committed-sample cap; a document in flight may overshoot by a few
+    // (the cap is re-checked at commit), which only wastes the copies.
+    const DtdInferrer::ElementState* state = FindState(frame.symbol);
+    int existing =
+        state == nullptr ? 0 : static_cast<int>(state->text_samples.size());
+    frame.collect_text = existing < inferrer_->options_.max_text_samples;
+  }
+  if (frame.collect_text) frame.text.append(text);
+}
+
+void StreamingFolder::CompleteTop() {
+  Frame& frame = stack_[depth_ - 1];
+  ++words_folded_;
+  if (options_.dedup_words) {
+    Completed record;
+    record.symbol = frame.symbol;
+    record.has_text = frame.has_text;
+    record.attr_first = frame.attr_first;
+    record.attr_count = frame.attr_count;
+    if (frame.has_text && frame.collect_text) {
+      record.has_sample = true;
+      record.sample_index = static_cast<uint32_t>(doc_samples_.size());
+      doc_samples_.emplace_back(StripWhitespace(frame.text));
+    }
+    completed_.push_back(record);
+    auto it = cache_.find(WordKeyRef{frame.symbol, &frame.word});
+    if (it == cache_.end()) {
+      it = cache_.emplace(WordKey{frame.symbol, std::move(frame.word)}, 0)
+               .first;
+    }
+    ++it->second;
+    word_journal_.push_back(&it->second);
+  } else {
+    // Eager mode (benchmark baseline): fold and account immediately.
+    DtdInferrer::ElementState& state = EnsureState(frame.symbol);
+    ++state.occurrences;
+    if (frame.has_text) {
+      state.has_text = true;
+      if (static_cast<int>(state.text_samples.size()) <
+          inferrer_->options_.max_text_samples) {
+        state.text_samples.emplace_back(StripWhitespace(frame.text));
+      }
+    }
+    for (uint32_t a = 0; a < frame.attr_count; ++a) {
+      std::string_view key = attr_keys_[frame.attr_first + a];
+      auto it = state.attribute_counts.find(key);
+      if (it == state.attribute_counts.end()) {
+        it = state.attribute_counts.emplace(std::string(key), 0).first;
+      }
+      ++it->second;
+    }
+    Fold2T(frame.word, &state.soa);
+    state.crx.AddWord(frame.word);
+    for (Symbol s : frame.word) inferrer_->MarkSeenAsChild(s);
+  }
+  --depth_;
+}
+
+void StreamingFolder::CommitDocument() {
+  ++inferrer_->root_counts_[root_symbol_];
+  ++documents_folded_;
+  if (options_.dedup_words) {
+    for (const Completed& record : completed_) {
+      DtdInferrer::ElementState& state = EnsureState(record.symbol);
+      ++state.occurrences;
+      if (record.has_text) state.has_text = true;
+      if (record.has_sample &&
+          static_cast<int>(state.text_samples.size()) <
+              inferrer_->options_.max_text_samples) {
+        state.text_samples.push_back(
+            std::move(doc_samples_[record.sample_index]));
+      }
+      for (uint32_t a = 0; a < record.attr_count; ++a) {
+        std::string_view key = attr_keys_[record.attr_first + a];
+        auto it = state.attribute_counts.find(key);
+        if (it == state.attribute_counts.end()) {
+          it = state.attribute_counts.emplace(std::string(key), 0).first;
+        }
+        ++it->second;
+      }
+    }
+    for (Symbol s : doc_new_children_) inferrer_->MarkSeenAsChild(s);
+    // The cache increments are already in place; committing just retires
+    // the rollback journal (ResetDocument must not undo them).
+    word_journal_.clear();
+    if (cache_.size() >= options_.max_distinct_words) Flush();
+  }
+  ResetDocument();
+}
+
+void StreamingFolder::ResetDocument() {
+  // Roll back this document's cache increments (no-op after a commit,
+  // which clears the journal first). Zero-count entries stay resident —
+  // Flush() skips them — so no erase is needed here.
+  for (int64_t* count : word_journal_) --*count;
+  word_journal_.clear();
+  depth_ = 0;
+  root_symbol_ = kInvalidSymbol;
+  root_seen_ = false;
+  completed_.clear();
+  attr_keys_.clear();
+  doc_samples_.clear();
+  doc_new_children_.clear();
+}
+
+void StreamingFolder::FoldWeighted(Symbol element, const Word& word,
+                                   int64_t count) {
+  DtdInferrer::ElementState& state = EnsureState(element);
+  Fold2T(word, &state.soa, count);
+  state.crx.AddWord(word, count);
+  ++weighted_folds_;
+}
+
+void StreamingFolder::Flush() {
+  for (const auto& [key, count] : cache_) {
+    // Zero-count entries are rolled-back first occurrences from a failed
+    // document; folding them would create an ElementState the DOM path
+    // never would.
+    if (count <= 0) continue;
+    FoldWeighted(key.element, key.word, count);
+  }
+  cache_.clear();
+}
+
+Status StreamingFolder::AddXml(std::string_view xml) {
+  const bool lenient = inferrer_->options_.lenient_xml;
+  ResetDocument();
+  SaxLexer lexer(xml);
+  Alphabet* alphabet = inferrer_->alphabet();
+  // Error paths below reset the document so nothing half-folded leaks
+  // into the inferrer (dedup mode is fully transactional; see header).
+  auto fail = [&](std::string message) {
+    ResetDocument();
+    return Status::ParseError(std::move(message));
+  };
+
+  while (true) {
+    Result<SaxEvent> next = lexer.Next();
+    if (!next.ok()) {
+      ResetDocument();
+      return next.status();  // lexical errors fail even in lenient mode
+    }
+    const SaxEvent& event = next.value();
+    switch (event.kind) {
+      case SaxEventKind::kEof: {
+        if (depth_ > 0) {
+          if (!lenient) {
+            return fail("unexpected end of document inside <" +
+                        alphabet->Name(stack_[depth_ - 1].symbol) + ">");
+          }
+          while (depth_ > 0) CompleteTop();
+        }
+        if (!root_seen_) return fail("document has no root element");
+        CommitDocument();
+        return Status::OK();
+      }
+      case SaxEventKind::kDoctype:
+        if (!lenient && (root_seen_ || depth_ > 0)) {
+          return fail("DOCTYPE after the root element");
+        }
+        break;
+      case SaxEventKind::kText:
+        if (depth_ == 0) {
+          if (lenient) break;  // dropped, as the DOM recovery does
+          return fail("character data outside the root element at offset " +
+                      std::to_string(event.offset));
+        }
+        HandleText(event.text);
+        break;
+      case SaxEventKind::kStartElement: {
+        if (depth_ == 0 && root_seen_) {
+          // Matching the DOM paths: strict rejects a second root; lenient
+          // drops content after the root without interning its name.
+          if (!lenient) {
+            return fail("multiple root elements (<" +
+                        std::string(event.name) + ">)");
+          }
+          break;
+        }
+        Symbol symbol = alphabet->Intern(event.name);
+        if (depth_ == 0) {
+          root_symbol_ = symbol;
+          root_seen_ = true;
+        } else {
+          stack_[depth_ - 1].word.push_back(symbol);
+          if (options_.dedup_words && !inferrer_->SeenAsChild(symbol)) {
+            doc_new_children_.push_back(symbol);
+          }
+        }
+        Frame& frame = PushFrame(symbol);
+        if (inferrer_->options_.infer_attributes) {
+          for (const SaxAttribute& attr : lexer.attributes()) {
+            attr_keys_.push_back(attr.key);
+            ++frame.attr_count;
+          }
+        }
+        if (event.self_closing) CompleteTop();
+        break;
+      }
+      case SaxEventKind::kEndElement: {
+        if (!lenient) {
+          if (depth_ == 0) {
+            return fail("stray closing tag </" + std::string(event.name) +
+                        ">");
+          }
+          const std::string& open = alphabet->Name(stack_[depth_ - 1].symbol);
+          if (open != event.name) {
+            return fail("mismatched closing tag </" +
+                        std::string(event.name) + ">; expected </" + open +
+                        ">");
+          }
+          CompleteTop();
+          break;
+        }
+        // Lenient recovery: close down to the nearest matching open
+        // element; drop the tag when nothing matches.
+        int match = -1;
+        for (int i = static_cast<int>(depth_) - 1; i >= 0; --i) {
+          if (alphabet->Name(stack_[i].symbol) == event.name) {
+            match = i;
+            break;
+          }
+        }
+        if (match < 0) break;
+        while (static_cast<int>(depth_) > match) CompleteTop();
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace condtd

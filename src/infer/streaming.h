@@ -1,0 +1,197 @@
+#ifndef CONDTD_INFER_STREAMING_H_
+#define CONDTD_INFER_STREAMING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "alphabet/alphabet.h"
+#include "base/status.h"
+#include "infer/inferrer.h"
+
+namespace condtd {
+
+/// Streaming fold driver: parses XML with the zero-copy `SaxLexer` and
+/// folds each element the moment its end tag is seen into the owning
+/// `DtdInferrer`'s Section 9 summaries — no `XmlElement` tree, no
+/// per-node allocation. An explicit stack of open frames accumulates
+/// each element's child-`Symbol` word (names interned directly into the
+/// inferrer's alphabet, in start-tag order — the same order the DOM path
+/// interns in, which is what keeps the two paths byte-identical);
+/// attribute and text handling is reduced to the counts and capped
+/// samples the inferrer actually retains. Strict or tag-soup-lenient
+/// parsing follows the inferrer's `lenient_xml` option.
+///
+/// Word-multiset deduplication (`Options::dedup_words`, on by default):
+/// real corpora repeat the same child sequence thousands of times, so
+/// completed words are hash-consed into a multiplicity cache and applied
+/// as weighted folds (`Fold2T`/`CrxState::AddWord` with a count) instead
+/// of being replayed — `Flush()` (idempotent, also run by the
+/// destructor) drains the cache, and must happen before the inferrer's
+/// summaries are read. The weighted folds are exact, so flush timing
+/// never changes the inferred DTD.
+///
+/// Document transactionality: with dedup on, a document that fails to
+/// parse contributes nothing to the inferrer's summaries (matching the
+/// DOM path's parse-then-fold behavior); only alphabet interning of
+/// names seen before the error persists, which cannot affect any
+/// all-clean corpus. With dedup off, words fold eagerly per end tag, so
+/// a failed document may leave its completed elements behind — that mode
+/// exists for benchmarking the dedup contribution.
+///
+/// Text-sample caveat (same as ParallelDtdInferrer's): which capped text
+/// snippets are retained can differ from the DOM path (samples are taken
+/// in end-tag rather than start-tag order), so XSD datatype picks may
+/// differ on heterogeneous text; the inferred DTD never does.
+class StreamingFolder {
+ public:
+  struct Options {
+    /// Hash-cons completed words and fold them weighted at Flush().
+    bool dedup_words = true;
+    /// Flush the dedup cache early when it holds this many distinct
+    /// (element, word) pairs — bounds memory on adversarial corpora
+    /// where words never repeat.
+    size_t max_distinct_words = 1u << 20;
+  };
+
+  explicit StreamingFolder(DtdInferrer* inferrer);
+  StreamingFolder(DtdInferrer* inferrer, Options options);
+  ~StreamingFolder();
+
+  StreamingFolder(const StreamingFolder&) = delete;
+  StreamingFolder& operator=(const StreamingFolder&) = delete;
+
+  /// Parses and folds one document (strict or lenient per the owning
+  /// inferrer's options). On error the document's summaries are
+  /// discarded (see class comment for the dedup-off caveat).
+  Status AddXml(std::string_view xml);
+
+  /// Applies all cached weighted folds to the inferrer. Idempotent.
+  /// Must be called (or the folder destroyed) before the inferrer's
+  /// summaries are read.
+  void Flush();
+
+  /// Ingestion counters (for benchmarks and tests).
+  int64_t documents_folded() const { return documents_folded_; }
+  int64_t words_folded() const { return words_folded_; }
+  int64_t weighted_folds_applied() const { return weighted_folds_; }
+  int64_t distinct_words_cached() const {
+    return static_cast<int64_t>(cache_.size());
+  }
+
+ private:
+  /// An open element: accumulates the child word and the text the
+  /// inferrer will retain. Frames are pooled (depth_ marks the live
+  /// prefix of stack_) so their Word/string capacity is reused across
+  /// elements and documents.
+  struct Frame {
+    Symbol symbol = kInvalidSymbol;
+    Word word;
+    std::string text;
+    bool has_text = false;
+    bool collect_text = false;
+    uint32_t attr_first = 0;
+    uint32_t attr_count = 0;
+  };
+
+  /// Per-document record of one completed element occurrence; applied to
+  /// the inferrer only when the whole document folded cleanly.
+  struct Completed {
+    Symbol symbol = kInvalidSymbol;
+    bool has_text = false;
+    bool has_sample = false;
+    uint32_t sample_index = 0;
+    uint32_t attr_first = 0;
+    uint32_t attr_count = 0;
+  };
+
+  struct WordKey {
+    Symbol element;
+    Word word;
+  };
+  /// Borrowed key for heterogeneous lookup (no Word copy per probe).
+  struct WordKeyRef {
+    Symbol element;
+    const Word* word;
+  };
+  struct WordKeyHash {
+    using is_transparent = void;
+    static size_t Mix(Symbol element, const Word& word);
+    size_t operator()(const WordKey& key) const {
+      return Mix(key.element, key.word);
+    }
+    size_t operator()(const WordKeyRef& key) const {
+      return Mix(key.element, *key.word);
+    }
+  };
+  struct WordKeyEq {
+    using is_transparent = void;
+    bool operator()(const WordKey& a, const WordKey& b) const {
+      return a.element == b.element && a.word == b.word;
+    }
+    bool operator()(const WordKeyRef& a, const WordKey& b) const {
+      return a.element == b.element && *a.word == b.word;
+    }
+    bool operator()(const WordKey& a, const WordKeyRef& b) const {
+      return a.element == b.element && a.word == *b.word;
+    }
+  };
+  using WordCounts =
+      std::unordered_map<WordKey, int64_t, WordKeyHash, WordKeyEq>;
+
+  /// Dense symbol-indexed cache of `states_` entries, lazily filled —
+  /// the fold hot path does one per-occurrence lookup here instead of a
+  /// `std::map` search. Returns null while the element has no state yet
+  /// (Find never creates one: dedup-mode transactionality requires that
+  /// a failed document leaves `states_` untouched). Map nodes are
+  /// pointer-stable, so cached entries stay valid across inserts.
+  DtdInferrer::ElementState* FindState(Symbol symbol);
+  /// As FindState but creates (and caches) the entry — commit/eager
+  /// paths only.
+  DtdInferrer::ElementState& EnsureState(Symbol symbol);
+
+  Frame& PushFrame(Symbol symbol);
+  void HandleText(std::string_view text);
+  /// Closes the innermost open element: records its word and stats.
+  void CompleteTop();
+  void CommitDocument();
+  void ResetDocument();
+  void FoldWeighted(Symbol element, const Word& word, int64_t count);
+
+  DtdInferrer* inferrer_;
+  Options options_;
+
+  // Document-scoped state (reset per AddXml).
+  std::vector<Frame> stack_;
+  size_t depth_ = 0;
+  Symbol root_symbol_ = kInvalidSymbol;
+  bool root_seen_ = false;
+  std::vector<Completed> completed_;
+  std::vector<std::string_view> attr_keys_;  // views into the document
+  std::vector<std::string> doc_samples_;
+  /// One entry per word folded this document, pointing at the cache_
+  /// count it incremented (unordered_map values are pointer-stable).
+  /// Cleared on commit; decremented back on parse failure — a
+  /// rolled-back first occurrence leaves a zero-count cache entry
+  /// behind, which Flush() skips (and which a later clean document can
+  /// reuse).
+  std::vector<int64_t*> word_journal_;
+  /// Child symbols first observed this document; the inferrer's
+  /// seen-as-child marks are applied only on commit.
+  std::vector<Symbol> doc_new_children_;
+
+  // Cross-document dedup cache. Completed words probe it directly (one
+  // hash lookup per occurrence, no per-document staging map).
+  WordCounts cache_;
+  std::vector<DtdInferrer::ElementState*> state_cache_;
+
+  int64_t documents_folded_ = 0;
+  int64_t words_folded_ = 0;
+  int64_t weighted_folds_ = 0;
+};
+
+}  // namespace condtd
+
+#endif  // CONDTD_INFER_STREAMING_H_

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -34,7 +35,9 @@ class XmlElement {
 
   /// Concatenated character data appearing directly below this element.
   const std::string& text() const { return text_; }
-  void AppendText(const std::string& text) { text_ += text; }
+  /// Appends a run of character data; takes a view so callers feeding
+  /// from a lexer's decoded buffer do not pay an intermediate copy.
+  void AppendText(std::string_view text) { text_ += text; }
   /// True when the element contains non-whitespace character data.
   bool HasSignificantText() const;
 

@@ -19,11 +19,23 @@ bool IsNameChar(char c) {
 
 }  // namespace
 
-Status XmlLexer::DecodeEntities(std::string_view raw, std::string* out) const {
+Status DecodeXmlEntities(std::string_view raw, std::string* out) {
+  // Fast path: entity-free runs (the overwhelmingly common case for
+  // both character data and attribute values) bulk-append instead of
+  // copying byte by byte.
+  size_t first_amp = raw.find('&');
+  if (first_amp == std::string_view::npos) {
+    out->append(raw);
+    return Status::OK();
+  }
   out->reserve(out->size() + raw.size());
-  for (size_t i = 0; i < raw.size();) {
+  out->append(raw.substr(0, first_amp));
+  for (size_t i = first_amp; i < raw.size();) {
     if (raw[i] != '&') {
-      *out += raw[i++];
+      size_t amp = raw.find('&', i);
+      if (amp == std::string_view::npos) amp = raw.size();
+      out->append(raw.substr(i, amp - i));
+      i = amp;
       continue;
     }
     size_t end = raw.find(';', i);
@@ -93,7 +105,7 @@ Result<XmlToken> XmlLexer::Next() {
       XmlToken token;
       token.kind = XmlTokenKind::kText;
       token.offset = start;
-      CONDTD_RETURN_IF_ERROR(DecodeEntities(raw, &token.text));
+      CONDTD_RETURN_IF_ERROR(DecodeXmlEntities(raw, &token.text));
       // Skip pure-whitespace runs between tags.
       if (StripWhitespace(token.text).empty()) continue;
       return token;
@@ -235,7 +247,7 @@ Result<XmlToken> XmlLexer::LexTag() {
                                 "'");
     }
     std::string value;
-    CONDTD_RETURN_IF_ERROR(DecodeEntities(
+    CONDTD_RETURN_IF_ERROR(DecodeXmlEntities(
         input_.substr(value_start, value_end - value_start), &value));
     token.attributes.emplace_back(std::move(key), std::move(value));
     pos_ = value_end + 1;

@@ -30,6 +30,12 @@ struct XmlToken {
   size_t offset = 0;  // byte offset for error messages
 };
 
+/// Appends `raw` to `out` with the predefined (&amp; &lt; &gt; &apos;
+/// &quot;) and numeric character entities decoded; unknown entities are
+/// kept verbatim so noisy real-world data does not abort parsing.
+/// Entity-free input takes a bulk-append fast path (no per-byte loop).
+Status DecodeXmlEntities(std::string_view raw, std::string* out);
+
 /// Pull lexer over an in-memory XML document. Handles tags, attributes
 /// (single or double quoted), comments, processing instructions, CDATA
 /// sections, DOCTYPE (including a bracketed internal subset) and the
@@ -45,7 +51,6 @@ class XmlLexer {
 
  private:
   Result<XmlToken> LexTag();
-  Status DecodeEntities(std::string_view raw, std::string* out) const;
 
   std::string_view input_;
   size_t pos_ = 0;

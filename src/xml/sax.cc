@@ -1,0 +1,219 @@
+#include "xml/sax.h"
+
+#include "base/strings.h"
+#include "xml/lexer.h"
+
+namespace condtd {
+
+namespace {
+
+// ASCII-only classifiers: <ctype.h> routines are locale-aware calls,
+// too slow for a loop that touches every byte of every tag name.
+inline bool IsAsciiAlpha(char c) {
+  return static_cast<unsigned char>(
+             (static_cast<unsigned char>(c) | 0x20) - 'a') < 26u;
+}
+
+inline bool IsNameStartChar(char c) {
+  return IsAsciiAlpha(c) || c == '_' || c == ':';
+}
+
+inline bool IsNameChar(char c) {
+  return IsAsciiAlpha(c) ||
+         static_cast<unsigned char>(c - '0') < 10u || c == '_' ||
+         c == ':' || c == '-' || c == '.';
+}
+
+}  // namespace
+
+Result<SaxEvent> SaxLexer::Next() {
+  while (pos_ < input_.size()) {
+    size_t start = pos_;
+    if (input_[pos_] != '<') {
+      size_t lt = input_.find('<', pos_);
+      if (lt == std::string_view::npos) lt = input_.size();
+      std::string_view raw = input_.substr(pos_, lt - pos_);
+      pos_ = lt;
+      SaxEvent event;
+      event.kind = SaxEventKind::kText;
+      event.offset = start;
+      if (raw.find('&') == std::string_view::npos) {
+        // Zero-copy path: no entities, the view is the text.
+        if (StripWhitespace(raw).empty()) continue;
+        event.text = raw;
+        return event;
+      }
+      text_scratch_.clear();
+      CONDTD_RETURN_IF_ERROR(DecodeXmlEntities(raw, &text_scratch_));
+      if (StripWhitespace(text_scratch_).empty()) continue;
+      event.text = text_scratch_;
+      return event;
+    }
+    // '<' dispatch. Ordinary tags (next char is a name char or '/') are
+    // by far the common case — skip the markup-declaration probes.
+    char next = pos_ + 1 < input_.size() ? input_[pos_ + 1] : '\0';
+    if (next != '!' && next != '?') return LexTag();
+    if (StartsWith(input_.substr(pos_), "<!--")) {
+      size_t end = input_.find("-->", pos_ + 4);
+      if (end == std::string_view::npos) {
+        return Status::ParseError("unterminated comment at offset " +
+                                  std::to_string(pos_));
+      }
+      pos_ = end + 3;
+      continue;
+    }
+    if (StartsWith(input_.substr(pos_), "<![CDATA[")) {
+      size_t end = input_.find("]]>", pos_ + 9);
+      if (end == std::string_view::npos) {
+        return Status::ParseError("unterminated CDATA at offset " +
+                                  std::to_string(pos_));
+      }
+      SaxEvent event;
+      event.kind = SaxEventKind::kText;
+      event.offset = start;
+      event.text = input_.substr(pos_ + 9, end - pos_ - 9);
+      pos_ = end + 3;
+      if (StripWhitespace(event.text).empty()) continue;
+      return event;
+    }
+    if (StartsWith(input_.substr(pos_), "<?")) {
+      size_t end = input_.find("?>", pos_ + 2);
+      if (end == std::string_view::npos) {
+        return Status::ParseError(
+            "unterminated processing instruction at offset " +
+            std::to_string(pos_));
+      }
+      pos_ = end + 2;
+      continue;
+    }
+    if (StartsWith(input_.substr(pos_), "<!DOCTYPE")) {
+      size_t i = pos_ + 9;
+      int bracket_depth = 0;
+      while (i < input_.size()) {
+        char c = input_[i];
+        if (c == '[') {
+          ++bracket_depth;
+        } else if (c == ']') {
+          --bracket_depth;
+        } else if (c == '>' && bracket_depth == 0) {
+          break;
+        }
+        ++i;
+      }
+      if (i >= input_.size()) {
+        return Status::ParseError("unterminated DOCTYPE at offset " +
+                                  std::to_string(pos_));
+      }
+      SaxEvent event;
+      event.kind = SaxEventKind::kDoctype;
+      event.offset = start;
+      event.text = StripWhitespace(input_.substr(pos_ + 9, i - pos_ - 9));
+      pos_ = i + 1;
+      return event;
+    }
+    return LexTag();
+  }
+  SaxEvent event;
+  event.kind = SaxEventKind::kEof;
+  event.offset = pos_;
+  return event;
+}
+
+Result<SaxEvent> SaxLexer::LexTag() {
+  SaxEvent event;
+  event.offset = pos_;
+  ++pos_;  // consume '<'
+  bool closing = false;
+  if (pos_ < input_.size() && input_[pos_] == '/') {
+    closing = true;
+    ++pos_;
+  }
+  if (pos_ >= input_.size() || !IsNameStartChar(input_[pos_])) {
+    return Status::ParseError("malformed tag at offset " +
+                              std::to_string(event.offset));
+  }
+  size_t name_start = pos_;
+  while (pos_ < input_.size() && IsNameChar(input_[pos_])) ++pos_;
+  event.name = input_.substr(name_start, pos_ - name_start);
+  event.kind =
+      closing ? SaxEventKind::kEndElement : SaxEventKind::kStartElement;
+  attributes_.clear();
+  scratch_slots_.clear();
+  attr_scratch_.clear();
+
+  auto finish = [&]() -> Result<SaxEvent> {
+    // Patch decoded values now that scratch has stopped reallocating.
+    for (const auto& [index, slot] : scratch_slots_) {
+      attributes_[index].value =
+          std::string_view(attr_scratch_).substr(slot.first, slot.second);
+    }
+    return event;
+  };
+
+  while (true) {
+    while (pos_ < input_.size() && IsXmlWhitespace(input_[pos_])) ++pos_;
+    if (pos_ >= input_.size()) {
+      return Status::ParseError("unterminated tag <" +
+                                std::string(event.name) + ">");
+    }
+    char c = input_[pos_];
+    if (c == '>') {
+      ++pos_;
+      return finish();
+    }
+    if (c == '/') {
+      if (pos_ + 1 >= input_.size() || input_[pos_ + 1] != '>') {
+        return Status::ParseError("malformed tag end in <" +
+                                  std::string(event.name) + ">");
+      }
+      event.self_closing = true;
+      pos_ += 2;
+      return finish();
+    }
+    if (closing || !IsNameStartChar(c)) {
+      return Status::ParseError("unexpected character '" +
+                                std::string(1, c) + "' in tag <" +
+                                std::string(event.name) + ">");
+    }
+    size_t attr_start = pos_;
+    while (pos_ < input_.size() && IsNameChar(input_[pos_])) ++pos_;
+    std::string_view key = input_.substr(attr_start, pos_ - attr_start);
+    while (pos_ < input_.size() && IsXmlWhitespace(input_[pos_])) ++pos_;
+    if (pos_ >= input_.size() || input_[pos_] != '=') {
+      // Permissive: attribute without value (common in noisy HTML-ish
+      // data); record it with an empty value.
+      attributes_.push_back({key, std::string_view()});
+      continue;
+    }
+    ++pos_;
+    while (pos_ < input_.size() && IsXmlWhitespace(input_[pos_])) ++pos_;
+    if (pos_ >= input_.size() ||
+        (input_[pos_] != '"' && input_[pos_] != '\'')) {
+      return Status::ParseError("attribute '" + std::string(key) +
+                                "' of <" + std::string(event.name) +
+                                "> has an unquoted value");
+    }
+    char quote = input_[pos_++];
+    size_t value_start = pos_;
+    size_t value_end = input_.find(quote, pos_);
+    if (value_end == std::string_view::npos) {
+      return Status::ParseError("unterminated attribute value for '" +
+                                std::string(key) + "'");
+    }
+    std::string_view raw =
+        input_.substr(value_start, value_end - value_start);
+    pos_ = value_end + 1;
+    if (raw.find('&') == std::string_view::npos) {
+      attributes_.push_back({key, raw});
+      continue;
+    }
+    size_t scratch_start = attr_scratch_.size();
+    CONDTD_RETURN_IF_ERROR(DecodeXmlEntities(raw, &attr_scratch_));
+    scratch_slots_.emplace_back(
+        attributes_.size(),
+        std::make_pair(scratch_start, attr_scratch_.size() - scratch_start));
+    attributes_.push_back({key, std::string_view()});
+  }
+}
+
+}  // namespace condtd

@@ -1,0 +1,86 @@
+#ifndef CONDTD_XML_SAX_H_
+#define CONDTD_XML_SAX_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+
+namespace condtd {
+
+/// Event kinds produced by the streaming lexer. Comments and processing
+/// instructions are consumed silently; pure-whitespace character runs
+/// are skipped (they never constitute significant text).
+enum class SaxEventKind {
+  kStartElement,  ///< <name attr="v" ...> ; self_closing for <name/>
+  kEndElement,    ///< </name>
+  kText,          ///< significant character data or CDATA content
+  kDoctype,       ///< raw body of <!DOCTYPE ...>
+  kEof,
+};
+
+/// One attribute of a start-element event. Both views borrow: the key
+/// always points into the input buffer; the value points into the input
+/// when it needed no entity decoding and into lexer scratch otherwise.
+struct SaxAttribute {
+  std::string_view key;
+  std::string_view value;
+};
+
+/// One lexer event. Every view is valid only until the next call to
+/// `SaxLexer::Next()` — consumers fold the event into their own
+/// summaries instead of retaining it (that is the point: no DOM, no
+/// per-node allocation).
+struct SaxEvent {
+  SaxEventKind kind = SaxEventKind::kEof;
+  /// Start/end element name — a view into the input buffer.
+  std::string_view name;
+  /// Character data (entities decoded) or DOCTYPE body.
+  std::string_view text;
+  bool self_closing = false;
+  size_t offset = 0;  ///< byte offset for error messages
+};
+
+/// Streaming (SAX-style) pull lexer over an in-memory XML document:
+/// the zero-copy sibling of `XmlLexer`. Grammar and permissiveness are
+/// identical (tags, single/double-quoted attributes, comments, PIs,
+/// CDATA, DOCTYPE with internal subset, predefined + numeric entities,
+/// valueless attributes), but names, attribute values and entity-free
+/// text are returned as views into the raw buffer — nothing is copied
+/// unless an entity must be decoded, and the decode scratch is reused
+/// across events so a whole document lexes with O(1) allocations.
+class SaxLexer {
+ public:
+  explicit SaxLexer(std::string_view input) : input_(input) {}
+
+  /// Produces the next event, or a ParseError status. Views inside the
+  /// returned event (and `attributes()`) stay valid until the next call.
+  Result<SaxEvent> Next();
+
+  /// Attributes of the most recent kStartElement event.
+  const std::vector<SaxAttribute>& attributes() const { return attributes_; }
+
+  size_t offset() const { return pos_; }
+
+ private:
+  Result<SaxEvent> LexTag();
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  std::vector<SaxAttribute> attributes_;
+  /// Decoded-value scratch for the current tag. Values that needed
+  /// decoding are patched to views into this buffer once the tag is
+  /// fully lexed (appending may reallocate mid-tag).
+  std::string attr_scratch_;
+  /// (attribute index, offset, length) of values living in scratch.
+  std::vector<std::pair<size_t, std::pair<size_t, size_t>>> scratch_slots_;
+  /// Decoded-text scratch, reused across text events.
+  std::string text_scratch_;
+};
+
+}  // namespace condtd
+
+#endif  // CONDTD_XML_SAX_H_

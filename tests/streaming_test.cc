@@ -1,0 +1,387 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "automaton/soa.h"
+#include "automaton/two_t_inf.h"
+#include "base/rng.h"
+#include "crx/crx.h"
+#include "dtd/dtd_parser.h"
+#include "dtd/dtd_writer.h"
+#include "gen/xml_gen.h"
+#include "infer/inferrer.h"
+#include "infer/parallel.h"
+#include "infer/streaming.h"
+#include "tests/testing.h"
+#include "xml/sax.h"
+
+namespace condtd {
+namespace {
+
+using testing_util::WordsFromStrings;
+
+// --- weighted fold algebra ------------------------------------------------
+
+/// Structural equality plus every support count (Soa::Equals ignores
+/// supports on purpose; these tests must not).
+void ExpectSoaIdentical(const Soa& a, const Soa& b) {
+  ASSERT_TRUE(a.Equals(b));
+  EXPECT_EQ(a.empty_support(), b.empty_support());
+  for (int q = 0; q < a.NumStates(); ++q) {
+    int bq = b.StateOf(a.LabelOf(q));
+    ASSERT_GE(bq, 0);
+    EXPECT_EQ(a.StateSupport(q), b.StateSupport(bq));
+    EXPECT_EQ(a.InitialSupport(q), b.InitialSupport(bq));
+    EXPECT_EQ(a.FinalSupport(q), b.FinalSupport(bq));
+    for (int to : a.Successors(q)) {
+      EXPECT_EQ(a.EdgeSupport(q, to),
+                b.EdgeSupport(bq, b.StateOf(a.LabelOf(to))));
+    }
+  }
+}
+
+void ExpectCrxIdentical(const CrxState& a, const CrxState& b) {
+  EXPECT_EQ(a.edges(), b.edges());
+  EXPECT_EQ(a.histograms(), b.histograms());
+  EXPECT_EQ(a.empty_count(), b.empty_count());
+  EXPECT_EQ(a.num_words(), b.num_words());
+}
+
+TEST(WeightedFold, Fold2TTimesKEqualsKFolds) {
+  Alphabet alphabet;
+  std::vector<Word> words =
+      WordsFromStrings({"abc", "", "ab", "cba", "b", "aab"}, &alphabet);
+  for (int k : {1, 2, 7, 100}) {
+    Soa weighted;
+    Soa repeated;
+    for (const Word& word : words) {
+      Fold2T(word, &weighted, k);
+      for (int i = 0; i < k; ++i) Fold2T(word, &repeated);
+    }
+    ExpectSoaIdentical(weighted, repeated);
+  }
+}
+
+TEST(WeightedFold, CrxAddWordTimesKEqualsKAdds) {
+  Alphabet alphabet;
+  std::vector<Word> words =
+      WordsFromStrings({"aab", "", "ba", "ab", "c", "aab"}, &alphabet);
+  for (int k : {1, 3, 50}) {
+    CrxState weighted;
+    CrxState repeated;
+    for (const Word& word : words) {
+      weighted.AddWord(word, k);
+      for (int i = 0; i < k; ++i) repeated.AddWord(word);
+    }
+    ExpectCrxIdentical(weighted, repeated);
+  }
+}
+
+TEST(WeightedFold, NonPositiveMultiplicityIsANoOp) {
+  Alphabet alphabet;
+  Word word = alphabet.WordFromChars("ab");
+  Soa soa;
+  Fold2T(word, &soa, 0);
+  Fold2T(word, &soa, -3);
+  EXPECT_EQ(soa.NumStates(), 0);
+  CrxState crx;
+  crx.AddWord(word, 0);
+  crx.AddWord(word, -1);
+  EXPECT_EQ(crx.num_words(), 0);
+}
+
+// --- corpus fixtures ------------------------------------------------------
+
+std::vector<std::string> GenerateCorpus(int count, uint64_t seed) {
+  Alphabet alphabet;
+  Result<Dtd> truth = ParseDtd(
+      "<!ELEMENT feed (entry+)>\n"
+      "<!ELEMENT entry (title, updated?, (link | content)*, author)>\n"
+      "<!ELEMENT title (#PCDATA)>\n"
+      "<!ELEMENT updated (#PCDATA)>\n"
+      "<!ELEMENT link EMPTY>\n"
+      "<!ELEMENT content (#PCDATA)>\n"
+      "<!ELEMENT author (name, email?)>\n"
+      "<!ELEMENT name (#PCDATA)>\n"
+      "<!ELEMENT email (#PCDATA)>\n",
+      &alphabet);
+  EXPECT_TRUE(truth.ok());
+  Rng rng(seed);
+  std::vector<std::string> documents;
+  documents.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    Result<XmlDocument> doc =
+        GenerateDocument(truth.value(), alphabet, &rng);
+    EXPECT_TRUE(doc.ok());
+    documents.push_back(doc->ToXml());
+  }
+  return documents;
+}
+
+/// Strict documents exercising every lexical feature the SAX path must
+/// reproduce: entities (named + numeric), CDATA, comments, PIs, DOCTYPE,
+/// attributes (quoted both ways, entity-bearing, valueless), mixed text,
+/// self-closing tags, deep nesting, repeated words for the dedup cache.
+std::vector<std::string> HandwrittenStrictCorpus() {
+  return {
+      "<?xml version=\"1.0\"?>\n"
+      "<!DOCTYPE feed [<!ELEMENT feed ANY>]>\n"
+      "<feed><entry id=\"1\" lang='en'><title>A &amp; B &#65;</title>"
+      "<author/></entry></feed>",
+      "<feed><!-- comment --><entry id=\"2&amp;3\"><title><![CDATA[raw "
+      "<markup>&amp; kept]]></title><author selected/></entry>"
+      "<entry><title>plain</title><author/></entry></feed>",
+      "<feed><?pi data?><entry><title>x</title>tail text"
+      "<author/></entry></feed>",
+      "<deep><a><b><c><d>leaf</d></c></b><a><b><c/></b></a></a></deep>",
+      "<feed><entry><title>dup</title><author/></entry>"
+      "<entry><title>dup</title><author/></entry>"
+      "<entry><title>dup</title><author/></entry></feed>",
+  };
+}
+
+/// Tag-soup documents for the lenient mode: mismatched end tags (auto-
+/// close), stray end tags (dropped), unclosed elements (closed at EOF),
+/// and content after the root (dropped without interning).
+std::vector<std::string> TagSoupCorpus() {
+  return {
+      "<html><body><p>one<p>two</body></html>",
+      "<html><body><b>bold</i></b></body>",
+      "<html><body><p>unclosed",
+      "<html><body/></html><junk>after</junk> trailing text",
+      "<html></stray><body><p>ok</p></body></html>",
+      "<html><head><title>t</title></head><body><p>a</p><p>b</body></html>",
+  };
+}
+
+std::string DomDtd(const std::vector<std::string>& documents,
+                   InferenceOptions options = {}) {
+  DtdInferrer inferrer(options);
+  for (const std::string& doc : documents) {
+    Status status = inferrer.AddXml(doc);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  }
+  Result<Dtd> dtd = inferrer.InferDtd();
+  EXPECT_TRUE(dtd.ok()) << dtd.status().ToString();
+  return WriteDtd(dtd.value(), *inferrer.alphabet());
+}
+
+std::string StreamingDtd(const std::vector<std::string>& documents,
+                         InferenceOptions options = {},
+                         StreamingFolder::Options folder_options = {}) {
+  DtdInferrer inferrer(options);
+  StreamingFolder folder(&inferrer, folder_options);
+  for (const std::string& doc : documents) {
+    Status status = folder.AddXml(doc);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  }
+  folder.Flush();
+  Result<Dtd> dtd = inferrer.InferDtd();
+  EXPECT_TRUE(dtd.ok()) << dtd.status().ToString();
+  return WriteDtd(dtd.value(), *inferrer.alphabet());
+}
+
+std::string ParallelDtd(const std::vector<std::string>& documents,
+                        int num_threads, InferenceOptions options = {}) {
+  ParallelDtdInferrer inferrer(options, num_threads);
+  for (const std::string& doc : documents) inferrer.AddXml(doc);
+  Result<Dtd> dtd = inferrer.InferDtd();
+  EXPECT_TRUE(dtd.ok()) << dtd.status().ToString();
+  return WriteDtd(dtd.value(), *inferrer.merged()->alphabet());
+}
+
+/// The tentpole contract: DOM, streaming (dedup on and off, per-call and
+/// corpus-level, tiny flush threshold), and the sharded parallel pipeline
+/// at several job counts must all emit byte-identical DTDs.
+void ExpectAllPathsIdentical(const std::vector<std::string>& documents,
+                             InferenceOptions options = {}) {
+  std::string expected = DomDtd(documents, options);
+  EXPECT_EQ(StreamingDtd(documents, options), expected) << "streaming";
+  StreamingFolder::Options no_dedup;
+  no_dedup.dedup_words = false;
+  EXPECT_EQ(StreamingDtd(documents, options, no_dedup), expected)
+      << "streaming without dedup";
+  StreamingFolder::Options tiny_cache;
+  tiny_cache.max_distinct_words = 2;
+  EXPECT_EQ(StreamingDtd(documents, options, tiny_cache), expected)
+      << "streaming with per-document flushes";
+  {
+    DtdInferrer per_call(options);
+    for (const std::string& doc : documents) {
+      Status status = per_call.AddXmlStreaming(doc);
+      ASSERT_TRUE(status.ok()) << status.ToString();
+    }
+    Result<Dtd> dtd = per_call.InferDtd();
+    ASSERT_TRUE(dtd.ok());
+    EXPECT_EQ(WriteDtd(dtd.value(), *per_call.alphabet()), expected)
+        << "AddXmlStreaming per call";
+  }
+  for (int jobs : {1, 2, 7}) {
+    EXPECT_EQ(ParallelDtd(documents, jobs, options), expected)
+        << "parallel streaming, " << jobs << " jobs";
+    InferenceOptions dom_options = options;
+    dom_options.streaming_ingest = false;
+    EXPECT_EQ(ParallelDtd(documents, jobs, dom_options), expected)
+        << "parallel DOM, " << jobs << " jobs";
+  }
+}
+
+// --- differential: all ingestion paths agree ------------------------------
+
+TEST(StreamingDifferential, GeneratedCorpus) {
+  ExpectAllPathsIdentical(GenerateCorpus(240, 20060912));
+}
+
+TEST(StreamingDifferential, HandwrittenStrictCorpus) {
+  ExpectAllPathsIdentical(HandwrittenStrictCorpus());
+}
+
+TEST(StreamingDifferential, LenientTagSoupCorpus) {
+  InferenceOptions options;
+  options.lenient_xml = true;
+  ExpectAllPathsIdentical(TagSoupCorpus(), options);
+}
+
+TEST(StreamingDifferential, SummariesMatchExactly) {
+  // Beyond the DTD: the retained per-element summaries themselves must
+  // agree between the DOM and streaming paths (same SaveState text).
+  std::vector<std::string> documents = HandwrittenStrictCorpus();
+  DtdInferrer dom;
+  DtdInferrer sax;
+  for (const std::string& doc : documents) {
+    ASSERT_TRUE(dom.AddXml(doc).ok());
+    ASSERT_TRUE(sax.AddXmlStreaming(doc).ok());
+  }
+  EXPECT_EQ(dom.SaveState(), sax.SaveState());
+}
+
+// --- error parity and transactionality ------------------------------------
+
+TEST(StreamingErrors, StrictErrorsMatchDomParser) {
+  const std::vector<std::string> bad = {
+      "<a><b></a>",                 // mismatched closing tag
+      "<a></a></b>",                // stray closing tag
+      "<a><b>",                     // unexpected end of document
+      "",                           // no root element
+      "<a/><b/>",                   // multiple roots
+      "<a/>text after root",        // character data outside root
+      "<a/><!DOCTYPE x>",           // DOCTYPE after the root
+      "<a attr=unquoted/>",         // lexical error
+      "<a><!-- unterminated",       // lexical error
+  };
+  for (const std::string& doc : bad) {
+    DtdInferrer dom;
+    DtdInferrer sax;
+    Status dom_status = dom.AddXml(doc);
+    Status sax_status = sax.AddXmlStreaming(doc);
+    EXPECT_FALSE(dom_status.ok()) << doc;
+    EXPECT_FALSE(sax_status.ok()) << doc;
+    EXPECT_EQ(dom_status.ToString(), sax_status.ToString()) << doc;
+  }
+}
+
+TEST(StreamingErrors, FailedDocumentContributesNoSummaries) {
+  std::vector<std::string> documents = GenerateCorpus(20, 5);
+  DtdInferrer inferrer;
+  StreamingFolder folder(&inferrer);
+  int64_t failures = 0;
+  for (size_t i = 0; i < documents.size(); ++i) {
+    const std::string& doc =
+        (i == 7) ? "<broken><unclosed></broken>"
+                 : (i == 13 ? "not xml at all" : documents[i]);
+    failures += folder.AddXml(doc).ok() ? 0 : 1;
+  }
+  folder.Flush();
+  EXPECT_EQ(failures, 2);
+  EXPECT_EQ(folder.documents_folded(), 18);
+  EXPECT_EQ(inferrer.WordCount(inferrer.alphabet()->Find("feed")), 18);
+  // The partially-parsed <broken> document must not have left state.
+  EXPECT_EQ(inferrer.WordCount(inferrer.alphabet()->Find("broken")), 0);
+}
+
+TEST(StreamingErrors, ParallelStreamingKeepsErrorReporting) {
+  // The PR 1 error-reporting pin, now exercised through streaming shards.
+  std::vector<std::string> documents = GenerateCorpus(20, 5);
+  documents[7] = "<broken><unclosed></broken>";
+  documents[13] = "not xml at all";
+  ParallelDtdInferrer inferrer(InferenceOptions{}, 3);
+  for (const std::string& doc : documents) inferrer.AddXml(doc);
+  Status status = inferrer.Finish();
+  EXPECT_FALSE(status.ok());
+  ASSERT_EQ(inferrer.errors().size(), 2u);
+  EXPECT_EQ(inferrer.errors()[0].doc_index, 7);
+  EXPECT_EQ(inferrer.errors()[1].doc_index, 13);
+  EXPECT_EQ(inferrer.merged()->WordCount(
+                inferrer.merged()->alphabet()->Find("feed")),
+            18);
+}
+
+// --- dedup accounting -----------------------------------------------------
+
+TEST(StreamingDedup, RepeatedWordsFoldOnce) {
+  // 50 identical documents: every (element, word) pair is cached once and
+  // applied as a single weighted fold at Flush().
+  std::vector<std::string> documents(
+      50, "<feed><entry><title>t</title><author/></entry></feed>");
+  DtdInferrer inferrer;
+  StreamingFolder folder(&inferrer);
+  for (const std::string& doc : documents) {
+    ASSERT_TRUE(folder.AddXml(doc).ok());
+  }
+  EXPECT_EQ(folder.documents_folded(), 50);
+  EXPECT_EQ(folder.words_folded(), 50 * 4);
+  EXPECT_EQ(folder.distinct_words_cached(), 4);  // feed, entry, title, author
+  folder.Flush();
+  EXPECT_EQ(folder.weighted_folds_applied(), 4);
+  EXPECT_EQ(inferrer.WordCount(inferrer.alphabet()->Find("entry")), 50);
+  Result<Dtd> dtd = inferrer.InferDtd();
+  ASSERT_TRUE(dtd.ok());
+  EXPECT_EQ(WriteDtd(dtd.value(), *inferrer.alphabet()),
+            DomDtd(documents));
+}
+
+TEST(StreamingDedup, FlushIsIdempotent) {
+  DtdInferrer inferrer;
+  StreamingFolder folder(&inferrer);
+  ASSERT_TRUE(folder.AddXml("<a><b/><b/></a>").ok());
+  folder.Flush();
+  int64_t count = inferrer.WordCount(inferrer.alphabet()->Find("b"));
+  folder.Flush();
+  EXPECT_EQ(inferrer.WordCount(inferrer.alphabet()->Find("b")), count);
+}
+
+// --- SAX lexer surface ----------------------------------------------------
+
+TEST(SaxLexer, EmitsDecodedTextAndAttributes) {
+  SaxLexer lexer("<a x=\"1 &amp; 2\" y='&#65;' z>T &lt; U</a>");
+  Result<SaxEvent> start = lexer.Next();
+  ASSERT_TRUE(start.ok());
+  EXPECT_EQ(start->kind, SaxEventKind::kStartElement);
+  EXPECT_EQ(start->name, "a");
+  ASSERT_EQ(lexer.attributes().size(), 3u);
+  EXPECT_EQ(lexer.attributes()[0].key, "x");
+  EXPECT_EQ(lexer.attributes()[0].value, "1 & 2");
+  EXPECT_EQ(lexer.attributes()[1].value, "A");
+  EXPECT_EQ(lexer.attributes()[2].key, "z");
+  EXPECT_EQ(lexer.attributes()[2].value, "");
+  Result<SaxEvent> text = lexer.Next();
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text->kind, SaxEventKind::kText);
+  EXPECT_EQ(text->text, "T < U");
+  Result<SaxEvent> end = lexer.Next();
+  ASSERT_TRUE(end.ok());
+  EXPECT_EQ(end->kind, SaxEventKind::kEndElement);
+  EXPECT_EQ(end->name, "a");
+  EXPECT_EQ(lexer.Next()->kind, SaxEventKind::kEof);
+}
+
+TEST(SaxLexer, SkipsCommentsPIsAndWhitespaceRuns) {
+  SaxLexer lexer("<a>\n  <!-- c --> <?pi?> <![CDATA[ ]]></a>");
+  EXPECT_EQ(lexer.Next()->kind, SaxEventKind::kStartElement);
+  EXPECT_EQ(lexer.Next()->kind, SaxEventKind::kEndElement);
+  EXPECT_EQ(lexer.Next()->kind, SaxEventKind::kEof);
+}
+
+}  // namespace
+}  // namespace condtd

@@ -7,6 +7,9 @@
 //       --jobs=N              ingest and infer on N threads (sharded
 //                             pipeline; output identical to N=1;
 //                             0 = hardware concurrency)
+//       --dom                 ingest through the DOM parser instead of
+//                             the default streaming SAX fold (identical
+//                             output; for comparison/debugging)
 //       --out=FILE            write the schema to FILE instead of stdout
 //       --state-in=FILE       resume from a saved summary state
 //       --state-out=FILE      save the summary state after folding
@@ -46,6 +49,7 @@
 #include "infer/contextual.h"
 #include "infer/inferrer.h"
 #include "infer/parallel.h"
+#include "infer/streaming.h"
 #include "regex/determinism.h"
 #include "regex/matcher.h"
 #include "regex/parser.h"
@@ -60,7 +64,7 @@ int Usage() {
       stderr,
       "usage:\n"
       "  condtd infer [--xsd] [--algorithm=auto|crx|idtd|rewrite]\n"
-      "               [--noise=N] [--jobs=N] [--out=FILE]\n"
+      "               [--noise=N] [--jobs=N] [--dom] [--out=FILE]\n"
       "               [--state-in=FILE] [--state-out=FILE] file.xml...\n"
       "  condtd validate [--schema=file.dtd] file.xml...\n"
       "  condtd regex \"expr\" word...\n"
@@ -93,6 +97,8 @@ int RunInfer(const std::vector<std::string>& args) {
       emit_xsd = true;
     } else if (arg == "--lenient") {
       options.lenient_xml = true;
+    } else if (arg == "--dom") {
+      options.streaming_ingest = false;
     } else if (GetFlag(arg, "jobs", &value)) {
       jobs = std::atoi(value.c_str());
     } else if (GetFlag(arg, "state-in", &value)) {
@@ -131,10 +137,16 @@ int RunInfer(const std::vector<std::string>& args) {
   // converge on one DtdInferrer before emitting.
   std::optional<ParallelDtdInferrer> parallel;
   std::optional<DtdInferrer> sequential;
+  std::optional<StreamingFolder> folder;
   if (jobs != 1) {
     parallel.emplace(options, jobs < 0 ? 0 : jobs);
   } else {
     sequential.emplace(options);
+    // Streaming (the default) folds SAX events straight into the
+    // summaries, deduplicating repeated child sequences across the whole
+    // corpus; --dom materializes each document tree first. Same DTD
+    // either way.
+    if (options.streaming_ingest) folder.emplace(&*sequential);
   }
   if (!state_in.empty()) {
     Result<std::string> state = ReadFileToString(state_in);
@@ -162,13 +174,15 @@ int RunInfer(const std::vector<std::string>& args) {
       parallel->AddXml(std::move(content.value()));
       continue;
     }
-    Status status = sequential->AddXml(content.value());
+    Status status = folder ? folder->AddXml(content.value())
+                           : sequential->AddXml(content.value());
     if (!status.ok()) {
       std::fprintf(stderr, "%s: %s\n", path.c_str(),
                    status.ToString().c_str());
       return 1;
     }
   }
+  if (folder) folder->Flush();
   if (parallel) {
     parallel->Finish();
     if (!parallel->errors().empty()) {
