@@ -3,19 +3,61 @@
 #include <algorithm>
 #include <functional>
 
-#include "automaton/two_t_inf.h"
-#include "crx/crx.h"
-#include "idtd/idtd.h"
 #include "regex/equivalence.h"
 #include "xml/parser.h"
 
 namespace condtd {
 
+namespace {
+
+// Same resolution DtdInferrer applies: the learner name wins over the
+// legacy enum, and the selected learner's capabilities size the
+// summaries' retention.
+std::string_view ResolvedLearnerName(const InferenceOptions& options) {
+  return options.learner.empty() ? LearnerNameOf(options.algorithm)
+                                 : std::string_view(options.learner);
+}
+
+LearnOptions MakeLearnOptions(const InferenceOptions& options) {
+  LearnOptions out;
+  out.noise_symbol_threshold = options.noise_symbol_threshold;
+  out.auto_idtd_min_words = options.auto_idtd_min_words;
+  out.idtd = options.idtd;
+  out.xtract = options.xtract;
+  return out;
+}
+
+SummaryLimits MakeLimits(const InferenceOptions& options,
+                         const Learner* learner) {
+  SummaryLimits limits;
+  limits.max_text_samples = options.max_text_samples;
+  limits.max_retained_words =
+      learner != nullptr && learner->needs_full_words()
+          ? options.xtract.max_strings + 2
+          : 0;
+  return limits;
+}
+
+}  // namespace
+
 ContextualInferrer::ContextualInferrer(InferenceOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)),
+      learn_options_(MakeLearnOptions(options_)),
+      learner_(LearnerRegistry::Global().Find(ResolvedLearnerName(options_))),
+      limits_(MakeLimits(options_, learner_)) {}
+
+ElementSummary& ContextualInferrer::Prepare(ElementSummary& summary) const {
+  // Fresh summaries (nothing folded yet) start words-complete iff the
+  // reservoir is enabled — the same rule as SummaryStore::Ensure.
+  if (summary.occurrences == 0 && limits_.max_retained_words > 0) {
+    summary.words_complete = true;
+  }
+  return summary;
+}
 
 Status ContextualInferrer::AddXml(std::string_view xml) {
-  Result<XmlDocument> doc = ParseXml(xml);
+  Result<XmlDocument> doc =
+      options_.lenient_xml ? ParseXmlLenient(xml) : ParseXml(xml);
   if (!doc.ok()) return doc.status();
   AddDocument(doc.value());
   return Status::OK();
@@ -49,13 +91,12 @@ void ContextualInferrer::AddDocument(const XmlDocument& doc) {
       frame.word.push_back(cs);
       open(child, cs, frame.symbol);  // invalidates `frame`
     } else {
-      for (ContextState* state :
-           {&contexts_[{frame.symbol, frame.parent}],
-            &pooled_[frame.symbol]}) {
-        ++state->occurrences;
-        Fold2T(frame.word, &state->soa);
-        state->crx.AddWord(frame.word);
-        if (frame.element->HasSignificantText()) state->has_text = true;
+      for (ElementSummary* summary :
+           {&Prepare(contexts_[{frame.symbol, frame.parent}]),
+            &Prepare(pooled_[frame.symbol])}) {
+        ++summary->occurrences;
+        summary->AddChildWord(frame.word, 1, limits_);
+        if (frame.element->HasSignificantText()) summary->has_text = true;
       }
       stack.pop_back();
     }
@@ -63,31 +104,28 @@ void ContextualInferrer::AddDocument(const XmlDocument& doc) {
 }
 
 Result<ContentModel> ContextualInferrer::InferContext(
-    const ContextState& state) const {
+    const ElementSummary& summary) const {
   ContentModel model;
-  if (state.crx.num_distinct_histograms() == 0) {
+  if (summary.crx.num_distinct_histograms() == 0) {
     model.kind =
-        state.has_text ? ContentKind::kPcdataOnly : ContentKind::kEmpty;
+        summary.has_text ? ContentKind::kPcdataOnly : ContentKind::kEmpty;
     return model;
   }
-  if (state.has_text) {
+  if (summary.has_text) {
     model.kind = ContentKind::kMixed;
-    for (int q = 0; q < state.soa.NumStates(); ++q) {
-      model.mixed_symbols.push_back(state.soa.LabelOf(q));
+    for (int q = 0; q < summary.soa.NumStates(); ++q) {
+      model.mixed_symbols.push_back(summary.soa.LabelOf(q));
     }
     std::sort(model.mixed_symbols.begin(), model.mixed_symbols.end());
     return model;
   }
-  InferenceAlgorithm algorithm = options_.algorithm;
-  if (algorithm == InferenceAlgorithm::kAuto) {
-    algorithm = state.occurrences >= options_.auto_idtd_min_words
-                    ? InferenceAlgorithm::kIdtd
-                    : InferenceAlgorithm::kCrx;
+  if (learner_ == nullptr) {
+    return Status::InvalidArgument(
+        "unknown learner '" + std::string(ResolvedLearnerName(options_)) +
+        "' (registered: " + LearnerRegistry::Global().NamesForDisplay(", ") +
+        ")");
   }
-  Result<ReRef> re =
-      algorithm == InferenceAlgorithm::kCrx
-          ? state.crx.Infer(options_.noise_symbol_threshold)
-          : IdtdFromSoa(state.soa, options_.idtd);
+  Result<ReRef> re = learner_->Learn(summary, learn_options_);
   if (!re.ok()) return re.status();
   model.kind = ContentKind::kChildren;
   model.regex = re.value();
@@ -114,7 +152,7 @@ Result<ContextualInferrer::Report> ContextualInferrer::Infer() const {
   Report report;
   // Group contexts by element (contexts_ is keyed (element, parent), so
   // entries for one element are adjacent).
-  std::map<Symbol, std::vector<std::pair<Symbol, const ContextState*>>>
+  std::map<Symbol, std::vector<std::pair<Symbol, const ElementSummary*>>>
       by_element;
   for (const auto& [key, state] : contexts_) {
     by_element[key.first].emplace_back(key.second, &state);

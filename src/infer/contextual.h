@@ -71,21 +71,25 @@ class ContextualInferrer {
   Result<std::string> InferLocalXsd() const;
 
  private:
-  struct ContextState {
-    Soa soa;
-    CrxState crx;
-    bool has_text = false;
-    int64_t occurrences = 0;
-  };
+  /// Initializes a freshly created per-context summary, mirroring
+  /// SummaryStore::Ensure's words-complete rule.
+  ElementSummary& Prepare(ElementSummary& summary) const;
 
-  Result<ContentModel> InferContext(const ContextState& state) const;
+  Result<ContentModel> InferContext(const ElementSummary& summary) const;
 
   InferenceOptions options_;
+  LearnOptions learn_options_;
+  // learner_ before limits_: MakeLimits reads the resolved learner's
+  // capabilities during member initialization.
+  const Learner* learner_;
+  SummaryLimits limits_;
   Alphabet alphabet_;
-  // (element, parent) -> state; parent kInvalidSymbol for roots.
-  std::map<std::pair<Symbol, Symbol>, ContextState> contexts_;
-  // Pooled per-element state, for the DTD-equivalent merged model.
-  std::map<Symbol, ContextState> pooled_;
+  // (element, parent) -> summary; parent kInvalidSymbol for roots. The
+  // same ElementSummary bundle DtdInferrer retains, just keyed by
+  // vertical context instead of by element alone.
+  std::map<std::pair<Symbol, Symbol>, ElementSummary> contexts_;
+  // Pooled per-element summaries, for the DTD-equivalent merged model.
+  std::map<Symbol, ElementSummary> pooled_;
 };
 
 }  // namespace condtd

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <map>
 #include <thread>
+#include <utility>
 
-#include "automaton/two_t_inf.h"
 #include "base/strings.h"
-#include "gfa/rewrite.h"
 #include "infer/streaming.h"
 #include "regex/properties.h"
 #include "xml/parser.h"
@@ -14,8 +14,57 @@
 
 namespace condtd {
 
+namespace {
+
+std::string_view ResolvedLearnerName(const InferenceOptions& options) {
+  return options.learner.empty() ? LearnerNameOf(options.algorithm)
+                                 : std::string_view(options.learner);
+}
+
+LearnOptions MakeLearnOptions(const InferenceOptions& options) {
+  LearnOptions out;
+  out.noise_symbol_threshold = options.noise_symbol_threshold;
+  out.auto_idtd_min_words = options.auto_idtd_min_words;
+  out.idtd = options.idtd;
+  out.xtract = options.xtract;
+  return out;
+}
+
+SummaryLimits MakeLimits(const InferenceOptions& options,
+                         const Learner* learner) {
+  SummaryLimits limits;
+  limits.max_text_samples = options.max_text_samples;
+  // Reservoir headroom: max_strings + 2 keeps the ε word plus exactly
+  // enough non-empty words for XtractInfer to report its own documented
+  // over-budget failure; anything beyond trips the overflow flag.
+  limits.max_retained_words =
+      learner != nullptr && learner->needs_full_words()
+          ? options.xtract.max_strings + 2
+          : 0;
+  return limits;
+}
+
+}  // namespace
+
+std::string_view LearnerNameOf(InferenceAlgorithm algorithm) {
+  switch (algorithm) {
+    case InferenceAlgorithm::kAuto:
+      return "auto";
+    case InferenceAlgorithm::kIdtd:
+      return "idtd";
+    case InferenceAlgorithm::kCrx:
+      return "crx";
+    case InferenceAlgorithm::kRewriteOnly:
+      return "rewrite";
+  }
+  return "auto";
+}
+
 DtdInferrer::DtdInferrer(InferenceOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)),
+      learn_options_(MakeLearnOptions(options_)),
+      learner_(LearnerRegistry::Global().Find(ResolvedLearnerName(options_))),
+      store_(MakeLimits(options_, learner_)) {}
 
 Status DtdInferrer::AddXml(std::string_view xml) {
   Result<XmlDocument> doc =
@@ -27,7 +76,7 @@ Status DtdInferrer::AddXml(std::string_view xml) {
 
 void DtdInferrer::AddDocument(const XmlDocument& doc) {
   if (doc.root == nullptr) return;
-  ++root_counts_[alphabet_.Intern(doc.root->name())];
+  store_.AddRoot(alphabet_.Intern(doc.root->name()));
 
   // Depth-first traversal collecting each element's child-name word.
   // Each name is interned immediately before its subtree is entered, so
@@ -43,18 +92,16 @@ void DtdInferrer::AddDocument(const XmlDocument& doc) {
   };
   std::vector<VisitFrame> stack;
   auto open = [&](const XmlElement* element, Symbol symbol) {
-    ElementState& state = states_[symbol];
-    ++state.occurrences;
+    ElementSummary& summary = store_.Ensure(symbol);
+    ++summary.occurrences;
     if (element->HasSignificantText()) {
-      state.has_text = true;
-      if (static_cast<int>(state.text_samples.size()) <
-          options_.max_text_samples) {
-        state.text_samples.emplace_back(StripWhitespace(element->text()));
-      }
+      summary.has_text = true;
+      summary.AddTextSample(std::string(StripWhitespace(element->text())),
+                            store_.limits());
     }
     if (options_.infer_attributes) {
       for (const auto& [key, value] : element->attributes()) {
-        ++state.attribute_counts[key];
+        ++summary.attribute_counts[key];
       }
     }
     stack.push_back({element, symbol, 0, {}});
@@ -68,12 +115,11 @@ void DtdInferrer::AddDocument(const XmlDocument& doc) {
       const XmlElement* child = children[frame.next_child++].get();
       Symbol cs = alphabet_.Intern(child->name());
       frame.word.push_back(cs);
-      MarkSeenAsChild(cs);
+      store_.MarkSeenAsChild(cs);
       open(child, cs);  // invalidates `frame`; not used again this round
     } else {
-      ElementState& state = states_[frame.symbol];
-      Fold2T(frame.word, &state.soa);
-      state.crx.AddWord(frame.word);
+      store_.Ensure(frame.symbol)
+          .AddChildWord(frame.word, 1, store_.limits());
       stack.pop_back();
     }
   }
@@ -87,26 +133,12 @@ Status DtdInferrer::AddXmlStreaming(std::string_view xml) {
 }
 
 void DtdInferrer::AddWords(Symbol element, const std::vector<Word>& words) {
-  ElementState& state = states_[element];
+  ElementSummary& summary = store_.Ensure(element);
   for (const Word& word : words) {
-    ++state.occurrences;
-    Fold2T(word, &state.soa);
-    state.crx.AddWord(word);
-    for (Symbol s : word) MarkSeenAsChild(s);
+    ++summary.occurrences;
+    summary.AddChildWord(word, 1, store_.limits());
+    for (Symbol s : word) store_.MarkSeenAsChild(s);
   }
-}
-
-void DtdInferrer::MarkSeenAsChild(Symbol symbol) {
-  if (symbol >= static_cast<Symbol>(seen_as_child_.size())) {
-    seen_as_child_.resize(symbol + 1, false);
-  }
-  seen_as_child_[symbol] = true;
-}
-
-bool DtdInferrer::SeenAsChild(Symbol symbol) const {
-  return symbol >= 0 &&
-         symbol < static_cast<Symbol>(seen_as_child_.size()) &&
-         seen_as_child_[symbol];
 }
 
 void DtdInferrer::MergeFrom(const DtdInferrer& other) {
@@ -115,131 +147,97 @@ void DtdInferrer::MergeFrom(const DtdInferrer& other) {
   for (Symbol s = 0; s < static_cast<Symbol>(remap.size()); ++s) {
     remap[s] = alphabet_.Intern(other.alphabet_.Name(s));
   }
-  for (const auto& [symbol, count] : other.root_counts_) {
-    root_counts_[remap[symbol]] += count;
-  }
-  for (Symbol s = 0; s < static_cast<Symbol>(other.seen_as_child_.size());
-       ++s) {
-    if (other.seen_as_child_[s]) MarkSeenAsChild(remap[s]);
-  }
-  for (const auto& [symbol, theirs] : other.states_) {
-    ElementState& state = states_[remap[symbol]];
-    state.occurrences += theirs.occurrences;
-    state.has_text = state.has_text || theirs.has_text;
-    for (const std::string& sample : theirs.text_samples) {
-      if (static_cast<int>(state.text_samples.size()) >=
-          options_.max_text_samples) {
-        break;
-      }
-      state.text_samples.push_back(sample);
-    }
-    for (const auto& [attr, count] : theirs.attribute_counts) {
-      state.attribute_counts[attr] += count;
-    }
-    state.soa.MergeFrom(theirs.soa, remap);
-    state.crx.MergeFrom(theirs.crx, remap);
-  }
+  store_.MergeFrom(other.store_, remap);
 }
 
 int64_t DtdInferrer::WordCount(Symbol element) const {
-  auto it = states_.find(element);
-  return it == states_.end() ? 0 : it->second.occurrences;
+  const ElementSummary* summary = store_.Find(element);
+  return summary == nullptr ? 0 : summary->occurrences;
 }
 
 std::vector<Symbol> DtdInferrer::Elements() const {
   std::vector<Symbol> out;
-  out.reserve(states_.size());
-  for (const auto& [symbol, state] : states_) out.push_back(symbol);
+  out.reserve(store_.elements().size());
+  for (const auto& [symbol, summary] : store_.elements()) {
+    out.push_back(symbol);
+  }
   return out;
 }
 
-Result<ReRef> DtdInferrer::LearnRegex(const ElementState& state) const {
-  InferenceAlgorithm algorithm = options_.algorithm;
-  if (algorithm == InferenceAlgorithm::kAuto) {
-    algorithm = state.occurrences >= options_.auto_idtd_min_words
-                    ? InferenceAlgorithm::kIdtd
-                    : InferenceAlgorithm::kCrx;
+Result<ReRef> DtdInferrer::LearnRegex(const ElementSummary& summary) const {
+  if (learner_ == nullptr) {
+    return Status::InvalidArgument(
+        "unknown learner '" + std::string(ResolvedLearnerName(options_)) +
+        "' (registered: " +
+        LearnerRegistry::Global().NamesForDisplay(", ") + ")");
   }
-  switch (algorithm) {
-    case InferenceAlgorithm::kCrx:
-      return state.crx.Infer(options_.noise_symbol_threshold);
-    case InferenceAlgorithm::kRewriteOnly:
-      return RewriteSoaToSore(state.soa);
-    case InferenceAlgorithm::kIdtd:
-    case InferenceAlgorithm::kAuto:
-      break;
-  }
-  IdtdOptions idtd_options = options_.idtd;
-  if (options_.noise_symbol_threshold > 0 &&
-      idtd_options.noise_symbol_threshold == 0) {
-    idtd_options.noise_symbol_threshold = options_.noise_symbol_threshold;
-  }
-  return IdtdFromSoa(state.soa, idtd_options);
+  return learner_->Learn(summary, learn_options_);
 }
 
 Result<ContentModel> DtdInferrer::InferContentModel(Symbol element) const {
-  auto it = states_.find(element);
-  if (it == states_.end()) {
+  const ElementSummary* summary = store_.Find(element);
+  if (summary == nullptr) {
     return Status::NotFound("element never observed: " +
                             alphabet_.NameOrPlaceholder(element));
   }
-  const ElementState& state = it->second;
   ContentModel model;
-  const bool any_children = state.crx.num_distinct_histograms() > 0;
+  const bool any_children = summary->crx.num_distinct_histograms() > 0;
   if (!any_children) {
     model.kind =
-        state.has_text ? ContentKind::kPcdataOnly : ContentKind::kEmpty;
+        summary->has_text ? ContentKind::kPcdataOnly : ContentKind::kEmpty;
     return model;
   }
-  if (state.has_text) {
+  if (summary->has_text) {
     // Mixed content: DTDs can only express (#PCDATA | a | b)*.
     model.kind = ContentKind::kMixed;
-    for (int q = 0; q < state.soa.NumStates(); ++q) {
+    for (int q = 0; q < summary->soa.NumStates(); ++q) {
       if (options_.noise_symbol_threshold > 0 &&
-          state.soa.StateSupport(q) < options_.noise_symbol_threshold) {
+          summary->soa.StateSupport(q) < options_.noise_symbol_threshold) {
         continue;
       }
-      model.mixed_symbols.push_back(state.soa.LabelOf(q));
+      model.mixed_symbols.push_back(summary->soa.LabelOf(q));
     }
     std::sort(model.mixed_symbols.begin(), model.mixed_symbols.end());
     return model;
   }
-  Result<ReRef> re = LearnRegex(state);
+  Result<ReRef> re = LearnRegex(*summary);
   if (!re.ok()) return re.status();
   model.kind = ContentKind::kChildren;
   model.regex = re.value();
   // Elements that sometimes appear empty need a nullable model; the
   // learners already account for it (the ε word is part of the SOA and
   // of the CRX histograms), so this is just a sanity fallback.
-  if (state.soa.accepts_empty() && !Nullable(model.regex)) {
+  if (summary->soa.accepts_empty() && !Nullable(model.regex)) {
     model.regex = Re::Opt(model.regex);
   }
   return model;
 }
 
 Result<Dtd> DtdInferrer::InferDtd(int num_threads) const {
-  if (states_.empty()) {
+  if (store_.empty()) {
     return Status::FailedPrecondition("no documents have been added");
   }
   Dtd dtd;
   // Root: prefer the observed document root(s); with direct AddWords
   // usage, fall back to an element never seen as a child.
-  if (!root_counts_.empty()) {
+  if (!store_.root_counts().empty()) {
     int64_t best = -1;
-    for (const auto& [symbol, count] : root_counts_) {
+    for (const auto& [symbol, count] : store_.root_counts()) {
       if (count > best) {
         best = count;
         dtd.root = symbol;
       }
     }
   } else {
-    for (const auto& [symbol, state] : states_) {
-      if (!SeenAsChild(symbol)) {
+    for (const auto& [symbol, summary] : store_.elements()) {
+      if (!store_.SeenAsChild(symbol)) {
         dtd.root = symbol;
         break;
       }
     }
-    if (dtd.root == kInvalidSymbol) dtd.root = states_.begin()->first;
+    if (dtd.root == kInvalidSymbol) {
+      dtd.root = store_.elements().begin()->first;
+    }
   }
   // Per-element learner calls are fully independent (pure reads of this
   // inferrer), so they fan out across threads; results are collected by
@@ -273,13 +271,13 @@ Result<Dtd> DtdInferrer::InferDtd(int num_threads) const {
     dtd.elements[symbols[i]] = std::move(models[i].value());
   }
   if (options_.infer_attributes) {
-    for (const auto& [symbol, state] : states_) {
-      for (const auto& [name, count] : state.attribute_counts) {
+    for (const auto& [symbol, summary] : store_.elements()) {
+      for (const auto& [name, count] : summary.attribute_counts) {
         Dtd::AttributeDef def;
         def.name = name;
         def.type = "CDATA";
         def.default_decl =
-            count == state.occurrences ? "#REQUIRED" : "#IMPLIED";
+            count == summary.occurrences ? "#REQUIRED" : "#IMPLIED";
         dtd.attributes[symbol].push_back(std::move(def));
       }
     }
@@ -287,220 +285,10 @@ Result<Dtd> DtdInferrer::InferDtd(int num_threads) const {
   return dtd;
 }
 
-namespace {
-
-/// Percent-escaping for free text carried in the line-based state format
-/// (space, %, CR, LF).
-std::string EscapeText(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  static const char* kHex = "0123456789ABCDEF";
-  for (unsigned char c : text) {
-    if (c == ' ' || c == '%' || c == '\n' || c == '\r') {
-      out += '%';
-      out += kHex[c >> 4];
-      out += kHex[c & 0xF];
-    } else {
-      out += static_cast<char>(c);
-    }
-  }
-  return out;
-}
-
-std::string UnescapeText(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  for (size_t i = 0; i < text.size(); ++i) {
-    if (text[i] == '%' && i + 2 < text.size()) {
-      auto hex = [](char c) {
-        if (c >= '0' && c <= '9') return c - '0';
-        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
-        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
-        return 0;
-      };
-      out += static_cast<char>(hex(text[i + 1]) * 16 + hex(text[i + 2]));
-      i += 2;
-    } else {
-      out += text[i];
-    }
-  }
-  return out;
-}
-
-}  // namespace
-
-std::string DtdInferrer::SaveState() const {
-  std::string out = "condtd-state 1\n";
-  auto name = [&](Symbol s) { return alphabet_.Name(s); };
-  for (const auto& [symbol, count] : root_counts_) {
-    out += "root " + name(symbol) + " " + std::to_string(count) + "\n";
-  }
-  for (Symbol symbol = 0;
-       symbol < static_cast<Symbol>(seen_as_child_.size()); ++symbol) {
-    if (seen_as_child_[symbol]) out += "child " + name(symbol) + "\n";
-  }
-  for (const auto& [symbol, state] : states_) {
-    out += "element " + name(symbol) + " " +
-           std::to_string(state.occurrences) + " " +
-           (state.has_text ? "1" : "0") + "\n";
-    for (const auto& [attr, count] : state.attribute_counts) {
-      out += "attr " + attr + " " + std::to_string(count) + "\n";
-    }
-    for (const std::string& sample : state.text_samples) {
-      out += "text " + EscapeText(sample) + "\n";
-    }
-    const Soa& soa = state.soa;
-    for (int q = 0; q < soa.NumStates(); ++q) {
-      out += "soa.state " + name(soa.LabelOf(q)) + " " +
-             std::to_string(soa.StateSupport(q)) + "\n";
-      if (soa.IsInitial(q)) {
-        out += "soa.init " + name(soa.LabelOf(q)) + " " +
-               std::to_string(soa.InitialSupport(q)) + "\n";
-      }
-      if (soa.IsFinal(q)) {
-        out += "soa.final " + name(soa.LabelOf(q)) + " " +
-               std::to_string(soa.FinalSupport(q)) + "\n";
-      }
-      for (int to : soa.Successors(q)) {
-        out += "soa.edge " + name(soa.LabelOf(q)) + " " +
-               name(soa.LabelOf(to)) + " " +
-               std::to_string(soa.EdgeSupport(q, to)) + "\n";
-      }
-    }
-    if (soa.accepts_empty()) {
-      out += "soa.empty " + std::to_string(soa.empty_support()) + "\n";
-    }
-    const CrxState& crx = state.crx;
-    for (const auto& [from, to] : crx.edges()) {
-      out += "crx.edge " + name(from) + " " + name(to) + "\n";
-    }
-    if (crx.empty_count() > 0) {
-      out += "crx.empty " + std::to_string(crx.empty_count()) + "\n";
-    }
-    for (const auto& [histogram, count] : crx.histograms()) {
-      out += "crx.hist " + std::to_string(count);
-      for (const auto& [sym, n] : histogram) {
-        out += " " + name(sym) + "=" + std::to_string(n);
-      }
-      out += "\n";
-    }
-  }
-  out += "end\n";
-  return out;
-}
+std::string DtdInferrer::SaveState() const { return store_.Save(alphabet_); }
 
 Status DtdInferrer::LoadState(std::string_view serialized) {
-  std::vector<std::string> lines = SplitString(serialized, '\n');
-  if (lines.empty() || lines[0] != "condtd-state 1") {
-    return Status::ParseError("unrecognized state header");
-  }
-  ElementState* current = nullptr;
-  bool saw_end = false;
-  for (size_t i = 1; i < lines.size(); ++i) {
-    if (lines[i].empty()) continue;
-    std::vector<std::string> fields = SplitString(lines[i], ' ');
-    const std::string& tag = fields[0];
-    auto require = [&](size_t n) {
-      return fields.size() == n
-                 ? Status::OK()
-                 : Status::ParseError("state line " + std::to_string(i + 1) +
-                                      ": expected " + std::to_string(n) +
-                                      " fields");
-    };
-    if (tag == "end") {
-      saw_end = true;
-      break;
-    }
-    if (tag == "root") {
-      CONDTD_RETURN_IF_ERROR(require(3));
-      root_counts_[alphabet_.Intern(fields[1])] +=
-          std::atoll(fields[2].c_str());
-      continue;
-    }
-    if (tag == "child") {
-      CONDTD_RETURN_IF_ERROR(require(2));
-      MarkSeenAsChild(alphabet_.Intern(fields[1]));
-      continue;
-    }
-    if (tag == "element") {
-      CONDTD_RETURN_IF_ERROR(require(4));
-      current = &states_[alphabet_.Intern(fields[1])];
-      current->occurrences += std::atoll(fields[2].c_str());
-      current->has_text = current->has_text || fields[3] == "1";
-      continue;
-    }
-    if (current == nullptr) {
-      return Status::ParseError("state line " + std::to_string(i + 1) +
-                                ": '" + tag + "' before any element");
-    }
-    if (tag == "attr") {
-      CONDTD_RETURN_IF_ERROR(require(3));
-      current->attribute_counts[fields[1]] += std::atoll(fields[2].c_str());
-    } else if (tag == "text") {
-      CONDTD_RETURN_IF_ERROR(require(2));
-      if (static_cast<int>(current->text_samples.size()) <
-          options_.max_text_samples) {
-        current->text_samples.push_back(UnescapeText(fields[1]));
-      }
-    } else if (tag == "soa.state") {
-      CONDTD_RETURN_IF_ERROR(require(3));
-      int q = current->soa.AddState(alphabet_.Intern(fields[1]));
-      current->soa.AddStateSupport(q, std::atoi(fields[2].c_str()));
-    } else if (tag == "soa.init") {
-      CONDTD_RETURN_IF_ERROR(require(3));
-      current->soa.AddInitial(
-          current->soa.AddState(alphabet_.Intern(fields[1])),
-          std::atoi(fields[2].c_str()));
-    } else if (tag == "soa.final") {
-      CONDTD_RETURN_IF_ERROR(require(3));
-      current->soa.AddFinal(
-          current->soa.AddState(alphabet_.Intern(fields[1])),
-          std::atoi(fields[2].c_str()));
-    } else if (tag == "soa.edge") {
-      CONDTD_RETURN_IF_ERROR(require(4));
-      current->soa.AddEdge(
-          current->soa.AddState(alphabet_.Intern(fields[1])),
-          current->soa.AddState(alphabet_.Intern(fields[2])),
-          std::atoi(fields[3].c_str()));
-    } else if (tag == "soa.empty") {
-      CONDTD_RETURN_IF_ERROR(require(2));
-      current->soa.set_accepts_empty(true);
-      current->soa.add_empty_support(std::atoi(fields[1].c_str()));
-    } else if (tag == "crx.edge") {
-      CONDTD_RETURN_IF_ERROR(require(3));
-      current->crx.RestoreEdge(alphabet_.Intern(fields[1]),
-                               alphabet_.Intern(fields[2]));
-    } else if (tag == "crx.empty") {
-      CONDTD_RETURN_IF_ERROR(require(2));
-      current->crx.RestoreEmpty(std::atoll(fields[1].c_str()));
-    } else if (tag == "crx.hist") {
-      if (fields.size() < 2) {
-        return Status::ParseError("state line " + std::to_string(i + 1) +
-                                  ": malformed histogram");
-      }
-      CrxState::Histogram histogram;
-      for (size_t f = 2; f < fields.size(); ++f) {
-        size_t eq = fields[f].rfind('=');
-        if (eq == std::string::npos) {
-          return Status::ParseError("state line " + std::to_string(i + 1) +
-                                    ": malformed histogram entry");
-        }
-        histogram.emplace_back(
-            alphabet_.Intern(fields[f].substr(0, eq)),
-            std::atoi(fields[f].c_str() + eq + 1));
-      }
-      std::sort(histogram.begin(), histogram.end());
-      current->crx.RestoreHistogram(histogram,
-                                    std::atoll(fields[1].c_str()));
-    } else {
-      return Status::ParseError("state line " + std::to_string(i + 1) +
-                                ": unknown tag '" + tag + "'");
-    }
-  }
-  if (!saw_end) {
-    return Status::ParseError("truncated state (missing 'end')");
-  }
-  return Status::OK();
+  return store_.Load(serialized, &alphabet_);
 }
 
 Result<std::string> DtdInferrer::InferXsd(bool numeric_predicates,
@@ -508,19 +296,19 @@ Result<std::string> DtdInferrer::InferXsd(bool numeric_predicates,
   Result<Dtd> dtd = InferDtd(num_threads);
   if (!dtd.ok()) return dtd.status();
   std::map<Symbol, XsdElementExtras> extras;
-  for (const auto& [symbol, state] : states_) {
+  for (const auto& [symbol, summary] : store_.elements()) {
     XsdElementExtras extra;
     if (numeric_predicates) {
       auto model = dtd.value().elements.find(symbol);
       if (model != dtd.value().elements.end() &&
           model->second.kind == ContentKind::kChildren) {
         extra.numeric = AnnotateNumericFromHistograms(
-            model->second.regex, state.crx.histograms(),
-            state.crx.empty_count());
+            model->second.regex, summary.crx.histograms(),
+            summary.crx.empty_count());
       }
     }
-    if (state.has_text) {
-      extra.text_type = InferSimpleType(state.text_samples);
+    if (summary.has_text) {
+      extra.text_type = InferSimpleType(summary.text_samples);
     }
     extras[symbol] = std::move(extra);
   }

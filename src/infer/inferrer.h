@@ -2,23 +2,25 @@
 #define CONDTD_INFER_INFERRER_H_
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "alphabet/alphabet.h"
-#include "automaton/soa.h"
 #include "base/status.h"
-#include "crx/crx.h"
 #include "dtd/model.h"
-#include "idtd/idtd.h"
+#include "infer/summary.h"
+#include "learn/learner.h"
 #include "xml/dom.h"
 #include "xsd/writer.h"
 
 namespace condtd {
 
-/// Which content-model learner to run per element.
+/// Legacy spelling of the built-in learner choice, kept for source
+/// compatibility: each value is a thin alias for a LearnerRegistry name
+/// (see LearnerNameOf). New code — and any learner beyond these four,
+/// like the Section 8 baselines "trang" and "xtract" — selects by name
+/// via InferenceOptions::learner.
 enum class InferenceAlgorithm {
   /// The paper's two-regime recommendation: iDTD when the element has
   /// plenty of data (specialization), CRX when data is sparse
@@ -29,8 +31,16 @@ enum class InferenceAlgorithm {
   kRewriteOnly,  ///< plain Algorithm 1 (fails on non-representative data)
 };
 
+/// The registry name the enum value aliases.
+std::string_view LearnerNameOf(InferenceAlgorithm algorithm);
+
 struct InferenceOptions {
   InferenceAlgorithm algorithm = InferenceAlgorithm::kAuto;
+  /// Registry name of the per-element learner. When empty (the default)
+  /// the legacy `algorithm` enum decides; when set it wins. Any name
+  /// registered in LearnerRegistry::Global() works, e.g. "trang" or
+  /// "xtract".
+  std::string learner;
   /// kAuto threshold: elements with at least this many observed words go
   /// through iDTD, sparser ones through CRX.
   int auto_idtd_min_words = 100;
@@ -39,6 +49,10 @@ struct InferenceOptions {
   int noise_symbol_threshold = 0;
   /// Forwarded to iDTD (includes its edge-support noise threshold).
   IdtdOptions idtd;
+  /// Forwarded to the XTRACT baseline learner; its `max_strings` also
+  /// sizes the summaries' distinct-word reservoir when that learner is
+  /// selected.
+  XtractOptions xtract;
   /// Infer <!ATTLIST> declarations (#REQUIRED when an attribute occurs
   /// on every element occurrence).
   bool infer_attributes = true;
@@ -58,14 +72,28 @@ struct InferenceOptions {
 
 /// The end-to-end DTD inference engine of the paper. Feed it documents
 /// (or raw per-element words); it maintains only the incremental
-/// summaries of Section 9 — a SOA per element for iDTD and a CrxState
-/// per element for CRX — so the XML data never needs to stay resident.
+/// summaries of Section 9 — a SummaryStore of per-element
+/// ElementSummary values — so the XML data never needs to stay
+/// resident. Per element it dispatches to the configured Learner from
+/// the global registry.
 class DtdInferrer {
  public:
   explicit DtdInferrer(InferenceOptions options = {});
 
   Alphabet* alphabet() { return &alphabet_; }
   const Alphabet& alphabet() const { return alphabet_; }
+
+  const InferenceOptions& options() const { return options_; }
+
+  /// The retained per-element summaries (plus root counts and
+  /// seen-as-child marks). The streaming fold driver writes into this
+  /// store directly; shard merge and persistence are its methods.
+  SummaryStore& summaries() { return store_; }
+  const SummaryStore& summaries() const { return store_; }
+
+  /// The learner the options resolve to, or null for an unknown name
+  /// (inference then fails with the registered names listed).
+  const Learner* learner() const { return learner_; }
 
   /// Parses and folds an XML document given as text (DOM path: the
   /// document tree is materialized, then folded).
@@ -118,46 +146,27 @@ class DtdInferrer {
   /// All elements observed so far, ascending.
   std::vector<Symbol> Elements() const;
 
-  /// Serializes the retained summaries (per-element SOA + CRX state,
-  /// attribute/text statistics, root counts) into a line-based text
-  /// format, realizing Section 9's "store the internal graph
-  /// representation and forget the XML data". Symbol references are by
-  /// name, so states can be restored in a fresh process.
+  /// Serializes the retained summaries into the versioned line-based
+  /// text format (see docs/STATE_FORMAT.md), realizing Section 9's
+  /// "store the internal graph representation and forget the XML data".
+  /// Symbol references are by name, so states can be restored in a
+  /// fresh process.
   std::string SaveState() const;
 
   /// Merges a previously saved state into this inferrer. Safe to call
   /// on a non-empty inferrer (supports merging shards); document text
-  /// samples for the XSD datatype heuristic are preserved.
+  /// samples for the XSD datatype heuristic are preserved. Accepts the
+  /// current format and the pre-reservoir version 1.
   Status LoadState(std::string_view serialized);
 
  private:
-  /// The streaming fold driver writes the same per-element summaries the
-  /// DOM path does, without going through an XmlDocument.
-  friend class StreamingFolder;
-
-  struct ElementState {
-    Soa soa;
-    CrxState crx;
-    int64_t occurrences = 0;
-    bool has_text = false;
-    std::vector<std::string> text_samples;
-    /// std::less<> so the streaming fold can probe with the
-    /// string_view attribute keys it holds into the document.
-    std::map<std::string, int64_t, std::less<>> attribute_counts;
-  };
-
-  Result<ReRef> LearnRegex(const ElementState& state) const;
-
-  void MarkSeenAsChild(Symbol symbol);
-  bool SeenAsChild(Symbol symbol) const;
+  Result<ReRef> LearnRegex(const ElementSummary& summary) const;
 
   InferenceOptions options_;
+  LearnOptions learn_options_;
+  const Learner* learner_;
   Alphabet alphabet_;
-  std::map<Symbol, ElementState> states_;
-  std::map<Symbol, int64_t> root_counts_;
-  /// Dense flat set keyed by symbol id (symbols are small dense ints;
-  /// this is touched once per child element parsed).
-  std::vector<bool> seen_as_child_;
+  SummaryStore store_;
 };
 
 }  // namespace condtd

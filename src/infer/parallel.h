@@ -35,9 +35,10 @@ namespace condtd {
 ///    document's newly-seen names in document-submission order, which
 ///    reproduces the sequential interning order exactly (symbol ids are
 ///    the tie-breakers throughout the learners), and
-///  * the learner pipeline is invariant to summary merge order — the
-///    SOA/CRX summaries are associative and `Gfa::FromSoa` canonicalizes
-///    state numbering (see those classes).
+///  * the learner pipeline is invariant to summary merge order — every
+///    ElementSummary field (SOA, CRX, the distinct-word reservoir) is
+///    associative under SummaryStore::MergeFrom, and `Gfa::FromSoa`
+///    canonicalizes state numbering (see those classes).
 /// The one caveat is the XSD datatype heuristic: which `max_text_samples`
 /// text snippets are retained can differ from the sequential run (each
 /// shard keeps its own first samples), so `InferXsd` simple-type picks

@@ -3,7 +3,6 @@
 #include <string>
 #include <utility>
 
-#include "automaton/two_t_inf.h"
 #include "base/strings.h"
 #include "xml/sax.h"
 
@@ -23,26 +22,25 @@ StreamingFolder::StreamingFolder(DtdInferrer* inferrer)
     : StreamingFolder(inferrer, Options()) {}
 
 StreamingFolder::StreamingFolder(DtdInferrer* inferrer, Options options)
-    : inferrer_(inferrer), options_(options) {}
+    : inferrer_(inferrer),
+      store_(&inferrer->summaries()),
+      options_(options) {}
 
 StreamingFolder::~StreamingFolder() { Flush(); }
 
-DtdInferrer::ElementState* StreamingFolder::FindState(Symbol symbol) {
+ElementSummary* StreamingFolder::FindState(Symbol symbol) {
   size_t index = static_cast<size_t>(symbol);
   if (index >= state_cache_.size()) state_cache_.resize(index + 1, nullptr);
-  DtdInferrer::ElementState*& entry = state_cache_[index];
-  if (entry == nullptr) {
-    auto it = inferrer_->states_.find(symbol);
-    if (it != inferrer_->states_.end()) entry = &it->second;
-  }
+  ElementSummary*& entry = state_cache_[index];
+  if (entry == nullptr) entry = store_->Find(symbol);
   return entry;
 }
 
-DtdInferrer::ElementState& StreamingFolder::EnsureState(Symbol symbol) {
-  if (DtdInferrer::ElementState* entry = FindState(symbol)) return *entry;
-  DtdInferrer::ElementState& state = inferrer_->states_[symbol];
-  state_cache_[static_cast<size_t>(symbol)] = &state;
-  return state;
+ElementSummary& StreamingFolder::EnsureState(Symbol symbol) {
+  if (ElementSummary* entry = FindState(symbol)) return *entry;
+  ElementSummary& summary = store_->Ensure(symbol);
+  state_cache_[static_cast<size_t>(symbol)] = &summary;
+  return summary;
 }
 
 StreamingFolder::Frame& StreamingFolder::PushFrame(Symbol symbol) {
@@ -65,10 +63,11 @@ void StreamingFolder::HandleText(std::string_view text) {
     // Collect the sample text only while the element is still under its
     // committed-sample cap; a document in flight may overshoot by a few
     // (the cap is re-checked at commit), which only wastes the copies.
-    const DtdInferrer::ElementState* state = FindState(frame.symbol);
-    int existing =
-        state == nullptr ? 0 : static_cast<int>(state->text_samples.size());
-    frame.collect_text = existing < inferrer_->options_.max_text_samples;
+    const ElementSummary* summary = FindState(frame.symbol);
+    int existing = summary == nullptr
+                       ? 0
+                       : static_cast<int>(summary->text_samples.size());
+    frame.collect_text = existing < store_->limits().max_text_samples;
   }
   if (frame.collect_text) frame.text.append(text);
 }
@@ -97,54 +96,49 @@ void StreamingFolder::CompleteTop() {
     word_journal_.push_back(&it->second);
   } else {
     // Eager mode (benchmark baseline): fold and account immediately.
-    DtdInferrer::ElementState& state = EnsureState(frame.symbol);
-    ++state.occurrences;
+    ElementSummary& summary = EnsureState(frame.symbol);
+    ++summary.occurrences;
     if (frame.has_text) {
-      state.has_text = true;
-      if (static_cast<int>(state.text_samples.size()) <
-          inferrer_->options_.max_text_samples) {
-        state.text_samples.emplace_back(StripWhitespace(frame.text));
-      }
+      summary.has_text = true;
+      summary.AddTextSample(std::string(StripWhitespace(frame.text)),
+                            store_->limits());
     }
     for (uint32_t a = 0; a < frame.attr_count; ++a) {
       std::string_view key = attr_keys_[frame.attr_first + a];
-      auto it = state.attribute_counts.find(key);
-      if (it == state.attribute_counts.end()) {
-        it = state.attribute_counts.emplace(std::string(key), 0).first;
+      auto it = summary.attribute_counts.find(key);
+      if (it == summary.attribute_counts.end()) {
+        it = summary.attribute_counts.emplace(std::string(key), 0).first;
       }
       ++it->second;
     }
-    Fold2T(frame.word, &state.soa);
-    state.crx.AddWord(frame.word);
-    for (Symbol s : frame.word) inferrer_->MarkSeenAsChild(s);
+    summary.AddChildWord(frame.word, 1, store_->limits());
+    for (Symbol s : frame.word) store_->MarkSeenAsChild(s);
   }
   --depth_;
 }
 
 void StreamingFolder::CommitDocument() {
-  ++inferrer_->root_counts_[root_symbol_];
+  store_->AddRoot(root_symbol_);
   ++documents_folded_;
   if (options_.dedup_words) {
     for (const Completed& record : completed_) {
-      DtdInferrer::ElementState& state = EnsureState(record.symbol);
-      ++state.occurrences;
-      if (record.has_text) state.has_text = true;
-      if (record.has_sample &&
-          static_cast<int>(state.text_samples.size()) <
-              inferrer_->options_.max_text_samples) {
-        state.text_samples.push_back(
-            std::move(doc_samples_[record.sample_index]));
+      ElementSummary& summary = EnsureState(record.symbol);
+      ++summary.occurrences;
+      if (record.has_text) summary.has_text = true;
+      if (record.has_sample) {
+        summary.AddTextSample(std::move(doc_samples_[record.sample_index]),
+                              store_->limits());
       }
       for (uint32_t a = 0; a < record.attr_count; ++a) {
         std::string_view key = attr_keys_[record.attr_first + a];
-        auto it = state.attribute_counts.find(key);
-        if (it == state.attribute_counts.end()) {
-          it = state.attribute_counts.emplace(std::string(key), 0).first;
+        auto it = summary.attribute_counts.find(key);
+        if (it == summary.attribute_counts.end()) {
+          it = summary.attribute_counts.emplace(std::string(key), 0).first;
         }
         ++it->second;
       }
     }
-    for (Symbol s : doc_new_children_) inferrer_->MarkSeenAsChild(s);
+    for (Symbol s : doc_new_children_) store_->MarkSeenAsChild(s);
     // The cache increments are already in place; committing just retires
     // the rollback journal (ResetDocument must not undo them).
     word_journal_.clear();
@@ -170,16 +164,14 @@ void StreamingFolder::ResetDocument() {
 
 void StreamingFolder::FoldWeighted(Symbol element, const Word& word,
                                    int64_t count) {
-  DtdInferrer::ElementState& state = EnsureState(element);
-  Fold2T(word, &state.soa, count);
-  state.crx.AddWord(word, count);
+  EnsureState(element).AddChildWord(word, count, store_->limits());
   ++weighted_folds_;
 }
 
 void StreamingFolder::Flush() {
   for (const auto& [key, count] : cache_) {
     // Zero-count entries are rolled-back first occurrences from a failed
-    // document; folding them would create an ElementState the DOM path
+    // document; folding them would create an ElementSummary the DOM path
     // never would.
     if (count <= 0) continue;
     FoldWeighted(key.element, key.word, count);
@@ -188,7 +180,7 @@ void StreamingFolder::Flush() {
 }
 
 Status StreamingFolder::AddXml(std::string_view xml) {
-  const bool lenient = inferrer_->options_.lenient_xml;
+  const bool lenient = inferrer_->options().lenient_xml;
   ResetDocument();
   SaxLexer lexer(xml);
   Alphabet* alphabet = inferrer_->alphabet();
@@ -248,12 +240,12 @@ Status StreamingFolder::AddXml(std::string_view xml) {
           root_seen_ = true;
         } else {
           stack_[depth_ - 1].word.push_back(symbol);
-          if (options_.dedup_words && !inferrer_->SeenAsChild(symbol)) {
+          if (options_.dedup_words && !store_->SeenAsChild(symbol)) {
             doc_new_children_.push_back(symbol);
           }
         }
         Frame& frame = PushFrame(symbol);
-        if (inferrer_->options_.infer_attributes) {
+        if (inferrer_->options().infer_attributes) {
           for (const SaxAttribute& attr : lexer.attributes()) {
             attr_keys_.push_back(attr.key);
             ++frame.attr_count;

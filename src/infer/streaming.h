@@ -10,36 +10,37 @@
 #include "alphabet/alphabet.h"
 #include "base/status.h"
 #include "infer/inferrer.h"
+#include "infer/summary.h"
 
 namespace condtd {
 
 /// Streaming fold driver: parses XML with the zero-copy `SaxLexer` and
 /// folds each element the moment its end tag is seen into the owning
-/// `DtdInferrer`'s Section 9 summaries — no `XmlElement` tree, no
-/// per-node allocation. An explicit stack of open frames accumulates
-/// each element's child-`Symbol` word (names interned directly into the
+/// `DtdInferrer`'s SummaryStore — no `XmlElement` tree, no per-node
+/// allocation. An explicit stack of open frames accumulates each
+/// element's child-`Symbol` word (names interned directly into the
 /// inferrer's alphabet, in start-tag order — the same order the DOM path
 /// interns in, which is what keeps the two paths byte-identical);
 /// attribute and text handling is reduced to the counts and capped
-/// samples the inferrer actually retains. Strict or tag-soup-lenient
+/// samples the summaries actually retain. Strict or tag-soup-lenient
 /// parsing follows the inferrer's `lenient_xml` option.
 ///
 /// Word-multiset deduplication (`Options::dedup_words`, on by default):
 /// real corpora repeat the same child sequence thousands of times, so
 /// completed words are hash-consed into a multiplicity cache and applied
-/// as weighted folds (`Fold2T`/`CrxState::AddWord` with a count) instead
-/// of being replayed — `Flush()` (idempotent, also run by the
+/// as weighted folds (`ElementSummary::AddChildWord` with a count)
+/// instead of being replayed — `Flush()` (idempotent, also run by the
 /// destructor) drains the cache, and must happen before the inferrer's
 /// summaries are read. The weighted folds are exact, so flush timing
 /// never changes the inferred DTD.
 ///
 /// Document transactionality: with dedup on, a document that fails to
-/// parse contributes nothing to the inferrer's summaries (matching the
-/// DOM path's parse-then-fold behavior); only alphabet interning of
-/// names seen before the error persists, which cannot affect any
-/// all-clean corpus. With dedup off, words fold eagerly per end tag, so
-/// a failed document may leave its completed elements behind — that mode
-/// exists for benchmarking the dedup contribution.
+/// parse contributes nothing to the summaries (matching the DOM path's
+/// parse-then-fold behavior); only alphabet interning of names seen
+/// before the error persists, which cannot affect any all-clean corpus.
+/// With dedup off, words fold eagerly per end tag, so a failed document
+/// may leave its completed elements behind — that mode exists for
+/// benchmarking the dedup contribution.
 ///
 /// Text-sample caveat (same as ParallelDtdInferrer's): which capped text
 /// snippets are retained can differ from the DOM path (samples are taken
@@ -68,7 +69,7 @@ class StreamingFolder {
   /// discarded (see class comment for the dedup-off caveat).
   Status AddXml(std::string_view xml);
 
-  /// Applies all cached weighted folds to the inferrer. Idempotent.
+  /// Applies all cached weighted folds to the summaries. Idempotent.
   /// Must be called (or the folder destroyed) before the inferrer's
   /// summaries are read.
   void Flush();
@@ -83,7 +84,7 @@ class StreamingFolder {
 
  private:
   /// An open element: accumulates the child word and the text the
-  /// inferrer will retain. Frames are pooled (depth_ marks the live
+  /// summaries will retain. Frames are pooled (depth_ marks the live
   /// prefix of stack_) so their Word/string capacity is reused across
   /// elements and documents.
   struct Frame {
@@ -97,7 +98,7 @@ class StreamingFolder {
   };
 
   /// Per-document record of one completed element occurrence; applied to
-  /// the inferrer only when the whole document folded cleanly.
+  /// the store only when the whole document folded cleanly.
   struct Completed {
     Symbol symbol = kInvalidSymbol;
     bool has_text = false;
@@ -141,16 +142,16 @@ class StreamingFolder {
   using WordCounts =
       std::unordered_map<WordKey, int64_t, WordKeyHash, WordKeyEq>;
 
-  /// Dense symbol-indexed cache of `states_` entries, lazily filled —
-  /// the fold hot path does one per-occurrence lookup here instead of a
-  /// `std::map` search. Returns null while the element has no state yet
-  /// (Find never creates one: dedup-mode transactionality requires that
-  /// a failed document leaves `states_` untouched). Map nodes are
+  /// Dense symbol-indexed cache of store entries, lazily filled — the
+  /// fold hot path does one per-occurrence lookup here instead of a
+  /// `std::map` search. Returns null while the element has no summary
+  /// yet (Find never creates one: dedup-mode transactionality requires
+  /// that a failed document leaves the store untouched). Map nodes are
   /// pointer-stable, so cached entries stay valid across inserts.
-  DtdInferrer::ElementState* FindState(Symbol symbol);
+  ElementSummary* FindState(Symbol symbol);
   /// As FindState but creates (and caches) the entry — commit/eager
   /// paths only.
-  DtdInferrer::ElementState& EnsureState(Symbol symbol);
+  ElementSummary& EnsureState(Symbol symbol);
 
   Frame& PushFrame(Symbol symbol);
   void HandleText(std::string_view text);
@@ -161,6 +162,7 @@ class StreamingFolder {
   void FoldWeighted(Symbol element, const Word& word, int64_t count);
 
   DtdInferrer* inferrer_;
+  SummaryStore* store_;
   Options options_;
 
   // Document-scoped state (reset per AddXml).
@@ -178,14 +180,14 @@ class StreamingFolder {
   /// behind, which Flush() skips (and which a later clean document can
   /// reuse).
   std::vector<int64_t*> word_journal_;
-  /// Child symbols first observed this document; the inferrer's
+  /// Child symbols first observed this document; the store's
   /// seen-as-child marks are applied only on commit.
   std::vector<Symbol> doc_new_children_;
 
   // Cross-document dedup cache. Completed words probe it directly (one
   // hash lookup per occurrence, no per-document staging map).
   WordCounts cache_;
-  std::vector<DtdInferrer::ElementState*> state_cache_;
+  std::vector<ElementSummary*> state_cache_;
 
   int64_t documents_folded_ = 0;
   int64_t words_folded_ = 0;

@@ -1,0 +1,381 @@
+#include "infer/summary.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "automaton/two_t_inf.h"
+#include "base/strings.h"
+
+namespace condtd {
+
+void ElementSummary::AddChildWord(const Word& word, int64_t multiplicity,
+                                  const SummaryLimits& limits) {
+  Fold2T(word, &soa, multiplicity);
+  crx.AddWord(word, multiplicity);
+  if (limits.max_retained_words > 0 && !words_overflowed) {
+    auto [it, inserted] = retained_words.insert(word);
+    if (inserted && static_cast<int>(retained_words.size()) >
+                        limits.max_retained_words) {
+      retained_words.erase(it);
+      words_overflowed = true;
+    }
+  }
+}
+
+void ElementSummary::AddTextSample(std::string sample,
+                                   const SummaryLimits& limits) {
+  if (static_cast<int>(text_samples.size()) < limits.max_text_samples) {
+    text_samples.push_back(std::move(sample));
+  }
+}
+
+void ElementSummary::MergeFrom(const ElementSummary& other,
+                               const std::vector<Symbol>* remap,
+                               const SummaryLimits& limits) {
+  occurrences += other.occurrences;
+  has_text = has_text || other.has_text;
+  for (const std::string& sample : other.text_samples) {
+    if (static_cast<int>(text_samples.size()) >= limits.max_text_samples) {
+      break;
+    }
+    text_samples.push_back(sample);
+  }
+  for (const auto& [attr, count] : other.attribute_counts) {
+    attribute_counts[attr] += count;
+  }
+  if (remap == nullptr) {
+    soa.MergeFrom(other.soa);
+    crx.MergeFrom(other.crx);
+  } else {
+    soa.MergeFrom(other.soa, *remap);
+    crx.MergeFrom(other.crx, *remap);
+  }
+  words_complete = words_complete && other.words_complete;
+  words_overflowed = words_overflowed || other.words_overflowed;
+  if (limits.max_retained_words > 0 && !words_overflowed) {
+    for (const Word& theirs : other.retained_words) {
+      Word word = theirs;
+      if (remap != nullptr) {
+        for (Symbol& s : word) s = (*remap)[s];
+      }
+      auto [it, inserted] = retained_words.insert(std::move(word));
+      if (inserted && static_cast<int>(retained_words.size()) >
+                          limits.max_retained_words) {
+        retained_words.erase(it);
+        words_overflowed = true;
+        break;
+      }
+    }
+  }
+}
+
+SummaryStore::SummaryStore(SummaryLimits limits) : limits_(limits) {}
+
+ElementSummary& SummaryStore::Ensure(Symbol symbol) {
+  auto [it, inserted] = elements_.try_emplace(symbol);
+  if (inserted) it->second.words_complete = limits_.max_retained_words > 0;
+  return it->second;
+}
+
+ElementSummary* SummaryStore::Find(Symbol symbol) {
+  auto it = elements_.find(symbol);
+  return it == elements_.end() ? nullptr : &it->second;
+}
+
+const ElementSummary* SummaryStore::Find(Symbol symbol) const {
+  auto it = elements_.find(symbol);
+  return it == elements_.end() ? nullptr : &it->second;
+}
+
+void SummaryStore::MarkSeenAsChild(Symbol symbol) {
+  if (symbol >= static_cast<Symbol>(seen_as_child_.size())) {
+    seen_as_child_.resize(symbol + 1, false);
+  }
+  seen_as_child_[symbol] = true;
+}
+
+bool SummaryStore::SeenAsChild(Symbol symbol) const {
+  return symbol >= 0 &&
+         symbol < static_cast<Symbol>(seen_as_child_.size()) &&
+         seen_as_child_[symbol];
+}
+
+void SummaryStore::MergeFrom(const SummaryStore& other,
+                             const std::vector<Symbol>& remap) {
+  for (const auto& [symbol, count] : other.root_counts_) {
+    root_counts_[remap[symbol]] += count;
+  }
+  for (Symbol s = 0; s < static_cast<Symbol>(other.seen_as_child_.size());
+       ++s) {
+    if (other.seen_as_child_[s]) MarkSeenAsChild(remap[s]);
+  }
+  for (const auto& [symbol, theirs] : other.elements_) {
+    Ensure(remap[symbol]).MergeFrom(theirs, &remap, limits_);
+  }
+}
+
+namespace {
+
+/// Percent-escaping for free text carried in the line-based state format
+/// (space, %, CR, LF).
+std::string EscapeText(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  static const char* kHex = "0123456789ABCDEF";
+  for (unsigned char c : text) {
+    if (c == ' ' || c == '%' || c == '\n' || c == '\r') {
+      out += '%';
+      out += kHex[c >> 4];
+      out += kHex[c & 0xF];
+    } else {
+      out += static_cast<char>(c);
+    }
+  }
+  return out;
+}
+
+std::string UnescapeText(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '%' && i + 2 < text.size()) {
+      auto hex = [](char c) {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        return 0;
+      };
+      out += static_cast<char>(hex(text[i + 1]) * 16 + hex(text[i + 2]));
+      i += 2;
+    } else {
+      out += text[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SummaryStore::Save(const Alphabet& alphabet) const {
+  std::string out = "condtd-state 2\n";
+  auto name = [&](Symbol s) { return alphabet.Name(s); };
+  for (const auto& [symbol, count] : root_counts_) {
+    out += "root " + name(symbol) + " " + std::to_string(count) + "\n";
+  }
+  for (Symbol symbol = 0;
+       symbol < static_cast<Symbol>(seen_as_child_.size()); ++symbol) {
+    if (seen_as_child_[symbol]) out += "child " + name(symbol) + "\n";
+  }
+  for (const auto& [symbol, summary] : elements_) {
+    out += "element " + name(symbol) + " " +
+           std::to_string(summary.occurrences) + " " +
+           (summary.has_text ? "1" : "0") + "\n";
+    for (const auto& [attr, count] : summary.attribute_counts) {
+      out += "attr " + attr + " " + std::to_string(count) + "\n";
+    }
+    for (const std::string& sample : summary.text_samples) {
+      out += "text " + EscapeText(sample) + "\n";
+    }
+    const Soa& soa = summary.soa;
+    for (int q = 0; q < soa.NumStates(); ++q) {
+      out += "soa.state " + name(soa.LabelOf(q)) + " " +
+             std::to_string(soa.StateSupport(q)) + "\n";
+      if (soa.IsInitial(q)) {
+        out += "soa.init " + name(soa.LabelOf(q)) + " " +
+               std::to_string(soa.InitialSupport(q)) + "\n";
+      }
+      if (soa.IsFinal(q)) {
+        out += "soa.final " + name(soa.LabelOf(q)) + " " +
+               std::to_string(soa.FinalSupport(q)) + "\n";
+      }
+      for (int to : soa.Successors(q)) {
+        out += "soa.edge " + name(soa.LabelOf(q)) + " " +
+               name(soa.LabelOf(to)) + " " +
+               std::to_string(soa.EdgeSupport(q, to)) + "\n";
+      }
+    }
+    if (soa.accepts_empty()) {
+      out += "soa.empty " + std::to_string(soa.empty_support()) + "\n";
+    }
+    const CrxState& crx = summary.crx;
+    for (const auto& [from, to] : crx.edges()) {
+      out += "crx.edge " + name(from) + " " + name(to) + "\n";
+    }
+    if (crx.empty_count() > 0) {
+      out += "crx.empty " + std::to_string(crx.empty_count()) + "\n";
+    }
+    for (const auto& [histogram, count] : crx.histograms()) {
+      out += "crx.hist " + std::to_string(count);
+      for (const auto& [sym, n] : histogram) {
+        out += " " + name(sym) + "=" + std::to_string(n);
+      }
+      out += "\n";
+    }
+    // Distinct-word reservoir (version 2): sorted, so the rendering is
+    // canonical. ε is the bare "word" line. An element with no word
+    // lines and no flag simply has an empty (complete) reservoir.
+    for (const Word& word : summary.retained_words) {
+      out += "word";
+      for (Symbol s : word) out += " " + name(s);
+      out += "\n";
+    }
+    if (summary.words_overflowed) out += "words.overflowed\n";
+    if (!summary.words_complete) out += "words.incomplete\n";
+  }
+  out += "end\n";
+  return out;
+}
+
+Status SummaryStore::Load(std::string_view serialized, Alphabet* alphabet) {
+  std::vector<std::string> lines = SplitString(serialized, '\n');
+  int version = 0;
+  if (!lines.empty()) {
+    if (lines[0] == "condtd-state 1") {
+      version = 1;
+    } else if (lines[0] == "condtd-state 2") {
+      version = 2;
+    } else if (lines[0].rfind("condtd-state ", 0) == 0) {
+      return Status::ParseError(
+          "state file format version " +
+          lines[0].substr(std::string("condtd-state ").size()) +
+          " is not supported by this build (supported: 1, 2)");
+    }
+  }
+  if (version == 0) {
+    return Status::ParseError("unrecognized state header");
+  }
+  ElementSummary* current = nullptr;
+  bool saw_end = false;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;
+    std::vector<std::string> fields = SplitString(lines[i], ' ');
+    const std::string& tag = fields[0];
+    auto require = [&](size_t n) {
+      return fields.size() == n
+                 ? Status::OK()
+                 : Status::ParseError("state line " + std::to_string(i + 1) +
+                                      ": expected " + std::to_string(n) +
+                                      " fields");
+    };
+    if (tag == "end") {
+      saw_end = true;
+      break;
+    }
+    if (tag == "root") {
+      CONDTD_RETURN_IF_ERROR(require(3));
+      root_counts_[alphabet->Intern(fields[1])] +=
+          std::atoll(fields[2].c_str());
+      continue;
+    }
+    if (tag == "child") {
+      CONDTD_RETURN_IF_ERROR(require(2));
+      MarkSeenAsChild(alphabet->Intern(fields[1]));
+      continue;
+    }
+    if (tag == "element") {
+      CONDTD_RETURN_IF_ERROR(require(4));
+      current = &Ensure(alphabet->Intern(fields[1]));
+      current->occurrences += std::atoll(fields[2].c_str());
+      current->has_text = current->has_text || fields[3] == "1";
+      // A version-1 file cannot carry the reservoir, so summaries loaded
+      // from it can never satisfy a needs-full-words learner.
+      if (version == 1) current->words_complete = false;
+      continue;
+    }
+    if (current == nullptr) {
+      return Status::ParseError("state line " + std::to_string(i + 1) +
+                                ": '" + tag + "' before any element");
+    }
+    if (tag == "attr") {
+      CONDTD_RETURN_IF_ERROR(require(3));
+      current->attribute_counts[fields[1]] += std::atoll(fields[2].c_str());
+    } else if (tag == "text") {
+      CONDTD_RETURN_IF_ERROR(require(2));
+      if (static_cast<int>(current->text_samples.size()) <
+          limits_.max_text_samples) {
+        current->text_samples.push_back(UnescapeText(fields[1]));
+      }
+    } else if (tag == "soa.state") {
+      CONDTD_RETURN_IF_ERROR(require(3));
+      int q = current->soa.AddState(alphabet->Intern(fields[1]));
+      current->soa.AddStateSupport(q, std::atoi(fields[2].c_str()));
+    } else if (tag == "soa.init") {
+      CONDTD_RETURN_IF_ERROR(require(3));
+      current->soa.AddInitial(
+          current->soa.AddState(alphabet->Intern(fields[1])),
+          std::atoi(fields[2].c_str()));
+    } else if (tag == "soa.final") {
+      CONDTD_RETURN_IF_ERROR(require(3));
+      current->soa.AddFinal(
+          current->soa.AddState(alphabet->Intern(fields[1])),
+          std::atoi(fields[2].c_str()));
+    } else if (tag == "soa.edge") {
+      CONDTD_RETURN_IF_ERROR(require(4));
+      current->soa.AddEdge(
+          current->soa.AddState(alphabet->Intern(fields[1])),
+          current->soa.AddState(alphabet->Intern(fields[2])),
+          std::atoi(fields[3].c_str()));
+    } else if (tag == "soa.empty") {
+      CONDTD_RETURN_IF_ERROR(require(2));
+      current->soa.set_accepts_empty(true);
+      current->soa.add_empty_support(std::atoi(fields[1].c_str()));
+    } else if (tag == "crx.edge") {
+      CONDTD_RETURN_IF_ERROR(require(3));
+      current->crx.RestoreEdge(alphabet->Intern(fields[1]),
+                               alphabet->Intern(fields[2]));
+    } else if (tag == "crx.empty") {
+      CONDTD_RETURN_IF_ERROR(require(2));
+      current->crx.RestoreEmpty(std::atoll(fields[1].c_str()));
+    } else if (tag == "crx.hist") {
+      if (fields.size() < 2) {
+        return Status::ParseError("state line " + std::to_string(i + 1) +
+                                  ": malformed histogram");
+      }
+      CrxState::Histogram histogram;
+      for (size_t f = 2; f < fields.size(); ++f) {
+        size_t eq = fields[f].rfind('=');
+        if (eq == std::string::npos) {
+          return Status::ParseError("state line " + std::to_string(i + 1) +
+                                    ": malformed histogram entry");
+        }
+        histogram.emplace_back(
+            alphabet->Intern(fields[f].substr(0, eq)),
+            std::atoi(fields[f].c_str() + eq + 1));
+      }
+      std::sort(histogram.begin(), histogram.end());
+      current->crx.RestoreHistogram(histogram,
+                                    std::atoll(fields[1].c_str()));
+    } else if (tag == "word") {
+      if (limits_.max_retained_words > 0 && !current->words_overflowed) {
+        Word word;
+        word.reserve(fields.size() - 1);
+        for (size_t f = 1; f < fields.size(); ++f) {
+          word.push_back(alphabet->Intern(fields[f]));
+        }
+        auto [it, inserted] =
+            current->retained_words.insert(std::move(word));
+        if (inserted && static_cast<int>(current->retained_words.size()) >
+                            limits_.max_retained_words) {
+          current->retained_words.erase(it);
+          current->words_overflowed = true;
+        }
+      }
+    } else if (tag == "words.overflowed") {
+      CONDTD_RETURN_IF_ERROR(require(1));
+      current->words_overflowed = true;
+    } else if (tag == "words.incomplete") {
+      CONDTD_RETURN_IF_ERROR(require(1));
+      current->words_complete = false;
+    } else {
+      return Status::ParseError("state line " + std::to_string(i + 1) +
+                                ": unknown tag '" + tag + "'");
+    }
+  }
+  if (!saw_end) {
+    return Status::ParseError("truncated state (missing 'end')");
+  }
+  return Status::OK();
+}
+
+}  // namespace condtd

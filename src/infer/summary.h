@@ -1,0 +1,158 @@
+#ifndef CONDTD_INFER_SUMMARY_H_
+#define CONDTD_INFER_SUMMARY_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "alphabet/alphabet.h"
+#include "automaton/soa.h"
+#include "base/status.h"
+#include "crx/crx.h"
+
+namespace condtd {
+
+/// Retention caps applied while folding into a summary. Owned by the
+/// SummaryStore (or by a caller holding loose ElementSummary values) and
+/// passed into the fold/merge operations so the summary itself stays a
+/// plain value type.
+struct SummaryLimits {
+  /// Maximum text samples retained per element for the XSD datatype
+  /// heuristic.
+  int max_text_samples = 64;
+  /// Capacity of the per-element distinct-word reservoir consumed by
+  /// learners with `needs_full_words()` (XTRACT). 0 disables the
+  /// reservoir entirely — the default, so summary-only pipelines pay
+  /// nothing for it.
+  int max_retained_words = 0;
+};
+
+/// The per-element retained state of Section 9: everything the engine
+/// keeps about one element name once the XML data has been discarded.
+/// This is the single shared bundle behind DtdInferrer, the contextual
+/// inferrer, the streaming fold and the sharded merge — every learner
+/// reads it and nothing else.
+///
+/// All fields form an associative merge algebra (`MergeFrom`): folding a
+/// corpus shard-by-shard and merging is equivalent to folding it
+/// sequentially, which is what makes the parallel and incremental
+/// pipelines exact rather than approximate.
+struct ElementSummary {
+  /// 2T-INF single occurrence automaton over the child words (iDTD,
+  /// rewrite and Trang-like input).
+  Soa soa;
+  /// CRX summaries: successor relation + deduplicated histograms.
+  CrxState crx;
+  /// Element occurrence count (== number of child words folded).
+  int64_t occurrences = 0;
+  bool has_text = false;
+  std::vector<std::string> text_samples;
+  /// std::less<> so the streaming fold can probe with the string_view
+  /// attribute keys it holds into the document.
+  std::map<std::string, int64_t, std::less<>> attribute_counts;
+
+  /// Bounded reservoir of distinct child words, kept only when a
+  /// registered learner declares `needs_full_words()` (XTRACT's
+  /// disjunction-per-string construction cannot run off the SOA/CRX
+  /// summaries). Sorted storage makes the reservoir — and therefore
+  /// SaveState output and the learner's sample order — independent of
+  /// fold order, so DOM, streaming and sharded ingestion agree.
+  std::set<Word> retained_words;
+  /// A distinct word was dropped because the reservoir was full. Word
+  /// learners fail with kResourceExhausted rather than learn from a
+  /// truncated sample.
+  bool words_overflowed = false;
+  /// False when the reservoir was never collected for this element
+  /// (reservoir disabled, or the summary came from a state file saved
+  /// without words). Word learners fail with kFailedPrecondition.
+  bool words_complete = false;
+
+  /// Folds one child word `multiplicity` times: SOA edges/supports, CRX
+  /// histograms and the word reservoir (multiplicity-invariant). Does
+  /// NOT touch `occurrences` — occurrence accounting belongs to the
+  /// ingestion drivers, which count at element-open or document-commit
+  /// time while words fold at end-tag or cache-flush time.
+  void AddChildWord(const Word& word, int64_t multiplicity,
+                    const SummaryLimits& limits);
+
+  /// Appends a text sample if the cap allows.
+  void AddTextSample(std::string sample, const SummaryLimits& limits);
+
+  /// Merges `other` into this summary (sums counts, unions the SOA/CRX
+  /// summaries and the word reservoir, concatenates text samples up to
+  /// the cap). When `remap` is non-null, `other`'s symbols are first
+  /// translated through it (indexed by the other alphabet's ids).
+  /// `other` must not alias this.
+  void MergeFrom(const ElementSummary& other,
+                 const std::vector<Symbol>* remap,
+                 const SummaryLimits& limits);
+};
+
+/// The unified store of retained summaries: per-element ElementSummary
+/// plus the corpus-level root counts and seen-as-child marks, with the
+/// shard-merge algebra and the versioned persistence format in one
+/// place. DtdInferrer owns one; StreamingFolder folds into it directly;
+/// ParallelDtdInferrer merges shard stores through it.
+class SummaryStore {
+ public:
+  explicit SummaryStore(SummaryLimits limits = {});
+
+  const SummaryLimits& limits() const { return limits_; }
+
+  /// Finds or creates the summary for `symbol`. New summaries start
+  /// words-complete iff the reservoir is enabled (their — empty —
+  /// reservoir then reflects every word folded so far).
+  ElementSummary& Ensure(Symbol symbol);
+  /// Returns the summary for `symbol` or null; never creates one (the
+  /// streaming fold's transactionality depends on probes being pure).
+  ElementSummary* Find(Symbol symbol);
+  const ElementSummary* Find(Symbol symbol) const;
+
+  bool empty() const { return elements_.empty(); }
+  const std::map<Symbol, ElementSummary>& elements() const {
+    return elements_;
+  }
+
+  void AddRoot(Symbol symbol, int64_t count = 1) {
+    root_counts_[symbol] += count;
+  }
+  const std::map<Symbol, int64_t>& root_counts() const {
+    return root_counts_;
+  }
+
+  void MarkSeenAsChild(Symbol symbol);
+  bool SeenAsChild(Symbol symbol) const;
+
+  /// Merges `other` into this store, translating its symbols through
+  /// `remap` (indexed by the other store's symbol ids — build it by
+  /// interning the other alphabet's names). Associative; `other` must
+  /// not alias this.
+  void MergeFrom(const SummaryStore& other, const std::vector<Symbol>& remap);
+
+  /// Serializes the store into the line-based state format (versioned
+  /// header; see docs/STATE_FORMAT.md), realizing Section 9's "store the
+  /// internal graph representation and forget the XML data". Symbol
+  /// references are by name via `alphabet`.
+  std::string Save(const Alphabet& alphabet) const;
+
+  /// Merges a previously saved state into this store, interning names
+  /// into `alphabet`. Accepts format versions 1 (pre-reservoir) and 2;
+  /// anything else fails with a clear message. Version-1 summaries are
+  /// marked words-incomplete since the file cannot carry a reservoir.
+  Status Load(std::string_view serialized, Alphabet* alphabet);
+
+ private:
+  SummaryLimits limits_;
+  std::map<Symbol, ElementSummary> elements_;
+  std::map<Symbol, int64_t> root_counts_;
+  /// Dense flat set keyed by symbol id (symbols are small dense ints;
+  /// this is touched once per child element parsed).
+  std::vector<bool> seen_as_child_;
+};
+
+}  // namespace condtd
+
+#endif  // CONDTD_INFER_SUMMARY_H_

@@ -194,6 +194,30 @@ TEST_F(CliTest, DiffReportsStricterModels) {
   EXPECT_EQ(same.exit_code, 0) << same.output;
 }
 
+TEST_F(CliTest, InferWithBaselineLearners) {
+  // Any registered learner name works, including the Section 8
+  // baselines the enum never covered.
+  CommandResult trang = RunCli("infer --algorithm=trang " + xml1_);
+  EXPECT_EQ(trang.exit_code, 0) << trang.output;
+  EXPECT_NE(trang.output.find("<!ELEMENT library"), std::string::npos)
+      << trang.output;
+  CommandResult xtract = RunCli("infer --algorithm=xtract " + xml1_);
+  EXPECT_EQ(xtract.exit_code, 0) << xtract.output;
+  EXPECT_NE(xtract.output.find("<!ELEMENT library"), std::string::npos)
+      << xtract.output;
+}
+
+TEST_F(CliTest, UnknownAlgorithmListsRegisteredNames) {
+  CommandResult result = RunCli("infer --algorithm=nope " + xml1_);
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("unknown algorithm 'nope'"),
+            std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("auto, idtd, crx, rewrite, trang, xtract"),
+            std::string::npos)
+      << result.output;
+}
+
 TEST_F(CliTest, LenientInfersFromTagSoup) {
   std::string soup = TempPath("soup.xml");
   ASSERT_TRUE(WriteStringToFile(

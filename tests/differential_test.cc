@@ -1,0 +1,243 @@
+// Differential goldens across the learner refactor: the DTDs below were
+// captured from the pre-refactor engine (enum-dispatched learners, the
+// summaries inlined in DtdInferrer::ElementState) and pin the unified
+// SummaryStore/LearnerRegistry engine byte-for-byte — for every built-in
+// algorithm, across the DOM, streaming and sharded ingestion paths.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dtd/dtd_writer.h"
+#include "infer/inferrer.h"
+#include "infer/parallel.h"
+#include "infer/streaming.h"
+
+namespace condtd {
+namespace {
+
+// --- corpora --------------------------------------------------------------
+
+// Corpus A exercises optionality, repetition, mixed content, EMPTY
+// elements, attributes, and a dense element ("row", 240+ occurrences)
+// that crosses the auto policy's iDTD threshold.
+std::vector<std::string> CorpusA() {
+  std::vector<std::string> docs = {
+      "<db><rec id=\"1\"><k>alpha</k><v>1</v></rec>"
+      "<rec id=\"2\"><k>beta</k><note>n</note><note>m</note></rec></db>",
+      "<db><rec id=\"3\"><k>gamma</k><v>2</v><note>x</note></rec>"
+      "<meta/><rec id=\"4\"><k>delta</k></rec></db>",
+      "<db><mix>text <b>bold</b> and <i>ital</i> tail</mix>"
+      "<rec id=\"5\"><k>eps</k><v>3</v></rec></db>",
+  };
+  std::string dense = "<db><grid>";
+  for (int i = 0; i < 120; ++i) {
+    dense += "<row><a/>";
+    if (i % 2 == 0) dense += "<b/>";
+    if (i % 3 == 0) dense += "<c/>";
+    dense += "<a/></row>";
+  }
+  dense += "</grid></db>";
+  docs.push_back(std::move(dense));
+  docs.push_back(
+      "<db><grid><row><a/><c/><a/></row><row><a/><b/><a/></row></grid>"
+      "<rec id=\"6\"><k>zeta</k><note>t</note></rec></db>");
+  return docs;
+}
+
+// Corpus B is fully representative: every algorithm — including plain
+// Algorithm 1 rewrite — agrees on it.
+std::vector<std::string> CorpusB() {
+  return {
+      "<lib><shelf><bk><t>a</t><au>x</au><au>y</au></bk>"
+      "<bk><t>b</t><au>z</au></bk></shelf></lib>",
+      "<lib><shelf><bk><t>c</t><au>w</au><au>v</au><au>u</au></bk></shelf>"
+      "<shelf><bk><t>d</t><au>q</au></bk></shelf></lib>",
+      "<lib><shelf><bk><t>e</t><au>r</au></bk></shelf></lib>",
+  };
+}
+
+// --- pre-refactor goldens -------------------------------------------------
+
+constexpr char kGoldenAIdtd[] =
+    "<!ELEMENT db ((mix | grid)?, (rec | meta)*)>\n"
+    "<!ELEMENT rec (k, v?, note*)>\n"
+    "<!ATTLIST rec\n"
+    "  id CDATA #REQUIRED>\n"
+    "<!ELEMENT k (#PCDATA)>\n"
+    "<!ELEMENT v (#PCDATA)>\n"
+    "<!ELEMENT note (#PCDATA)>\n"
+    "<!ELEMENT meta EMPTY>\n"
+    "<!ELEMENT mix (#PCDATA | b | i)*>\n"
+    "<!ELEMENT b (#PCDATA)>\n"
+    "<!ELEMENT i (#PCDATA)>\n"
+    "<!ELEMENT grid (row)+>\n"
+    "<!ELEMENT row (a | b?, c?)+>\n"
+    "<!ELEMENT a EMPTY>\n"
+    "<!ELEMENT c EMPTY>\n";
+
+constexpr char kGoldenACrx[] =
+    "<!ELEMENT db ((mix | grid)?, (rec | meta)*)>\n"
+    "<!ELEMENT rec (k, v?, note*)>\n"
+    "<!ATTLIST rec\n"
+    "  id CDATA #REQUIRED>\n"
+    "<!ELEMENT k (#PCDATA)>\n"
+    "<!ELEMENT v (#PCDATA)>\n"
+    "<!ELEMENT note (#PCDATA)>\n"
+    "<!ELEMENT meta EMPTY>\n"
+    "<!ELEMENT mix (#PCDATA | b | i)*>\n"
+    "<!ELEMENT b (#PCDATA)>\n"
+    "<!ELEMENT i (#PCDATA)>\n"
+    "<!ELEMENT grid (row)+>\n"
+    "<!ELEMENT row (b | a | c)+>\n"
+    "<!ELEMENT a EMPTY>\n"
+    "<!ELEMENT c EMPTY>\n";
+
+// Algorithm 1 has no repair rules, so it must fail on the (deliberately
+// non-representative) corpus A with exactly this diagnostic.
+constexpr char kGoldenARewriteError[] =
+    "NoEquivalentSore: rewrite: no SORE is equivalent to the given SOA "
+    "(4 nodes remain)";
+
+constexpr char kGoldenB[] =
+    "<!ELEMENT lib (shelf)+>\n"
+    "<!ELEMENT shelf (bk)+>\n"
+    "<!ELEMENT bk (t, au+)>\n"
+    "<!ELEMENT t (#PCDATA)>\n"
+    "<!ELEMENT au (#PCDATA)>\n";
+
+// --- ingestion paths ------------------------------------------------------
+
+InferenceOptions OptionsFor(const std::string& learner) {
+  InferenceOptions options;
+  options.learner = learner;
+  return options;
+}
+
+Result<std::string> DomDtd(const std::vector<std::string>& docs,
+                           const std::string& learner) {
+  DtdInferrer inferrer(OptionsFor(learner));
+  for (const std::string& doc : docs) {
+    Status status = inferrer.AddXml(doc);
+    if (!status.ok()) return status;
+  }
+  Result<Dtd> dtd = inferrer.InferDtd();
+  if (!dtd.ok()) return dtd.status();
+  return WriteDtd(dtd.value(), *inferrer.alphabet());
+}
+
+Result<std::string> StreamingDtd(const std::vector<std::string>& docs,
+                                 const std::string& learner,
+                                 bool dedup_words) {
+  DtdInferrer inferrer(OptionsFor(learner));
+  StreamingFolder::Options folder_options;
+  folder_options.dedup_words = dedup_words;
+  StreamingFolder folder(&inferrer, folder_options);
+  for (const std::string& doc : docs) {
+    Status status = folder.AddXml(doc);
+    if (!status.ok()) return status;
+  }
+  folder.Flush();
+  Result<Dtd> dtd = inferrer.InferDtd();
+  if (!dtd.ok()) return dtd.status();
+  return WriteDtd(dtd.value(), *inferrer.alphabet());
+}
+
+Result<std::string> ShardedDtd(const std::vector<std::string>& docs,
+                               const std::string& learner, int jobs) {
+  ParallelDtdInferrer inferrer(OptionsFor(learner), jobs);
+  for (const std::string& doc : docs) inferrer.AddXml(doc);
+  Result<Dtd> dtd = inferrer.InferDtd();
+  if (!dtd.ok()) return dtd.status();
+  return WriteDtd(dtd.value(), *inferrer.merged()->alphabet());
+}
+
+// Runs every ingestion path and requires the identical outcome.
+void ExpectEverywhere(const std::vector<std::string>& docs,
+                      const std::string& learner,
+                      const std::string& want_dtd,
+                      const std::string& want_error = "") {
+  auto check = [&](Result<std::string> got, const std::string& path) {
+    if (!want_error.empty()) {
+      ASSERT_FALSE(got.ok()) << learner << " via " << path;
+      EXPECT_EQ(got.status().ToString(), want_error)
+          << learner << " via " << path;
+      return;
+    }
+    ASSERT_TRUE(got.ok())
+        << learner << " via " << path << ": " << got.status().ToString();
+    EXPECT_EQ(got.value(), want_dtd) << learner << " via " << path;
+  };
+  check(DomDtd(docs, learner), "dom");
+  check(StreamingDtd(docs, learner, /*dedup_words=*/true), "streaming");
+  check(StreamingDtd(docs, learner, /*dedup_words=*/false),
+        "streaming-eager");
+  for (int jobs : {1, 2, 7}) {
+    check(ShardedDtd(docs, learner, jobs),
+          "sharded-jobs-" + std::to_string(jobs));
+  }
+}
+
+// --- tests ----------------------------------------------------------------
+
+TEST(Differential, CorpusAAuto) {
+  ExpectEverywhere(CorpusA(), "auto", kGoldenAIdtd);
+}
+
+TEST(Differential, CorpusAIdtd) {
+  ExpectEverywhere(CorpusA(), "idtd", kGoldenAIdtd);
+}
+
+TEST(Differential, CorpusACrx) {
+  ExpectEverywhere(CorpusA(), "crx", kGoldenACrx);
+}
+
+TEST(Differential, CorpusARewritePinnedFailure) {
+  ExpectEverywhere(CorpusA(), "rewrite", "", kGoldenARewriteError);
+}
+
+TEST(Differential, CorpusBAllAlgorithmsAgree) {
+  for (const std::string& learner : {"auto", "idtd", "crx", "rewrite"}) {
+    ExpectEverywhere(CorpusB(), learner, kGoldenB);
+  }
+}
+
+// The legacy enum spellings must keep selecting the same learners.
+TEST(Differential, EnumAliasesMatchLearnerNames) {
+  const std::vector<std::pair<InferenceAlgorithm, std::string>> pairs = {
+      {InferenceAlgorithm::kAuto, "auto"},
+      {InferenceAlgorithm::kIdtd, "idtd"},
+      {InferenceAlgorithm::kCrx, "crx"},
+      {InferenceAlgorithm::kRewriteOnly, "rewrite"},
+  };
+  for (const auto& [algorithm, name] : pairs) {
+    EXPECT_EQ(LearnerNameOf(algorithm), name);
+    InferenceOptions via_enum;
+    via_enum.algorithm = algorithm;
+    DtdInferrer a(via_enum);
+    DtdInferrer b(OptionsFor(name));
+    ASSERT_NE(a.learner(), nullptr);
+    EXPECT_EQ(a.learner(), b.learner()) << name;
+    EXPECT_EQ(a.learner()->name(), name);
+  }
+}
+
+// Persisted state from one path restores into another without changing
+// the result (save from streaming, load into a fresh engine).
+TEST(Differential, SaveLoadCrossesIngestionPaths) {
+  DtdInferrer streaming_side;
+  StreamingFolder folder(&streaming_side);
+  for (const std::string& doc : CorpusA()) {
+    ASSERT_TRUE(folder.AddXml(doc).ok());
+  }
+  folder.Flush();
+  DtdInferrer restored;
+  ASSERT_TRUE(restored.LoadState(streaming_side.SaveState()).ok());
+  Result<Dtd> dtd = restored.InferDtd();
+  ASSERT_TRUE(dtd.ok()) << dtd.status().ToString();
+  EXPECT_EQ(WriteDtd(dtd.value(), *restored.alphabet()), kGoldenAIdtd);
+}
+
+}  // namespace
+}  // namespace condtd

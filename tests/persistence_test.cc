@@ -256,5 +256,124 @@ TEST(StatePersistence, TextSamplesSurviveEscaping) {
   EXPECT_EQ(second.SaveState(), first.SaveState());
 }
 
+// --- format versioning ----------------------------------------------------
+
+// A state file saved by the pre-reservoir engine (format version 1),
+// verbatim. It was produced from:
+//   <db><rec id="1"><k>alpha</k><v>9</v></rec><rec id="2"><k>b</k></rec></db>
+//   <db><rec id="3"><k>c</k><note>hi there 100%</note></rec></db>
+constexpr char kVersion1State[] =
+    "condtd-state 1\n"
+    "root db 2\n"
+    "child rec\n"
+    "child k\n"
+    "child v\n"
+    "child note\n"
+    "element db 2 0\n"
+    "soa.state rec 3\n"
+    "soa.init rec 2\n"
+    "soa.final rec 2\n"
+    "soa.edge rec rec 1\n"
+    "crx.edge rec rec\n"
+    "crx.hist 1 rec=1\n"
+    "crx.hist 1 rec=2\n"
+    "element rec 3 0\n"
+    "attr id 3\n"
+    "soa.state k 3\n"
+    "soa.init k 3\n"
+    "soa.final k 1\n"
+    "soa.edge k v 1\n"
+    "soa.edge k note 1\n"
+    "soa.state v 1\n"
+    "soa.final v 1\n"
+    "soa.state note 1\n"
+    "soa.final note 1\n"
+    "crx.edge k v\n"
+    "crx.edge k note\n"
+    "crx.hist 1 k=1\n"
+    "crx.hist 1 k=1 v=1\n"
+    "crx.hist 1 k=1 note=1\n"
+    "element k 3 1\n"
+    "text alpha\n"
+    "text b\n"
+    "text c\n"
+    "soa.empty 3\n"
+    "crx.empty 3\n"
+    "element v 1 1\n"
+    "text 9\n"
+    "soa.empty 1\n"
+    "crx.empty 1\n"
+    "element note 1 1\n"
+    "text hi%20there%20100%25\n"
+    "soa.empty 1\n"
+    "crx.empty 1\n"
+    "end\n";
+
+TEST(StatePersistence, LoadsVersion1StateFiles) {
+  DtdInferrer inferrer;
+  ASSERT_TRUE(inferrer.LoadState(kVersion1State).ok());
+  Result<Dtd> dtd = inferrer.InferDtd();
+  ASSERT_TRUE(dtd.ok()) << dtd.status().ToString();
+  EXPECT_EQ(WriteDtd(dtd.value(), *inferrer.alphabet()),
+            "<!ELEMENT db (rec)+>\n"
+            "<!ELEMENT rec (k, (v | note)?)>\n"
+            "<!ATTLIST rec\n"
+            "  id CDATA #REQUIRED>\n"
+            "<!ELEMENT k (#PCDATA)>\n"
+            "<!ELEMENT v (#PCDATA)>\n"
+            "<!ELEMENT note (#PCDATA)>\n");
+}
+
+TEST(StatePersistence, Version1SummariesAreMarkedWordsIncomplete) {
+  // A v1 file cannot carry the distinct-word reservoir, so a word-hungry
+  // learner (xtract) must refuse the restored summaries rather than
+  // learn from an empty sample.
+  InferenceOptions options;
+  options.learner = "xtract";
+  DtdInferrer inferrer(options);
+  ASSERT_TRUE(inferrer.LoadState(kVersion1State).ok());
+  const ElementSummary* summary =
+      inferrer.summaries().Find(inferrer.alphabet()->Find("db"));
+  ASSERT_NE(summary, nullptr);
+  EXPECT_FALSE(summary->words_complete);
+  Result<Dtd> dtd = inferrer.InferDtd();
+  ASSERT_FALSE(dtd.ok());
+  EXPECT_EQ(dtd.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(StatePersistence, RejectsUnsupportedFutureVersion) {
+  DtdInferrer inferrer;
+  Status status = inferrer.LoadState("condtd-state 3\nend\n");
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find(
+                "state file format version 3 is not supported"),
+            std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.ToString().find("supported: 1, 2"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(StatePersistence, ReservoirStateRoundTripsCanonically) {
+  InferenceOptions options;
+  options.learner = "xtract";
+  DtdInferrer first(options);
+  ASSERT_TRUE(first.AddXml("<r><x/><y/><x/></r>").ok());
+  ASSERT_TRUE(first.AddXml("<r><x/></r>").ok());
+  std::string saved = first.SaveState();
+  // The current format is version 2 and carries the reservoir.
+  EXPECT_EQ(saved.rfind("condtd-state 2\n", 0), 0u) << saved;
+  EXPECT_NE(saved.find("\nword "), std::string::npos) << saved;
+  DtdInferrer second(options);
+  ASSERT_TRUE(second.LoadState(saved).ok());
+  EXPECT_EQ(second.SaveState(), saved);
+  // And the restored reservoir still feeds the learner.
+  Result<Dtd> a = first.InferDtd();
+  Result<Dtd> b = second.InferDtd();
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(WriteDtd(a.value(), *first.alphabet()),
+            WriteDtd(b.value(), *second.alphabet()));
+}
+
 }  // namespace
 }  // namespace condtd

@@ -2,7 +2,10 @@
 //
 //   condtd infer [options] file.xml...      infer a schema from documents
 //       --xsd                 emit an XML Schema instead of a DTD
-//       --algorithm=auto|crx|idtd|rewrite   learner selection
+//       --algorithm=NAME      learner selection; any name registered in
+//                             LearnerRegistry works (auto, idtd, crx,
+//                             rewrite, and the Section 8 baselines
+//                             trang and xtract)
 //       --noise=N             support threshold for noisy data
 //       --jobs=N              ingest and infer on N threads (sharded
 //                             pipeline; output identical to N=1;
@@ -50,6 +53,7 @@
 #include "infer/inferrer.h"
 #include "infer/parallel.h"
 #include "infer/streaming.h"
+#include "learn/learner.h"
 #include "regex/determinism.h"
 #include "regex/matcher.h"
 #include "regex/parser.h"
@@ -60,10 +64,12 @@ namespace condtd {
 namespace {
 
 int Usage() {
+  std::string algorithms =
+      LearnerRegistry::Global().NamesForDisplay("|");
   std::fprintf(
       stderr,
       "usage:\n"
-      "  condtd infer [--xsd] [--algorithm=auto|crx|idtd|rewrite]\n"
+      "  condtd infer [--xsd] [--algorithm=%s]\n"
       "               [--noise=N] [--jobs=N] [--dom] [--out=FILE]\n"
       "               [--state-in=FILE] [--state-out=FILE] file.xml...\n"
       "  condtd validate [--schema=file.dtd] file.xml...\n"
@@ -72,7 +78,8 @@ int Usage() {
       "  condtd gen --schema=file.dtd [--count=N] [--seed=S] "
       "[--prefix=P]\n"
       "  condtd context [--xsd] file.xml...\n"
-      "  condtd diff left.dtd right.dtd   (exit 0 iff language-equal)\n");
+      "  condtd diff left.dtd right.dtd   (exit 0 iff language-equal)\n",
+      algorithms.c_str());
   return 2;
 }
 
@@ -106,18 +113,14 @@ int RunInfer(const std::vector<std::string>& args) {
     } else if (GetFlag(arg, "state-out", &value)) {
       state_out = value;
     } else if (GetFlag(arg, "algorithm", &value)) {
-      if (value == "crx") {
-        options.algorithm = InferenceAlgorithm::kCrx;
-      } else if (value == "idtd") {
-        options.algorithm = InferenceAlgorithm::kIdtd;
-      } else if (value == "rewrite") {
-        options.algorithm = InferenceAlgorithm::kRewriteOnly;
-      } else if (value == "auto") {
-        options.algorithm = InferenceAlgorithm::kAuto;
-      } else {
-        std::fprintf(stderr, "unknown algorithm '%s'\n", value.c_str());
+      if (LearnerRegistry::Global().Find(value) == nullptr) {
+        std::fprintf(
+            stderr, "unknown algorithm '%s' (registered: %s)\n",
+            value.c_str(),
+            LearnerRegistry::Global().NamesForDisplay(", ").c_str());
         return 2;
       }
+      options.learner = value;
     } else if (GetFlag(arg, "noise", &value)) {
       options.noise_symbol_threshold = std::atoi(value.c_str());
       options.idtd.noise_edge_threshold = options.noise_symbol_threshold;
