@@ -44,4 +44,37 @@ bool EndsWith(std::string_view text, std::string_view suffix) {
          text.substr(text.size() - suffix.size()) == suffix;
 }
 
+bool ParseInt64(std::string_view text, int64_t* out) {
+  bool negative = false;
+  size_t i = 0;
+  if (i < text.size() && text[i] == '-') {
+    negative = true;
+    ++i;
+  }
+  if (i >= text.size()) return false;
+  // Accumulate negated so INT64_MIN parses without overflowing.
+  int64_t value = 0;
+  for (; i < text.size(); ++i) {
+    char c = text[i];
+    if (c < '0' || c > '9') return false;
+    int digit = c - '0';
+    if (value < (INT64_MIN + digit) / 10) return false;
+    value = value * 10 - digit;
+  }
+  if (!negative) {
+    if (value == INT64_MIN) return false;
+    value = -value;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseInt32(std::string_view text, int32_t* out) {
+  int64_t wide;
+  if (!ParseInt64(text, &wide)) return false;
+  if (wide < INT32_MIN || wide > INT32_MAX) return false;
+  *out = static_cast<int32_t>(wide);
+  return true;
+}
+
 }  // namespace condtd

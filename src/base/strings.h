@@ -1,6 +1,7 @@
 #ifndef CONDTD_BASE_STRINGS_H_
 #define CONDTD_BASE_STRINGS_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -27,6 +28,17 @@ bool EndsWith(std::string_view text, std::string_view suffix);
 inline bool IsXmlWhitespace(char c) {
   return c == ' ' || c == '\t' || c == '\r' || c == '\n';
 }
+
+/// Strict decimal integer parsing: an optional leading '-' followed by
+/// at least one digit and nothing else, rejecting overflow. Unlike
+/// std::atoll (undefined behavior on overflow, silently returns 0 on
+/// junk) a false return is the only failure signal, so callers on
+/// untrusted input — the state loader, the CLI — can produce a real
+/// error instead of degenerate behavior.
+bool ParseInt64(std::string_view text, int64_t* out);
+
+/// As ParseInt64 but bounds-checked into int32.
+bool ParseInt32(std::string_view text, int32_t* out);
 
 }  // namespace condtd
 

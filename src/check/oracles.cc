@@ -1,0 +1,476 @@
+#include "check/oracles.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "automaton/dfa.h"
+#include "dtd/dtd_parser.h"
+#include "dtd/dtd_writer.h"
+#include "infer/parallel.h"
+#include "infer/streaming.h"
+#include "regex/determinism.h"
+#include "regex/equivalence.h"
+#include "regex/matcher.h"
+#include "regex/properties.h"
+
+namespace condtd {
+
+namespace {
+
+std::string Render(const ReRef& re, const Alphabet& alphabet) {
+  return ToString(re, alphabet, PrintStyle::kParseable);
+}
+
+std::string RenderWord(const Word& word, const Alphabet& alphabet) {
+  if (word.empty()) return "<empty word>";
+  return alphabet.WordToString(word);
+}
+
+int AlphabetSizeOf(const ReRef& re, const Soa& soa) {
+  Symbol max_sym = -1;
+  for (Symbol s : SymbolsOf(re)) max_sym = std::max(max_sym, s);
+  for (int q = 0; q < soa.NumStates(); ++q) {
+    max_sym = std::max(max_sym, soa.LabelOf(q));
+  }
+  return static_cast<int>(max_sym) + 1;
+}
+
+}  // namespace
+
+OracleResult CheckSampleInclusion(const ReRef& inferred,
+                                  const std::vector<Word>& sample,
+                                  const Alphabet& alphabet) {
+  Matcher matcher(inferred);
+  for (const Word& word : sample) {
+    if (!matcher.Matches(word)) {
+      return OracleResult::Fail("inferred expression " +
+                                Render(inferred, alphabet) +
+                                " rejects sample word '" +
+                                RenderWord(word, alphabet) + "'");
+    }
+  }
+  return OracleResult::Pass();
+}
+
+OracleResult CheckDeterminism(const ReRef& re, const Alphabet& alphabet) {
+  if (!IsDeterministic(re)) {
+    return OracleResult::Fail("expression " + Render(re, alphabet) +
+                              " is not one-unambiguous");
+  }
+  return OracleResult::Pass();
+}
+
+OracleResult CheckSoreValidity(const ReRef& re, const Alphabet& alphabet) {
+  if (!IsSore(re)) {
+    return OracleResult::Fail("expression " + Render(re, alphabet) +
+                              " is not a SORE");
+  }
+  return OracleResult::Pass();
+}
+
+OracleResult CheckChareValidity(const ReRef& re, const Alphabet& alphabet) {
+  if (!IsChare(re)) {
+    return OracleResult::Fail("expression " + Render(re, alphabet) +
+                              " is not a CHARE");
+  }
+  return OracleResult::Pass();
+}
+
+OracleResult CheckLanguageInclusion(const ReRef& sub, const ReRef& super,
+                                    const Alphabet& alphabet) {
+  Result<Word> witness = FindInclusionCounterexample(sub, super);
+  if (witness.ok()) {
+    return OracleResult::Fail(
+        "L(" + Render(sub, alphabet) + ") ⊄ L(" + Render(super, alphabet) +
+        "): missing word '" + RenderWord(witness.value(), alphabet) + "'");
+  }
+  if (witness.status().code() != StatusCode::kNotFound) {
+    return OracleResult::Fail("inclusion check failed: " +
+                              witness.status().ToString());
+  }
+  return OracleResult::Pass();
+}
+
+OracleResult CheckLanguageEquivalence(const ReRef& a, const ReRef& b,
+                                      const Alphabet& alphabet) {
+  Result<Word> witness = FindDistinguishingWord(a, b);
+  if (witness.ok()) {
+    return OracleResult::Fail(
+        "L(" + Render(a, alphabet) + ") ≠ L(" + Render(b, alphabet) +
+        "): distinguishing word '" +
+        RenderWord(witness.value(), alphabet) + "'");
+  }
+  if (witness.status().code() != StatusCode::kNotFound) {
+    return OracleResult::Fail("equivalence check failed: " +
+                              witness.status().ToString());
+  }
+  return OracleResult::Pass();
+}
+
+OracleResult CheckSoaEquivalence(const ReRef& re, const Soa& soa,
+                                 const Alphabet& alphabet) {
+  int n = AlphabetSizeOf(re, soa);
+  if (n == 0) n = 1;
+  Dfa re_dfa = CompileToDfa(re, n);
+  Dfa soa_dfa = Dfa::FromNfa(soa.ToNfa(), n);
+  Result<Word> witness = FindDistinguishingWordDfa(re_dfa, soa_dfa);
+  if (witness.ok()) {
+    return OracleResult::Fail("L(" + Render(re, alphabet) +
+                              ") differs from the SOA language on '" +
+                              RenderWord(witness.value(), alphabet) + "'");
+  }
+  if (witness.status().code() != StatusCode::kNotFound) {
+    return OracleResult::Fail("SOA equivalence check failed: " +
+                              witness.status().ToString());
+  }
+  return OracleResult::Pass();
+}
+
+OracleResult CheckDtdRoundTrip(const Dtd& dtd, const Alphabet& alphabet) {
+  std::string text = WriteDtd(dtd, alphabet);
+  Alphabet reparsed_alphabet;
+  std::string root_name =
+      dtd.root == kInvalidSymbol ? "" : alphabet.Name(dtd.root);
+  Result<Dtd> reparsed = ParseDtd(text, &reparsed_alphabet, root_name);
+  if (!reparsed.ok()) {
+    return OracleResult::Fail("written DTD failed to re-parse: " +
+                              reparsed.status().ToString() + "\n" + text);
+  }
+  // Map the re-parsed symbols back onto the original alphabet by name.
+  std::map<Symbol, Symbol> back;
+  for (Symbol s = 0; s < reparsed_alphabet.size(); ++s) {
+    Symbol original = alphabet.Find(reparsed_alphabet.Name(s));
+    if (original == kInvalidSymbol) {
+      return OracleResult::Fail("re-parsed DTD names unknown element '" +
+                                reparsed_alphabet.Name(s) + "'");
+    }
+    back[s] = original;
+  }
+  auto remap = [&](Symbol s) { return back.at(s); };
+  if (dtd.root != kInvalidSymbol &&
+      remap(reparsed->root) != dtd.root) {
+    return OracleResult::Fail(
+        "root changed across the round trip: wrote '" +
+        alphabet.Name(dtd.root) + "', re-parsed '" +
+        reparsed_alphabet.Name(reparsed->root) + "'");
+  }
+  if (reparsed->elements.size() != dtd.elements.size()) {
+    return OracleResult::Fail(
+        "element count changed across the round trip: wrote " +
+        std::to_string(dtd.elements.size()) + ", re-parsed " +
+        std::to_string(reparsed->elements.size()));
+  }
+  for (const auto& [symbol, model] : dtd.elements) {
+    std::string element_name = alphabet.Name(symbol);
+    Symbol reparsed_symbol = reparsed_alphabet.Find(element_name);
+    auto it = reparsed_symbol == kInvalidSymbol
+                  ? reparsed->elements.end()
+                  : reparsed->elements.find(reparsed_symbol);
+    if (it == reparsed->elements.end()) {
+      return OracleResult::Fail("element '" + element_name +
+                                "' lost across the round trip");
+    }
+    const ContentModel& theirs = it->second;
+    if (theirs.kind != model.kind) {
+      return OracleResult::Fail("content kind of '" + element_name +
+                                "' changed across the round trip");
+    }
+    if (model.kind == ContentKind::kChildren) {
+      ReRef mapped = RemapSymbols(theirs.regex, back);
+      if (!StructurallyEqual(mapped, model.regex)) {
+        return OracleResult::Fail(
+            "content model of '" + element_name +
+            "' changed across the round trip: wrote " +
+            Render(model.regex, alphabet) + ", re-parsed " +
+            Render(mapped, alphabet));
+      }
+    } else if (model.kind == ContentKind::kMixed) {
+      std::vector<Symbol> ours = model.mixed_symbols;
+      std::vector<Symbol> mapped;
+      for (Symbol s : theirs.mixed_symbols) mapped.push_back(remap(s));
+      std::sort(ours.begin(), ours.end());
+      std::sort(mapped.begin(), mapped.end());
+      if (ours != mapped) {
+        return OracleResult::Fail("mixed-content symbols of '" +
+                                  element_name +
+                                  "' changed across the round trip");
+      }
+    }
+  }
+  for (const auto& [symbol, defs] : dtd.attributes) {
+    if (defs.empty()) continue;
+    std::string element_name = alphabet.Name(symbol);
+    Symbol reparsed_symbol = reparsed_alphabet.Find(element_name);
+    auto it = reparsed_symbol == kInvalidSymbol
+                  ? reparsed->attributes.end()
+                  : reparsed->attributes.find(reparsed_symbol);
+    if (it == reparsed->attributes.end() ||
+        it->second.size() != defs.size()) {
+      return OracleResult::Fail("attribute list of '" + element_name +
+                                "' changed across the round trip");
+    }
+    for (size_t i = 0; i < defs.size(); ++i) {
+      const Dtd::AttributeDef& ours = defs[i];
+      const Dtd::AttributeDef& theirs = it->second[i];
+      if (ours.name != theirs.name || ours.type != theirs.type ||
+          ours.default_decl != theirs.default_decl) {
+        return OracleResult::Fail("attribute '" + ours.name + "' of '" +
+                                  element_name +
+                                  "' changed across the round trip");
+      }
+    }
+  }
+  return OracleResult::Pass();
+}
+
+namespace {
+
+OracleResult CompareSoas(const Soa& a, const Soa& b,
+                         const Alphabet& alphabet,
+                         const std::string& element_name) {
+  if (!a.Equals(b)) {
+    return OracleResult::Fail("SOA structure of '" + element_name +
+                              "' differs:\n" + a.ToString(alphabet) +
+                              "vs\n" + b.ToString(alphabet));
+  }
+  // Structures agree; compare supports by symbol label so state
+  // numbering (which depends on fold/merge order) does not matter.
+  for (int q = 0; q < a.NumStates(); ++q) {
+    Symbol label = a.LabelOf(q);
+    int p = b.StateOf(label);
+    std::string state_name = alphabet.Name(label);
+    if (a.StateSupport(q) != b.StateSupport(p)) {
+      return OracleResult::Fail("SOA state support of '" + state_name +
+                                "' in '" + element_name + "' differs: " +
+                                std::to_string(a.StateSupport(q)) + " vs " +
+                                std::to_string(b.StateSupport(p)));
+    }
+    if (a.InitialSupport(q) != b.InitialSupport(p)) {
+      return OracleResult::Fail("SOA initial support of '" + state_name +
+                                "' in '" + element_name + "' differs");
+    }
+    if (a.FinalSupport(q) != b.FinalSupport(p)) {
+      return OracleResult::Fail("SOA final support of '" + state_name +
+                                "' in '" + element_name + "' differs");
+    }
+    for (int to : a.Successors(q)) {
+      int to_b = b.StateOf(a.LabelOf(to));
+      if (a.EdgeSupport(q, to) != b.EdgeSupport(p, to_b)) {
+        return OracleResult::Fail(
+            "SOA edge support " + state_name + "→" +
+            alphabet.Name(a.LabelOf(to)) + " in '" + element_name +
+            "' differs: " + std::to_string(a.EdgeSupport(q, to)) + " vs " +
+            std::to_string(b.EdgeSupport(p, to_b)));
+      }
+    }
+  }
+  if (a.empty_support() != b.empty_support()) {
+    return OracleResult::Fail("SOA empty-word support of '" + element_name +
+                              "' differs");
+  }
+  return OracleResult::Pass();
+}
+
+}  // namespace
+
+OracleResult CheckSummaryEquivalence(const SummaryStore& a,
+                                     const SummaryStore& b,
+                                     const Alphabet& alphabet) {
+  if (a.root_counts() != b.root_counts()) {
+    return OracleResult::Fail("root counts differ");
+  }
+  for (Symbol s = 0; s < alphabet.size(); ++s) {
+    if (a.SeenAsChild(s) != b.SeenAsChild(s)) {
+      return OracleResult::Fail("seen-as-child mark of '" +
+                                alphabet.Name(s) + "' differs");
+    }
+  }
+  if (a.elements().size() != b.elements().size()) {
+    return OracleResult::Fail("element sets differ in size: " +
+                              std::to_string(a.elements().size()) + " vs " +
+                              std::to_string(b.elements().size()));
+  }
+  for (const auto& [symbol, ours] : a.elements()) {
+    std::string element_name = alphabet.Name(symbol);
+    const ElementSummary* theirs = b.Find(symbol);
+    if (theirs == nullptr) {
+      return OracleResult::Fail("element '" + element_name +
+                                "' missing from one store");
+    }
+    if (ours.occurrences != theirs->occurrences) {
+      return OracleResult::Fail(
+          "occurrences of '" + element_name + "' differ: " +
+          std::to_string(ours.occurrences) + " vs " +
+          std::to_string(theirs->occurrences));
+    }
+    if (ours.has_text != theirs->has_text) {
+      return OracleResult::Fail("has_text of '" + element_name +
+                                "' differs");
+    }
+    if (ours.attribute_counts != theirs->attribute_counts) {
+      return OracleResult::Fail("attribute counts of '" + element_name +
+                                "' differ");
+    }
+    OracleResult soa =
+        CompareSoas(ours.soa, theirs->soa, alphabet, element_name);
+    if (!soa.passed) return soa;
+    if (ours.crx.edges() != theirs->crx.edges() ||
+        ours.crx.histograms() != theirs->crx.histograms() ||
+        ours.crx.empty_count() != theirs->crx.empty_count() ||
+        ours.crx.num_words() != theirs->crx.num_words()) {
+      return OracleResult::Fail("CRX summaries of '" + element_name +
+                                "' differ");
+    }
+    if (ours.words_overflowed != theirs->words_overflowed) {
+      return OracleResult::Fail("reservoir overflow flag of '" +
+                                element_name + "' differs");
+    }
+    if (ours.words_complete != theirs->words_complete) {
+      return OracleResult::Fail("reservoir completeness flag of '" +
+                                element_name + "' differs");
+    }
+    if (!ours.words_overflowed &&
+        ours.retained_words != theirs->retained_words) {
+      return OracleResult::Fail("word reservoirs of '" + element_name +
+                                "' differ");
+    }
+  }
+  return OracleResult::Pass();
+}
+
+namespace {
+
+/// Folds one shard of child words for `element` into a fresh store.
+SummaryStore FoldShard(const std::vector<Word>& words, Symbol element,
+                       const SummaryLimits& limits) {
+  SummaryStore store(limits);
+  ElementSummary& summary = store.Ensure(element);
+  for (const Word& word : words) {
+    summary.AddChildWord(word, 1, limits);
+    summary.occurrences += 1;
+    for (Symbol child : word) store.MarkSeenAsChild(child);
+  }
+  store.AddRoot(element, static_cast<int64_t>(words.size()));
+  return store;
+}
+
+std::vector<Symbol> IdentityRemap(const Alphabet& alphabet) {
+  std::vector<Symbol> remap(alphabet.size());
+  for (Symbol s = 0; s < alphabet.size(); ++s) remap[s] = s;
+  return remap;
+}
+
+}  // namespace
+
+OracleResult CheckMergeLaws(const std::vector<std::vector<Word>>& shards,
+                            Symbol element, const Alphabet& alphabet,
+                            const SummaryLimits& limits) {
+  std::vector<Word> all;
+  for (const std::vector<Word>& shard : shards) {
+    all.insert(all.end(), shard.begin(), shard.end());
+  }
+  SummaryStore sequential = FoldShard(all, element, limits);
+  std::vector<Symbol> remap = IdentityRemap(alphabet);
+
+  // Left fold: ((s0 ⊕ s1) ⊕ s2) ⊕ ...
+  SummaryStore left(limits);
+  for (const std::vector<Word>& shard : shards) {
+    SummaryStore store = FoldShard(shard, element, limits);
+    left.MergeFrom(store, remap);
+  }
+  OracleResult check = CheckSummaryEquivalence(sequential, left, alphabet);
+  if (!check.passed) {
+    return OracleResult::Fail("left-fold merge != sequential fold: " +
+                              check.detail);
+  }
+
+  // Right fold: s0 ⊕ (s1 ⊕ (s2 ⊕ ...)) — associativity.
+  SummaryStore right(limits);
+  for (size_t i = shards.size(); i > 0; --i) {
+    SummaryStore store = FoldShard(shards[i - 1], element, limits);
+    store.MergeFrom(right, remap);
+    right = std::move(store);
+  }
+  check = CheckSummaryEquivalence(sequential, right, alphabet);
+  if (!check.passed) {
+    return OracleResult::Fail("right-fold merge != sequential fold: " +
+                              check.detail);
+  }
+
+  // Reversed shard order — commutativity.
+  SummaryStore reversed(limits);
+  for (size_t i = shards.size(); i > 0; --i) {
+    SummaryStore store = FoldShard(shards[i - 1], element, limits);
+    reversed.MergeFrom(store, remap);
+  }
+  check = CheckSummaryEquivalence(sequential, reversed, alphabet);
+  if (!check.passed) {
+    return OracleResult::Fail("commuted merge != sequential fold: " +
+                              check.detail);
+  }
+  return OracleResult::Pass();
+}
+
+OracleResult CheckIngestionEquivalence(
+    const std::vector<std::string>& documents,
+    const InferenceOptions& options, int jobs) {
+  // DOM path.
+  InferenceOptions dom_options = options;
+  dom_options.streaming_ingest = false;
+  DtdInferrer dom(dom_options);
+  for (const std::string& doc : documents) {
+    Status st = dom.AddXml(doc);
+    if (!st.ok()) {
+      return OracleResult::Fail("DOM ingestion failed: " + st.ToString());
+    }
+  }
+  Result<Dtd> dom_dtd = dom.InferDtd();
+  if (!dom_dtd.ok()) {
+    return OracleResult::Fail("DOM inference failed: " +
+                              dom_dtd.status().ToString());
+  }
+  std::string dom_text = WriteDtd(dom_dtd.value(), *dom.alphabet());
+
+  // Streaming SAX fold with cross-document word deduplication.
+  DtdInferrer streaming(options);
+  {
+    StreamingFolder folder(&streaming);
+    for (const std::string& doc : documents) {
+      Status st = folder.AddXml(doc);
+      if (!st.ok()) {
+        return OracleResult::Fail("streaming ingestion failed: " +
+                                  st.ToString());
+      }
+    }
+  }
+  Result<Dtd> streaming_dtd = streaming.InferDtd();
+  if (!streaming_dtd.ok()) {
+    return OracleResult::Fail("streaming inference failed: " +
+                              streaming_dtd.status().ToString());
+  }
+  std::string streaming_text =
+      WriteDtd(streaming_dtd.value(), *streaming.alphabet());
+  if (streaming_text != dom_text) {
+    return OracleResult::Fail("streaming DTD differs from DOM DTD:\n" +
+                              streaming_text + "vs\n" + dom_text);
+  }
+
+  // Sharded parallel ingestion.
+  ParallelDtdInferrer parallel(options, jobs);
+  for (const std::string& doc : documents) parallel.AddXml(doc);
+  Result<Dtd> parallel_dtd = parallel.InferDtd();
+  if (!parallel_dtd.ok()) {
+    return OracleResult::Fail("parallel inference failed: " +
+                              parallel_dtd.status().ToString());
+  }
+  std::string parallel_text =
+      WriteDtd(parallel_dtd.value(), *parallel.merged()->alphabet());
+  if (parallel_text != dom_text) {
+    return OracleResult::Fail("parallel (jobs=" + std::to_string(jobs) +
+                              ") DTD differs from DOM DTD:\n" +
+                              parallel_text + "vs\n" + dom_text);
+  }
+  return OracleResult::Pass();
+}
+
+}  // namespace condtd

@@ -1,0 +1,98 @@
+#ifndef CONDTD_CHECK_ORACLES_H_
+#define CONDTD_CHECK_ORACLES_H_
+
+#include <string>
+#include <vector>
+
+#include "alphabet/alphabet.h"
+#include "automaton/soa.h"
+#include "dtd/model.h"
+#include "infer/inferrer.h"
+#include "infer/summary.h"
+#include "regex/ast.h"
+
+namespace condtd {
+
+/// Outcome of one conformance oracle: pass, or fail with a
+/// human-readable witness (counterexample word, mismatching field, ...).
+/// Oracles are the reusable invariant checks behind the property-test
+/// harness (tests/property_test.cc) and are deliberately independent of
+/// any test framework so experiments and tools can call them too.
+struct OracleResult {
+  bool passed = true;
+  std::string detail;
+
+  static OracleResult Pass() { return {}; }
+  static OracleResult Fail(std::string detail) {
+    return {false, std::move(detail)};
+  }
+};
+
+/// Every sample word must be accepted by the inferred expression — the
+/// common soundness guarantee of all learners (Theorems 2 and 3: the
+/// inferred expression's language contains the sample).
+OracleResult CheckSampleInclusion(const ReRef& inferred,
+                                  const std::vector<Word>& sample,
+                                  const Alphabet& alphabet);
+
+/// The XML specification requires content models to be one-unambiguous
+/// (Brüggemann-Klein & Wood determinism); every SORE is deterministic by
+/// construction (Section 1.2).
+OracleResult CheckDeterminism(const ReRef& re, const Alphabet& alphabet);
+
+/// Syntactic class checks (Section 1.2 definitions).
+OracleResult CheckSoreValidity(const ReRef& re, const Alphabet& alphabet);
+OracleResult CheckChareValidity(const ReRef& re, const Alphabet& alphabet);
+
+/// Exact language containment L(sub) ⊆ L(super) with a shortest
+/// counterexample word on failure (the Theorem 2 guarantee, checked at
+/// the language level).
+OracleResult CheckLanguageInclusion(const ReRef& sub, const ReRef& super,
+                                    const Alphabet& alphabet);
+
+/// Exact language equality with a shortest distinguishing word on
+/// failure.
+OracleResult CheckLanguageEquivalence(const ReRef& a, const ReRef& b,
+                                      const Alphabet& alphabet);
+
+/// Theorem 1: rewriting a SORE-definable SOA yields an expression with
+/// exactly the SOA's language. Checked as L(re) = L(soa) via the DFA
+/// product, with a shortest distinguishing word on failure.
+OracleResult CheckSoaEquivalence(const ReRef& re, const Soa& soa,
+                                 const Alphabet& alphabet);
+
+/// Write → parse round trip: serializing `dtd` with WriteDtd and
+/// re-parsing the text must reproduce the root, every content model
+/// (structurally, up to commutativity of |) and every attribute list.
+OracleResult CheckDtdRoundTrip(const Dtd& dtd, const Alphabet& alphabet);
+
+/// Semantic equality of two summary stores built over the SAME alphabet:
+/// root counts, seen-as-child marks, and per element the occurrence and
+/// attribute counts, the SOA (structure and supports, compared by symbol
+/// label so state numbering does not matter), the CRX summaries and the
+/// word reservoir. Text samples are excluded — which capped samples are
+/// retained is documented to depend on fold order. Word reservoirs are
+/// compared only when neither side overflowed (an overflowed reservoir's
+/// content is arrival-order dependent and learners refuse it anyway).
+OracleResult CheckSummaryEquivalence(const SummaryStore& a,
+                                     const SummaryStore& b,
+                                     const Alphabet& alphabet);
+
+/// Merge-algebra laws of Section 9's incremental computation: folding
+/// `shards` of child words for `element` shard-by-shard and merging the
+/// stores — left fold, right fold, and reversed (commuted) order — must
+/// all agree with the sequential fold of the concatenated shards.
+OracleResult CheckMergeLaws(const std::vector<std::vector<Word>>& shards,
+                            Symbol element, const Alphabet& alphabet,
+                            const SummaryLimits& limits);
+
+/// Ingestion-path equivalence: the DOM path (DtdInferrer::AddXml), the
+/// streaming SAX fold and the sharded ParallelDtdInferrer with `jobs`
+/// threads must produce byte-identical DTDs for the same documents.
+OracleResult CheckIngestionEquivalence(
+    const std::vector<std::string>& documents,
+    const InferenceOptions& options, int jobs);
+
+}  // namespace condtd
+
+#endif  // CONDTD_CHECK_ORACLES_H_

@@ -1,0 +1,431 @@
+#include "check/property.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "base/rng.h"
+#include "gen/random_dtd.h"
+#include "gen/random_regex.h"
+#include "gen/regex_sampler.h"
+#include "gen/representative.h"
+#include "gen/xml_gen.h"
+#include "learn/learner.h"
+#include "xml/dom.h"
+
+namespace condtd {
+
+uint64_t InstanceSeed(uint64_t base, int instance) {
+  if (instance == 0) return base;
+  // splitmix64 of base + i, so instance streams are independent while
+  // instance 0 reproduces a printed seed verbatim.
+  uint64_t z = base + static_cast<uint64_t>(instance) * 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+uint64_t SeedFromEnv(uint64_t fallback) {
+  const char* env = std::getenv("CONDTD_PROPERTY_SEED");
+  if (env == nullptr || *env == '\0') return fallback;
+  uint64_t value = 0;
+  for (const char* p = env; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return fallback;
+    value = value * 10 + static_cast<uint64_t>(*p - '0');
+  }
+  return value;
+}
+
+std::string ReproLine(const PropertyFailure& failure) {
+  return "reproduce with: CONDTD_PROPERTY_SEED=" +
+         std::to_string(failure.seed) + " (learner=" + failure.learner +
+         ", oracle=" + failure.oracle + ")";
+}
+
+std::string FailureToString(const PropertyFailure& failure) {
+  std::string out = "property failure: learner=" + failure.learner +
+                    " instance=" + std::to_string(failure.instance) +
+                    " oracle=" + failure.oracle + "\n  " + failure.detail +
+                    "\n  target: " + failure.target + "\n  sample (" +
+                    std::to_string(failure.sample.size()) + " words):";
+  for (const std::string& word : failure.sample) {
+    out += "\n    '" + word + "'";
+  }
+  out += "\n  " + ReproLine(failure);
+  return out;
+}
+
+namespace {
+
+/// One derived trial: a random SORE/CHARE target over a fresh alphabet
+/// plus a sample of L(target). `covering` samples include the full
+/// representative word set (Section 4), so 2T-INF recovers the target's
+/// SOA exactly and the equivalence theorems apply; non-covering samples
+/// drop part of it, exercising the repair/generalization paths.
+struct TrialCase {
+  Alphabet alphabet;
+  ReRef target;
+  std::vector<Word> sample;
+  bool covering = false;
+};
+
+TrialCase MakeTrial(uint64_t seed, const PropertyOptions& options) {
+  Rng rng(seed);
+  TrialCase trial;
+  int span = options.max_symbols - options.min_symbols + 1;
+  int num_symbols =
+      options.min_symbols +
+      static_cast<int>(rng.NextBelow(static_cast<uint64_t>(span)));
+  for (int i = 0; i < num_symbols; ++i) {
+    trial.alphabet.Intern(std::string(1, static_cast<char>('a' + i)));
+  }
+  trial.target = rng.Bernoulli(0.25) ? RandomChare(num_symbols, &rng)
+                                     : RandomSore(num_symbols, &rng);
+  trial.covering = rng.Bernoulli(0.5);
+  std::vector<Word> representative = RepresentativeSample(trial.target);
+  if (trial.covering) {
+    trial.sample = representative;
+  } else {
+    for (const Word& word : representative) {
+      if (rng.Bernoulli(0.5)) trial.sample.push_back(word);
+    }
+  }
+  std::vector<Word> extra =
+      SampleWords(trial.target, options.extra_words, &rng);
+  trial.sample.insert(trial.sample.end(), extra.begin(), extra.end());
+  // Engine contract: learners only ever see elements with at least one
+  // non-trivial child word. A representative sample of a target with
+  // >= 1 symbol always contains one.
+  bool has_nonempty = false;
+  for (const Word& word : trial.sample) {
+    if (!word.empty()) has_nonempty = true;
+  }
+  if (!has_nonempty) {
+    for (const Word& word : representative) {
+      if (!word.empty()) {
+        trial.sample.push_back(word);
+        break;
+      }
+    }
+  }
+  return trial;
+}
+
+/// Reservoir capacity used when the learner consumes full words. Larger
+/// than any generated sample, so overflow never masks a property.
+constexpr int kReservoirCapacity = 4096;
+
+ElementSummary BuildSummary(const std::vector<Word>& sample,
+                            bool with_reservoir) {
+  SummaryLimits limits;
+  limits.max_retained_words = with_reservoir ? kReservoirCapacity : 0;
+  ElementSummary summary;
+  summary.words_complete = with_reservoir;
+  for (const Word& word : sample) {
+    summary.AddChildWord(word, 1, limits);
+    summary.occurrences += 1;
+  }
+  return summary;
+}
+
+/// Identifier-keyed dispatch over the sample-monotone oracles, shared by
+/// the first check and the shrinker (which must re-establish the SAME
+/// violation on every reduced sample).
+OracleResult CheckShrinkable(const std::string& oracle, const ReRef& result,
+                             const std::vector<Word>& sample,
+                             const ElementSummary& summary,
+                             const Alphabet& alphabet) {
+  if (oracle == "sample-inclusion") {
+    return CheckSampleInclusion(result, sample, alphabet);
+  }
+  if (oracle == "determinism") return CheckDeterminism(result, alphabet);
+  if (oracle == "sore-validity") return CheckSoreValidity(result, alphabet);
+  if (oracle == "chare-validity") {
+    return CheckChareValidity(result, alphabet);
+  }
+  if (oracle == "soa-equivalence") {
+    return CheckSoaEquivalence(result, summary.soa, alphabet);
+  }
+  return OracleResult::Pass();
+}
+
+/// Greedy word-removal shrinking: drop one sample word at a time as long
+/// as the learner still succeeds and the same oracle still fails.
+/// `budget` bounds learner re-runs. The engine contract (>= 1 non-empty
+/// word) is preserved.
+std::vector<Word> ShrinkSample(const Learner& learner,
+                               const LearnOptions& learn_options,
+                               const std::string& oracle,
+                               std::vector<Word> sample,
+                               const Alphabet& alphabet, int budget) {
+  bool reservoir = learner.needs_full_words();
+  bool changed = true;
+  while (changed && budget > 0) {
+    changed = false;
+    for (size_t i = 0; i < sample.size() && budget > 0; ++i) {
+      std::vector<Word> reduced = sample;
+      reduced.erase(reduced.begin() + static_cast<ptrdiff_t>(i));
+      bool has_nonempty = false;
+      for (const Word& word : reduced) {
+        if (!word.empty()) has_nonempty = true;
+      }
+      if (!has_nonempty) continue;
+      ElementSummary summary = BuildSummary(reduced, reservoir);
+      --budget;
+      Result<ReRef> result = learner.Learn(summary, learn_options);
+      if (!result.ok()) continue;
+      if (CheckShrinkable(oracle, result.value(), reduced, summary,
+                          alphabet)
+              .passed) {
+        continue;
+      }
+      sample = std::move(reduced);
+      changed = true;
+      --i;
+    }
+  }
+  return sample;
+}
+
+std::vector<std::string> RenderSample(const std::vector<Word>& sample,
+                                      const Alphabet& alphabet) {
+  std::vector<std::string> out;
+  out.reserve(sample.size());
+  for (const Word& word : sample) {
+    out.push_back(alphabet.WordToString(word));
+  }
+  return out;
+}
+
+PropertyFailure MakeFailure(const std::string& learner, int instance,
+                            uint64_t seed, std::string oracle,
+                            std::string detail, const TrialCase& trial,
+                            const std::vector<Word>& sample) {
+  PropertyFailure failure;
+  failure.learner = learner;
+  failure.instance = instance;
+  failure.seed = seed;
+  failure.oracle = std::move(oracle);
+  failure.detail = std::move(detail);
+  failure.target =
+      ToString(trial.target, trial.alphabet, PrintStyle::kParseable);
+  failure.sample = RenderSample(sample, trial.alphabet);
+  return failure;
+}
+
+}  // namespace
+
+std::vector<PropertyFailure> RunLearnerProperty(
+    std::string_view learner_name, const PropertyOptions& options) {
+  std::vector<PropertyFailure> failures;
+  const Learner* learner = LearnerRegistry::Global().Find(learner_name);
+  std::string name(learner_name);
+  if (learner == nullptr) {
+    PropertyFailure failure;
+    failure.learner = name;
+    failure.oracle = "registry";
+    failure.detail = "learner '" + name + "' is not registered";
+    failures.push_back(std::move(failure));
+    return failures;
+  }
+  LearnOptions learn_options;
+  bool checks_determinism =
+      name == "idtd" || name == "rewrite" || name == "crx" || name == "auto";
+  bool checks_sore = name == "idtd" || name == "rewrite";
+  bool checks_chare = name == "crx";
+  bool checks_soa = name == "rewrite";
+  bool checks_covering_equivalence = name == "idtd" || name == "rewrite";
+
+  for (int i = 0; i < options.instances; ++i) {
+    uint64_t seed = InstanceSeed(options.seed, i);
+    TrialCase trial = MakeTrial(seed, options);
+    ElementSummary summary =
+        BuildSummary(trial.sample, learner->needs_full_words());
+    Result<ReRef> result = learner->Learn(summary, learn_options);
+    if (!result.ok()) {
+      StatusCode code = result.status().code();
+      bool acceptable =
+          (name == "rewrite" && code == StatusCode::kNoEquivalentSore &&
+           !trial.covering) ||
+          (name == "xtract" && code == StatusCode::kResourceExhausted);
+      if (!acceptable) {
+        failures.push_back(MakeFailure(
+            name, i, seed, "learner-error",
+            (trial.covering ? "failed on a covering sample: "
+                            : "failed: ") +
+                result.status().ToString(),
+            trial, trial.sample));
+      }
+      continue;
+    }
+    const ReRef& inferred = result.value();
+
+    std::string violated;
+    OracleResult check = CheckSampleInclusion(inferred, trial.sample,
+                                              trial.alphabet);
+    if (!check.passed) {
+      violated = "sample-inclusion";
+    } else if (checks_determinism &&
+               !(check = CheckDeterminism(inferred, trial.alphabet))
+                    .passed) {
+      violated = "determinism";
+    } else if (checks_sore &&
+               !(check = CheckSoreValidity(inferred, trial.alphabet))
+                    .passed) {
+      violated = "sore-validity";
+    } else if (checks_chare &&
+               !(check = CheckChareValidity(inferred, trial.alphabet))
+                    .passed) {
+      violated = "chare-validity";
+    } else if (checks_soa &&
+               !(check = CheckSoaEquivalence(inferred, summary.soa,
+                                             trial.alphabet))
+                    .passed) {
+      violated = "soa-equivalence";
+    }
+    if (!violated.empty()) {
+      std::vector<Word> shrunk =
+          ShrinkSample(*learner, learn_options, violated, trial.sample,
+                       trial.alphabet, options.shrink_budget);
+      failures.push_back(MakeFailure(name, i, seed, violated, check.detail,
+                                     trial, shrunk));
+      continue;
+    }
+
+    // Covering samples pin the SOA to the target's (Section 4), so the
+    // equivalence theorems apply; removing words breaks the
+    // precondition, so these failures are reported unshrunk.
+    if (trial.covering && checks_covering_equivalence) {
+      check =
+          CheckLanguageEquivalence(inferred, trial.target, trial.alphabet);
+      if (!check.passed) {
+        failures.push_back(MakeFailure(name, i, seed,
+                                       "covering-equivalence", check.detail,
+                                       trial, trial.sample));
+      }
+    }
+  }
+  return failures;
+}
+
+std::vector<PropertyFailure> RunMergeLawProperty(
+    const PropertyOptions& options) {
+  std::vector<PropertyFailure> failures;
+  for (int i = 0; i < options.instances; ++i) {
+    uint64_t seed = InstanceSeed(options.seed, i);
+    TrialCase trial = MakeTrial(seed, options);
+    Rng rng(seed ^ 0xA5A5A5A5A5A5A5A5ull);
+    Symbol element = trial.alphabet.Intern("elem");
+    int num_shards = 2 + static_cast<int>(rng.NextBelow(3));
+    std::vector<std::vector<Word>> shards(
+        static_cast<size_t>(num_shards));
+    for (const Word& word : trial.sample) {
+      shards[rng.NextBelow(static_cast<uint64_t>(num_shards))].push_back(
+          word);
+    }
+    SummaryLimits limits;
+    // Alternate reservoir-off / small-reservoir (exercises the overflow
+    // flag's merge-order invariance).
+    limits.max_retained_words = rng.Bernoulli(0.5) ? 0 : 8;
+    OracleResult check =
+        CheckMergeLaws(shards, element, trial.alphabet, limits);
+    if (!check.passed) {
+      failures.push_back(MakeFailure("merge-laws", i, seed, "merge-laws",
+                                     check.detail, trial, trial.sample));
+    }
+  }
+  return failures;
+}
+
+std::vector<PropertyFailure> RunIngestionProperty(
+    const PropertyOptions& options) {
+  std::vector<PropertyFailure> failures;
+  for (int i = 0; i < options.instances; ++i) {
+    uint64_t seed = InstanceSeed(options.seed, i);
+    Rng rng(seed);
+    Alphabet alphabet;
+    RandomDtdOptions dtd_options;
+    dtd_options.num_elements =
+        3 + static_cast<int>(rng.NextBelow(5));
+    Dtd dtd = RandomDtd(&alphabet, &rng, dtd_options);
+    int num_docs = 3 + static_cast<int>(rng.NextBelow(6));
+    std::vector<std::string> documents;
+    for (int d = 0; d < num_docs; ++d) {
+      Result<XmlDocument> doc = GenerateDocument(dtd, alphabet, &rng);
+      if (!doc.ok()) break;
+      documents.push_back(doc->ToXml());
+    }
+    if (static_cast<int>(documents.size()) != num_docs) {
+      PropertyFailure failure;
+      failure.learner = "ingestion";
+      failure.instance = i;
+      failure.seed = seed;
+      failure.oracle = "generation";
+      failure.detail = "document generation failed for the random DTD";
+      failures.push_back(std::move(failure));
+      continue;
+    }
+    int jobs = 2 + static_cast<int>(rng.NextBelow(3));
+    OracleResult check =
+        CheckIngestionEquivalence(documents, InferenceOptions{}, jobs);
+    if (!check.passed) {
+      PropertyFailure failure;
+      failure.learner = "ingestion";
+      failure.instance = i;
+      failure.seed = seed;
+      failure.oracle = "ingestion-equivalence";
+      failure.detail = check.detail;
+      failure.sample = documents;
+      failures.push_back(std::move(failure));
+    }
+  }
+  return failures;
+}
+
+std::vector<PropertyFailure> RunRoundTripProperty(
+    const PropertyOptions& options) {
+  std::vector<PropertyFailure> failures;
+  for (int i = 0; i < options.instances; ++i) {
+    uint64_t seed = InstanceSeed(options.seed, i);
+    Rng rng(seed);
+    Alphabet alphabet;
+    RandomDtdOptions dtd_options;
+    dtd_options.num_elements =
+        3 + static_cast<int>(rng.NextBelow(6));
+    Dtd dtd = RandomDtd(&alphabet, &rng, dtd_options);
+    // Sprinkle attribute lists over the elements so <!ATTLIST> round
+    // trips are exercised too.
+    for (const auto& [symbol, model] : dtd.elements) {
+      if (!rng.Bernoulli(0.3)) continue;
+      Dtd::AttributeDef def;
+      def.name = "id";
+      switch (rng.NextBelow(3)) {
+        case 0:
+          def.type = "CDATA";
+          def.default_decl = "#IMPLIED";
+          break;
+        case 1:
+          def.type = "ID";
+          def.default_decl = "#REQUIRED";
+          break;
+        default:
+          def.type = "(on|off)";
+          def.default_decl = "\"off\"";
+          break;
+      }
+      dtd.attributes[symbol].push_back(std::move(def));
+    }
+    OracleResult check = CheckDtdRoundTrip(dtd, alphabet);
+    if (!check.passed) {
+      PropertyFailure failure;
+      failure.learner = "round-trip";
+      failure.instance = i;
+      failure.seed = seed;
+      failure.oracle = "dtd-round-trip";
+      failure.detail = check.detail;
+      failures.push_back(std::move(failure));
+    }
+  }
+  return failures;
+}
+
+}  // namespace condtd

@@ -15,6 +15,11 @@ bool IsDtdNameChar(char c) {
          c == ':' || c == '-' || c == '.';
 }
 
+/// Nesting bound for the recursive-descent content-model parser: far
+/// beyond any real DTD, small enough that adversarial ((((...)))) input
+/// errors out instead of overflowing the stack.
+constexpr int kMaxModelDepth = 200;
+
 /// Recursive-descent parser for children content models.
 class ModelParser {
  public:
@@ -45,23 +50,29 @@ class ModelParser {
     return pos_ < text_.size() ? text_[pos_] : '\0';
   }
 
-  ReRef ApplyPostfix(ReRef re) {
+  Result<ReRef> ApplyPostfix(ReRef re) {
     // Postfix operators attach without intervening whitespace per the
-    // XML spec, but we are permissive and skip whitespace.
+    // XML spec, but we are permissive and skip whitespace. Stacked
+    // operators are bounded: they build one AST level each, so an
+    // unbounded a???????... run would recurse arbitrarily deep in every
+    // downstream tree traversal.
+    int stacked = 0;
     while (true) {
       char c = Peek();
+      if (c != '?' && c != '*' && c != '+') return re;
+      if (++stacked > 32) {
+        return Status::ParseError("more than 32 stacked postfix "
+                                  "operators in content model '" +
+                                  std::string(text_) + "'");
+      }
       if (c == '?') {
         re = Re::Opt(re);
-        ++pos_;
       } else if (c == '*') {
         re = Re::Star(re);
-        ++pos_;
-      } else if (c == '+') {
-        re = Re::Plus(re);
-        ++pos_;
       } else {
-        return re;
+        re = Re::Plus(re);
       }
+      ++pos_;
     }
   }
 
@@ -69,8 +80,15 @@ class ModelParser {
     char c = Peek();
     ReRef item;
     if (c == '(') {
+      if (++depth_ > kMaxModelDepth) {
+        return Status::ParseError("content model '" + std::string(text_) +
+                                  "' is nested deeper than " +
+                                  std::to_string(kMaxModelDepth) +
+                                  " levels");
+      }
       ++pos_;
       Result<ReRef> group = ParseGroup();
+      --depth_;
       if (!group.ok()) return group;
       item = group.value();
     } else if (IsDtdNameChar(c)) {
@@ -121,6 +139,7 @@ class ModelParser {
   std::string_view text_;
   Alphabet* alphabet_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

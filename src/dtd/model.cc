@@ -31,9 +31,11 @@ void PrintDtd(const ReRef& re, const Alphabet& alphabet, int min_prec,
       }
       break;
     case ReKind::kDisj:
+      // The DTD grammar forbids mixing ',' and '|' at one level, so a
+      // sequence alternative must be parenthesized (prec 2, not 1).
       for (size_t i = 0; i < re->children().size(); ++i) {
         if (i > 0) *out += " | ";
-        PrintDtd(re->children()[i], alphabet, 1, out);
+        PrintDtd(re->children()[i], alphabet, 2, out);
       }
       break;
     case ReKind::kPlus:

@@ -1,7 +1,7 @@
 #include "infer/summary.h"
 
 #include <algorithm>
-#include <cstdlib>
+#include <cstdint>
 #include <utility>
 
 #include "automaton/two_t_inf.h"
@@ -258,14 +258,37 @@ Status SummaryStore::Load(std::string_view serialized, Alphabet* alphabet) {
                                       ": expected " + std::to_string(n) +
                                       " fields");
     };
+    // Counts and supports are untrusted input: they must be genuine
+    // non-negative integers (std::atoll would silently accept junk and
+    // hit undefined behavior on out-of-range digits).
+    auto count64 = [&](const std::string& field, int64_t* out) {
+      if (!ParseInt64(field, out) || *out < 0) {
+        return Status::ParseError("state line " + std::to_string(i + 1) +
+                                  ": '" + field +
+                                  "' is not a non-negative count");
+      }
+      return Status::OK();
+    };
+    auto count32 = [&](const std::string& field, int32_t* out) {
+      int64_t wide;
+      CONDTD_RETURN_IF_ERROR(count64(field, &wide));
+      if (wide > INT32_MAX) {
+        return Status::ParseError("state line " + std::to_string(i + 1) +
+                                  ": support '" + field +
+                                  "' exceeds the 32-bit range");
+      }
+      *out = static_cast<int32_t>(wide);
+      return Status::OK();
+    };
     if (tag == "end") {
       saw_end = true;
       break;
     }
     if (tag == "root") {
       CONDTD_RETURN_IF_ERROR(require(3));
-      root_counts_[alphabet->Intern(fields[1])] +=
-          std::atoll(fields[2].c_str());
+      int64_t count;
+      CONDTD_RETURN_IF_ERROR(count64(fields[2], &count));
+      root_counts_[alphabet->Intern(fields[1])] += count;
       continue;
     }
     if (tag == "child") {
@@ -275,8 +298,10 @@ Status SummaryStore::Load(std::string_view serialized, Alphabet* alphabet) {
     }
     if (tag == "element") {
       CONDTD_RETURN_IF_ERROR(require(4));
+      int64_t occurrences;
+      CONDTD_RETURN_IF_ERROR(count64(fields[2], &occurrences));
       current = &Ensure(alphabet->Intern(fields[1]));
-      current->occurrences += std::atoll(fields[2].c_str());
+      current->occurrences += occurrences;
       current->has_text = current->has_text || fields[3] == "1";
       // A version-1 file cannot carry the reservoir, so summaries loaded
       // from it can never satisfy a needs-full-words learner.
@@ -289,7 +314,9 @@ Status SummaryStore::Load(std::string_view serialized, Alphabet* alphabet) {
     }
     if (tag == "attr") {
       CONDTD_RETURN_IF_ERROR(require(3));
-      current->attribute_counts[fields[1]] += std::atoll(fields[2].c_str());
+      int64_t count;
+      CONDTD_RETURN_IF_ERROR(count64(fields[2], &count));
+      current->attribute_counts[fields[1]] += count;
     } else if (tag == "text") {
       CONDTD_RETURN_IF_ERROR(require(2));
       if (static_cast<int>(current->text_samples.size()) <
@@ -298,35 +325,44 @@ Status SummaryStore::Load(std::string_view serialized, Alphabet* alphabet) {
       }
     } else if (tag == "soa.state") {
       CONDTD_RETURN_IF_ERROR(require(3));
+      int32_t support;
+      CONDTD_RETURN_IF_ERROR(count32(fields[2], &support));
       int q = current->soa.AddState(alphabet->Intern(fields[1]));
-      current->soa.AddStateSupport(q, std::atoi(fields[2].c_str()));
+      current->soa.AddStateSupport(q, support);
     } else if (tag == "soa.init") {
       CONDTD_RETURN_IF_ERROR(require(3));
+      int32_t support;
+      CONDTD_RETURN_IF_ERROR(count32(fields[2], &support));
       current->soa.AddInitial(
-          current->soa.AddState(alphabet->Intern(fields[1])),
-          std::atoi(fields[2].c_str()));
+          current->soa.AddState(alphabet->Intern(fields[1])), support);
     } else if (tag == "soa.final") {
       CONDTD_RETURN_IF_ERROR(require(3));
+      int32_t support;
+      CONDTD_RETURN_IF_ERROR(count32(fields[2], &support));
       current->soa.AddFinal(
-          current->soa.AddState(alphabet->Intern(fields[1])),
-          std::atoi(fields[2].c_str()));
+          current->soa.AddState(alphabet->Intern(fields[1])), support);
     } else if (tag == "soa.edge") {
       CONDTD_RETURN_IF_ERROR(require(4));
+      int32_t support;
+      CONDTD_RETURN_IF_ERROR(count32(fields[3], &support));
       current->soa.AddEdge(
           current->soa.AddState(alphabet->Intern(fields[1])),
-          current->soa.AddState(alphabet->Intern(fields[2])),
-          std::atoi(fields[3].c_str()));
+          current->soa.AddState(alphabet->Intern(fields[2])), support);
     } else if (tag == "soa.empty") {
       CONDTD_RETURN_IF_ERROR(require(2));
+      int32_t support;
+      CONDTD_RETURN_IF_ERROR(count32(fields[1], &support));
       current->soa.set_accepts_empty(true);
-      current->soa.add_empty_support(std::atoi(fields[1].c_str()));
+      current->soa.add_empty_support(support);
     } else if (tag == "crx.edge") {
       CONDTD_RETURN_IF_ERROR(require(3));
       current->crx.RestoreEdge(alphabet->Intern(fields[1]),
                                alphabet->Intern(fields[2]));
     } else if (tag == "crx.empty") {
       CONDTD_RETURN_IF_ERROR(require(2));
-      current->crx.RestoreEmpty(std::atoll(fields[1].c_str()));
+      int64_t count;
+      CONDTD_RETURN_IF_ERROR(count64(fields[1], &count));
+      current->crx.RestoreEmpty(count);
     } else if (tag == "crx.hist") {
       if (fields.size() < 2) {
         return Status::ParseError("state line " + std::to_string(i + 1) +
@@ -339,13 +375,14 @@ Status SummaryStore::Load(std::string_view serialized, Alphabet* alphabet) {
           return Status::ParseError("state line " + std::to_string(i + 1) +
                                     ": malformed histogram entry");
         }
-        histogram.emplace_back(
-            alphabet->Intern(fields[f].substr(0, eq)),
-            std::atoi(fields[f].c_str() + eq + 1));
+        int32_t n;
+        CONDTD_RETURN_IF_ERROR(count32(fields[f].substr(eq + 1), &n));
+        histogram.emplace_back(alphabet->Intern(fields[f].substr(0, eq)), n);
       }
       std::sort(histogram.begin(), histogram.end());
-      current->crx.RestoreHistogram(histogram,
-                                    std::atoll(fields[1].c_str()));
+      int64_t hist_count;
+      CONDTD_RETURN_IF_ERROR(count64(fields[1], &hist_count));
+      current->crx.RestoreHistogram(histogram, hist_count);
     } else if (tag == "word") {
       if (limits_.max_retained_words > 0 && !current->words_overflowed) {
         Word word;

@@ -38,14 +38,14 @@ bool LanguageSubset(const ReRef& a, const ReRef& b) {
   return Dfa::IsSubset(CompileToDfa(a, n), CompileToDfa(b, n));
 }
 
-Result<Word> FindDistinguishingWord(const ReRef& a, const ReRef& b) {
-  int n = CommonAlphabetSize(a, b);
-  if (n == 0) n = 1;
-  return FindDistinguishingWordDfa(CompileToDfa(a, n),
-                                   CompileToDfa(b, n));
-}
+namespace {
 
-Result<Word> FindDistinguishingWordDfa(const Dfa& da, const Dfa& db) {
+/// BFS over the product of two DFAs for the nearest pair satisfying
+/// `is_witness(accept_a, accept_b)`; returns the word spelled to it.
+template <typename Predicate>
+Result<Word> FindProductWitness(const Dfa& da, const Dfa& db,
+                                Predicate is_witness,
+                                const char* not_found_message) {
   const int n = da.num_symbols();
   if (n != db.num_symbols()) {
     return Status::InvalidArgument(
@@ -61,7 +61,7 @@ Result<Word> FindDistinguishingWordDfa(const Dfa& da, const Dfa& db) {
   while (!pending.empty()) {
     auto pair = pending.front();
     pending.pop();
-    if (da.IsAccepting(pair.first) != db.IsAccepting(pair.second)) {
+    if (is_witness(da.IsAccepting(pair.first), db.IsAccepting(pair.second))) {
       Word word;
       std::pair<int, int> cur = pair;
       while (cur != start) {
@@ -81,7 +81,35 @@ Result<Word> FindDistinguishingWordDfa(const Dfa& da, const Dfa& db) {
       }
     }
   }
-  return Status::NotFound("languages are equal");
+  return Status::NotFound(not_found_message);
+}
+
+}  // namespace
+
+Result<Word> FindDistinguishingWord(const ReRef& a, const ReRef& b) {
+  int n = CommonAlphabetSize(a, b);
+  if (n == 0) n = 1;
+  return FindDistinguishingWordDfa(CompileToDfa(a, n),
+                                   CompileToDfa(b, n));
+}
+
+Result<Word> FindDistinguishingWordDfa(const Dfa& da, const Dfa& db) {
+  return FindProductWitness(
+      da, db, [](bool in_a, bool in_b) { return in_a != in_b; },
+      "languages are equal");
+}
+
+Result<Word> FindInclusionCounterexample(const ReRef& a, const ReRef& b) {
+  int n = CommonAlphabetSize(a, b);
+  if (n == 0) n = 1;
+  return FindInclusionCounterexampleDfa(CompileToDfa(a, n),
+                                        CompileToDfa(b, n));
+}
+
+Result<Word> FindInclusionCounterexampleDfa(const Dfa& da, const Dfa& db) {
+  return FindProductWitness(
+      da, db, [](bool in_a, bool in_b) { return in_a && !in_b; },
+      "language is included");
 }
 
 }  // namespace condtd

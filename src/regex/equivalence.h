@@ -26,6 +26,15 @@ Result<Word> FindDistinguishingWord(const ReRef& a, const ReRef& b);
 /// DFA-level form of the same search (both DFAs must share num_symbols).
 Result<Word> FindDistinguishingWordDfa(const Dfa& a, const Dfa& b);
 
+/// A shortest word in L(a) \ L(b), or kNotFound when L(a) ⊆ L(b).
+/// The witness form of LanguageSubset: Theorem 2 (and the conformance
+/// harness inclusion oracle) are checked with this so a violation comes
+/// with a concrete word the inferred expression wrongly rejects.
+Result<Word> FindInclusionCounterexample(const ReRef& a, const ReRef& b);
+
+/// DFA-level form of the same search (both DFAs must share num_symbols).
+Result<Word> FindInclusionCounterexampleDfa(const Dfa& a, const Dfa& b);
+
 }  // namespace condtd
 
 #endif  // CONDTD_REGEX_EQUIVALENCE_H_

@@ -17,6 +17,10 @@ bool IsNameChar(char c) {
          c == '.' || c == ':' || c == '-';
 }
 
+/// Nesting bound: adversarial ((((...)))) input errors out instead of
+/// overflowing the parser stack.
+constexpr int kMaxRegexDepth = 200;
+
 /// Recursive-descent parser over the raw text. Whitespace sensitivity
 /// (postfix `+` vs union `+`) is resolved by looking at adjacency.
 class Parser {
@@ -106,21 +110,28 @@ class Parser {
     Result<ReRef> atom = ParseAtom();
     if (!atom.ok()) return atom;
     ReRef re = atom.value();
-    // Postfix operators must be adjacent (no whitespace).
+    // Postfix operators must be adjacent (no whitespace). Stacked
+    // operators are bounded: each builds one AST level, so an unbounded
+    // a???????... run would recurse arbitrarily deep in every
+    // downstream tree traversal.
+    int stacked = 0;
     while (pos_ < text_.size()) {
       char c = text_[pos_];
+      if (c != '?' && c != '*' && (c != '+' || PlusIsUnion(pos_))) break;
+      if (++stacked > 32) {
+        return Status::ParseError(
+            "more than 32 stacked postfix operators at offset " +
+            std::to_string(pos_) + " in regex '" + std::string(text_) +
+            "'");
+      }
       if (c == '?') {
         re = Re::Opt(re);
-        ++pos_;
       } else if (c == '*') {
         re = Re::Star(re);
-        ++pos_;
-      } else if (c == '+' && !PlusIsUnion(pos_)) {
-        re = Re::Plus(re);
-        ++pos_;
       } else {
-        break;
+        re = Re::Plus(re);
       }
+      ++pos_;
     }
     return re;
   }
@@ -129,8 +140,14 @@ class Parser {
     SkipSpace();
     char c = Peek();
     if (c == '(') {
+      if (++depth_ > kMaxRegexDepth) {
+        return Status::ParseError("regex nested deeper than " +
+                                  std::to_string(kMaxRegexDepth) +
+                                  " levels");
+      }
       ++pos_;
       Result<ReRef> inner = ParseDisj();
+      --depth_;
       if (!inner.ok()) return inner;
       SkipSpace();
       if (Peek() != ')') {
@@ -161,6 +178,7 @@ class Parser {
   Alphabet* alphabet_;
   RegexParseOptions options_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include "xml/lexer.h"
 
 #include <cctype>
+#include <cstdint>
 
 #include "base/strings.h"
 
@@ -54,9 +55,19 @@ Status DecodeXmlEntities(std::string_view raw, std::string* out) {
     } else if (entity == "quot") {
       *out += '"';
     } else if (!entity.empty() && entity[0] == '#') {
-      int code = 0;
+      // Numeric character reference. The accumulator is 64-bit with an
+      // early range bail-out so adversarial digit strings
+      // (&#99999999999999999999;) cannot overflow into undefined
+      // behavior, and the digit loop must consume at least one digit
+      // (&#; and &#x; are malformed).
+      int64_t code = 0;
       bool hex = entity.size() > 1 && (entity[1] == 'x' || entity[1] == 'X');
-      for (size_t j = hex ? 2 : 1; j < entity.size(); ++j) {
+      size_t digit_start = hex ? 2 : 1;
+      if (digit_start >= entity.size()) {
+        return Status::ParseError("bad character reference &" +
+                                  std::string(entity) + ";");
+      }
+      for (size_t j = digit_start; j < entity.size(); ++j) {
         char c = entity[j];
         int digit;
         if (c >= '0' && c <= '9') {
@@ -70,15 +81,32 @@ Status DecodeXmlEntities(std::string_view raw, std::string* out) {
                                     std::string(entity) + ";");
         }
         code = code * (hex ? 16 : 10) + digit;
+        if (code > 0x10FFFF) {
+          return Status::ParseError("character reference &" +
+                                    std::string(entity) +
+                                    "; is out of range");
+        }
       }
-      // Encode as UTF-8.
+      // Reject code points XML forbids: NUL, the UTF-16 surrogate block
+      // (not scalar values; encoding them would produce CESU-8 garbage).
+      if (code == 0 || (code >= 0xD800 && code <= 0xDFFF)) {
+        return Status::ParseError("character reference &" +
+                                  std::string(entity) +
+                                  "; is not a valid XML character");
+      }
+      // Encode as UTF-8 (1-4 bytes).
       if (code < 0x80) {
         *out += static_cast<char>(code);
       } else if (code < 0x800) {
         *out += static_cast<char>(0xC0 | (code >> 6));
         *out += static_cast<char>(0x80 | (code & 0x3F));
-      } else {
+      } else if (code < 0x10000) {
         *out += static_cast<char>(0xE0 | (code >> 12));
+        *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+        *out += static_cast<char>(0x80 | (code & 0x3F));
+      } else {
+        *out += static_cast<char>(0xF0 | (code >> 18));
+        *out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
         *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
         *out += static_cast<char>(0x80 | (code & 0x3F));
       }

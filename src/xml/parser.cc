@@ -7,6 +7,16 @@
 
 namespace condtd {
 
+namespace {
+
+// Element trees are destroyed recursively, so the parser bounds nesting
+// up front. The cap is far above real documents (and the depth-2000
+// edge-case tests) but small enough that the destructor recursion a
+// hostile input can force stays well inside the stack.
+constexpr size_t kMaxElementDepth = 10000;
+
+}  // namespace
+
 Result<XmlDocument> ParseXmlLenient(
     std::string_view input, std::vector<std::string>* recovered_errors) {
   XmlLexer lexer(input);
@@ -61,7 +71,13 @@ Result<XmlDocument> ParseXmlLenient(
         for (const auto& [k, v] : token.attributes) {
           element->AddAttribute(k, v);
         }
-        if (!token.self_closing) stack.push_back(element);
+        if (!token.self_closing) {
+          if (stack.size() >= kMaxElementDepth) {
+            return Status::ParseError("element nesting deeper than " +
+                                      std::to_string(kMaxElementDepth));
+          }
+          stack.push_back(element);
+        }
         break;
       }
       case XmlTokenKind::kEndTag: {
@@ -137,7 +153,13 @@ Result<XmlDocument> ParseXml(std::string_view input) {
         for (const auto& [k, v] : token.attributes) {
           element->AddAttribute(k, v);
         }
-        if (!token.self_closing) stack.push_back(element);
+        if (!token.self_closing) {
+          if (stack.size() >= kMaxElementDepth) {
+            return Status::ParseError("element nesting deeper than " +
+                                      std::to_string(kMaxElementDepth));
+          }
+          stack.push_back(element);
+        }
         break;
       }
       case XmlTokenKind::kEndTag:

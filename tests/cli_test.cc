@@ -235,5 +235,63 @@ TEST_F(CliTest, MissingFileFails) {
   EXPECT_NE(result.output.find("NotFound"), std::string::npos);
 }
 
+TEST_F(CliTest, RejectsInvalidJobs) {
+  for (const char* bad : {"0", "-2", "abc", "", "3x"}) {
+    CommandResult result =
+        RunCli("infer --jobs=" + std::string(bad) + " " + xml1_);
+    EXPECT_EQ(result.exit_code, 2) << "--jobs=" << bad << "\n"
+                                   << result.output;
+    EXPECT_NE(result.output.find("expected an integer >= 1"),
+              std::string::npos)
+        << "--jobs=" << bad << "\n"
+        << result.output;
+  }
+}
+
+TEST_F(CliTest, RejectsInvalidNoiseAndMaxStrings) {
+  CommandResult noise = RunCli("infer --noise=-1 " + xml1_);
+  EXPECT_EQ(noise.exit_code, 2);
+  EXPECT_NE(noise.output.find("--noise=-1"), std::string::npos)
+      << noise.output;
+
+  CommandResult strings = RunCli("infer --max-strings=none " + xml1_);
+  EXPECT_EQ(strings.exit_code, 2);
+  EXPECT_NE(strings.output.find("--max-strings=none"), std::string::npos)
+      << strings.output;
+}
+
+TEST_F(CliTest, MaxStringsBoundsXtract) {
+  CommandResult result =
+      RunCli("infer --algorithm=xtract --max-strings=1 " + xml1_ + " " +
+             xml2_);
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("ResourceExhausted"), std::string::npos)
+      << result.output;
+}
+
+TEST_F(CliTest, InferWithoutInputsExplainsItself) {
+  CommandResult result = RunCli("infer --jobs=2");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("no input files"), std::string::npos)
+      << result.output;
+}
+
+TEST_F(CliTest, GenRejectsInvalidCountAndSeed) {
+  std::string dtd_path = TempPath("gen_flags.dtd");
+  ASSERT_TRUE(
+      WriteStringToFile(dtd_path, "<!ELEMENT a EMPTY>\n").ok());
+  CommandResult count =
+      RunCli("gen --schema=" + dtd_path + " --count=0");
+  EXPECT_EQ(count.exit_code, 2);
+  EXPECT_NE(count.output.find("--count=0"), std::string::npos)
+      << count.output;
+
+  CommandResult seed =
+      RunCli("gen --schema=" + dtd_path + " --seed=-7");
+  EXPECT_EQ(seed.exit_code, 2);
+  EXPECT_NE(seed.output.find("--seed=-7"), std::string::npos)
+      << seed.output;
+}
+
 }  // namespace
 }  // namespace condtd

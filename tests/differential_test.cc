@@ -73,7 +73,9 @@ constexpr char kGoldenAIdtd[] =
     "<!ELEMENT b (#PCDATA)>\n"
     "<!ELEMENT i (#PCDATA)>\n"
     "<!ELEMENT grid (row)+>\n"
-    "<!ELEMENT row (a | b?, c?)+>\n"
+    // A sequence alternative is parenthesized: "(a | b?, c?)" would be
+    // rejected by the DTD grammar as mixed separators.
+    "<!ELEMENT row (a | (b?, c?))+>\n"
     "<!ELEMENT a EMPTY>\n"
     "<!ELEMENT c EMPTY>\n";
 

@@ -48,6 +48,20 @@ TEST(ContentModelParser, PostfixOperators) {
   EXPECT_EQ(ToDtdString(model->regex, alphabet), "(a+, b*, c?, (d | e)+)");
 }
 
+TEST(ContentModelParser, SequenceInsideChoiceIsParenthesized) {
+  // Regression (property harness, seed 303224533133227536): the printer
+  // emitted a sequence alternative bare — "(a*, b | c)" — which the DTD
+  // grammar rejects as mixed separators.
+  Alphabet alphabet;
+  ReRef seq = Re::Concat({Re::Star(Re::Sym(alphabet.Intern("a"))),
+                          Re::Sym(alphabet.Intern("b"))});
+  ReRef model = Re::Disj({seq, Re::Sym(alphabet.Intern("c"))});
+  std::string printed = ToDtdString(model, alphabet);
+  Result<ContentModel> again = ParseContentModel(printed, &alphabet);
+  ASSERT_TRUE(again.ok()) << printed << ": " << again.status().ToString();
+  EXPECT_TRUE(StructurallyEqual(model, again->regex)) << printed;
+}
+
 TEST(ContentModelParser, Errors) {
   Alphabet alphabet;
   EXPECT_FALSE(ParseContentModel("(a, b | c)", &alphabet).ok());  // mixed seps

@@ -1,0 +1,29 @@
+// Fuzz target: the DTD declaration parser and the recursive-descent
+// content-model parser. Regression corpus covers the stack-overflow
+// inputs (deep '(' nesting, unbounded postfix chains) that the depth
+// caps now reject.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "alphabet/alphabet.h"
+#include "dtd/dtd_parser.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > 65536) return 0;
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+  {
+    condtd::Alphabet alphabet;
+    (void)condtd::ParseDtd(input, &alphabet, "");
+  }
+  {
+    condtd::Alphabet alphabet;
+    (void)condtd::ParseDoctype(input, &alphabet);
+  }
+  {
+    condtd::Alphabet alphabet;
+    (void)condtd::ParseContentModel(input, &alphabet);
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Fuzz target: the zero-copy SAX pull lexer plus both DOM parser modes
+// (strict and tag-soup lenient). The SAX lexer and XmlLexer share the
+// grammar, so differential crashes between them surface here too.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xml/parser.h"
+#include "xml/sax.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > 65536) return 0;
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+
+  condtd::SaxLexer lexer(input);
+  while (true) {
+    condtd::Result<condtd::SaxEvent> event = lexer.Next();
+    if (!event.ok()) break;
+    if (event->kind == condtd::SaxEventKind::kEof) break;
+    // Touch the borrowed views so ASan sees out-of-bounds storage.
+    if (event->kind == condtd::SaxEventKind::kStartElement) {
+      for (const condtd::SaxAttribute& attr : lexer.attributes()) {
+        volatile size_t sink = attr.key.size() + attr.value.size();
+        (void)sink;
+      }
+    }
+  }
+
+  (void)condtd::ParseXml(input);
+  std::vector<std::string> recovered;
+  (void)condtd::ParseXmlLenient(input, &recovered);
+  return 0;
+}

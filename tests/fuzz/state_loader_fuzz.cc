@@ -1,0 +1,37 @@
+// Fuzz target: the versioned summary-state loader. Regression corpus
+// covers numeric-overflow counts (previously undefined behavior through
+// std::atoll/std::atoi), truncated files and junk count fields. Loaded
+// stores are re-saved and re-loaded: a state the loader accepted must
+// round-trip through its own serializer.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "alphabet/alphabet.h"
+#include "infer/summary.h"
+
+namespace {
+
+void LoadWith(std::string_view input, int max_retained_words) {
+  condtd::SummaryLimits limits;
+  limits.max_retained_words = max_retained_words;
+  condtd::SummaryStore store(limits);
+  condtd::Alphabet alphabet;
+  if (!store.Load(input, &alphabet).ok()) return;
+  std::string saved = store.Save(alphabet);
+  condtd::SummaryStore reloaded(limits);
+  condtd::Alphabet reloaded_alphabet;
+  if (!reloaded.Load(saved, &reloaded_alphabet).ok()) __builtin_trap();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > 65536) return 0;
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+  LoadWith(input, 0);
+  LoadWith(input, 4);
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Fuzz target: the DOM-path XML pull lexer. Drains the token stream
+// until EOF or the first parse error; any crash, hang or sanitizer
+// report is a bug (parse errors are fine).
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "xml/lexer.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > 65536) return 0;
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+  condtd::XmlLexer lexer(input);
+  while (true) {
+    condtd::Result<condtd::XmlToken> token = lexer.Next();
+    if (!token.ok()) break;
+    if (token->kind == condtd::XmlTokenKind::kEof) break;
+  }
+  return 0;
+}

@@ -10,6 +10,7 @@
 #include "gen/random_dtd.h"
 #include "gen/xml_gen.h"
 #include "infer/inferrer.h"
+#include "infer/summary.h"
 #include "regex/equivalence.h"
 #include "regex/matcher.h"
 #include "regex/properties.h"
@@ -373,6 +374,70 @@ TEST(StatePersistence, ReservoirStateRoundTripsCanonically) {
   ASSERT_TRUE(b.ok()) << b.status().ToString();
   EXPECT_EQ(WriteDtd(a.value(), *first.alphabet()),
             WriteDtd(b.value(), *second.alphabet()));
+}
+
+TEST(StatePersistence, TruncatedVersion2StateRejected) {
+  DtdInferrer inferrer{InferenceOptions{}};
+  Status status = inferrer.LoadState("condtd-state 2\nelement e 2 0\n");
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("truncated"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(StatePersistence, RejectsNonNumericAndOverflowingCounts) {
+  // Every count field goes through the strict parser; std::atoll/atoi
+  // previously had undefined behavior on out-of-range input.
+  const char* bad[] = {
+      "condtd-state 2\nelement e 12x 0\nend\n",
+      "condtd-state 2\nelement e -4 0\nend\n",
+      "condtd-state 2\nroot r 99999999999999999999\nend\n",
+      "condtd-state 2\nelement e 1 0\nsoa.state a 3000000000\nend\n",
+      "condtd-state 2\nelement e 1 0\ncrx.hist 4 a=99999999999\nend\n",
+  };
+  for (const char* state : bad) {
+    DtdInferrer inferrer{InferenceOptions{}};
+    EXPECT_FALSE(inferrer.LoadState(state).ok()) << state;
+  }
+}
+
+TEST(StatePersistence, DuplicateElementSectionsMerge) {
+  SummaryStore store;
+  Alphabet alphabet;
+  ASSERT_TRUE(store
+                  .Load("condtd-state 2\n"
+                        "element e 3 0\n"
+                        "element e 4 1\n"
+                        "end\n",
+                        &alphabet)
+                  .ok());
+  const ElementSummary* summary = store.Find(alphabet.Intern("e"));
+  ASSERT_NE(summary, nullptr);
+  EXPECT_EQ(summary->occurrences, 7);
+  EXPECT_TRUE(summary->has_text);
+}
+
+TEST(StatePersistence, ReservoirBeyondDeclaredBoundClampsAndOverflows) {
+  SummaryLimits limits;
+  limits.max_retained_words = 2;
+  SummaryStore store(limits);
+  Alphabet alphabet;
+  ASSERT_TRUE(store
+                  .Load("condtd-state 2\n"
+                        "element e 4 0\n"
+                        "word a\n"
+                        "word b\n"
+                        "word c\n"
+                        "word d\n"
+                        "end\n",
+                        &alphabet)
+                  .ok());
+  const ElementSummary* summary = store.Find(alphabet.Intern("e"));
+  ASSERT_NE(summary, nullptr);
+  EXPECT_LE(static_cast<int>(summary->retained_words.size()),
+            limits.max_retained_words);
+  EXPECT_TRUE(summary->words_overflowed);
+  EXPECT_NE(store.Save(alphabet).find("words.overflowed"),
+            std::string::npos);
 }
 
 }  // namespace

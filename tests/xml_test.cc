@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 #include "xml/extract.h"
 #include "xml/lexer.h"
@@ -57,6 +58,41 @@ TEST(XmlParser, UnknownEntityKeptVerbatim) {
   Result<XmlDocument> doc = ParseXml("<r>&nbsp;x</r>");
   ASSERT_TRUE(doc.ok());
   EXPECT_EQ(doc->root->text(), "&nbsp;x");
+}
+
+TEST(XmlEntities, NumericReferenceEdgeCases) {
+  // Regression (fuzz corpus): overflowing, empty, NUL and surrogate
+  // numeric references previously hit signed-overflow UB or produced
+  // ill-formed UTF-8; all must now be rejected as parse errors.
+  std::string out;
+  EXPECT_FALSE(DecodeXmlEntities("&#99999999999999999999;", &out).ok());
+  EXPECT_FALSE(DecodeXmlEntities("&#xFFFFFFFFFFFFFFFFF;", &out).ok());
+  EXPECT_FALSE(DecodeXmlEntities("&#;", &out).ok());
+  EXPECT_FALSE(DecodeXmlEntities("&#x;", &out).ok());
+  EXPECT_FALSE(DecodeXmlEntities("&#0;", &out).ok());
+  EXPECT_FALSE(DecodeXmlEntities("&#xD800;", &out).ok());
+  EXPECT_FALSE(DecodeXmlEntities("&#xDFFF;", &out).ok());
+  EXPECT_FALSE(DecodeXmlEntities("&#x110000;", &out).ok());
+
+  std::string astral;
+  ASSERT_TRUE(DecodeXmlEntities("&#x10FFFF;", &astral).ok());
+  EXPECT_EQ(astral, "\xF4\x8F\xBF\xBF");  // astral plane: 4-byte UTF-8
+  std::string ascii;
+  ASSERT_TRUE(DecodeXmlEntities("&#65;&#x42;", &ascii).ok());
+  EXPECT_EQ(ascii, "AB");
+}
+
+TEST(XmlParser, DeepNestingRejectedNotOverflowed) {
+  // Regression (fuzz corpus): unbounded element depth recursed through
+  // the tree destructor; the parser now caps nesting instead.
+  std::string deep;
+  for (int i = 0; i < 12000; ++i) deep += "<d>";
+  Result<XmlDocument> strict = ParseXml("<r>" + deep + "</r>");
+  EXPECT_FALSE(strict.ok());
+  EXPECT_NE(strict.status().ToString().find("nesting"), std::string::npos)
+      << strict.status().ToString();
+  std::vector<std::string> recovered;
+  EXPECT_FALSE(ParseXmlLenient("<r>" + deep, &recovered).ok());
 }
 
 TEST(XmlParser, Errors) {

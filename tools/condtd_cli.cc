@@ -70,7 +70,8 @@ int Usage() {
       stderr,
       "usage:\n"
       "  condtd infer [--xsd] [--algorithm=%s]\n"
-      "               [--noise=N] [--jobs=N] [--dom] [--out=FILE]\n"
+      "               [--noise=N] [--jobs=N] [--max-strings=N] [--dom]\n"
+      "               [--out=FILE]\n"
       "               [--state-in=FILE] [--state-out=FILE] file.xml...\n"
       "  condtd validate [--schema=file.dtd] file.xml...\n"
       "  condtd regex \"expr\" word...\n"
@@ -87,6 +88,21 @@ bool GetFlag(const std::string& arg, const char* name, std::string* value) {
   std::string prefix = std::string("--") + name + "=";
   if (arg.rfind(prefix, 0) != 0) return false;
   *value = arg.substr(prefix.size());
+  return true;
+}
+
+/// Strict numeric flag conversion: rejects junk ("12x"), empty values
+/// and anything below `min` with a message naming the flag. std::atoi's
+/// silent 0 previously turned "--jobs=abc" into an accidental default.
+bool ParseCountFlag(const char* flag, const std::string& value, int min,
+                    int* out) {
+  int32_t parsed = 0;
+  if (!ParseInt32(value, &parsed) || parsed < min) {
+    std::fprintf(stderr, "--%s=%s: expected an integer >= %d\n", flag,
+                 value.c_str(), min);
+    return false;
+  }
+  *out = parsed;
   return true;
 }
 
@@ -107,7 +123,7 @@ int RunInfer(const std::vector<std::string>& args) {
     } else if (arg == "--dom") {
       options.streaming_ingest = false;
     } else if (GetFlag(arg, "jobs", &value)) {
-      jobs = std::atoi(value.c_str());
+      if (!ParseCountFlag("jobs", value, 1, &jobs)) return 2;
     } else if (GetFlag(arg, "state-in", &value)) {
       state_in = value;
     } else if (GetFlag(arg, "state-out", &value)) {
@@ -122,8 +138,16 @@ int RunInfer(const std::vector<std::string>& args) {
       }
       options.learner = value;
     } else if (GetFlag(arg, "noise", &value)) {
-      options.noise_symbol_threshold = std::atoi(value.c_str());
+      if (!ParseCountFlag("noise", value, 0,
+                          &options.noise_symbol_threshold)) {
+        return 2;
+      }
       options.idtd.noise_edge_threshold = options.noise_symbol_threshold;
+    } else if (GetFlag(arg, "max-strings", &value)) {
+      if (!ParseCountFlag("max-strings", value, 1,
+                          &options.xtract.max_strings)) {
+        return 2;
+      }
     } else if (GetFlag(arg, "out", &value)) {
       out_path = value;
     } else if (arg.rfind("--", 0) == 0) {
@@ -133,7 +157,12 @@ int RunInfer(const std::vector<std::string>& args) {
       files.push_back(arg);
     }
   }
-  if (files.empty() && state_in.empty()) return Usage();
+  if (files.empty() && state_in.empty()) {
+    std::fprintf(stderr,
+                 "infer: no input files (pass file.xml arguments or "
+                 "--state-in=FILE)\n");
+    return 2;
+  }
 
   // --jobs != 1 runs the sharded ingestion-and-inference pipeline; its
   // output is byte-identical to the sequential engine, so both paths
@@ -142,7 +171,7 @@ int RunInfer(const std::vector<std::string>& args) {
   std::optional<DtdInferrer> sequential;
   std::optional<StreamingFolder> folder;
   if (jobs != 1) {
-    parallel.emplace(options, jobs < 0 ? 0 : jobs);
+    parallel.emplace(options, jobs);
   } else {
     sequential.emplace(options);
     // Streaming (the default) folds SAX events straight into the
@@ -490,9 +519,15 @@ int RunGen(const std::vector<std::string>& args) {
     if (GetFlag(arg, "schema", &value)) {
       schema_path = value;
     } else if (GetFlag(arg, "count", &value)) {
-      count = std::atoi(value.c_str());
+      if (!ParseCountFlag("count", value, 1, &count)) return 2;
     } else if (GetFlag(arg, "seed", &value)) {
-      seed = std::strtoull(value.c_str(), nullptr, 10);
+      int64_t parsed = 0;
+      if (!ParseInt64(value, &parsed) || parsed < 0) {
+        std::fprintf(stderr, "--seed=%s: expected a non-negative integer\n",
+                     value.c_str());
+        return 2;
+      }
+      seed = static_cast<uint64_t>(parsed);
     } else if (GetFlag(arg, "prefix", &value)) {
       prefix = value;
     } else {
