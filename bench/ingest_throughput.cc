@@ -9,7 +9,12 @@
 // mark.
 //
 //   ingest_throughput --corpus=table1|table2 --mode=dom|sax|sax-nodedup
-//                     [--repeat=N] [--max-docs=N] [--json]
+//                     [--repeat=N] [--max-docs=N] [--json] [--stats]
+//
+// --stats turns the observability registry on for the timed runs and
+// appends the obs report to stderr — both to measure the enabled-path
+// overhead against a plain run (EXPERIMENTS.md E15) and to cross-check
+// the bench's own counters against the registry's.
 
 #include <sys/resource.h>
 
@@ -24,6 +29,8 @@
 #include "dtd/dtd_writer.h"
 #include "infer/inferrer.h"
 #include "infer/streaming.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
 
 namespace condtd {
 namespace {
@@ -117,11 +124,14 @@ int Main(int argc, char** argv) {
       max_docs = std::atoi(value.c_str());
     } else if (arg == "--json") {
       json = true;
+    } else if (arg == "--stats") {
+      obs::EnableStats(true);
+      obs::ResetStats();
     } else {
       std::fprintf(stderr,
                    "usage: ingest_throughput --corpus=table1|table2 "
                    "--mode=dom|sax|sax-nodedup [--repeat=N] "
-                   "[--max-docs=N] [--json]\n");
+                   "[--max-docs=N] [--json] [--stats]\n");
       return 2;
     }
   }
@@ -154,6 +164,23 @@ int Main(int argc, char** argv) {
       std::fprintf(stderr, "non-deterministic DTD across repeats\n");
       return 1;
     }
+  }
+  if (obs::StatsEnabled()) {
+    obs::StatsSnapshot snapshot = obs::SnapshotStats();
+    // The registry and the folder count the same events; disagreement
+    // means an instrumentation point went missing.
+    int64_t registry_words = snapshot.counters[static_cast<int>(
+                                 obs::Counter::kWordsFolded)] /
+                             repeat;
+    if (best.words > 0 && registry_words != best.words) {
+      std::fprintf(stderr,
+                   "stats mismatch: registry saw %lld words per run, "
+                   "folder counted %lld\n",
+                   static_cast<long long>(registry_words),
+                   static_cast<long long>(best.words));
+      return 1;
+    }
+    std::fputs(RenderStatsText(snapshot).c_str(), stderr);
   }
   double mb = static_cast<double>(total_bytes) / (1024.0 * 1024.0);
   double mb_per_s = mb / best.seconds;

@@ -4,6 +4,8 @@
 #include <functional>
 #include <queue>
 
+#include "obs/metrics.h"
+
 namespace condtd {
 
 void CrxState::AddWord(const Word& word) { AddWord(word, 1); }
@@ -165,6 +167,8 @@ class SccFinder {
 }  // namespace
 
 Result<ReRef> CrxState::Infer(int min_symbol_support) const {
+  obs::StageSpan span(obs::Stage::kCrxInfer);
+  obs::CounterAdd(obs::Counter::kCrxInferCalls, 1);
   // Section 9 noise handling: exclude symbols below the support
   // threshold (total occurrences across the sample).
   std::set<Symbol> kept = symbols_;
@@ -357,6 +361,8 @@ Result<ReRef> CrxState::Infer(int min_symbol_support) const {
     }
     factors.push_back(std::move(factor));
   }
+  obs::CounterAdd(obs::Counter::kCrxFactors,
+                  static_cast<int64_t>(factors.size()));
   return Re::Concat(std::move(factors));
 }
 

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "automaton/two_t_inf.h"
+#include "obs/metrics.h"
 #include "regex/normalize.h"
 
 namespace condtd {
@@ -239,6 +240,7 @@ bool ApplyOptionalRule(Gfa* gfa) {
 }
 
 int RewriteFixpoint(Gfa* gfa) {
+  obs::StageSpan span(obs::Stage::kRewrite);
   int applications = 0;
   while (true) {
     if (ApplySelfLoopRule(gfa)) {
@@ -264,6 +266,7 @@ int RewriteFixpoint(Gfa* gfa) {
       ++applications;
       continue;
     }
+    obs::CounterAdd(obs::Counter::kRewriteApplications, applications);
     return applications;
   }
 }

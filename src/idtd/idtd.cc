@@ -10,6 +10,7 @@
 #include "automaton/two_t_inf.h"
 #include "gfa/rewrite.h"
 #include "idtd/repair.h"
+#include "obs/metrics.h"
 #include "regex/normalize.h"
 
 namespace condtd {
@@ -98,6 +99,7 @@ Result<ReRef> IdtdFromSoa(const Soa& input, const IdtdOptions& options) {
                    ? options.max_repair_steps
                    : 4 * soa.NumStates() * soa.NumStates() + 64;
   int steps = 0;
+  obs::StageSpan repair_span(obs::Stage::kRepair);
   while (!gfa.IsFinal()) {
     if (++steps > budget) {
       if (!options.enable_full_merge_fallback) {
@@ -105,20 +107,24 @@ Result<ReRef> IdtdFromSoa(const Soa& input, const IdtdOptions& options) {
             "iDTD (restricted): repair budget exhausted before reaching a "
             "final form");
       }
+      obs::CounterAdd(obs::Counter::kRepairFallbacks, 1);
       FullMergeFallback(&gfa);
       RewriteFixpoint(&gfa);
       break;
     }
     if (options.noise_edge_threshold > 0 &&
         TryRemoveNoisyEdge(&gfa, options.noise_edge_threshold)) {
+      obs::CounterAdd(obs::Counter::kNoisyEdgesDropped, 1);
       RewriteFixpoint(&gfa);
       continue;
     }
     if (options.enable_disjunction_repair && EnableDisjunction(&gfa, k)) {
+      obs::CounterAdd(obs::Counter::kRepairDisjunctions, 1);
       RewriteFixpoint(&gfa);
       continue;
     }
     if (options.enable_optional_repair && EnableOptional(&gfa, k)) {
+      obs::CounterAdd(obs::Counter::kRepairOptionals, 1);
       RewriteFixpoint(&gfa);
       continue;
     }
@@ -131,6 +137,7 @@ Result<ReRef> IdtdFromSoa(const Soa& input, const IdtdOptions& options) {
           "iDTD (restricted): no repair rule applies at k <= " +
           std::to_string(options.max_k));
     }
+    obs::CounterAdd(obs::Counter::kRepairFallbacks, 1);
     FullMergeFallback(&gfa);
     RewriteFixpoint(&gfa);
     break;

@@ -8,6 +8,7 @@
 
 #include "base/strings.h"
 #include "infer/streaming.h"
+#include "obs/metrics.h"
 #include "regex/properties.h"
 #include "xml/parser.h"
 #include "xsd/numeric.h"
@@ -67,10 +68,18 @@ DtdInferrer::DtdInferrer(InferenceOptions options)
       store_(MakeLimits(options_, learner_)) {}
 
 Status DtdInferrer::AddXml(std::string_view xml) {
-  Result<XmlDocument> doc =
-      options_.lenient_xml ? ParseXmlLenient(xml) : ParseXml(xml);
-  if (!doc.ok()) return doc.status();
+  obs::CounterAdd(obs::Counter::kBytesIngested,
+                  static_cast<int64_t>(xml.size()));
+  Result<XmlDocument> doc = [&] {
+    obs::StageSpan span(obs::Stage::kLexParse);
+    return options_.lenient_xml ? ParseXmlLenient(xml) : ParseXml(xml);
+  }();
+  if (!doc.ok()) {
+    obs::CounterAdd(obs::Counter::kDocumentsFailed, 1);
+    return doc.status();
+  }
   AddDocument(doc.value());
+  obs::CounterAdd(obs::Counter::kDocumentsIngested, 1);
   return Status::OK();
 }
 
@@ -118,6 +127,7 @@ void DtdInferrer::AddDocument(const XmlDocument& doc) {
       store_.MarkSeenAsChild(cs);
       open(child, cs);  // invalidates `frame`; not used again this round
     } else {
+      obs::CounterAdd(obs::Counter::kWordsFolded, 1);
       store_.Ensure(frame.symbol)
           .AddChildWord(frame.word, 1, store_.limits());
       stack.pop_back();
@@ -171,7 +181,10 @@ Result<ReRef> DtdInferrer::LearnRegex(const ElementSummary& summary) const {
         "' (registered: " +
         LearnerRegistry::Global().NamesForDisplay(", ") + ")");
   }
-  return learner_->Learn(summary, learn_options_);
+  obs::StageSpan span(obs::Stage::kLearn);
+  Result<ReRef> result = LearnWithMetrics(*learner_, summary, learn_options_);
+  if (result.ok()) obs::CounterAdd(obs::Counter::kElementsLearned, 1);
+  return result;
 }
 
 Result<ContentModel> DtdInferrer::InferContentModel(Symbol element) const {
@@ -312,6 +325,7 @@ Result<std::string> DtdInferrer::InferXsd(bool numeric_predicates,
     }
     extras[symbol] = std::move(extra);
   }
+  obs::StageSpan span(obs::Stage::kEmit);
   return WriteXsd(dtd.value(), alphabet_, extras);
 }
 

@@ -1,8 +1,19 @@
 #include "infer/parallel.h"
 
 #include <algorithm>
+#include <exception>
+#include <string>
+
+#include "obs/metrics.h"
 
 namespace condtd {
+
+std::atomic<ParallelDtdInferrer::IngestFault>
+    ParallelDtdInferrer::ingest_fault_{nullptr};
+
+void ParallelDtdInferrer::SetIngestFaultForTest(IngestFault fault) {
+  ingest_fault_.store(fault, std::memory_order_release);
+}
 
 ParallelDtdInferrer::ParallelDtdInferrer(InferenceOptions options,
                                          int num_threads)
@@ -59,10 +70,39 @@ void ParallelDtdInferrer::Worker(Shard* shard) {
     // shard-local state. Streaming (the default) folds SAX events
     // straight into the shard's summaries; the DOM path stays available
     // for comparison (`streaming_ingest = false`).
+    //
+    // Exception containment: a document that throws mid-ingestion
+    // (std::bad_alloc on a pathological input, std::length_error from a
+    // string resize, a throwing test fault) must not take down the
+    // process — without the catch it would escape the thread entry point
+    // and std::terminate. The document is rolled back (AbortDocument
+    // undoes its dedup-cache increments) and recorded as a DocumentError;
+    // the remaining documents keep folding. Names the document interned
+    // before throwing stay in the shard alphabet, so they are still
+    // replayed at the barrier — same as a plain parse failure.
     int before = shard->inferrer.alphabet()->size();
-    Status status = options_.streaming_ingest
-                        ? shard->folder.AddXml(doc.second)
-                        : shard->inferrer.AddXml(doc.second);
+    ++shard->docs_ingested;
+    Status status;
+    try {
+      if (IngestFault fault = ingest_fault_.load(std::memory_order_acquire)) {
+        fault(doc.first);
+      }
+      status = options_.streaming_ingest
+                   ? shard->folder.AddXml(doc.second)
+                   : shard->inferrer.AddXml(doc.second);
+    } catch (const std::exception& e) {
+      shard->folder.AbortDocument();
+      obs::SchedAdd(obs::SchedCounter::kWorkerExceptions, 1);
+      obs::CounterAdd(obs::Counter::kDocumentsFailed, 1);
+      status = Status::Internal(
+          std::string("exception while ingesting document: ") + e.what());
+    } catch (...) {
+      shard->folder.AbortDocument();
+      obs::SchedAdd(obs::SchedCounter::kWorkerExceptions, 1);
+      obs::CounterAdd(obs::Counter::kDocumentsFailed, 1);
+      status = Status::Internal(
+          "non-standard exception while ingesting document");
+    }
     int after = shard->inferrer.alphabet()->size();
     if (after > before) {
       shard->new_names.push_back({doc.first, before, after});
@@ -73,10 +113,21 @@ void ParallelDtdInferrer::Worker(Shard* shard) {
   }
 }
 
+Status ParallelDtdInferrer::AggregateStatus() const {
+  if (errors_.empty()) return Status::OK();
+  if (errors_.size() == 1) return errors_.front().status;
+  const DocumentError& first = errors_.front();
+  return Status(first.status.code(),
+                std::to_string(errors_.size()) +
+                    " documents failed to ingest; first failure at "
+                    "document " +
+                    std::to_string(first.doc_index) + ": " +
+                    first.status.message() +
+                    " (see errors() for the full list)");
+}
+
 Status ParallelDtdInferrer::Finish() {
-  if (finished_) {
-    return errors_.empty() ? Status::OK() : errors_.front().status;
-  }
+  if (finished_) return AggregateStatus();
   finished_ = true;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -85,6 +136,8 @@ Status ParallelDtdInferrer::Finish() {
   ready_.notify_all();
   for (std::thread& worker : workers_) worker.join();
   workers_.clear();
+
+  obs::StageSpan merge_span(obs::Stage::kShardMerge);
 
   // Replay newly-interned names in document-submission order so the
   // merged alphabet matches what a sequential run over the same corpus
@@ -123,6 +176,8 @@ Status ParallelDtdInferrer::Finish() {
   for (const std::unique_ptr<Shard>& shard : shards_) {
     shard->folder.Flush();
     merged_.MergeFrom(shard->inferrer);
+    obs::SchedAdd(obs::SchedCounter::kShardMerges, 1);
+    obs::GaugeMax(obs::Gauge::kShardDocsMax, shard->docs_ingested);
     for (DocumentError& error : shard->errors) {
       errors_.push_back(std::move(error));
     }
@@ -132,7 +187,7 @@ Status ParallelDtdInferrer::Finish() {
             [](const DocumentError& a, const DocumentError& b) {
               return a.doc_index < b.doc_index;
             });
-  return errors_.empty() ? Status::OK() : errors_.front().status;
+  return AggregateStatus();
 }
 
 Result<Dtd> ParallelDtdInferrer::InferDtd() {

@@ -1,6 +1,7 @@
 #ifndef CONDTD_INFER_PARALLEL_H_
 #define CONDTD_INFER_PARALLEL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -68,17 +69,29 @@ class ParallelDtdInferrer {
 
   /// The barrier: closes the queue, joins the pool, merges the shards
   /// deterministically. Idempotent; AddXml must not be called after.
-  /// Returns the parse failure with the lowest document index, OK when
-  /// every document folded cleanly.
+  /// Returns OK when every document folded cleanly. With exactly one
+  /// failed document it returns that document's status; with several it
+  /// returns an aggregate (first failure's code, message naming the
+  /// failure count and the lowest failed index) — the full per-document
+  /// list is in errors() either way.
   Status Finish();
 
   struct DocumentError {
     int64_t doc_index = 0;
     Status status;
   };
-  /// All parse failures, ascending by document index (valid after
-  /// Finish()).
+  /// All ingestion failures (parse errors and contained worker
+  /// exceptions), ascending by document index (valid after Finish()).
   const std::vector<DocumentError>& errors() const { return errors_; }
+
+  /// Test seam: a hook invoked with each document's submission index
+  /// just before the document is ingested, on the worker thread. A test
+  /// installs a throwing hook to exercise the pool's exception
+  /// containment (the exception is converted to a DocumentError and the
+  /// remaining documents keep folding). Process-wide; pass nullptr to
+  /// uninstall. Not for production use.
+  using IngestFault = void (*)(int64_t doc_index);
+  static void SetIngestFaultForTest(IngestFault fault);
 
   /// Finishes (if not already finished) and infers, running the
   /// per-element learners across the pool's thread count. Fails if any
@@ -111,9 +124,16 @@ class ParallelDtdInferrer {
     };
     std::vector<NewNames> new_names;
     std::vector<DocumentError> errors;
+    /// Documents this shard ingested (reported as the shard_docs_max
+    /// gauge — a load-balance signal, scheduling-dependent by nature).
+    int64_t docs_ingested = 0;
   };
 
   void Worker(Shard* shard);
+  /// The status Finish() reports for the current errors_ list.
+  Status AggregateStatus() const;
+
+  static std::atomic<IngestFault> ingest_fault_;
 
   InferenceOptions options_;
   int num_threads_;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "base/strings.h"
+#include "obs/metrics.h"
 #include "xml/sax.h"
 
 namespace condtd {
@@ -75,6 +76,7 @@ void StreamingFolder::HandleText(std::string_view text) {
 void StreamingFolder::CompleteTop() {
   Frame& frame = stack_[depth_ - 1];
   ++words_folded_;
+  obs::CounterAdd(obs::Counter::kWordsFolded, 1);
   if (options_.dedup_words) {
     Completed record;
     record.symbol = frame.symbol;
@@ -91,6 +93,9 @@ void StreamingFolder::CompleteTop() {
     if (it == cache_.end()) {
       it = cache_.emplace(WordKey{frame.symbol, std::move(frame.word)}, 0)
                .first;
+      obs::SchedAdd(obs::SchedCounter::kDedupMisses, 1);
+    } else {
+      obs::SchedAdd(obs::SchedCounter::kDedupHits, 1);
     }
     ++it->second;
     word_journal_.push_back(&it->second);
@@ -118,8 +123,10 @@ void StreamingFolder::CompleteTop() {
 }
 
 void StreamingFolder::CommitDocument() {
+  obs::StageSpan span(obs::Stage::kDedupCommit);
   store_->AddRoot(root_symbol_);
   ++documents_folded_;
+  obs::CounterAdd(obs::Counter::kDocumentsIngested, 1);
   if (options_.dedup_words) {
     for (const Completed& record : completed_) {
       ElementSummary& summary = EnsureState(record.symbol);
@@ -142,6 +149,8 @@ void StreamingFolder::CommitDocument() {
     // The cache increments are already in place; committing just retires
     // the rollback journal (ResetDocument must not undo them).
     word_journal_.clear();
+    obs::GaugeMax(obs::Gauge::kDedupCachePeak,
+                  static_cast<int64_t>(cache_.size()));
     if (cache_.size() >= options_.max_distinct_words) Flush();
   }
   ResetDocument();
@@ -169,17 +178,24 @@ void StreamingFolder::FoldWeighted(Symbol element, const Word& word,
 }
 
 void StreamingFolder::Flush() {
+  if (!cache_.empty()) {
+    obs::SchedAdd(obs::SchedCounter::kDedupFlushes, 1);
+  }
   for (const auto& [key, count] : cache_) {
     // Zero-count entries are rolled-back first occurrences from a failed
     // document; folding them would create an ElementSummary the DOM path
     // never would.
     if (count <= 0) continue;
     FoldWeighted(key.element, key.word, count);
+    obs::SchedAdd(obs::SchedCounter::kWeightedFoldOps, 1);
   }
   cache_.clear();
 }
 
 Status StreamingFolder::AddXml(std::string_view xml) {
+  obs::StageSpan lex_span(obs::Stage::kLexParse);
+  obs::CounterAdd(obs::Counter::kBytesIngested,
+                  static_cast<int64_t>(xml.size()));
   const bool lenient = inferrer_->options().lenient_xml;
   ResetDocument();
   SaxLexer lexer(xml);
@@ -188,6 +204,7 @@ Status StreamingFolder::AddXml(std::string_view xml) {
   // into the inferrer (dedup mode is fully transactional; see header).
   auto fail = [&](std::string message) {
     ResetDocument();
+    obs::CounterAdd(obs::Counter::kDocumentsFailed, 1);
     return Status::ParseError(std::move(message));
   };
 
@@ -195,6 +212,7 @@ Status StreamingFolder::AddXml(std::string_view xml) {
     Result<SaxEvent> next = lexer.Next();
     if (!next.ok()) {
       ResetDocument();
+      obs::CounterAdd(obs::Counter::kDocumentsFailed, 1);
       return next.status();  // lexical errors fail even in lenient mode
     }
     const SaxEvent& event = next.value();

@@ -74,6 +74,14 @@ class StreamingFolder {
   /// summaries are read.
   void Flush();
 
+  /// Abandons the document currently in flight (if any): rolls back its
+  /// dedup-cache increments and clears the open-frame stack, exactly as
+  /// a parse failure would. For callers that interrupt `AddXml` from the
+  /// outside — the parallel worker pool calls this after containing an
+  /// exception thrown mid-ingestion, so the failed document cannot leak
+  /// half-folded words into the shard at the next Flush().
+  void AbortDocument() { ResetDocument(); }
+
   /// Ingestion counters (for benchmarks and tests).
   int64_t documents_folded() const { return documents_folded_; }
   int64_t words_folded() const { return words_folded_; }

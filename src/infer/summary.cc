@@ -6,13 +6,22 @@
 
 #include "automaton/two_t_inf.h"
 #include "base/strings.h"
+#include "obs/metrics.h"
 
 namespace condtd {
 
 void ElementSummary::AddChildWord(const Word& word, int64_t multiplicity,
                                   const SummaryLimits& limits) {
-  Fold2T(word, &soa, multiplicity);
-  crx.AddWord(word, multiplicity);
+  obs::StageSpan span(obs::Stage::kWordFold);
+  obs::CounterAdd(obs::Counter::kChildWordFolds, multiplicity);
+  {
+    obs::StageSpan inf_span(obs::Stage::kTwoTInf);
+    Fold2T(word, &soa, multiplicity);
+  }
+  {
+    obs::StageSpan crx_span(obs::Stage::kCrxFold);
+    crx.AddWord(word, multiplicity);
+  }
   if (limits.max_retained_words > 0 && !words_overflowed) {
     auto [it, inserted] = retained_words.insert(word);
     if (inserted && static_cast<int>(retained_words.size()) >
@@ -112,6 +121,7 @@ void SummaryStore::MergeFrom(const SummaryStore& other,
   }
   for (const auto& [symbol, theirs] : other.elements_) {
     Ensure(remap[symbol]).MergeFrom(theirs, &remap, limits_);
+    obs::SchedAdd(obs::SchedCounter::kSummaryMerges, 1);
   }
 }
 

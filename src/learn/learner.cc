@@ -1,10 +1,12 @@
 #include "learn/learner.h"
 
+#include <chrono>
 #include <utility>
 
 #include "baseline/trang_like.h"
 #include "crx/crx.h"
 #include "gfa/rewrite.h"
+#include "obs/metrics.h"
 
 namespace condtd {
 
@@ -49,7 +51,9 @@ class AutoLearner : public Learner {
   Result<ReRef> Learn(const ElementSummary& summary,
                       const LearnOptions& options) const override {
     AutoPolicy policy(options.auto_idtd_min_words);
-    return policy.Pick(summary).Learn(summary, options);
+    // Route through the metrics wrapper so the stats report shows which
+    // inner learner handled the element, not just the "auto" call.
+    return LearnWithMetrics(policy.Pick(summary), summary, options);
   }
 };
 
@@ -107,6 +111,20 @@ class XtractLearner : public Learner {
 };
 
 }  // namespace
+
+Result<ReRef> LearnWithMetrics(const Learner& learner,
+                               const ElementSummary& summary,
+                               const LearnOptions& options) {
+  if (!obs::StatsEnabled()) return learner.Learn(summary, options);
+  int slot = obs::LearnerSlot(learner.name());
+  auto start = std::chrono::steady_clock::now();
+  Result<ReRef> result = learner.Learn(summary, options);
+  auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  obs::LearnerRecord(slot, elapsed, result.ok());
+  return result;
+}
 
 const Learner& AutoPolicy::Pick(const ElementSummary& summary) const {
   const LearnerRegistry& registry = LearnerRegistry::Global();

@@ -54,6 +54,17 @@ class Learner {
                               const LearnOptions& options) const = 0;
 };
 
+/// Runs `learner.Learn(...)` and records the call in the observability
+/// registry under the learner's name (call count, failure count, wall
+/// time — see src/obs/metrics.h). Composite learners route their inner
+/// picks through this too, so an `auto` run shows both the outer "auto"
+/// call and the "idtd"/"crx" call it delegated to. When stats are
+/// disabled (runtime flag off or CONDTD_NO_STATS build) this is exactly
+/// a Learn call.
+Result<ReRef> LearnWithMetrics(const Learner& learner,
+                               const ElementSummary& summary,
+                               const LearnOptions& options);
+
 /// The paper's two-regime recommendation (Section 8 discussion), as an
 /// object so callers can reuse or replace the policy: iDTD when the
 /// element has plenty of data (specialization), CRX when data is sparse

@@ -1,0 +1,172 @@
+#include "obs/report.h"
+
+#include <cstdio>
+
+namespace condtd {
+namespace obs {
+
+namespace {
+
+void Append(std::string* out, std::string_view text) {
+  out->append(text.data(), text.size());
+}
+
+void AppendInt(std::string* out, int64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%lld",
+                static_cast<long long>(value));
+  *out += buffer;
+}
+
+/// "key": — learner names come from the registry (identifier-like by
+/// construction), so escaping is limited to the characters that could
+/// actually break the quoting.
+void AppendKey(std::string* out, std::string_view key) {
+  *out += '"';
+  for (char c : key) {
+    if (c == '"' || c == '\\') *out += '\\';
+    *out += c;
+  }
+  Append(out, "\": ");
+}
+
+}  // namespace
+
+std::string RenderStatsJson(const StatsSnapshot& snapshot) {
+  std::string out;
+  out.reserve(2048);
+  Append(&out, "{\n  \"condtd_stats_version\": 1,\n  \"enabled\": ");
+  Append(&out, snapshot.enabled ? "true" : "false");
+
+  Append(&out, ",\n  \"counters\": {");
+  for (int c = 0; c < static_cast<int>(Counter::kNumCounters); ++c) {
+    Append(&out, c == 0 ? "\n    " : ",\n    ");
+    AppendKey(&out, CounterName(static_cast<Counter>(c)));
+    AppendInt(&out, snapshot.counters[c]);
+  }
+  Append(&out, "\n  }");
+
+  Append(&out, ",\n  \"learners\": {");
+  for (size_t i = 0; i < snapshot.learners.size(); ++i) {
+    Append(&out, i == 0 ? "\n    " : ",\n    ");
+    AppendKey(&out, snapshot.learners[i].name);
+    Append(&out, "{\"calls\": ");
+    AppendInt(&out, snapshot.learners[i].calls);
+    Append(&out, ", \"failures\": ");
+    AppendInt(&out, snapshot.learners[i].failures);
+    Append(&out, "}");
+  }
+  Append(&out, snapshot.learners.empty() ? "}" : "\n  }");
+
+  Append(&out, ",\n  \"scheduling\": {");
+  for (int c = 0; c < static_cast<int>(SchedCounter::kNumSchedCounters);
+       ++c) {
+    Append(&out, c == 0 ? "\n    " : ",\n    ");
+    AppendKey(&out, SchedCounterName(static_cast<SchedCounter>(c)));
+    AppendInt(&out, snapshot.sched[c]);
+  }
+  Append(&out, "\n  }");
+
+  Append(&out, ",\n  \"gauges\": {");
+  for (int g = 0; g < static_cast<int>(Gauge::kNumGauges); ++g) {
+    Append(&out, g == 0 ? "\n    " : ",\n    ");
+    AppendKey(&out, GaugeName(static_cast<Gauge>(g)));
+    AppendInt(&out, snapshot.gauges[g]);
+  }
+  Append(&out, "\n  }");
+
+  Append(&out, ",\n  \"wall\": {\n    \"stages\": {");
+  for (int s = 0; s < static_cast<int>(Stage::kNumStages); ++s) {
+    const StageStats& stage = snapshot.stages[s];
+    Append(&out, s == 0 ? "\n      " : ",\n      ");
+    AppendKey(&out, StageName(static_cast<Stage>(s)));
+    Append(&out, "{\"count\": ");
+    AppendInt(&out, stage.count);
+    Append(&out, ", \"total_ns\": ");
+    AppendInt(&out, stage.total_ns);
+    Append(&out, ", \"buckets\": [");
+    for (int b = 0; b < kLatencyBuckets; ++b) {
+      if (b > 0) Append(&out, ", ");
+      AppendInt(&out, stage.buckets[b]);
+    }
+    Append(&out, "]}");
+  }
+  Append(&out, "\n    },\n    \"learners\": {");
+  for (size_t i = 0; i < snapshot.learners.size(); ++i) {
+    Append(&out, i == 0 ? "\n      " : ",\n      ");
+    AppendKey(&out, snapshot.learners[i].name);
+    Append(&out, "{\"total_ns\": ");
+    AppendInt(&out, snapshot.learners[i].total_ns);
+    Append(&out, "}");
+  }
+  Append(&out, snapshot.learners.empty() ? "}\n  }\n}\n"
+                                         : "\n    }\n  }\n}\n");
+  return out;
+}
+
+std::string RenderStatsText(const StatsSnapshot& snapshot) {
+  std::string out;
+  out.reserve(1024);
+  Append(&out, "condtd stats (v1)");
+  Append(&out, snapshot.enabled ? "\n" : " — collection disabled\n");
+
+  Append(&out, "counters:\n");
+  for (int c = 0; c < static_cast<int>(Counter::kNumCounters); ++c) {
+    if (snapshot.counters[c] == 0) continue;
+    Append(&out, "  ");
+    Append(&out, CounterName(static_cast<Counter>(c)));
+    Append(&out, " = ");
+    AppendInt(&out, snapshot.counters[c]);
+    Append(&out, "\n");
+  }
+  for (int c = 0; c < static_cast<int>(SchedCounter::kNumSchedCounters);
+       ++c) {
+    if (snapshot.sched[c] == 0) continue;
+    Append(&out, "  ");
+    Append(&out, SchedCounterName(static_cast<SchedCounter>(c)));
+    Append(&out, " = ");
+    AppendInt(&out, snapshot.sched[c]);
+    Append(&out, "  (scheduling-dependent)\n");
+  }
+  for (int g = 0; g < static_cast<int>(Gauge::kNumGauges); ++g) {
+    if (snapshot.gauges[g] == 0) continue;
+    Append(&out, "  ");
+    Append(&out, GaugeName(static_cast<Gauge>(g)));
+    Append(&out, " = ");
+    AppendInt(&out, snapshot.gauges[g]);
+    Append(&out, "  (gauge)\n");
+  }
+
+  Append(&out, "stages:\n");
+  for (int s = 0; s < static_cast<int>(Stage::kNumStages); ++s) {
+    const StageStats& stage = snapshot.stages[s];
+    if (stage.count == 0) continue;
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "  %-14s %10lld spans  %12.3f ms total  %8.1f us avg\n",
+                  std::string(StageName(static_cast<Stage>(s))).c_str(),
+                  static_cast<long long>(stage.count),
+                  static_cast<double>(stage.total_ns) / 1e6,
+                  static_cast<double>(stage.total_ns) / 1e3 /
+                      static_cast<double>(stage.count));
+    out += line;
+  }
+
+  if (!snapshot.learners.empty()) {
+    Append(&out, "learners:\n");
+    for (const LearnerStats& learner : snapshot.learners) {
+      char line[160];
+      std::snprintf(line, sizeof(line),
+                    "  %-10s %8lld calls  %4lld failed  %12.3f ms\n",
+                    learner.name.c_str(),
+                    static_cast<long long>(learner.calls),
+                    static_cast<long long>(learner.failures),
+                    static_cast<double>(learner.total_ns) / 1e6);
+      out += line;
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace condtd

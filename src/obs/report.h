@@ -1,0 +1,46 @@
+#ifndef CONDTD_OBS_REPORT_H_
+#define CONDTD_OBS_REPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace condtd {
+namespace obs {
+
+/// Renders a snapshot as the schema-stable machine-readable stats
+/// report behind the CLI's `--stats=json`. Schema version 1:
+///
+/// ```json
+/// {
+///   "condtd_stats_version": 1,
+///   "enabled": true|false,
+///   "counters":   { <CounterName>: <int>, ... },   // deterministic
+///   "learners":   { <name>: {"calls": n, "failures": n}, ... },  // det.
+///   "scheduling": { <SchedCounterName>: <int>, ... },  // jobs-dependent
+///   "gauges":     { <GaugeName>: <int>, ... },
+///   "wall": {
+///     "stages": { <StageName>: {"count": n, "total_ns": n,
+///                               "buckets": [n x 8]}, ... },
+///     "learners": { <name>: {"total_ns": n}, ... }
+///   }
+/// }
+/// ```
+///
+/// Contract: the `counters` and `learners` subtrees are byte-identical
+/// for the same corpus and configuration at any `--jobs` value;
+/// `scheduling`, `gauges` and everything under `wall` may vary with the
+/// shard layout and the clock. Keys render in a fixed order (enum order;
+/// learners sorted by name), so equal subtrees compare as equal text.
+/// New fields only ever append within their object; the version bumps on
+/// any breaking change.
+std::string RenderStatsJson(const StatsSnapshot& snapshot);
+
+/// Human-readable rendering of the same data (the CLI's `--stats=text`):
+/// non-zero counters, per-stage times, per-learner totals.
+std::string RenderStatsText(const StatsSnapshot& snapshot);
+
+}  // namespace obs
+}  // namespace condtd
+
+#endif  // CONDTD_OBS_REPORT_H_

@@ -1,6 +1,7 @@
 #include "xml/sax.h"
 
 #include "base/strings.h"
+#include "obs/metrics.h"
 #include "xml/lexer.h"
 
 namespace condtd {
@@ -41,12 +42,18 @@ Result<SaxEvent> SaxLexer::Next() {
         // Zero-copy path: no entities, the view is the text.
         if (StripWhitespace(raw).empty()) continue;
         event.text = raw;
+        obs::CounterAdd(obs::Counter::kTextEvents, 1);
         return event;
       }
       text_scratch_.clear();
-      CONDTD_RETURN_IF_ERROR(DecodeXmlEntities(raw, &text_scratch_));
+      {
+        obs::StageSpan span(obs::Stage::kEntityDecode);
+        obs::CounterAdd(obs::Counter::kEntityDecodes, 1);
+        CONDTD_RETURN_IF_ERROR(DecodeXmlEntities(raw, &text_scratch_));
+      }
       if (StripWhitespace(text_scratch_).empty()) continue;
       event.text = text_scratch_;
+      obs::CounterAdd(obs::Counter::kTextEvents, 1);
       return event;
     }
     // '<' dispatch. Ordinary tags (next char is a name char or '/') are
@@ -74,6 +81,7 @@ Result<SaxEvent> SaxLexer::Next() {
       event.text = input_.substr(pos_ + 9, end - pos_ - 9);
       pos_ = end + 3;
       if (StripWhitespace(event.text).empty()) continue;
+      obs::CounterAdd(obs::Counter::kTextEvents, 1);
       return event;
     }
     if (StartsWith(input_.substr(pos_), "<?")) {
@@ -147,6 +155,13 @@ Result<SaxEvent> SaxLexer::LexTag() {
       attributes_[index].value =
           std::string_view(attr_scratch_).substr(slot.first, slot.second);
     }
+    if (event.kind == SaxEventKind::kStartElement) {
+      obs::CounterAdd(obs::Counter::kStartTags, 1);
+      if (!attributes_.empty()) {
+        obs::CounterAdd(obs::Counter::kAttributesSeen,
+                        static_cast<int64_t>(attributes_.size()));
+      }
+    }
     return event;
   };
 
@@ -208,7 +223,11 @@ Result<SaxEvent> SaxLexer::LexTag() {
       continue;
     }
     size_t scratch_start = attr_scratch_.size();
-    CONDTD_RETURN_IF_ERROR(DecodeXmlEntities(raw, &attr_scratch_));
+    {
+      obs::StageSpan span(obs::Stage::kEntityDecode);
+      obs::CounterAdd(obs::Counter::kEntityDecodes, 1);
+      CONDTD_RETURN_IF_ERROR(DecodeXmlEntities(raw, &attr_scratch_));
+    }
     scratch_slots_.emplace_back(
         attributes_.size(),
         std::make_pair(scratch_start, attr_scratch_.size() - scratch_start));

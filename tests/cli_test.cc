@@ -269,6 +269,83 @@ TEST_F(CliTest, MaxStringsBoundsXtract) {
       << result.output;
 }
 
+TEST_F(CliTest, StatsFlagEmitsReportWithoutChangingTheSchema) {
+  CommandResult plain = RunCli("infer " + xml1_ + " " + xml2_);
+  ASSERT_EQ(plain.exit_code, 0) << plain.output;
+
+  // --stats adds the report on stderr; the schema on stdout is intact
+  // and unchanged (stdout/stderr interleaving through the combined pipe
+  // is buffering-dependent, so only containment is checked).
+  CommandResult text = RunCli("infer --stats " + xml1_ + " " + xml2_);
+  EXPECT_EQ(text.exit_code, 0) << text.output;
+  EXPECT_NE(text.output.find(plain.output), std::string::npos)
+      << text.output;
+
+  CommandResult json = RunCli("infer --stats=json " + xml1_ + " " + xml2_);
+  EXPECT_EQ(json.exit_code, 0) << json.output;
+  EXPECT_NE(json.output.find(plain.output), std::string::npos)
+      << json.output;
+  for (const char* key :
+       {"\"condtd_stats_version\": 1", "\"counters\"", "\"learners\"",
+        "\"scheduling\"", "\"gauges\"", "\"wall\""}) {
+    EXPECT_NE(json.output.find(key), std::string::npos)
+        << key << "\n" << json.output;
+  }
+#ifdef CONDTD_NO_STATS
+  // The kill-switch build still accepts the flag and renders the full
+  // schema, but reports itself disabled with all-zero counts.
+  EXPECT_NE(json.output.find("\"enabled\": false"), std::string::npos)
+      << json.output;
+#else
+  EXPECT_NE(text.output.find("documents_ingested"), std::string::npos)
+      << text.output;
+  for (const char* key : {"\"enabled\": true", "\"documents_ingested\": 2"}) {
+    EXPECT_NE(json.output.find(key), std::string::npos)
+        << key << "\n" << json.output;
+  }
+#endif
+
+  CommandResult bad = RunCli("infer --stats=yaml " + xml1_);
+  EXPECT_EQ(bad.exit_code, 2);
+  EXPECT_NE(bad.output.find("expected 'json' or 'text'"),
+            std::string::npos)
+      << bad.output;
+}
+
+TEST_F(CliTest, StatsCountersSubtreeIsIdenticalAcrossJobs) {
+  auto counters_of = [&](const std::string& jobs_flag) {
+    CommandResult result =
+        RunCli("infer --stats=json " + jobs_flag + " " + xml1_ + " " + xml2_);
+    EXPECT_EQ(result.exit_code, 0) << result.output;
+    size_t start = result.output.find("\"counters\": {");
+    size_t end = result.output.find('}', start);
+    EXPECT_NE(start, std::string::npos) << result.output;
+    EXPECT_NE(end, std::string::npos) << result.output;
+    return result.output.substr(start, end - start);
+  };
+  std::string base = counters_of("");
+  EXPECT_EQ(counters_of("--jobs=2"), base);
+  EXPECT_EQ(counters_of("--jobs=5"), base);
+}
+
+TEST_F(CliTest, ParallelInferReportsEveryFailedDocument) {
+  std::string bad1 = TempPath("bad1.xml");
+  std::string bad2 = TempPath("bad2.xml");
+  ASSERT_TRUE(WriteStringToFile(bad1, "<a><b></a>").ok());
+  ASSERT_TRUE(WriteStringToFile(bad2, "not xml at all").ok());
+  CommandResult result = RunCli("infer --jobs=2 " + xml1_ + " " + bad1 +
+                                " " + xml2_ + " " + bad2);
+  EXPECT_EQ(result.exit_code, 1);
+  // One line per failed document — not just the first failure.
+  EXPECT_NE(result.output.find(bad1 + ":"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find(bad2 + ":"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("2 of 4 documents failed"),
+            std::string::npos)
+      << result.output;
+}
+
 TEST_F(CliTest, InferWithoutInputsExplainsItself) {
   CommandResult result = RunCli("infer --jobs=2");
   EXPECT_EQ(result.exit_code, 2);

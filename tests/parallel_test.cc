@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <new>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -228,6 +230,103 @@ TEST(ParallelInferrer, ReportsParseErrorsByDocumentIndex) {
   EXPECT_EQ(inferrer.merged()->WordCount(
                 inferrer.merged()->alphabet()->Find("feed")),
             18);
+}
+
+TEST(ParallelInferrer, AggregatesAllDocumentErrors) {
+  std::vector<std::string> documents = GenerateCorpus(12, 9);
+  documents[2] = "<broken><unclosed></broken>";
+  documents[5] = "not xml at all";
+  documents[9] = "<feed><entry></feed>";
+  ParallelDtdInferrer inferrer(InferenceOptions{}, 4);
+  for (const std::string& doc : documents) inferrer.AddXml(doc);
+  Status status = inferrer.Finish();
+  EXPECT_FALSE(status.ok());
+  ASSERT_EQ(inferrer.errors().size(), 3u);
+  EXPECT_EQ(inferrer.errors()[0].doc_index, 2);
+  EXPECT_EQ(inferrer.errors()[1].doc_index, 5);
+  EXPECT_EQ(inferrer.errors()[2].doc_index, 9);
+  // The aggregate status names the failure count and the first failing
+  // document, not just the front error's message.
+  EXPECT_NE(status.message().find("3 documents failed"), std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.message().find("document 2"), std::string::npos)
+      << status.ToString();
+  // Finish is idempotent and keeps reporting the same aggregate.
+  EXPECT_EQ(inferrer.Finish().message(), status.message());
+}
+
+TEST(ParallelInferrer, SingleFailureKeepsThatDocumentsStatus) {
+  std::vector<std::string> documents = GenerateCorpus(8, 10);
+  documents[3] = "not xml at all";
+  ParallelDtdInferrer inferrer(InferenceOptions{}, 3);
+  for (const std::string& doc : documents) inferrer.AddXml(doc);
+  Status status = inferrer.Finish();
+  EXPECT_FALSE(status.ok());
+  ASSERT_EQ(inferrer.errors().size(), 1u);
+  EXPECT_EQ(status.message(), inferrer.errors().front().status.message());
+  EXPECT_EQ(status.message().find("documents failed"), std::string::npos)
+      << status.ToString();
+}
+
+/// Installs a throwing ingest fault for the test's duration; the
+/// destructor uninstalls it even when an assertion fails first.
+struct ScopedIngestFault {
+  explicit ScopedIngestFault(ParallelDtdInferrer::IngestFault fault) {
+    ParallelDtdInferrer::SetIngestFaultForTest(fault);
+  }
+  ~ScopedIngestFault() {
+    ParallelDtdInferrer::SetIngestFaultForTest(nullptr);
+  }
+};
+
+TEST(ParallelInferrer, SurvivesWorkerExceptions) {
+  std::vector<std::string> documents = GenerateCorpus(20, 77);
+  // Without the worker pool's containment these would escape the thread
+  // entry point and std::terminate the whole process.
+  ScopedIngestFault fault(+[](int64_t doc_index) {
+    if (doc_index == 5) throw std::bad_alloc();
+    if (doc_index == 11) throw std::length_error("simulated oversize");
+  });
+  ParallelDtdInferrer inferrer(InferenceOptions{}, 3);
+  for (const std::string& doc : documents) inferrer.AddXml(doc);
+  Status status = inferrer.Finish();
+  EXPECT_FALSE(status.ok());
+  ASSERT_EQ(inferrer.errors().size(), 2u);
+  EXPECT_EQ(inferrer.errors()[0].doc_index, 5);
+  EXPECT_EQ(inferrer.errors()[1].doc_index, 11);
+  EXPECT_EQ(inferrer.errors()[0].status.code(), StatusCode::kInternal);
+  EXPECT_NE(inferrer.errors()[1].status.message().find("simulated oversize"),
+            std::string::npos)
+      << inferrer.errors()[1].status.ToString();
+  // Every other document folded; the failed ones contributed nothing.
+  EXPECT_EQ(inferrer.merged()->WordCount(
+                inferrer.merged()->alphabet()->Find("feed")),
+            18);
+}
+
+TEST(ParallelInferrer, WorkerExceptionsDoNotPerturbSurvivingDocuments) {
+  std::vector<std::string> documents = GenerateCorpus(60, 4242);
+  // Expected result: a sequential run over the corpus minus the faulted
+  // documents.
+  std::vector<std::string> survivors;
+  for (size_t i = 0; i < documents.size(); ++i) {
+    if (i % 10 != 7) survivors.push_back(documents[i]);
+  }
+  std::string expected = SequentialDtd(survivors);
+  ScopedIngestFault fault(+[](int64_t doc_index) {
+    if (doc_index % 10 == 7) throw std::runtime_error("injected");
+  });
+  for (int shards : {2, 5}) {
+    ParallelDtdInferrer inferrer(InferenceOptions{}, shards);
+    for (const std::string& doc : documents) inferrer.AddXml(doc);
+    EXPECT_FALSE(inferrer.Finish().ok());
+    EXPECT_EQ(inferrer.errors().size(), 6u);
+    Result<Dtd> dtd = inferrer.merged()->InferDtd();
+    ASSERT_TRUE(dtd.ok()) << dtd.status().ToString();
+    EXPECT_EQ(WriteDtd(dtd.value(), *inferrer.merged()->alphabet()),
+              expected)
+        << "shard count " << shards;
+  }
 }
 
 // --- DtdInferrer::MergeFrom ----------------------------------------------

@@ -18,6 +18,12 @@
 //       --state-out=FILE      save the summary state after folding
 //                             (incremental pipelines: keep the state,
 //                             discard the XML — Section 9)
+//       --stats[=json|text]   enable the observability layer and print a
+//                             pipeline report (counters, per-stage and
+//                             per-learner timings) to stderr on exit;
+//                             bare --stats means text. Counter values
+//                             are deterministic at any --jobs; wall
+//                             times are not (see src/obs/report.h)
 //   condtd validate --schema=file.dtd file.xml...
 //                                           validate documents; a missing
 //                                           --schema uses each document's
@@ -54,6 +60,8 @@
 #include "infer/parallel.h"
 #include "infer/streaming.h"
 #include "learn/learner.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
 #include "regex/determinism.h"
 #include "regex/matcher.h"
 #include "regex/parser.h"
@@ -71,7 +79,7 @@ int Usage() {
       "usage:\n"
       "  condtd infer [--xsd] [--algorithm=%s]\n"
       "               [--noise=N] [--jobs=N] [--max-strings=N] [--dom]\n"
-      "               [--out=FILE]\n"
+      "               [--out=FILE] [--stats[=json|text]]\n"
       "               [--state-in=FILE] [--state-out=FILE] file.xml...\n"
       "  condtd validate [--schema=file.dtd] file.xml...\n"
       "  condtd regex \"expr\" word...\n"
@@ -106,6 +114,21 @@ bool ParseCountFlag(const char* flag, const std::string& value, int min,
   return true;
 }
 
+/// Prints the observability report to stderr when RunInfer leaves scope
+/// — any exit path, success or failure, produces the report (stderr so
+/// the schema on stdout stays clean for pipelines).
+struct StatsReporter {
+  enum class Mode { kOff, kText, kJson };
+  Mode mode = Mode::kOff;
+  ~StatsReporter() {
+    if (mode == Mode::kOff) return;
+    std::string report = mode == Mode::kJson
+                             ? RenderStatsJson(obs::SnapshotStats())
+                             : RenderStatsText(obs::SnapshotStats());
+    std::fputs(report.c_str(), stderr);
+  }
+};
+
 int RunInfer(const std::vector<std::string>& args) {
   InferenceOptions options;
   bool emit_xsd = false;
@@ -114,6 +137,7 @@ int RunInfer(const std::vector<std::string>& args) {
   std::string state_in;
   std::string state_out;
   std::vector<std::string> files;
+  StatsReporter stats;
   for (const std::string& arg : args) {
     std::string value;
     if (arg == "--xsd") {
@@ -122,6 +146,18 @@ int RunInfer(const std::vector<std::string>& args) {
       options.lenient_xml = true;
     } else if (arg == "--dom") {
       options.streaming_ingest = false;
+    } else if (arg == "--stats") {
+      stats.mode = StatsReporter::Mode::kText;
+    } else if (GetFlag(arg, "stats", &value)) {
+      if (value == "json") {
+        stats.mode = StatsReporter::Mode::kJson;
+      } else if (value == "text") {
+        stats.mode = StatsReporter::Mode::kText;
+      } else {
+        std::fprintf(stderr, "--stats=%s: expected 'json' or 'text'\n",
+                     value.c_str());
+        return 2;
+      }
     } else if (GetFlag(arg, "jobs", &value)) {
       if (!ParseCountFlag("jobs", value, 1, &jobs)) return 2;
     } else if (GetFlag(arg, "state-in", &value)) {
@@ -162,6 +198,11 @@ int RunInfer(const std::vector<std::string>& args) {
                  "infer: no input files (pass file.xml arguments or "
                  "--state-in=FILE)\n");
     return 2;
+  }
+  if (stats.mode != StatsReporter::Mode::kOff) {
+    obs::EnableStats(true);
+    obs::ResetStats();
+    obs::GaugeSet(obs::Gauge::kJobs, jobs);
   }
 
   // --jobs != 1 runs the sharded ingestion-and-inference pipeline; its
@@ -218,10 +259,21 @@ int RunInfer(const std::vector<std::string>& args) {
   if (parallel) {
     parallel->Finish();
     if (!parallel->errors().empty()) {
-      const auto& error = parallel->errors().front();
-      std::fprintf(stderr, "%s: %s\n",
-                   files[error.doc_index].c_str(),
-                   error.status.ToString().c_str());
+      // One line per failed document, in submission order — not just the
+      // first failure.
+      for (const auto& error : parallel->errors()) {
+        if (error.doc_index >= 0 &&
+            static_cast<size_t>(error.doc_index) < files.size()) {
+          std::fprintf(stderr, "%s: %s\n", files[error.doc_index].c_str(),
+                       error.status.ToString().c_str());
+        } else {
+          std::fprintf(stderr, "document %lld: %s\n",
+                       static_cast<long long>(error.doc_index),
+                       error.status.ToString().c_str());
+        }
+      }
+      std::fprintf(stderr, "infer: %zu of %zu documents failed\n",
+                   parallel->errors().size(), files.size());
       return 1;
     }
   }
@@ -251,6 +303,7 @@ int RunInfer(const std::vector<std::string>& args) {
                    dtd.status().ToString().c_str());
       return 1;
     }
+    obs::StageSpan span(obs::Stage::kEmit);
     schema = WriteDtd(dtd.value(), *inferrer.alphabet());
   }
   if (out_path.empty()) {
