@@ -8,13 +8,21 @@
 // process when RSS matters: ru_maxrss is a process-lifetime high-water
 // mark.
 //
-//   ingest_throughput --corpus=table1|table2 --mode=dom|sax|sax-nodedup
+//   ingest_throughput --corpus=table1|table2|synthetic
+//                     --mode=dom|sax|sax-nodedup [--synthetic-mb=N]
 //                     [--repeat=N] [--max-docs=N] [--json] [--stats]
+//
+// --corpus=synthetic (or just --synthetic-mb=N, which implies it)
+// generates a deterministic text-dominant corpus of N MiB in memory —
+// large enough to defeat the cache residency that makes the paper-sized
+// corpora flatter memory-bandwidth work than real DBLP-scale inputs.
 //
 // --stats turns the observability registry on for the timed runs and
 // appends the obs report to stderr — both to measure the enabled-path
 // overhead against a plain run (EXPERIMENTS.md E15) and to cross-check
-// the bench's own counters against the registry's.
+// the bench's own counters against the registry's. It also unlocks the
+// per-phase breakdown (read vs parse vs fold vs commit) derived from
+// the StageSpan histograms, reported per repeat.
 
 #include <sys/resource.h>
 
@@ -101,7 +109,9 @@ RunResult RunOnce(const std::vector<std::string>& documents,
 
 int Main(int argc, char** argv) {
   std::string corpus = "table1";
+  bool corpus_set = false;
   std::string mode = "sax";
+  int synthetic_mb = 0;
   int repeat = 5;
   int max_docs = 0;
   bool json = false;
@@ -116,8 +126,12 @@ int Main(int argc, char** argv) {
     std::string value;
     if (flag("corpus", &value)) {
       corpus = value;
+      corpus_set = true;
     } else if (flag("mode", &value)) {
       mode = value;
+    } else if (flag("synthetic-mb", &value)) {
+      synthetic_mb = std::atoi(value.c_str());
+      if (!corpus_set) corpus = "synthetic";
     } else if (flag("repeat", &value)) {
       repeat = std::atoi(value.c_str());
     } else if (flag("max-docs", &value)) {
@@ -129,25 +143,33 @@ int Main(int argc, char** argv) {
       obs::ResetStats();
     } else {
       std::fprintf(stderr,
-                   "usage: ingest_throughput --corpus=table1|table2 "
-                   "--mode=dom|sax|sax-nodedup [--repeat=N] "
-                   "[--max-docs=N] [--json] [--stats]\n");
+                   "usage: ingest_throughput "
+                   "--corpus=table1|table2|synthetic "
+                   "--mode=dom|sax|sax-nodedup [--synthetic-mb=N] "
+                   "[--repeat=N] [--max-docs=N] [--json] [--stats]\n");
       return 2;
     }
   }
-  if ((corpus != "table1" && corpus != "table2") ||
+  if ((corpus != "table1" && corpus != "table2" &&
+       corpus != "synthetic") ||
       (mode != "dom" && mode != "sax" && mode != "sax-nodedup") ||
-      repeat < 1) {
-    std::fprintf(stderr, "bad --corpus/--mode/--repeat value\n");
+      repeat < 1 || synthetic_mb < 0) {
+    std::fprintf(stderr,
+                 "bad --corpus/--mode/--repeat/--synthetic-mb value\n");
     return 2;
   }
 
   // table1: the nine Table 1 content models with realistic #PCDATA
   // leaves and attributes (text-dominant, like the paper's corpora).
   // table2: example4's 10000 pure-markup one-element documents.
+  // synthetic: an N-MiB generated record corpus (default 64 MiB) that
+  // exceeds cache so the scan path hits memory bandwidth.
   std::vector<std::string> documents =
-      corpus == "table1" ? bench_util::Table1TextDocuments()
-                         : bench_util::Example4Documents();
+      corpus == "synthetic"
+          ? bench_util::SyntheticCorpusDocuments(
+                synthetic_mb > 0 ? synthetic_mb : 64)
+          : (corpus == "table1" ? bench_util::Table1TextDocuments()
+                                : bench_util::Example4Documents());
   if (max_docs > 0 && static_cast<int>(documents.size()) > max_docs) {
     documents.resize(max_docs);
   }
@@ -165,6 +187,19 @@ int Main(int argc, char** argv) {
       return 1;
     }
   }
+  // Per-phase wall-clock per repeat, from the StageSpan histograms:
+  // where a run's time actually goes (read vs parse vs fold vs commit).
+  // total_ns accumulates across all repeats, so divide by repeat for a
+  // per-run figure. Zero (and absent from output) when --stats is off.
+  struct PhaseBreakdown {
+    bool enabled = false;
+    double io_read_ms = 0;
+    double lex_parse_ms = 0;
+    double word_fold_ms = 0;
+    double dedup_commit_ms = 0;
+    double shard_merge_ms = 0;
+  };
+  PhaseBreakdown phases;
   if (obs::StatsEnabled()) {
     obs::StatsSnapshot snapshot = obs::SnapshotStats();
     // The registry and the folder count the same events; disagreement
@@ -180,6 +215,17 @@ int Main(int argc, char** argv) {
                    static_cast<long long>(best.words));
       return 1;
     }
+    auto stage_ms = [&snapshot, repeat](obs::Stage stage) {
+      return static_cast<double>(
+                 snapshot.stages[static_cast<int>(stage)].total_ns) /
+             1e6 / repeat;
+    };
+    phases.enabled = true;
+    phases.io_read_ms = stage_ms(obs::Stage::kIoRead);
+    phases.lex_parse_ms = stage_ms(obs::Stage::kLexParse);
+    phases.word_fold_ms = stage_ms(obs::Stage::kWordFold);
+    phases.dedup_commit_ms = stage_ms(obs::Stage::kDedupCommit);
+    phases.shard_merge_ms = stage_ms(obs::Stage::kShardMerge);
     std::fputs(RenderStatsText(snapshot).c_str(), stderr);
   }
   double mb = static_cast<double>(total_bytes) / (1024.0 * 1024.0);
@@ -189,22 +235,42 @@ int Main(int argc, char** argv) {
   if (json) {
     std::printf(
         "{\"corpus\": \"%s\", \"mode\": \"%s\", \"documents\": %zu, "
-        "\"bytes\": %lld, \"repeats\": %d, \"best_ingest_seconds\": %.6f, "
+        "\"bytes\": %lld, \"repeats\": %d, \"num_cpus\": %d, "
+        "\"best_ingest_seconds\": %.6f, "
         "\"mb_per_s\": %.2f, \"docs_per_s\": %.0f, \"words\": %lld, "
         "\"distinct_words\": %lld, \"dtd_fnv1a\": \"%016llx\", "
-        "\"peak_rss_kb\": %ld}\n",
+        "\"peak_rss_kb\": %ld",
         corpus.c_str(), mode.c_str(), documents.size(),
-        static_cast<long long>(total_bytes), repeat, best.seconds,
-        mb_per_s, docs_per_s, static_cast<long long>(best.words),
+        static_cast<long long>(total_bytes), repeat,
+        bench_util::NumCpus(), best.seconds, mb_per_s, docs_per_s,
+        static_cast<long long>(best.words),
         static_cast<long long>(best.distinct_words),
         static_cast<unsigned long long>(best.dtd_fingerprint), PeakRssKb());
+    if (phases.enabled) {
+      std::printf(
+          ", \"phase_ms\": {\"io_read\": %.3f, \"lex_parse\": %.3f, "
+          "\"word_fold\": %.3f, \"dedup_commit\": %.3f, "
+          "\"shard_merge\": %.3f}",
+          phases.io_read_ms, phases.lex_parse_ms, phases.word_fold_ms,
+          phases.dedup_commit_ms, phases.shard_merge_ms);
+    }
+    std::printf("}\n");
   } else {
     std::printf(
         "%s/%s: %zu docs, %.2f MB, best of %d: %.3f s  (%.1f MB/s, "
-        "%.0f docs/s)  dtd=%016llx  peak_rss=%ld KB\n",
+        "%.0f docs/s)  dtd=%016llx  peak_rss=%ld KB  cpus=%d\n",
         corpus.c_str(), mode.c_str(), documents.size(), mb, repeat,
         best.seconds, mb_per_s, docs_per_s,
-        static_cast<unsigned long long>(best.dtd_fingerprint), PeakRssKb());
+        static_cast<unsigned long long>(best.dtd_fingerprint), PeakRssKb(),
+        bench_util::NumCpus());
+    if (phases.enabled) {
+      std::printf(
+          "  per-repeat phases: io_read %.1f ms, lex_parse %.1f ms, "
+          "word_fold %.1f ms, dedup_commit %.1f ms, shard_merge %.1f "
+          "ms\n",
+          phases.io_read_ms, phases.lex_parse_ms, phases.word_fold_ms,
+          phases.dedup_commit_ms, phases.shard_merge_ms);
+    }
     if (best.words > 0) {
       std::printf("  %lld words folded, %lld distinct (%.1fx dedup)\n",
                   static_cast<long long>(best.words),

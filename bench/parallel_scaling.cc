@@ -19,6 +19,7 @@
 #include "gen/corpus.h"
 #include "infer/inferrer.h"
 #include "infer/parallel.h"
+#include "infer/streaming.h"
 
 namespace condtd {
 namespace {
@@ -39,12 +40,34 @@ void RunSequential(benchmark::State& state,
   state.SetItemsProcessed(state.iterations() * documents.size());
 }
 
+// Streaming SAX fold on one thread: the honest single-threaded
+// baseline for the parallel sweep, since the workers run the same
+// streaming fold per shard. The DOM baseline above stays for the
+// parse-then-fold comparison.
+void RunSequentialStreaming(benchmark::State& state,
+                            const std::vector<std::string>& documents) {
+  for (auto _ : state) {
+    DtdInferrer inferrer;
+    StreamingFolder folder(&inferrer, StreamingFolder::Options{});
+    for (const std::string& doc : documents) {
+      if (!folder.AddXml(doc).ok()) state.SkipWithError("parse failed");
+    }
+    folder.Flush();
+    Result<Dtd> dtd = inferrer.InferDtd();
+    benchmark::DoNotOptimize(dtd.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * documents.size());
+}
+
 void RunParallel(benchmark::State& state,
                  const std::vector<std::string>& documents) {
   int threads = static_cast<int>(state.range(0));
   for (auto _ : state) {
     ParallelDtdInferrer inferrer(InferenceOptions{}, threads);
-    for (const std::string& doc : documents) inferrer.AddXml(std::string(doc));
+    // Borrowed submission: `documents` outlives Finish(), so the
+    // scheduler stages string_views into batches with no per-document
+    // copy — the same zero-copy path the CLI uses for mmap'd files.
+    for (const std::string& doc : documents) inferrer.AddBorrowedXml(doc);
     Result<Dtd> dtd = inferrer.InferDtd();
     if (!dtd.ok()) state.SkipWithError("inference failed");
     benchmark::DoNotOptimize(dtd.ok());
@@ -56,6 +79,11 @@ void BM_Sequential_Example4(benchmark::State& state) {
   RunSequential(state, Example4Documents());
 }
 BENCHMARK(BM_Sequential_Example4)->Unit(benchmark::kMillisecond);
+
+void BM_SequentialStreaming_Example4(benchmark::State& state) {
+  RunSequentialStreaming(state, Example4Documents());
+}
+BENCHMARK(BM_SequentialStreaming_Example4)->Unit(benchmark::kMillisecond);
 
 void BM_Parallel_Example4(benchmark::State& state) {
   RunParallel(state, Example4Documents());
@@ -72,6 +100,11 @@ void BM_Sequential_Table1(benchmark::State& state) {
   RunSequential(state, Table1Documents());
 }
 BENCHMARK(BM_Sequential_Table1)->Unit(benchmark::kMillisecond);
+
+void BM_SequentialStreaming_Table1(benchmark::State& state) {
+  RunSequentialStreaming(state, Table1Documents());
+}
+BENCHMARK(BM_SequentialStreaming_Table1)->Unit(benchmark::kMillisecond);
 
 void BM_Parallel_Table1(benchmark::State& state) {
   RunParallel(state, Table1Documents());

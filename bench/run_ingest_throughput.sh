@@ -8,6 +8,10 @@
 # determinism contract every ingestion path must uphold.
 #
 # Usage: bench/run_ingest_throughput.sh [build-dir] [extra-binary-flags]
+#
+# Set CONDTD_SYNTHETIC_MB=N to add a third, N-MiB synthetic corpus to
+# the sweep (kept off the default CI path, where the paper-sized corpora
+# finish in seconds).
 set -e
 build="${1:-build}"
 shift 2>/dev/null || true
@@ -17,7 +21,13 @@ out="$root/BENCH_ingest.json"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
-for corpus in table1 table2; do
+corpora="table1 table2"
+if [ -n "${CONDTD_SYNTHETIC_MB:-}" ]; then
+  corpora="$corpora synthetic"
+  set -- --synthetic-mb="$CONDTD_SYNTHETIC_MB" "$@"
+fi
+
+for corpus in $corpora; do
   for mode in dom sax sax-nodedup; do
     "$binary" --corpus="$corpus" --mode="$mode" --json "$@" \
       >> "$tmp/results.jsonl"
@@ -38,7 +48,8 @@ done
   printf '    "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%S+00:00)"
   printf '    "host_name": "%s",\n' "$(hostname)"
   printf '    "executable": "%s",\n' "$binary"
-  printf '    "num_cpus": %s\n' "$(nproc)"
+  printf '    "num_cpus": %s\n' \
+    "$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
   printf '  },\n'
   printf '  "results": [\n'
   sed 's/^/    /; $!s/$/,/' "$tmp/results.jsonl"

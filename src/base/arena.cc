@@ -1,0 +1,93 @@
+#include "base/arena.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace condtd {
+
+Arena::Arena(size_t first_block_bytes)
+    : next_block_bytes_(std::max<size_t>(first_block_bytes, 64)) {}
+
+char* Arena::Reserve(size_t size) {
+  if (!blocks_.empty() &&
+      blocks_[block_index_].capacity - offset_ >= size) {
+    return blocks_[block_index_].data.get() + offset_;
+  }
+  // Reuse retained blocks first (post-Reset steady state), skipping any
+  // too small for this request.
+  while (block_index_ + 1 < blocks_.size()) {
+    ++block_index_;
+    offset_ = 0;
+    if (blocks_[block_index_].capacity >= size) {
+      return blocks_[block_index_].data.get();
+    }
+  }
+  const size_t capacity = std::max(next_block_bytes_, size);
+  next_block_bytes_ = capacity * 2;
+  Block block;
+  block.data.reset(new char[capacity]);
+  block.capacity = capacity;
+  footprint_ += capacity;
+  blocks_.push_back(std::move(block));
+  block_index_ = blocks_.size() - 1;
+  offset_ = 0;
+  return blocks_[block_index_].data.get();
+}
+
+char* Arena::Allocate(size_t size) {
+  const size_t aligned = (offset_ + 7u) & ~size_t{7};
+  char* base = Reserve((aligned - offset_) + size);
+  if (offset_ != 0) {
+    // Still in the same block: skip the alignment pad.
+    const size_t pad = ((offset_ + 7u) & ~size_t{7}) - offset_;
+    base += pad;
+    offset_ += pad;
+  }
+  offset_ += size;
+  bytes_used_ += size;
+  return base;
+}
+
+std::string_view Arena::Copy(std::string_view text) {
+  if (text.empty()) return std::string_view();
+  char* slice = Reserve(text.size());
+  std::memcpy(slice, text.data(), text.size());
+  offset_ += text.size();
+  bytes_used_ += text.size();
+  return std::string_view(slice, text.size());
+}
+
+std::string_view Arena::Append(std::string_view head, std::string_view tail) {
+  if (tail.empty()) return head;
+  if (head.empty()) return Copy(tail);
+  if (!blocks_.empty()) {
+    char* base = blocks_[block_index_].data.get();
+    const bool head_is_top = head.data() >= base &&
+                             head.data() + head.size() == base + offset_;
+    if (head_is_top &&
+        blocks_[block_index_].capacity - offset_ >= tail.size()) {
+      std::memcpy(base + offset_, tail.data(), tail.size());
+      offset_ += tail.size();
+      bytes_used_ += tail.size();
+      return std::string_view(head.data(), head.size() + tail.size());
+    }
+  }
+  // Cannot extend in place: relocate head and tail into a fresh slice.
+  // `head` may live in a previous block; retained blocks stay valid, so
+  // the copy below reads from stable memory.
+  const size_t total = head.size() + tail.size();
+  char* slice = Reserve(total);
+  std::memcpy(slice, head.data(), head.size());
+  std::memcpy(slice + head.size(), tail.data(), tail.size());
+  offset_ += total;
+  bytes_used_ += total;
+  return std::string_view(slice, total);
+}
+
+void Arena::Reset() {
+  block_index_ = 0;
+  offset_ = 0;
+  bytes_used_ = 0;
+}
+
+}  // namespace condtd

@@ -1,0 +1,71 @@
+#ifndef CONDTD_BASE_ARENA_H_
+#define CONDTD_BASE_ARENA_H_
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace condtd {
+
+/// Bump allocator for per-document transient state. `Allocate` hands
+/// out pointer-aligned slices of geometrically growing blocks;
+/// `Reset()` rewinds to empty while keeping every block allocated, so
+/// steady-state ingestion of a document stream performs zero heap
+/// traffic no matter how many strings it materializes per document.
+///
+/// Views returned by `Copy`/`Append` stay valid until the next
+/// `Reset()` (or destruction) — callers must promote anything with a
+/// longer lifetime to owned storage before resetting.
+class Arena {
+ public:
+  explicit Arena(size_t first_block_bytes = 4096);
+  ~Arena() = default;
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `size` bytes, 8-aligned. Ingestion only stores byte
+  /// strings and small PODs, so that covers every current use.
+  char* Allocate(size_t size);
+
+  /// Copies `text` into the arena and returns a view of the copy.
+  std::string_view Copy(std::string_view text);
+
+  /// Appends `tail` to `head`, where `head` is empty or a view
+  /// previously returned by this arena. When `head` is the most recent
+  /// allocation and the current block has room, the copy extends in
+  /// place; otherwise both parts move to a fresh slice. Returns the
+  /// combined view. This gives O(amortized-linear) accumulation for the
+  /// text-gathering pattern in the streaming folder.
+  std::string_view Append(std::string_view head, std::string_view tail);
+
+  /// Rewinds to empty, keeping block capacity for reuse.
+  void Reset();
+
+  /// Bytes handed out since the last Reset().
+  size_t bytes_used() const { return bytes_used_; }
+
+  /// Total bytes of block capacity currently held (survives Reset).
+  size_t footprint() const { return footprint_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t capacity = 0;
+  };
+
+  /// Makes sure the active block has at least `size` free bytes.
+  char* Reserve(size_t size);
+
+  std::vector<Block> blocks_;
+  size_t block_index_ = 0;  ///< active block (valid when !blocks_.empty())
+  size_t offset_ = 0;       ///< bump pointer within the active block
+  size_t bytes_used_ = 0;
+  size_t footprint_ = 0;
+  size_t next_block_bytes_;
+};
+
+}  // namespace condtd
+
+#endif  // CONDTD_BASE_ARENA_H_

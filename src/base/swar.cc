@@ -1,0 +1,42 @@
+#include "base/swar.h"
+
+namespace condtd {
+namespace swar {
+
+namespace {
+
+constexpr unsigned char Classify(int c) {
+  unsigned char bits = 0;
+  const bool alpha = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z');
+  const bool digit = c >= '0' && c <= '9';
+  if (alpha || c == '_' || c == ':') bits |= kNameStartChar;
+  if (alpha || digit || c == '_' || c == ':' || c == '-' || c == '.') {
+    bits |= kNameChar;
+  }
+  if (c == ' ' || c == '\t' || c == '\r' || c == '\n') bits |= kSpaceChar;
+  return bits;
+}
+
+}  // namespace
+
+#define CONDTD_CLASS_ROW(base)                                               \
+  Classify(base + 0), Classify(base + 1), Classify(base + 2),                \
+      Classify(base + 3), Classify(base + 4), Classify(base + 5),            \
+      Classify(base + 6), Classify(base + 7), Classify(base + 8),            \
+      Classify(base + 9), Classify(base + 10), Classify(base + 11),          \
+      Classify(base + 12), Classify(base + 13), Classify(base + 14),         \
+      Classify(base + 15)
+
+const unsigned char kCharClass[256] = {
+    CONDTD_CLASS_ROW(0),   CONDTD_CLASS_ROW(16),  CONDTD_CLASS_ROW(32),
+    CONDTD_CLASS_ROW(48),  CONDTD_CLASS_ROW(64),  CONDTD_CLASS_ROW(80),
+    CONDTD_CLASS_ROW(96),  CONDTD_CLASS_ROW(112), CONDTD_CLASS_ROW(128),
+    CONDTD_CLASS_ROW(144), CONDTD_CLASS_ROW(160), CONDTD_CLASS_ROW(176),
+    CONDTD_CLASS_ROW(192), CONDTD_CLASS_ROW(208), CONDTD_CLASS_ROW(224),
+    CONDTD_CLASS_ROW(240),
+};
+
+#undef CONDTD_CLASS_ROW
+
+}  // namespace swar
+}  // namespace condtd

@@ -1,0 +1,113 @@
+#ifndef CONDTD_BASE_WS_DEQUE_H_
+#define CONDTD_BASE_WS_DEQUE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace condtd {
+
+/// Chase–Lev-style work-stealing deque, specialised for the batch
+/// scheduler: a single owner thread pushes work at the bottom and any
+/// number of worker threads steal from the top (FIFO), so the oldest
+/// batch — whose documents carry the lowest indices — is always claimed
+/// first and I/O naturally overlaps parsing across workers.
+///
+/// Relative to the textbook algorithm (Chase & Lev, SPAA'05; Lê et al.,
+/// PPoPP'13) the owner never pops, which removes the owner/thief race
+/// on the last element and lets every operation use straightforward
+/// acquire/release plus seq_cst CAS — no standalone memory fences,
+/// which TSan does not model. Retired rings from grows are kept alive
+/// until destruction because a concurrent thief may still hold a
+/// pointer into one; values for live indices were copied to the new
+/// ring unchanged, so a stale read is still validated by the CAS on
+/// `top_`.
+///
+/// T must be a pointer type (slots are atomic).
+template <typename T>
+class WorkStealingDeque {
+ public:
+  explicit WorkStealingDeque(size_t initial_capacity = 64) {
+    size_t capacity = 8;
+    while (capacity < initial_capacity) capacity *= 2;
+    active_ring_.store(NewRing(capacity), std::memory_order_relaxed);
+  }
+
+  WorkStealingDeque(const WorkStealingDeque&) = delete;
+  WorkStealingDeque& operator=(const WorkStealingDeque&) = delete;
+
+  /// Owner only. Appends `item` at the bottom.
+  void Push(T item) {
+    const int64_t bottom = bottom_.load(std::memory_order_relaxed);
+    const int64_t top = top_.load(std::memory_order_acquire);
+    Ring* ring = active_ring_.load(std::memory_order_relaxed);
+    if (bottom - top >= static_cast<int64_t>(ring->mask + 1)) {
+      ring = Grow(ring, top, bottom);
+    }
+    ring->Slot(bottom).store(item, std::memory_order_relaxed);
+    bottom_.store(bottom + 1, std::memory_order_release);
+  }
+
+  /// Any thread. Claims the oldest item, or returns nullptr when the
+  /// deque is observed empty. Internal CAS races retry.
+  T Steal() {
+    for (;;) {
+      const int64_t top = top_.load(std::memory_order_acquire);
+      const int64_t bottom = bottom_.load(std::memory_order_acquire);
+      if (top >= bottom) return nullptr;
+      Ring* ring = active_ring_.load(std::memory_order_acquire);
+      T item = ring->Slot(top).load(std::memory_order_relaxed);
+      int64_t expected = top;
+      if (top_.compare_exchange_strong(expected, top + 1,
+                                       std::memory_order_seq_cst,
+                                       std::memory_order_relaxed)) {
+        return item;
+      }
+      // Lost the race to another thief; retry with the advanced top.
+    }
+  }
+
+  /// Approximate (both loads are instantaneous snapshots); exact once
+  /// producers and thieves have quiesced.
+  bool Empty() const {
+    return top_.load(std::memory_order_acquire) >=
+           bottom_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Ring {
+    explicit Ring(size_t capacity)
+        : mask(capacity - 1), slots(new std::atomic<T>[capacity]) {}
+    std::atomic<T>& Slot(int64_t index) { return slots[index & mask]; }
+    const size_t mask;
+    std::unique_ptr<std::atomic<T>[]> slots;
+  };
+
+  Ring* NewRing(size_t capacity) {
+    rings_.push_back(std::make_unique<Ring>(capacity));
+    return rings_.back().get();
+  }
+
+  /// Owner only. Doubles capacity, copying live indices [top, bottom).
+  Ring* Grow(Ring* old_ring, int64_t top, int64_t bottom) {
+    Ring* ring = NewRing(2 * (old_ring->mask + 1));
+    for (int64_t i = top; i < bottom; ++i) {
+      ring->Slot(i).store(old_ring->Slot(i).load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+    }
+    active_ring_.store(ring, std::memory_order_release);
+    return ring;
+  }
+
+  std::atomic<int64_t> top_{0};
+  std::atomic<int64_t> bottom_{0};
+  std::atomic<Ring*> active_ring_{nullptr};
+  /// All rings ever allocated, newest last; retired rings stay alive
+  /// for the lifetime of the deque (owner-only mutation in Push/Grow).
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+}  // namespace condtd
+
+#endif  // CONDTD_BASE_WS_DEQUE_H_

@@ -68,6 +68,11 @@ struct InferenceOptions {
   /// ParallelDtdInferrer shards). The inferred DTD is identical either
   /// way; this only selects the faster path.
   bool streaming_ingest = true;
+  /// Documents per scheduler batch in ParallelDtdInferrer: workers pull
+  /// whole batches from the work-stealing deque, so this trades hand-off
+  /// overhead (small batches) against load-balance granularity (large
+  /// batches). The inferred DTD is identical at any value.
+  int batch_docs = 32;
 };
 
 /// The end-to-end DTD inference engine of the paper. Feed it documents

@@ -22,6 +22,8 @@ ParallelDtdInferrer::ParallelDtdInferrer(InferenceOptions options,
                        ? num_threads
                        : std::max(1u, std::thread::hardware_concurrency())),
       merged_(options) {
+  if (options_.batch_docs < 1) options_.batch_docs = 1;
+  obs::GaugeSet(obs::Gauge::kBatchDocs, options_.batch_docs);
   shards_.reserve(num_threads_);
   workers_.reserve(num_threads_);
   for (int t = 0; t < num_threads_; ++t) {
@@ -34,6 +36,7 @@ ParallelDtdInferrer::ParallelDtdInferrer(InferenceOptions options,
 }
 
 ParallelDtdInferrer::~ParallelDtdInferrer() {
+  if (pending_ != nullptr) DispatchPending();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     closed_ = true;
@@ -44,12 +47,42 @@ ParallelDtdInferrer::~ParallelDtdInferrer() {
   }
 }
 
-void ParallelDtdInferrer::AddXml(std::string xml) {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    queue_.emplace_back(next_doc_index_++, std::move(xml));
+void ParallelDtdInferrer::Enqueue(std::string_view text, bool is_path,
+                                  bool copy) {
+  if (pending_ == nullptr) {
+    pending_ = std::make_unique<Batch>();
+    pending_->items.reserve(static_cast<size_t>(options_.batch_docs));
   }
+  WorkItem item;
+  item.doc_index = next_doc_index_++;
+  item.is_path = is_path;
+  item.text = copy ? pending_->arena.Copy(text) : text;
+  pending_->items.push_back(item);
+  if (pending_->items.size() >=
+      static_cast<size_t>(options_.batch_docs)) {
+    DispatchPending();
+  }
+}
+
+void ParallelDtdInferrer::DispatchPending() {
+  deque_.Push(pending_.release());
+  obs::SchedAdd(obs::SchedCounter::kBatchesDispatched, 1);
+  // Empty critical section: orders the push before the notify so a
+  // worker that checked the deque under the mutex cannot miss the wake.
+  { std::lock_guard<std::mutex> lock(mutex_); }
   ready_.notify_one();
+}
+
+void ParallelDtdInferrer::AddXml(std::string_view xml) {
+  Enqueue(xml, /*is_path=*/false, /*copy=*/true);
+}
+
+void ParallelDtdInferrer::AddBorrowedXml(std::string_view xml) {
+  Enqueue(xml, /*is_path=*/false, /*copy=*/false);
+}
+
+void ParallelDtdInferrer::AddFile(std::string_view path) {
+  Enqueue(path, /*is_path=*/true, /*copy=*/true);
 }
 
 Status ParallelDtdInferrer::LoadState(std::string_view serialized) {
@@ -58,15 +91,41 @@ Status ParallelDtdInferrer::LoadState(std::string_view serialized) {
 
 void ParallelDtdInferrer::Worker(Shard* shard) {
   for (;;) {
-    std::pair<int64_t, std::string> doc;
-    {
+    Batch* batch = deque_.Steal();
+    if (batch == nullptr) {
       std::unique_lock<std::mutex> lock(mutex_);
-      ready_.wait(lock, [this] { return !queue_.empty() || closed_; });
-      if (queue_.empty()) return;
-      doc = std::move(queue_.front());
-      queue_.pop_front();
+      ready_.wait(lock, [this] { return closed_ || !deque_.Empty(); });
+      if (!deque_.Empty()) continue;  // race another steal attempt
+      if (closed_) return;
+      continue;  // spurious predicate pass; park again
     }
-    // Parse + fold outside the lock — the hot path touches only
+    obs::SchedAdd(obs::SchedCounter::kBatchSteals, 1);
+    ProcessBatch(shard, batch);
+  }
+}
+
+void ParallelDtdInferrer::ProcessBatch(Shard* shard, Batch* batch) {
+  for (const WorkItem& item : batch->items) {
+    std::string_view xml = item.text;
+    InputBuffer buffer;
+    Status status;
+    bool opened = true;
+    if (item.is_path) {
+      // Worker-side open: this is what overlaps file I/O with parsing —
+      // while this worker faults pages in, the others keep folding.
+      obs::StageSpan io_span(obs::Stage::kIoRead);
+      Result<InputBuffer> open =
+          InputBuffer::Open(std::string(item.text), input_options_);
+      if (open.ok()) {
+        buffer = std::move(open).value();
+        xml = buffer.view();
+      } else {
+        status = open.status();
+        opened = false;
+        obs::CounterAdd(obs::Counter::kDocumentsFailed, 1);
+      }
+    }
+    // Parse + fold without any lock — the hot path touches only
     // shard-local state. Streaming (the default) folds SAX events
     // straight into the shard's summaries; the DOM path stays available
     // for comparison (`streaming_ingest = false`).
@@ -74,43 +133,48 @@ void ParallelDtdInferrer::Worker(Shard* shard) {
     // Exception containment: a document that throws mid-ingestion
     // (std::bad_alloc on a pathological input, std::length_error from a
     // string resize, a throwing test fault) must not take down the
-    // process — without the catch it would escape the thread entry point
-    // and std::terminate. The document is rolled back (AbortDocument
-    // undoes its dedup-cache increments) and recorded as a DocumentError;
-    // the remaining documents keep folding. Names the document interned
-    // before throwing stay in the shard alphabet, so they are still
-    // replayed at the barrier — same as a plain parse failure.
+    // process — without the catch it would escape the thread entry
+    // point and std::terminate. The document is rolled back
+    // (AbortDocument undoes its dedup-cache increments) and recorded as
+    // a DocumentError; the remaining documents keep folding. Names the
+    // document interned before throwing stay in the shard alphabet, so
+    // they are still replayed at the barrier — same as a plain parse
+    // failure.
     int before = shard->inferrer.alphabet()->size();
     ++shard->docs_ingested;
-    Status status;
-    try {
-      if (IngestFault fault = ingest_fault_.load(std::memory_order_acquire)) {
-        fault(doc.first);
+    if (opened) {
+      try {
+        if (IngestFault fault =
+                ingest_fault_.load(std::memory_order_acquire)) {
+          fault(item.doc_index);
+        }
+        status = options_.streaming_ingest ? shard->folder.AddXml(xml)
+                                           : shard->inferrer.AddXml(xml);
+      } catch (const std::exception& e) {
+        shard->folder.AbortDocument();
+        obs::SchedAdd(obs::SchedCounter::kWorkerExceptions, 1);
+        obs::CounterAdd(obs::Counter::kDocumentsFailed, 1);
+        status = Status::Internal(
+            std::string("exception while ingesting document: ") + e.what());
+      } catch (...) {
+        shard->folder.AbortDocument();
+        obs::SchedAdd(obs::SchedCounter::kWorkerExceptions, 1);
+        obs::CounterAdd(obs::Counter::kDocumentsFailed, 1);
+        status = Status::Internal(
+            "non-standard exception while ingesting document");
       }
-      status = options_.streaming_ingest
-                   ? shard->folder.AddXml(doc.second)
-                   : shard->inferrer.AddXml(doc.second);
-    } catch (const std::exception& e) {
-      shard->folder.AbortDocument();
-      obs::SchedAdd(obs::SchedCounter::kWorkerExceptions, 1);
-      obs::CounterAdd(obs::Counter::kDocumentsFailed, 1);
-      status = Status::Internal(
-          std::string("exception while ingesting document: ") + e.what());
-    } catch (...) {
-      shard->folder.AbortDocument();
-      obs::SchedAdd(obs::SchedCounter::kWorkerExceptions, 1);
-      obs::CounterAdd(obs::Counter::kDocumentsFailed, 1);
-      status = Status::Internal(
-          "non-standard exception while ingesting document");
     }
     int after = shard->inferrer.alphabet()->size();
     if (after > before) {
-      shard->new_names.push_back({doc.first, before, after});
+      shard->new_names.push_back({item.doc_index, before, after});
     }
     if (!status.ok()) {
-      shard->errors.push_back({doc.first, std::move(status)});
+      shard->errors.push_back({item.doc_index, std::move(status)});
     }
   }
+  obs::GaugeMax(obs::Gauge::kArenaBytesPeak,
+                static_cast<int64_t>(batch->arena.footprint()));
+  delete batch;
 }
 
 Status ParallelDtdInferrer::AggregateStatus() const {
@@ -129,6 +193,7 @@ Status ParallelDtdInferrer::AggregateStatus() const {
 Status ParallelDtdInferrer::Finish() {
   if (finished_) return AggregateStatus();
   finished_ = true;
+  if (pending_ != nullptr) DispatchPending();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     closed_ = true;
@@ -170,18 +235,43 @@ Status ParallelDtdInferrer::Finish() {
     }
   }
 
-  // With every name already interned, the shard merges are pure remaps;
-  // summaries are associative, so shard order does not matter. Each
-  // shard's dedup cache must drain into its inferrer first.
+  // Drain each shard's dedup cache, then combine the shard stores with
+  // a pairwise merge tree: in each round shard i absorbs shard
+  // i+stride, independent pairs running on their own threads, and the
+  // surviving shard merges into `merged_` last. Summaries are
+  // associative, so the tree shape cannot change the result — it only
+  // turns the O(k) serial merge chain into O(log k) parallel rounds.
+  // Total MergeFrom count is unchanged: (k-1) pair merges + 1 final.
+  std::vector<Shard*> live;
+  live.reserve(shards_.size());
   for (const std::unique_ptr<Shard>& shard : shards_) {
     shard->folder.Flush();
-    merged_.MergeFrom(shard->inferrer);
-    obs::SchedAdd(obs::SchedCounter::kShardMerges, 1);
     obs::GaugeMax(obs::Gauge::kShardDocsMax, shard->docs_ingested);
     for (DocumentError& error : shard->errors) {
       errors_.push_back(std::move(error));
     }
+    live.push_back(shard.get());
   }
+  for (size_t stride = 1; stride < live.size(); stride *= 2) {
+    std::vector<std::thread> mergers;
+    for (size_t i = 0; i + stride < live.size(); i += 2 * stride) {
+      Shard* into = live[i];
+      Shard* from = live[i + stride];
+      if (i + 2 * stride < live.size()) {
+        mergers.emplace_back([into, from] {
+          into->inferrer.MergeFrom(from->inferrer);
+          obs::SchedAdd(obs::SchedCounter::kShardMerges, 1);
+        });
+      } else {
+        // Last pair of the round runs inline — no thread spawn for it.
+        into->inferrer.MergeFrom(from->inferrer);
+        obs::SchedAdd(obs::SchedCounter::kShardMerges, 1);
+      }
+    }
+    for (std::thread& merger : mergers) merger.join();
+  }
+  merged_.MergeFrom(live.front()->inferrer);
+  obs::SchedAdd(obs::SchedCounter::kShardMerges, 1);
   shards_.clear();
   std::sort(errors_.begin(), errors_.end(),
             [](const DocumentError& a, const DocumentError& b) {

@@ -86,7 +86,7 @@ void StreamingFolder::CompleteTop() {
     if (frame.has_text && frame.collect_text) {
       record.has_sample = true;
       record.sample_index = static_cast<uint32_t>(doc_samples_.size());
-      doc_samples_.emplace_back(StripWhitespace(frame.text));
+      doc_samples_.push_back(arena_.Copy(StripWhitespace(frame.text)));
     }
     completed_.push_back(record);
     auto it = cache_.find(WordKeyRef{frame.symbol, &frame.word});
@@ -133,8 +133,9 @@ void StreamingFolder::CommitDocument() {
       ++summary.occurrences;
       if (record.has_text) summary.has_text = true;
       if (record.has_sample) {
-        summary.AddTextSample(std::move(doc_samples_[record.sample_index]),
-                              store_->limits());
+        summary.AddTextSample(
+            std::string(doc_samples_[record.sample_index]),
+            store_->limits());
       }
       for (uint32_t a = 0; a < record.attr_count; ++a) {
         std::string_view key = attr_keys_[record.attr_first + a];
@@ -168,6 +169,9 @@ void StreamingFolder::ResetDocument() {
   completed_.clear();
   attr_keys_.clear();
   doc_samples_.clear();
+  obs::GaugeMax(obs::Gauge::kArenaBytesPeak,
+                static_cast<int64_t>(arena_.footprint()));
+  arena_.Reset();
   doc_new_children_.clear();
 }
 
@@ -198,7 +202,7 @@ Status StreamingFolder::AddXml(std::string_view xml) {
                   static_cast<int64_t>(xml.size()));
   const bool lenient = inferrer_->options().lenient_xml;
   ResetDocument();
-  SaxLexer lexer(xml);
+  lexer_.Reset(xml);
   Alphabet* alphabet = inferrer_->alphabet();
   // Error paths below reset the document so nothing half-folded leaks
   // into the inferrer (dedup mode is fully transactional; see header).
@@ -209,7 +213,7 @@ Status StreamingFolder::AddXml(std::string_view xml) {
   };
 
   while (true) {
-    Result<SaxEvent> next = lexer.Next();
+    Result<SaxEvent> next = lexer_.Next();
     if (!next.ok()) {
       ResetDocument();
       obs::CounterAdd(obs::Counter::kDocumentsFailed, 1);
@@ -264,7 +268,7 @@ Status StreamingFolder::AddXml(std::string_view xml) {
         }
         Frame& frame = PushFrame(symbol);
         if (inferrer_->options().infer_attributes) {
-          for (const SaxAttribute& attr : lexer.attributes()) {
+          for (const SaxAttribute& attr : lexer_.attributes()) {
             attr_keys_.push_back(attr.key);
             ++frame.attr_count;
           }

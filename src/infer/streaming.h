@@ -8,9 +8,11 @@
 #include <vector>
 
 #include "alphabet/alphabet.h"
+#include "base/arena.h"
 #include "base/status.h"
 #include "infer/inferrer.h"
 #include "infer/summary.h"
+#include "xml/sax.h"
 
 namespace condtd {
 
@@ -180,7 +182,16 @@ class StreamingFolder {
   bool root_seen_ = false;
   std::vector<Completed> completed_;
   std::vector<std::string_view> attr_keys_;  // views into the document
-  std::vector<std::string> doc_samples_;
+  /// Whitespace-stripped text samples staged this document — views into
+  /// arena_, promoted to owned strings only for the few the summaries
+  /// actually retain at commit.
+  std::vector<std::string_view> doc_samples_;
+  /// Bump storage for doc_samples_; rewound between documents so
+  /// steady-state sample staging does no heap allocation.
+  Arena arena_;
+  /// Reused across documents (Reset keeps scratch capacity), so lexing
+  /// a corpus performs no per-document allocation either.
+  SaxLexer lexer_;
   /// One entry per word folded this document, pointing at the cache_
   /// count it incremented (unordered_map values are pointer-stable).
   /// Cleared on commit; decremented back on parse failure — a

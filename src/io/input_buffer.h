@@ -1,0 +1,69 @@
+#ifndef CONDTD_IO_INPUT_BUFFER_H_
+#define CONDTD_IO_INPUT_BUFFER_H_
+
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+
+namespace condtd {
+
+/// Zero-copy document input. For regular files above a small threshold
+/// the content is mmap'd read-only (with MADV_SEQUENTIAL, since the
+/// lexer makes exactly one forward pass) and `view()` aliases the
+/// mapping — the kernel's page cache is the only copy of the bytes.
+/// Pipes, character devices, tiny files, and platforms without mmap
+/// fall back to an owned buffered read. Either way the lexer receives a
+/// `string_view`, so the rest of the pipeline is oblivious to the
+/// source.
+///
+/// Movable, not copyable; the mapping (or buffer) lives as long as the
+/// InputBuffer, so views derived from `view()` must not outlive it.
+class InputBuffer {
+ public:
+  struct Options {
+    /// Disable mmap and always take the buffered-read path (--no-mmap).
+    bool allow_mmap = true;
+    /// Regular files below this size are cheaper to read() than to map
+    /// (page-table setup plus a TLB-miss per page beats one small copy).
+    size_t min_mmap_bytes = 16 * 1024;
+  };
+
+  InputBuffer() = default;
+  ~InputBuffer();
+
+  InputBuffer(InputBuffer&& other) noexcept;
+  InputBuffer& operator=(InputBuffer&& other) noexcept;
+  InputBuffer(const InputBuffer&) = delete;
+  InputBuffer& operator=(const InputBuffer&) = delete;
+
+  /// Opens `path` and makes its full content available through
+  /// `view()`. Error statuses match ReadFileToString ("cannot open
+  /// file: <path>" / "error while reading: <path>") so CLI output is
+  /// unchanged by the input-layer swap.
+  static Result<InputBuffer> Open(const std::string& path,
+                                  const Options& options);
+  static Result<InputBuffer> Open(const std::string& path) {
+    return Open(path, Options());
+  }
+
+  /// Wraps an already-owned string (stdin slurp, tests).
+  static InputBuffer FromString(std::string content);
+
+  /// The document bytes. Valid for the lifetime of this InputBuffer.
+  std::string_view view() const { return view_; }
+
+  bool is_mapped() const { return mapped_ != nullptr; }
+
+ private:
+  void Release();
+
+  std::string_view view_;
+  std::string owned_;          ///< buffered-read / FromString storage
+  void* mapped_ = nullptr;     ///< mmap base (non-null iff mapped)
+  size_t mapped_bytes_ = 0;
+};
+
+}  // namespace condtd
+
+#endif  // CONDTD_IO_INPUT_BUFFER_H_

@@ -27,7 +27,8 @@ constexpr std::array<std::string_view,
     kSchedNames = {
         "dedup_cache_hits", "dedup_cache_misses", "dedup_flushes",
         "weighted_fold_ops", "shard_merges",      "summary_merges",
-        "worker_exceptions",
+        "worker_exceptions", "batches_dispatched", "batch_steals",
+        "mmap_reads",        "buffered_reads",
 };
 
 constexpr std::array<std::string_view, static_cast<size_t>(Gauge::kNumGauges)>
@@ -35,13 +36,16 @@ constexpr std::array<std::string_view, static_cast<size_t>(Gauge::kNumGauges)>
         "jobs",
         "dedup_cache_peak",
         "shard_docs_max",
+        "batch_docs",
+        "arena_bytes_peak",
 };
 
 constexpr std::array<std::string_view, static_cast<size_t>(Stage::kNumStages)>
     kStageNames = {
-        "lex_parse", "entity_decode", "word_fold",  "two_t_inf",
-        "crx_fold",  "dedup_commit",  "shard_merge", "learn",
-        "rewrite",   "repair",        "crx_infer",   "emit",
+        "io_read",   "lex_parse",     "entity_decode", "word_fold",
+        "two_t_inf", "crx_fold",      "dedup_commit",  "shard_merge",
+        "learn",     "rewrite",       "repair",        "crx_infer",
+        "emit",
 };
 
 }  // namespace

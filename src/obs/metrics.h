@@ -73,6 +73,10 @@ enum class SchedCounter : int {
   kShardMerges,         ///< shard stores merged at the barrier
   kSummaryMerges,       ///< per-element summaries merged
   kWorkerExceptions,    ///< exceptions contained by the worker pool
+  kBatchesDispatched,   ///< work batches published by the producer
+  kBatchSteals,         ///< batches claimed from the work-stealing deque
+  kMmapReads,           ///< documents opened through an mmap InputBuffer
+  kBufferedReads,       ///< documents opened through the buffered fallback
   kNumSchedCounters,
 };
 
@@ -80,6 +84,8 @@ enum class Gauge : int {
   kJobs = 0,           ///< configured thread count (set)
   kDedupCachePeak,     ///< max distinct words resident in one cache (max)
   kShardDocsMax,       ///< most documents ingested by one shard (max)
+  kBatchDocs,          ///< configured scheduler batch size (set)
+  kArenaBytesPeak,     ///< max bump-arena footprint observed (max)
   kNumGauges,
 };
 
@@ -88,7 +94,8 @@ enum class Gauge : int {
 /// (span placement differs between the DOM and streaming drivers, and
 /// flush timing is shard-local).
 enum class Stage : int {
-  kLexParse = 0,    ///< per-document parse (+ in-stream fold for SAX)
+  kIoRead = 0,      ///< document input (mmap setup or buffered read)
+  kLexParse,        ///< per-document parse (+ in-stream fold for SAX)
   kEntityDecode,    ///< XML entity decoding runs
   kWordFold,        ///< ElementSummary::AddChildWord (whole fold)
   kTwoTInf,         ///< 2T-INF SOA fold inside AddChildWord

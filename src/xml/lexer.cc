@@ -1,22 +1,17 @@
 #include "xml/lexer.h"
 
-#include <cctype>
 #include <cstdint>
 
 #include "base/strings.h"
+#include "base/swar.h"
 
 namespace condtd {
 
 namespace {
 
-bool IsNameStartChar(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
-}
-
-bool IsNameChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
-         c == ':' || c == '-' || c == '.';
-}
+// Shared table classifiers keep the DOM and SAX lexers agreeing on the
+// exact (ASCII-only, locale-independent) name alphabet.
+bool IsNameStartChar(char c) { return swar::IsNameStart(c); }
 
 }  // namespace
 
@@ -221,7 +216,7 @@ Result<XmlToken> XmlLexer::LexTag() {
                               std::to_string(token.offset));
   }
   size_t name_start = pos_;
-  while (pos_ < input_.size() && IsNameChar(input_[pos_])) ++pos_;
+  pos_ = swar::FindNameEnd(input_, pos_);
   token.name = std::string(input_.substr(name_start, pos_ - name_start));
   token.kind = closing ? XmlTokenKind::kEndTag : XmlTokenKind::kStartTag;
 
@@ -251,7 +246,7 @@ Result<XmlToken> XmlLexer::LexTag() {
                                 token.name + ">");
     }
     size_t attr_start = pos_;
-    while (pos_ < input_.size() && IsNameChar(input_[pos_])) ++pos_;
+    pos_ = swar::FindNameEnd(input_, pos_);
     std::string key(input_.substr(attr_start, pos_ - attr_start));
     while (pos_ < input_.size() && IsXmlWhitespace(input_[pos_])) ++pos_;
     if (pos_ >= input_.size() || input_[pos_] != '=') {

@@ -1,6 +1,7 @@
 #include "xml/sax.h"
 
 #include "base/strings.h"
+#include "base/swar.h"
 #include "obs/metrics.h"
 #include "xml/lexer.h"
 
@@ -8,22 +9,10 @@ namespace condtd {
 
 namespace {
 
-// ASCII-only classifiers: <ctype.h> routines are locale-aware calls,
-// too slow for a loop that touches every byte of every tag name.
-inline bool IsAsciiAlpha(char c) {
-  return static_cast<unsigned char>(
-             (static_cast<unsigned char>(c) | 0x20) - 'a') < 26u;
-}
-
-inline bool IsNameStartChar(char c) {
-  return IsAsciiAlpha(c) || c == '_' || c == ':';
-}
-
-inline bool IsNameChar(char c) {
-  return IsAsciiAlpha(c) ||
-         static_cast<unsigned char>(c - '0') < 10u || c == '_' ||
-         c == ':' || c == '-' || c == '.';
-}
+// Shared SWAR char-class table: one L1 load per byte instead of a
+// compare chain, and the name alphabet stays ASCII-only by
+// construction (locale-aware <ctype.h> calls are far too slow here).
+inline bool IsNameStartChar(char c) { return swar::IsNameStart(c); }
 
 }  // namespace
 
@@ -31,14 +20,20 @@ Result<SaxEvent> SaxLexer::Next() {
   while (pos_ < input_.size()) {
     size_t start = pos_;
     if (input_[pos_] != '<') {
-      size_t lt = input_.find('<', pos_);
-      if (lt == std::string_view::npos) lt = input_.size();
+      // One SWAR pass finds whichever of '<' (end of run) or '&'
+      // (entity, forces a decode) comes first — the old code scanned
+      // the run twice (find('<') then find('&')).
+      size_t stop = swar::FindEither(input_, pos_, '<', '&');
+      const bool has_entity = stop != swar::kNpos && input_[stop] == '&';
+      size_t lt = stop;
+      if (has_entity) lt = swar::FindByte(input_, stop, '<');
+      if (lt == swar::kNpos) lt = input_.size();
       std::string_view raw = input_.substr(pos_, lt - pos_);
       pos_ = lt;
       SaxEvent event;
       event.kind = SaxEventKind::kText;
       event.offset = start;
-      if (raw.find('&') == std::string_view::npos) {
+      if (!has_entity) {
         // Zero-copy path: no entities, the view is the text.
         if (StripWhitespace(raw).empty()) continue;
         event.text = raw;
@@ -141,7 +136,7 @@ Result<SaxEvent> SaxLexer::LexTag() {
                               std::to_string(event.offset));
   }
   size_t name_start = pos_;
-  while (pos_ < input_.size() && IsNameChar(input_[pos_])) ++pos_;
+  pos_ = swar::FindNameEnd(input_, pos_);
   event.name = input_.substr(name_start, pos_ - name_start);
   event.kind =
       closing ? SaxEventKind::kEndElement : SaxEventKind::kStartElement;
@@ -166,7 +161,7 @@ Result<SaxEvent> SaxLexer::LexTag() {
   };
 
   while (true) {
-    while (pos_ < input_.size() && IsXmlWhitespace(input_[pos_])) ++pos_;
+    pos_ = swar::SkipSpace(input_, pos_);
     if (pos_ >= input_.size()) {
       return Status::ParseError("unterminated tag <" +
                                 std::string(event.name) + ">");
@@ -191,9 +186,9 @@ Result<SaxEvent> SaxLexer::LexTag() {
                                 std::string(event.name) + ">");
     }
     size_t attr_start = pos_;
-    while (pos_ < input_.size() && IsNameChar(input_[pos_])) ++pos_;
+    pos_ = swar::FindNameEnd(input_, pos_);
     std::string_view key = input_.substr(attr_start, pos_ - attr_start);
-    while (pos_ < input_.size() && IsXmlWhitespace(input_[pos_])) ++pos_;
+    pos_ = swar::SkipSpace(input_, pos_);
     if (pos_ >= input_.size() || input_[pos_] != '=') {
       // Permissive: attribute without value (common in noisy HTML-ish
       // data); record it with an empty value.
@@ -201,7 +196,7 @@ Result<SaxEvent> SaxLexer::LexTag() {
       continue;
     }
     ++pos_;
-    while (pos_ < input_.size() && IsXmlWhitespace(input_[pos_])) ++pos_;
+    pos_ = swar::SkipSpace(input_, pos_);
     if (pos_ >= input_.size() ||
         (input_[pos_] != '"' && input_[pos_] != '\'')) {
       return Status::ParseError("attribute '" + std::string(key) +
@@ -210,15 +205,21 @@ Result<SaxEvent> SaxLexer::LexTag() {
     }
     char quote = input_[pos_++];
     size_t value_start = pos_;
-    size_t value_end = input_.find(quote, pos_);
-    if (value_end == std::string_view::npos) {
+    // One pass: the closing quote ends the value; an earlier '&' means
+    // the value needs entity decoding (the quote still ends it).
+    size_t hit = swar::FindEither(input_, pos_, quote, '&');
+    size_t value_end =
+        (hit != swar::kNpos && input_[hit] == '&')
+            ? swar::FindByte(input_, hit, quote)
+            : hit;
+    if (value_end == swar::kNpos) {
       return Status::ParseError("unterminated attribute value for '" +
                                 std::string(key) + "'");
     }
     std::string_view raw =
         input_.substr(value_start, value_end - value_start);
     pos_ = value_end + 1;
-    if (raw.find('&') == std::string_view::npos) {
+    if (hit == value_end) {
       attributes_.push_back({key, raw});
       continue;
     }

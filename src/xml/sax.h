@@ -54,7 +54,20 @@ struct SaxEvent {
 /// across events so a whole document lexes with O(1) allocations.
 class SaxLexer {
  public:
+  SaxLexer() = default;
   explicit SaxLexer(std::string_view input) : input_(input) {}
+
+  /// Rebinds the lexer to a new document, keeping scratch capacity.
+  /// Ingestion drivers reuse one lexer across a whole corpus so that
+  /// steady-state lexing performs no per-document allocation.
+  void Reset(std::string_view input) {
+    input_ = input;
+    pos_ = 0;
+    attributes_.clear();
+    scratch_slots_.clear();
+    attr_scratch_.clear();
+    text_scratch_.clear();
+  }
 
   /// Produces the next event, or a ParseError status. Views inside the
   /// returned event (and `attributes()`) stay valid until the next call.

@@ -1,0 +1,97 @@
+// Fuzz target: the bump arena behind per-document ingestion state.
+// Interprets the input as an op stream (allocate / copy / append /
+// reset) and mirrors every arena view in owned storage, so any
+// overlap, misalignment, or reuse-after-reset bug shows up either as a
+// content mismatch (abort) or as an ASan report when the replay runs
+// under the sanitizer lane. The reset op immediately re-copies through
+// the recycled blocks — the steady-state pattern of the streaming
+// folder, and the path where a stale bump pointer would corrupt the
+// next document's samples.
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/arena.h"
+
+namespace {
+
+void CheckView(std::string_view view, const std::string& expected) {
+  if (view.size() != expected.size() ||
+      std::memcmp(view.data(), expected.data(), view.size()) != 0) {
+    std::abort();
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > 4096) return 0;
+  condtd::Arena arena(/*first_block_bytes=*/64);
+
+  // Views handed out since the last Reset, with owned mirrors.
+  std::vector<std::string_view> views;
+  std::vector<std::string> mirrors;
+  std::string_view head;  // current Append accumulator
+  std::string head_mirror;
+
+  size_t pos = 0;
+  auto take = [&](size_t want) {
+    size_t n = want < size - pos ? want : size - pos;
+    std::string_view chunk(reinterpret_cast<const char*>(data) + pos, n);
+    pos += n;
+    return chunk;
+  };
+
+  while (pos < size) {
+    uint8_t op = data[pos++];
+    switch (op % 4) {
+      case 0: {  // Allocate: fill the slice, check alignment.
+        size_t n = (op >> 2) + 1;
+        char* slice = arena.Allocate(n);
+        if (reinterpret_cast<uintptr_t>(slice) % 8 != 0) std::abort();
+        std::memset(slice, static_cast<char>(op), n);
+        break;
+      }
+      case 1: {  // Copy: arena copy must match the source bytes.
+        std::string_view chunk = take((op >> 2) + 1);
+        std::string_view view = arena.Copy(chunk);
+        CheckView(view, std::string(chunk));
+        views.push_back(view);
+        mirrors.emplace_back(chunk);
+        break;
+      }
+      case 2: {  // Append: grow the accumulator, in place or relocated.
+        std::string_view chunk = take((op >> 2) + 1);
+        head = arena.Append(head, chunk);
+        head_mirror.append(chunk.data(), chunk.size());
+        CheckView(head, head_mirror);
+        break;
+      }
+      case 3: {  // Reset, then immediately reuse the recycled blocks.
+        // Every outstanding view must still match its mirror first —
+        // Copy/Append are not allowed to clobber earlier slices.
+        for (size_t i = 0; i < views.size(); ++i) {
+          CheckView(views[i], mirrors[i]);
+        }
+        arena.Reset();
+        if (arena.bytes_used() != 0) std::abort();
+        views.clear();
+        mirrors.clear();
+        head = std::string_view();
+        head_mirror.clear();
+        std::string_view reused = arena.Copy("post-reset probe");
+        CheckView(reused, "post-reset probe");
+        views.push_back(reused);
+        mirrors.emplace_back("post-reset probe");
+        break;
+      }
+    }
+  }
+  for (size_t i = 0; i < views.size(); ++i) CheckView(views[i], mirrors[i]);
+  if (!head.empty()) CheckView(head, head_mirror);
+  return 0;
+}

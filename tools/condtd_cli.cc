@@ -59,6 +59,7 @@
 #include "infer/inferrer.h"
 #include "infer/parallel.h"
 #include "infer/streaming.h"
+#include "io/input_buffer.h"
 #include "learn/learner.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
@@ -79,6 +80,7 @@ int Usage() {
       "usage:\n"
       "  condtd infer [--xsd] [--algorithm=%s]\n"
       "               [--noise=N] [--jobs=N] [--max-strings=N] [--dom]\n"
+      "               [--batch-docs=N] [--no-mmap]\n"
       "               [--out=FILE] [--stats[=json|text]]\n"
       "               [--state-in=FILE] [--state-out=FILE] file.xml...\n"
       "  condtd validate [--schema=file.dtd] file.xml...\n"
@@ -131,6 +133,7 @@ struct StatsReporter {
 
 int RunInfer(const std::vector<std::string>& args) {
   InferenceOptions options;
+  InputBuffer::Options input_options;
   bool emit_xsd = false;
   int jobs = 1;
   std::string out_path;
@@ -146,6 +149,12 @@ int RunInfer(const std::vector<std::string>& args) {
       options.lenient_xml = true;
     } else if (arg == "--dom") {
       options.streaming_ingest = false;
+    } else if (arg == "--no-mmap") {
+      input_options.allow_mmap = false;
+    } else if (GetFlag(arg, "batch-docs", &value)) {
+      if (!ParseCountFlag("batch-docs", value, 1, &options.batch_docs)) {
+        return 2;
+      }
     } else if (arg == "--stats") {
       stats.mode = StatsReporter::Mode::kText;
     } else if (GetFlag(arg, "stats", &value)) {
@@ -213,6 +222,7 @@ int RunInfer(const std::vector<std::string>& args) {
   std::optional<StreamingFolder> folder;
   if (jobs != 1) {
     parallel.emplace(options, jobs);
+    parallel->set_input_options(input_options);
   } else {
     sequential.emplace(options);
     // Streaming (the default) folds SAX events straight into the
@@ -237,18 +247,24 @@ int RunInfer(const std::vector<std::string>& args) {
     }
   }
   for (const std::string& path : files) {
-    Result<std::string> content = ReadFileToString(path);
+    if (parallel) {
+      // Path-only hand-off: the worker that claims the batch opens the
+      // file itself (mmap or buffered), overlapping I/O with parsing.
+      // Open failures surface through errors() with the other document
+      // failures after Finish().
+      parallel->AddFile(path);
+      continue;
+    }
+    Result<InputBuffer> content = InputBuffer::Open(path, input_options);
     if (!content.ok()) {
       std::fprintf(stderr, "%s: %s\n", path.c_str(),
                    content.status().ToString().c_str());
       return 1;
     }
-    if (parallel) {
-      parallel->AddXml(std::move(content.value()));
-      continue;
-    }
-    Status status = folder ? folder->AddXml(content.value())
-                           : sequential->AddXml(content.value());
+    // The lexer reads straight out of the mapping — no copy of the
+    // document bytes is ever made.
+    Status status = folder ? folder->AddXml(content->view())
+                           : sequential->AddXml(content->view());
     if (!status.ok()) {
       std::fprintf(stderr, "%s: %s\n", path.c_str(),
                    status.ToString().c_str());
