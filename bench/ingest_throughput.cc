@@ -11,6 +11,11 @@
 //   ingest_throughput --corpus=table1|table2|synthetic
 //                     --mode=dom|sax|sax-nodedup [--synthetic-mb=N]
 //                     [--repeat=N] [--max-docs=N] [--json] [--stats]
+//                     [--dump-dir=DIR]
+//
+// --dump-dir writes the selected corpus to DIR/doc<N>.xml and exits
+// without benchmarking — the bridge to measuring the same corpus
+// through `condtd infer --stats --jobs=N`, which only reads files.
 //
 // --corpus=synthetic (or just --synthetic-mb=N, which implies it)
 // generates a deterministic text-dominant corpus of N MiB in memory —
@@ -63,6 +68,9 @@ struct RunResult {
   uint64_t dtd_fingerprint = 0;
   int64_t distinct_words = 0;  // streaming modes only
   int64_t words = 0;
+  int64_t dedup_hits = 0;      // dedup mode only
+  int64_t dedup_misses = 0;
+  int64_t dedup_flushes = 0;
 };
 
 RunResult RunOnce(const std::vector<std::string>& documents,
@@ -94,6 +102,9 @@ RunResult RunOnce(const std::vector<std::string>& documents,
     result.distinct_words = folder.distinct_words_cached();
     result.words = folder.words_folded();
     folder.Flush();
+    result.dedup_hits = folder.dedup_hits();
+    result.dedup_misses = folder.dedup_misses();
+    result.dedup_flushes = folder.dedup_flushes();
   }
   result.seconds = timer.ElapsedMs() / 1000.0;
   Result<Dtd> dtd = inferrer.InferDtd();
@@ -111,6 +122,7 @@ int Main(int argc, char** argv) {
   std::string corpus = "table1";
   bool corpus_set = false;
   std::string mode = "sax";
+  std::string dump_dir;
   int synthetic_mb = 0;
   int repeat = 5;
   int max_docs = 0;
@@ -136,6 +148,8 @@ int Main(int argc, char** argv) {
       repeat = std::atoi(value.c_str());
     } else if (flag("max-docs", &value)) {
       max_docs = std::atoi(value.c_str());
+    } else if (flag("dump-dir", &value)) {
+      dump_dir = value;
     } else if (arg == "--json") {
       json = true;
     } else if (arg == "--stats") {
@@ -172,6 +186,23 @@ int Main(int argc, char** argv) {
                                 : bench_util::Example4Documents());
   if (max_docs > 0 && static_cast<int>(documents.size()) > max_docs) {
     documents.resize(max_docs);
+  }
+  if (!dump_dir.empty()) {
+    for (size_t d = 0; d < documents.size(); ++d) {
+      char path[4096];
+      std::snprintf(path, sizeof(path), "%s/doc%05zu.xml",
+                    dump_dir.c_str(), d);
+      std::FILE* f = std::fopen(path, "wb");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return 1;
+      }
+      std::fwrite(documents[d].data(), 1, documents[d].size(), f);
+      std::fclose(f);
+    }
+    std::fprintf(stderr, "wrote %zu documents to %s\n", documents.size(),
+                 dump_dir.c_str());
+    return 0;
   }
   int64_t total_bytes = 0;
   for (const std::string& doc : documents) {
@@ -238,13 +269,18 @@ int Main(int argc, char** argv) {
         "\"bytes\": %lld, \"repeats\": %d, \"num_cpus\": %d, "
         "\"best_ingest_seconds\": %.6f, "
         "\"mb_per_s\": %.2f, \"docs_per_s\": %.0f, \"words\": %lld, "
-        "\"distinct_words\": %lld, \"dtd_fnv1a\": \"%016llx\", "
+        "\"distinct_words\": %lld, \"dedup_hits\": %lld, "
+        "\"dedup_misses\": %lld, \"dedup_flushes\": %lld, "
+        "\"dtd_fnv1a\": \"%016llx\", "
         "\"peak_rss_kb\": %ld",
         corpus.c_str(), mode.c_str(), documents.size(),
         static_cast<long long>(total_bytes), repeat,
         bench_util::NumCpus(), best.seconds, mb_per_s, docs_per_s,
         static_cast<long long>(best.words),
         static_cast<long long>(best.distinct_words),
+        static_cast<long long>(best.dedup_hits),
+        static_cast<long long>(best.dedup_misses),
+        static_cast<long long>(best.dedup_flushes),
         static_cast<unsigned long long>(best.dtd_fingerprint), PeakRssKb());
     if (phases.enabled) {
       std::printf(
@@ -279,6 +315,12 @@ int Main(int argc, char** argv) {
                       ? static_cast<double>(best.words) /
                             static_cast<double>(best.distinct_words)
                       : 0.0);
+    }
+    if (best.dedup_hits + best.dedup_misses > 0) {
+      std::printf("  dedup: %lld hits, %lld misses, %lld flushes\n",
+                  static_cast<long long>(best.dedup_hits),
+                  static_cast<long long>(best.dedup_misses),
+                  static_cast<long long>(best.dedup_flushes));
     }
   }
   return 0;

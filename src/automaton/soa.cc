@@ -3,11 +3,26 @@
 #include <algorithm>
 #include <set>
 
+#include "base/fold_scratch.h"
 #include "regex/properties.h"
 
 namespace condtd {
 
 int Soa::AddState(Symbol symbol) {
+  if (symbol >= 0 && symbol < kDenseFoldWindow) {
+    if (static_cast<size_t>(symbol) >= dense_state_of_.size()) {
+      dense_state_of_.resize(static_cast<size_t>(symbol) + 1, -1);
+    }
+    int& cached = dense_state_of_[symbol];
+    if (cached >= 0) return cached;
+    int id = NumStates();
+    labels_.push_back(symbol);
+    out_.emplace_back();
+    state_support_.push_back(0);
+    state_of_.emplace(symbol, id);
+    cached = id;
+    return id;
+  }
   auto it = state_of_.find(symbol);
   if (it != state_of_.end()) return it->second;
   int id = NumStates();
@@ -19,6 +34,9 @@ int Soa::AddState(Symbol symbol) {
 }
 
 int Soa::StateOf(Symbol symbol) const {
+  if (symbol >= 0 && static_cast<size_t>(symbol) < dense_state_of_.size()) {
+    return dense_state_of_[symbol];
+  }
   auto it = state_of_.find(symbol);
   return it == state_of_.end() ? -1 : it->second;
 }

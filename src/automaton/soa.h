@@ -101,6 +101,11 @@ class Soa {
 
   std::vector<Symbol> labels_;
   std::unordered_map<Symbol, int> state_of_;
+  /// Dense fast path over state_of_ for symbols below the fold kernels'
+  /// id window (-1 = absent). state_of_ stays authoritative — this is a
+  /// cache that AddState/StateOf consult first, sized lazily to the
+  /// largest windowed symbol seen.
+  std::vector<int> dense_state_of_;
   std::vector<std::unordered_map<int, int>> out_;  // state -> {to: support}
   std::unordered_map<int, int> initial_;           // state -> support
   std::unordered_map<int, int> final_;             // state -> support

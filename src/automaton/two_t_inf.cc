@@ -1,5 +1,7 @@
 #include "automaton/two_t_inf.h"
 
+#include "base/fold_scratch.h"
+
 namespace condtd {
 
 void Fold2T(const Word& word, Soa* soa) { Fold2T(word, soa, 1); }
@@ -12,14 +14,48 @@ void Fold2T(const Word& word, Soa* soa, int64_t multiplicity) {
     soa->add_empty_support(support);
     return;
   }
+  if (word.size() < kDenseWordMin) {
+    // Short words: the straight-line fold — repeated symbols are rare,
+    // so aggregation would only add scratch traffic.
+    int prev = soa->AddState(word[0]);
+    soa->AddInitial(prev, support);
+    soa->AddStateSupport(prev, support);
+    for (size_t i = 1; i < word.size(); ++i) {
+      int cur = soa->AddState(word[i]);
+      soa->AddStateSupport(cur, support);
+      soa->AddEdge(prev, cur, support);
+      prev = cur;
+    }
+    soa->AddFinal(prev, support);
+    return;
+  }
+  // Dense kernel: one pass interning states in first-occurrence order
+  // (the order the straight-line fold creates them, which SaveState
+  // depends on), aggregating per-state occurrence totals and distinct
+  // adjacent pairs in flat scratch; each support/edge is then applied
+  // once with its summed count. A word of n repeats of one symbol does 1
+  // edge update instead of n-1. The resulting SOA is identical to the
+  // straight-line fold's — the supports are sums either way.
+  FoldScratch& scratch = GetFoldScratch();
+  scratch.counts.Reset();
+  scratch.pairs.Reset();
   int prev = soa->AddState(word[0]);
   soa->AddInitial(prev, support);
-  soa->AddStateSupport(prev, support);
+  scratch.counts.Add(prev, 1);
   for (size_t i = 1; i < word.size(); ++i) {
     int cur = soa->AddState(word[i]);
-    soa->AddStateSupport(cur, support);
-    soa->AddEdge(prev, cur, support);
+    scratch.counts.Add(cur, 1);
+    scratch.pairs.Add(FlatPairCounter::Pack(prev, cur), 1);
     prev = cur;
+  }
+  for (int32_t state : scratch.counts.touched()) {
+    soa->AddStateSupport(
+        state, static_cast<int>(scratch.counts.count_of(state) * support));
+  }
+  for (const FlatPairCounter::Entry& entry : scratch.pairs.entries()) {
+    soa->AddEdge(FlatPairCounter::UnpackPrev(entry.key),
+                 FlatPairCounter::UnpackCur(entry.key),
+                 static_cast<int>(entry.count * support));
   }
   soa->AddFinal(prev, support);
 }

@@ -1,0 +1,152 @@
+#ifndef CONDTD_BASE_FOLD_SCRATCH_H_
+#define CONDTD_BASE_FOLD_SCRATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "alphabet/alphabet.h"
+
+namespace condtd {
+
+/// Symbol-id window for the dense fold kernels: words whose child
+/// symbols all fall below this bound aggregate through flat arrays
+/// instead of per-occurrence set/map operations; anything above falls
+/// back to the generic path. 4096 covers any realistic element-name
+/// alphabet (the paper's corpora top out in the hundreds) while keeping
+/// the per-structure dense vectors at most 16 KiB.
+inline constexpr Symbol kDenseFoldWindow = 4096;
+
+/// Below this word length the aggregating 2T-INF kernel gains nothing
+/// over the straight-line fold (short words rarely repeat symbols), so
+/// the generic loop runs instead. Both produce identical SOAs.
+inline constexpr size_t kDenseWordMin = 8;
+
+/// Dense id → count accumulator with O(touched) reset: the counts array
+/// grows to the largest id seen and stays allocated; only the ids
+/// touched since the last Reset are re-zeroed. `touched()` lists them in
+/// first-seen order (callers that need sorted output sort it in place —
+/// it is scratch).
+class DenseCounter {
+ public:
+  void Add(int32_t id, int64_t count) {
+    if (static_cast<size_t>(id) >= counts_.size()) {
+      counts_.resize(static_cast<size_t>(id) + 1, 0);
+    }
+    if (counts_[id] == 0) touched_.push_back(id);
+    counts_[id] += count;
+  }
+
+  int64_t count_of(int32_t id) const { return counts_[id]; }
+  std::vector<int32_t>& touched() { return touched_; }
+
+  void Reset() {
+    for (int32_t id : touched_) counts_[id] = 0;
+    touched_.clear();
+  }
+
+ private:
+  std::vector<int64_t> counts_;
+  std::vector<int32_t> touched_;
+};
+
+/// Open-addressing accumulator for packed (prev, cur) adjacency pairs —
+/// the inner structure of the dense fold kernels. Entries keep
+/// first-seen order (the order the generic per-occurrence loop would
+/// first touch each pair, which is what keeps dense and generic folds
+/// byte-identical); each entry remembers its slot so Reset is O(entries)
+/// regardless of table size.
+class FlatPairCounter {
+ public:
+  struct Entry {
+    uint64_t key = 0;
+    int64_t count = 0;
+    uint32_t slot = 0;
+  };
+
+  FlatPairCounter() : slots_(kInitialSlots, 0) {}
+
+  static uint64_t Pack(int32_t prev, int32_t cur) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(prev)) << 32) |
+           static_cast<uint64_t>(static_cast<uint32_t>(cur));
+  }
+  static int32_t UnpackPrev(uint64_t key) {
+    return static_cast<int32_t>(key >> 32);
+  }
+  static int32_t UnpackCur(uint64_t key) {
+    return static_cast<int32_t>(key & 0xffffffffu);
+  }
+
+  void Add(uint64_t key, int64_t count) {
+    if ((entries_.size() + 1) * 2 >= slots_.size()) Grow();
+    const size_t mask = slots_.size() - 1;
+    size_t slot = Hash(key) & mask;
+    for (size_t step = 1;; ++step) {
+      uint32_t id = slots_[slot];
+      if (id == 0) {
+        entries_.push_back(
+            {key, count, static_cast<uint32_t>(slot)});
+        slots_[slot] = static_cast<uint32_t>(entries_.size());
+        return;
+      }
+      if (entries_[id - 1].key == key) {
+        entries_[id - 1].count += count;
+        return;
+      }
+      slot = (slot + step) & mask;
+    }
+  }
+
+  /// Entries in first-seen order.
+  const std::vector<Entry>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+
+  void Reset() {
+    for (const Entry& entry : entries_) slots_[entry.slot] = 0;
+    entries_.clear();
+  }
+
+ private:
+  static constexpr size_t kInitialSlots = 256;  // power of two
+
+  static uint64_t Hash(uint64_t key) {
+    key *= 0x9e3779b97f4a7c15ull;
+    return key ^ (key >> 32);
+  }
+
+  void Grow() {
+    const size_t next = slots_.size() * 2;
+    slots_.assign(next, 0);
+    const size_t mask = next - 1;
+    for (uint32_t id = 1; id <= entries_.size(); ++id) {
+      size_t slot = Hash(entries_[id - 1].key) & mask;
+      for (size_t step = 1; slots_[slot] != 0; ++step) {
+        slot = (slot + step) & mask;
+      }
+      entries_[id - 1].slot = static_cast<uint32_t>(slot);
+      slots_[slot] = id;
+    }
+  }
+
+  std::vector<uint32_t> slots_;
+  std::vector<Entry> entries_;
+};
+
+/// Per-thread scratch shared by the dense fold kernels in two_t_inf.cc
+/// and crx.cc. Each kernel Resets the pieces it uses on entry, so the
+/// two may interleave freely within one AddChildWord call. thread_local:
+/// shard workers fold concurrently, each on its own scratch.
+struct FoldScratch {
+  DenseCounter counts;      ///< per-state (2T) or per-symbol (CRX) totals
+  FlatPairCounter pairs;    ///< adjacency-pair dedup within one word
+  std::vector<std::pair<Symbol, int>> histogram;  ///< CRX histogram build
+};
+
+inline FoldScratch& GetFoldScratch() {
+  static thread_local FoldScratch scratch;
+  return scratch;
+}
+
+}  // namespace condtd
+
+#endif  // CONDTD_BASE_FOLD_SCRATCH_H_

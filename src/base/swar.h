@@ -90,6 +90,71 @@ inline size_t FindByte(std::string_view text, size_t pos, char c) {
   return static_cast<size_t>(static_cast<const char*>(hit) - text.data());
 }
 
+/// First index >= `pos` of '&', or kNpos — the entity-decoder's scan.
+/// Word-at-a-time: text/attribute runs handed to the decoder are short
+/// to medium (a few bytes to a few hundred), where the 8-bytes-per-
+/// iteration SWAR loop wins over memchr's call + alignment preamble.
+/// The loads are memcpy-based, so a '&' sitting at the buffer tail or
+/// an mmap page boundary is read safely (no past-the-end touch).
+inline size_t FindAmp(std::string_view text, size_t pos) {
+  const char* data = text.data();
+  const size_t size = text.size();
+  size_t i = pos;
+  if (IsLittleEndian()) {
+    const uint64_t lane_amp = Broadcast('&');
+    while (i + 8 <= size) {
+      uint64_t hit = ZeroLanes(LoadUnaligned64(data + i) ^ lane_amp);
+      if (hit != 0) return i + FirstMarkedLane(hit);
+      i += 8;
+    }
+  }
+  for (; i < size; ++i) {
+    if (data[i] == '&') return i;
+  }
+  return kNpos;
+}
+
+/// Result of MatchNamedEntity: `length` bytes consumed starting at the
+/// '&' (0 = no match) and the replacement character.
+struct EntityMatch {
+  char replacement = '\0';
+  uint8_t length = 0;
+};
+
+/// Matches one of the five XML named entities (&amp; &lt; &gt; &apos;
+/// &quot;) at `amp`, which must index a '&' in `text`. One unaligned
+/// load + masked compares instead of five string comparisons; the load
+/// is memcpy-guarded by the remaining length, so a truncated reference
+/// at the buffer tail (or an mmap page end) reads only what exists and
+/// simply fails to match.
+inline EntityMatch MatchNamedEntity(std::string_view text, size_t amp) {
+  const size_t avail = text.size() - amp - 1;  // bytes after the '&'
+  const char* p = text.data() + amp + 1;
+  if (IsLittleEndian()) {
+    uint64_t w = 0;
+    std::memcpy(&w, p, avail < 5 ? avail : 5);
+    // Entity bodies packed little-endian, first byte in the low lane.
+    constexpr uint64_t kLt = 0x3B746Cull;      // "lt;"
+    constexpr uint64_t kGt = 0x3B7467ull;      // "gt;"
+    constexpr uint64_t kAmp = 0x3B706D61ull;   // "amp;"
+    constexpr uint64_t kApos = 0x3B736F7061ull;  // "apos;"
+    constexpr uint64_t kQuot = 0x3B746F7571ull;  // "quot;"
+    if ((w & 0xFFFFFFull) == kLt) return {'<', 4};
+    if ((w & 0xFFFFFFull) == kGt) return {'>', 4};
+    if ((w & 0xFFFFFFFFull) == kAmp) return {'&', 5};
+    if ((w & 0xFFFFFFFFFFull) == kApos) return {'\'', 6};
+    if ((w & 0xFFFFFFFFFFull) == kQuot) return {'"', 6};
+    return {};
+  }
+  // Endianness unknown: scalar compares, same semantics.
+  if (avail >= 3 && std::memcmp(p, "lt;", 3) == 0) return {'<', 4};
+  if (avail >= 3 && std::memcmp(p, "gt;", 3) == 0) return {'>', 4};
+  if (avail >= 4 && std::memcmp(p, "amp;", 4) == 0) return {'&', 5};
+  if (avail >= 5 && std::memcmp(p, "apos;", 5) == 0) return {'\'', 6};
+  if (avail >= 5 && std::memcmp(p, "quot;", 5) == 0) return {'"', 6};
+  return {};
+}
+
 /// Character-class bits for the XML subset this lexer accepts. The
 /// table replaces per-byte arithmetic classifiers: one L1 load + test
 /// instead of a chain of compares, and it keeps the DOM and SAX lexers

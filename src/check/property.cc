@@ -428,4 +428,57 @@ std::vector<PropertyFailure> RunRoundTripProperty(
   return failures;
 }
 
+std::vector<PropertyFailure> RunDedupCacheProperty(
+    const PropertyOptions& options) {
+  std::vector<PropertyFailure> failures;
+  for (int i = 0; i < options.instances; ++i) {
+    uint64_t seed = InstanceSeed(options.seed, i);
+    Rng rng(seed);
+    Alphabet alphabet;
+    RandomDtdOptions dtd_options;
+    dtd_options.num_elements = 3 + static_cast<int>(rng.NextBelow(5));
+    Dtd dtd = RandomDtd(&alphabet, &rng, dtd_options);
+    int num_docs = 3 + static_cast<int>(rng.NextBelow(6));
+    std::vector<std::string> documents;
+    std::vector<std::string> broken;
+    for (int d = 0; d < num_docs; ++d) {
+      Result<XmlDocument> doc = GenerateDocument(dtd, alphabet, &rng);
+      if (!doc.ok()) break;
+      std::string xml = doc->ToXml();
+      // Truncate a copy of THIS document mid-way and leave a dangling
+      // '<': rejected in strict and lenient mode alike, and every word
+      // the truncation completes was just completed by the clean
+      // document, so the rollback must restore the exact cache state
+      // (see CheckDedupCacheEquivalence on why alignment matters).
+      broken.push_back(rng.Bernoulli(0.5)
+                           ? xml.substr(0, xml.size() / 2) + "<"
+                           : std::string());
+      documents.push_back(std::move(xml));
+    }
+    if (static_cast<int>(documents.size()) != num_docs) {
+      PropertyFailure failure;
+      failure.learner = "dedup-cache";
+      failure.instance = i;
+      failure.seed = seed;
+      failure.oracle = "generation";
+      failure.detail = "document generation failed for the random DTD";
+      failures.push_back(std::move(failure));
+      continue;
+    }
+    OracleResult check =
+        CheckDedupCacheEquivalence(documents, broken, InferenceOptions{});
+    if (!check.passed) {
+      PropertyFailure failure;
+      failure.learner = "dedup-cache";
+      failure.instance = i;
+      failure.seed = seed;
+      failure.oracle = "dedup-cache-equivalence";
+      failure.detail = check.detail;
+      failure.sample = documents;
+      failures.push_back(std::move(failure));
+    }
+  }
+  return failures;
+}
+
 }  // namespace condtd

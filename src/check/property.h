@@ -83,6 +83,14 @@ std::vector<PropertyFailure> RunIngestionProperty(
 std::vector<PropertyFailure> RunRoundTripProperty(
     const PropertyOptions& options);
 
+/// Dedup-cache property: random document sets, with truncated (broken)
+/// variants interleaved, must fold to byte-identical DTDs and SaveState
+/// text through the flat word cache and the legacy map oracle, and the
+/// rejected documents must leave no residue
+/// (CheckDedupCacheEquivalence).
+std::vector<PropertyFailure> RunDedupCacheProperty(
+    const PropertyOptions& options);
+
 }  // namespace condtd
 
 #endif  // CONDTD_CHECK_PROPERTY_H_

@@ -4,6 +4,7 @@
 #include <functional>
 #include <queue>
 
+#include "base/fold_scratch.h"
 #include "obs/metrics.h"
 
 namespace condtd {
@@ -17,6 +18,43 @@ void CrxState::AddWord(const Word& word, int64_t multiplicity) {
     empty_count_ += multiplicity;
     return;
   }
+  Symbol min_symbol = word[0];
+  Symbol max_symbol = word[0];
+  for (Symbol s : word) {
+    min_symbol = std::min(min_symbol, s);
+    max_symbol = std::max(max_symbol, s);
+  }
+  if (min_symbol >= 0 && max_symbol < kDenseFoldWindow) {
+    // Dense kernel: aggregate the per-symbol totals and the distinct
+    // adjacent pairs through flat scratch, then touch the summary sets
+    // once per distinct symbol/pair instead of once per occurrence. The
+    // histogram comes out sorted-by-symbol, exactly as the std::map walk
+    // of the generic path produces it.
+    FoldScratch& scratch = GetFoldScratch();
+    scratch.counts.Reset();
+    scratch.pairs.Reset();
+    for (Symbol s : word) scratch.counts.Add(s, 1);
+    for (size_t i = 0; i + 1 < word.size(); ++i) {
+      scratch.pairs.Add(FlatPairCounter::Pack(word[i], word[i + 1]), 1);
+    }
+    std::vector<int32_t>& distinct = scratch.counts.touched();
+    std::sort(distinct.begin(), distinct.end());
+    scratch.histogram.clear();
+    scratch.histogram.reserve(distinct.size());
+    for (int32_t s : distinct) {
+      symbols_.insert(s);
+      scratch.histogram.emplace_back(
+          s, static_cast<int>(scratch.counts.count_of(s)));
+    }
+    for (const FlatPairCounter::Entry& entry : scratch.pairs.entries()) {
+      edges_.emplace(FlatPairCounter::UnpackPrev(entry.key),
+                     FlatPairCounter::UnpackCur(entry.key));
+    }
+    Histogram histogram(scratch.histogram.begin(), scratch.histogram.end());
+    histograms_[histogram] += multiplicity;
+    return;
+  }
+  // Generic path: symbols outside the dense-ID window.
   std::map<Symbol, int> counts;
   for (Symbol s : word) {
     symbols_.insert(s);

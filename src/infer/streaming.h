@@ -12,6 +12,7 @@
 #include "base/status.h"
 #include "infer/inferrer.h"
 #include "infer/summary.h"
+#include "infer/word_cache.h"
 #include "xml/sax.h"
 
 namespace condtd {
@@ -36,6 +37,14 @@ namespace condtd {
 /// summaries are read. The weighted folds are exact, so flush timing
 /// never changes the inferred DTD.
 ///
+/// The dedup cache is a `FlatWordCache` (open addressing, arena-backed
+/// keys); each open frame carries a running `WordHash` updated as child
+/// symbols append, so the end-tag commit is a single table probe with no
+/// full-word rehash. The previous `std::unordered_map` cache is retained
+/// for one release as a differential oracle behind
+/// `Options::legacy_dedup_cache` / the `CONDTD_LEGACY_DEDUP` environment
+/// variable; both produce byte-identical DTDs and SaveState text.
+///
 /// Document transactionality: with dedup on, a document that fails to
 /// parse contributes nothing to the summaries (matching the DOM path's
 /// parse-then-fold behavior); only alphabet interning of names seen
@@ -57,6 +66,14 @@ class StreamingFolder {
     /// (element, word) pairs — bounds memory on adversarial corpora
     /// where words never repeat.
     size_t max_distinct_words = 1u << 20;
+    /// Use the pre-rebuild `std::unordered_map` dedup cache instead of
+    /// the flat table. Kept one release as the differential oracle; also
+    /// enabled by setting `CONDTD_LEGACY_DEDUP` in the environment.
+    bool legacy_dedup_cache = false;
+    /// Take `legacy_dedup_cache` as-is and ignore CONDTD_LEGACY_DEDUP.
+    /// The differential oracle pins each cache explicitly and must not
+    /// have the environment flip its flat run to legacy.
+    bool ignore_dedup_env = false;
   };
 
   explicit StreamingFolder(DtdInferrer* inferrer);
@@ -89,17 +106,32 @@ class StreamingFolder {
   int64_t words_folded() const { return words_folded_; }
   int64_t weighted_folds_applied() const { return weighted_folds_; }
   int64_t distinct_words_cached() const {
-    return static_cast<int64_t>(cache_.size());
+    return options_.legacy_dedup_cache
+               ? static_cast<int64_t>(legacy_cache_.size())
+               : static_cast<int64_t>(cache_.size());
   }
+  int64_t dedup_hits() const { return dedup_hits_; }
+  int64_t dedup_misses() const { return dedup_misses_; }
+  int64_t dedup_flushes() const { return dedup_flushes_; }
+  /// Bytes resident in the dedup cache (keys + arena blocks + table).
+  /// The legacy-map figure is a structural estimate (node and bucket
+  /// overhead plus key payload); the flat-cache figure is exact.
+  size_t cache_bytes_resident() const;
+  /// True when this folder runs the legacy unordered_map oracle cache
+  /// (via Options or CONDTD_LEGACY_DEDUP).
+  bool using_legacy_cache() const { return options_.legacy_dedup_cache; }
 
  private:
-  /// An open element: accumulates the child word and the text the
-  /// summaries will retain. Frames are pooled (depth_ marks the live
-  /// prefix of stack_) so their Word/string capacity is reused across
-  /// elements and documents.
+  /// An open element: accumulates the child word — and, incrementally,
+  /// its dedup hash — plus the text the summaries will retain. Frames
+  /// are pooled (depth_ marks the live prefix of stack_) so their
+  /// Word/string capacity is reused across elements and documents.
   struct Frame {
     Symbol symbol = kInvalidSymbol;
     Word word;
+    /// Running WordHash of (symbol, word): seeded at PushFrame, stepped
+    /// per appended child, equal to WordHash::Mix at the end tag.
+    uint64_t word_hash = 0;
     std::string text;
     bool has_text = false;
     bool collect_text = false;
@@ -107,17 +139,22 @@ class StreamingFolder {
     uint32_t attr_count = 0;
   };
 
-  /// Per-document record of one completed element occurrence; applied to
-  /// the store only when the whole document folded cleanly.
-  struct Completed {
+  /// A staged text sample for this document (end-tag order, matching the
+  /// order the commit loop used to add them one Completed record at a
+  /// time).
+  struct SampleRecord {
     Symbol symbol = kInvalidSymbol;
-    bool has_text = false;
-    bool has_sample = false;
     uint32_t sample_index = 0;
+  };
+  /// An attribute-bearing occurrence; kept separately so the commit loop
+  /// only visits occurrences that actually carried attributes.
+  struct AttrRecord {
+    Symbol symbol = kInvalidSymbol;
     uint32_t attr_first = 0;
     uint32_t attr_count = 0;
   };
 
+  // ---- Legacy oracle cache (CONDTD_LEGACY_DEDUP; one release) -------
   struct WordKey {
     Symbol element;
     Word word;
@@ -129,7 +166,9 @@ class StreamingFolder {
   };
   struct WordKeyHash {
     using is_transparent = void;
-    static size_t Mix(Symbol element, const Word& word);
+    static size_t Mix(Symbol element, const Word& word) {
+      return WordHash::Mix(element, word.data(), word.size());
+    }
     size_t operator()(const WordKey& key) const {
       return Mix(key.element, key.word);
     }
@@ -151,6 +190,13 @@ class StreamingFolder {
   };
   using WordCounts =
       std::unordered_map<WordKey, int64_t, WordKeyHash, WordKeyEq>;
+  /// Legacy-cache entries in first-occurrence order (map nodes are
+  /// pointer-stable). The map alone iterates in hash order, which would
+  /// fold flushed words in a different order than the flat cache and the
+  /// DOM path — the DTD would still match, but SaveState (SOA state
+  /// insertion order) would not, and the whole point of keeping the
+  /// legacy cache is byte-level differential comparison.
+  std::vector<const WordCounts::value_type*> legacy_flush_order_;
 
   /// Dense symbol-indexed cache of store entries, lazily filled — the
   /// fold hot path does one per-occurrence lookup here instead of a
@@ -180,7 +226,6 @@ class StreamingFolder {
   size_t depth_ = 0;
   Symbol root_symbol_ = kInvalidSymbol;
   bool root_seen_ = false;
-  std::vector<Completed> completed_;
   std::vector<std::string_view> attr_keys_;  // views into the document
   /// Whitespace-stripped text samples staged this document — views into
   /// arena_, promoted to owned strings only for the few the summaries
@@ -192,25 +237,48 @@ class StreamingFolder {
   /// Reused across documents (Reset keeps scratch capacity), so lexing
   /// a corpus performs no per-document allocation either.
   SaxLexer lexer_;
-  /// One entry per word folded this document, pointing at the cache_
-  /// count it incremented (unordered_map values are pointer-stable).
-  /// Cleared on commit; decremented back on parse failure — a
-  /// rolled-back first occurrence leaves a zero-count cache entry
-  /// behind, which Flush() skips (and which a later clean document can
-  /// reuse).
-  std::vector<int64_t*> word_journal_;
+  /// Dense per-document occurrence aggregation: instead of one staged
+  /// record per completed element (the commit loop then paying an
+  /// EnsureState + increment per occurrence), occurrences and has_text
+  /// are summed per symbol during the parse and committed once per
+  /// distinct symbol. doc_touched_ lists the symbols with nonzero
+  /// counts, in first-completion order; samples and attribute-bearing
+  /// occurrences — the rare cases — keep per-occurrence records.
+  std::vector<int64_t> doc_occurrences_;
+  std::vector<uint8_t> doc_has_text_;
+  std::vector<Symbol> doc_touched_;
+  std::vector<SampleRecord> doc_sample_records_;
+  std::vector<AttrRecord> doc_attr_records_;
+  /// One entry per word folded this document. Flat cache: the stable
+  /// entry index whose count it incremented. Legacy cache: a pointer to
+  /// the unordered_map value (map nodes are pointer-stable). Cleared on
+  /// commit; decremented back on parse failure — a rolled-back first
+  /// occurrence leaves a zero-count cache entry behind, which Flush()
+  /// skips (and which a later clean document can reuse).
+  std::vector<uint32_t> word_journal_;
+  std::vector<int64_t*> legacy_word_journal_;
   /// Child symbols first observed this document; the store's
   /// seen-as-child marks are applied only on commit.
   std::vector<Symbol> doc_new_children_;
 
-  // Cross-document dedup cache. Completed words probe it directly (one
-  // hash lookup per occurrence, no per-document staging map).
-  WordCounts cache_;
+  // Cross-document dedup cache. Completed words probe it directly with
+  // the frame's incrementally built hash (one table probe per
+  // occurrence, no rehash, no per-document staging map).
+  FlatWordCache cache_;
+  WordCounts legacy_cache_;  ///< oracle; see Options::legacy_dedup_cache
   std::vector<ElementSummary*> state_cache_;
+  /// Scratch for Flush(): materializes each flat-cache entry's word once
+  /// per flush without reallocating.
+  Word flush_word_;
 
   int64_t documents_folded_ = 0;
   int64_t words_folded_ = 0;
   int64_t weighted_folds_ = 0;
+  int64_t dedup_hits_ = 0;
+  int64_t dedup_misses_ = 0;
+  int64_t dedup_flushes_ = 0;
+  /// probe_steps() already published to obs (delta reported per commit).
+  int64_t probe_steps_published_ = 0;
 };
 
 }  // namespace condtd

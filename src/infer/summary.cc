@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "automaton/two_t_inf.h"
+#include "base/fold_scratch.h"
 #include "base/strings.h"
 #include "obs/metrics.h"
 
@@ -14,6 +15,19 @@ void ElementSummary::AddChildWord(const Word& word, int64_t multiplicity,
                                   const SummaryLimits& limits) {
   obs::StageSpan span(obs::Stage::kWordFold);
   obs::CounterAdd(obs::Counter::kChildWordFolds, multiplicity);
+  if (obs::StatsEnabled() && !word.empty()) {
+    Symbol min_symbol = word[0];
+    Symbol max_symbol = word[0];
+    for (Symbol s : word) {
+      min_symbol = std::min(min_symbol, s);
+      max_symbol = std::max(max_symbol, s);
+    }
+    if (min_symbol >= 0 && max_symbol < kDenseFoldWindow) {
+      obs::SchedAdd(obs::SchedCounter::kDenseFoldHits, 1);
+    } else {
+      obs::SchedAdd(obs::SchedCounter::kDenseFoldFallbacks, 1);
+    }
+  }
   {
     obs::StageSpan inf_span(obs::Stage::kTwoTInf);
     Fold2T(word, &soa, multiplicity);

@@ -28,7 +28,8 @@ constexpr std::array<std::string_view,
         "dedup_cache_hits", "dedup_cache_misses", "dedup_flushes",
         "weighted_fold_ops", "shard_merges",      "summary_merges",
         "worker_exceptions", "batches_dispatched", "batch_steals",
-        "mmap_reads",        "buffered_reads",
+        "mmap_reads",        "buffered_reads",     "dedup_probe_steps",
+        "dense_fold_hits",   "dense_fold_fallbacks",
 };
 
 constexpr std::array<std::string_view, static_cast<size_t>(Gauge::kNumGauges)>
@@ -38,6 +39,7 @@ constexpr std::array<std::string_view, static_cast<size_t>(Gauge::kNumGauges)>
         "shard_docs_max",
         "batch_docs",
         "arena_bytes_peak",
+        "dedup_cache_bytes_peak",
 };
 
 constexpr std::array<std::string_view, static_cast<size_t>(Stage::kNumStages)>

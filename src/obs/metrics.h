@@ -77,6 +77,9 @@ enum class SchedCounter : int {
   kBatchSteals,         ///< batches claimed from the work-stealing deque
   kMmapReads,           ///< documents opened through an mmap InputBuffer
   kBufferedReads,       ///< documents opened through the buffered fallback
+  kDedupProbeSteps,     ///< flat dedup-cache probe-loop iterations
+  kDenseFoldHits,       ///< summary folds taken through the dense kernels
+  kDenseFoldFallbacks,  ///< summary folds above the dense-ID window
   kNumSchedCounters,
 };
 
@@ -86,6 +89,7 @@ enum class Gauge : int {
   kShardDocsMax,       ///< most documents ingested by one shard (max)
   kBatchDocs,          ///< configured scheduler batch size (set)
   kArenaBytesPeak,     ///< max bump-arena footprint observed (max)
+  kDedupCacheBytesPeak,  ///< max dedup-cache resident bytes in one shard (max)
   kNumGauges,
 };
 

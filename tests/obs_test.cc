@@ -154,6 +154,24 @@ TEST_F(ObsTest, SchedulingCountersAreExactEvenWhenShardDependent) {
     EXPECT_EQ(snapshot.sched[static_cast<int>(
                   obs::SchedCounter::kWorkerExceptions)],
               0);
+    // Every probe advances the flat cache's probe loop at least once.
+    EXPECT_GE(snapshot.sched[static_cast<int>(
+                  obs::SchedCounter::kDedupProbeSteps)],
+              hits + misses)
+        << "jobs " << jobs;
+    // Every fold through AddChildWord is classified dense or fallback;
+    // this corpus's symbols all sit inside the dense-ID window.
+    int64_t dense_hits = snapshot.sched[static_cast<int>(
+        obs::SchedCounter::kDenseFoldHits)];
+    int64_t dense_fallbacks = snapshot.sched[static_cast<int>(
+        obs::SchedCounter::kDenseFoldFallbacks)];
+    EXPECT_GT(dense_hits, 0) << "jobs " << jobs;
+    EXPECT_EQ(dense_fallbacks, 0) << "jobs " << jobs;
+    // The resident-bytes gauge saw a nonempty cache at some commit.
+    EXPECT_GT(snapshot.gauges[static_cast<int>(
+                  obs::Gauge::kDedupCacheBytesPeak)],
+              0)
+        << "jobs " << jobs;
   }
 }
 

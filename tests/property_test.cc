@@ -24,6 +24,7 @@ constexpr int kLearnerInstances = 500;
 constexpr int kMergeLawInstances = 200;
 constexpr int kRoundTripInstances = 300;
 constexpr int kIngestionInstances = 60;
+constexpr int kDedupCacheInstances = 60;
 
 PropertyOptions BaseOptions(int instances) {
   PropertyOptions options;
@@ -78,6 +79,11 @@ TEST(AlgebraProperty, IngestionEquivalence) {
 
 TEST(AlgebraProperty, DtdRoundTrip) {
   ExpectNoFailures(RunRoundTripProperty(BaseOptions(kRoundTripInstances)));
+}
+
+TEST(AlgebraProperty, DedupCacheEquivalence) {
+  ExpectNoFailures(
+      RunDedupCacheProperty(BaseOptions(kDedupCacheInstances)));
 }
 
 // Harness self-checks: the printed seed must reproduce the failing
