@@ -1,5 +1,7 @@
 #include "alphabet/alphabet.h"
 
+#include "base/mem_estimate.h"
+
 namespace condtd {
 
 Symbol Alphabet::Intern(std::string_view name) {
@@ -43,6 +45,13 @@ std::string Alphabet::WordToString(const Word& word) const {
     out += Name(word[i]);
   }
   return out;
+}
+
+size_t Alphabet::ApproxBytes() const {
+  size_t bytes = sizeof(*this);
+  bytes += VectorBytes(names_) + HashBytes(index_);
+  for (const std::string& name : names_) bytes += StringBytes(name);
+  return bytes;
 }
 
 }  // namespace condtd

@@ -50,6 +50,11 @@ class Alphabet {
   /// longer names are space-separated.
   std::string WordToString(const Word& word) const;
 
+  /// Rough resident bytes of the intern tables (see base/mem_estimate.h
+  /// for the estimation contract). Part of a corpus's memory footprint
+  /// next to SummaryStore::ApproxBytes.
+  size_t ApproxBytes() const;
+
  private:
   /// Transparent hasher so `Intern`/`Find` can probe with the incoming
   /// string_view directly — no temporary std::string per lookup on the

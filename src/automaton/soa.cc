@@ -4,6 +4,7 @@
 #include <set>
 
 #include "base/fold_scratch.h"
+#include "base/mem_estimate.h"
 #include "regex/properties.h"
 
 namespace condtd {
@@ -248,6 +249,16 @@ Soa PruneSoaByStateSupport(const Soa& soa, int min_state_support) {
   pruned.set_accepts_empty(soa.accepts_empty());
   pruned.add_empty_support(soa.empty_support());
   return pruned;
+}
+
+size_t Soa::ApproxBytes() const {
+  size_t bytes = sizeof(*this);
+  bytes += VectorBytes(labels_) + VectorBytes(dense_state_of_) +
+           VectorBytes(state_support_);
+  bytes += HashBytes(state_of_) + HashBytes(initial_) + HashBytes(final_);
+  bytes += VectorBytes(out_);
+  for (const auto& edges : out_) bytes += HashBytes(edges);
+  return bytes;
 }
 
 Soa SoaFromRegex(const ReRef& re) {

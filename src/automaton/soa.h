@@ -96,6 +96,10 @@ class Soa {
   /// Multi-line debug rendering using `alphabet` names.
   std::string ToString(const Alphabet& alphabet) const;
 
+  /// Rough resident bytes of this SOA (see base/mem_estimate.h for the
+  /// estimation contract). Feeds SummaryStore::ApproxBytes.
+  size_t ApproxBytes() const;
+
  private:
   void MergeMapped(const Soa& other, const std::vector<Symbol>* remap);
 

@@ -2,9 +2,46 @@
 
 #include <fstream>
 
+#include <sys/stat.h>
+#include <sys/types.h>
+
 namespace condtd {
 
+namespace {
+
+/// Chunked read for regular files whose reported size is unreliable
+/// (procfs/sysfs publish st_size == 0 for content-bearing entries).
+Result<std::string> ReadStreamToString(std::ifstream& in,
+                                       const std::string& path) {
+  std::string content;
+  char buffer[1 << 16];
+  while (in.read(buffer, sizeof(buffer)) || in.gcount() > 0) {
+    content.append(buffer, static_cast<size_t>(in.gcount()));
+  }
+  if (in.bad()) {
+    return Status::InvalidArgument("error while reading: " + path);
+  }
+  return content;
+}
+
+}  // namespace
+
 Result<std::string> ReadFileToString(const std::string& path) {
+  // Classify before opening: an ifstream on a FIFO with no writer would
+  // block forever, and a directory "opens" only to fail confusingly at
+  // read time. The daemon receives arbitrary client paths, so these must
+  // be crisp errors, never hangs.
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return Status::NotFound("cannot open file: " + path);
+  }
+  if (S_ISDIR(st.st_mode)) {
+    return Status::InvalidArgument("is a directory: " + path);
+  }
+  if (!S_ISREG(st.st_mode)) {
+    return Status::InvalidArgument(
+        "not a regular file (fifo/device/socket): " + path);
+  }
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) {
     return Status::NotFound("cannot open file: " + path);
@@ -16,9 +53,13 @@ Result<std::string> ReadFileToString(const std::string& path) {
   if (size < 0) {
     return Status::InvalidArgument("error while reading: " + path);
   }
-  std::string content(static_cast<size_t>(size), '\0');
   in.seekg(0, std::ios::beg);
-  if (size > 0) in.read(content.data(), size);
+  if (size == 0) {
+    // st_size == 0 does not mean empty for /proc-style virtual files.
+    return ReadStreamToString(in, path);
+  }
+  std::string content(static_cast<size_t>(size), '\0');
+  in.read(content.data(), size);
   if (in.bad() || in.gcount() != size) {
     return Status::InvalidArgument("error while reading: " + path);
   }
@@ -35,6 +76,25 @@ Status WriteStringToFile(const std::string& path,
   out.flush();
   if (!out) {
     return Status::InvalidArgument("error while writing: " + path);
+  }
+  return Status::OK();
+}
+
+Status EnsureDirectory(const std::string& path) {
+  if (path.empty()) {
+    return Status::InvalidArgument("empty directory path");
+  }
+  // Walk the components left to right, creating what is missing.
+  size_t pos = 0;
+  while (pos != std::string::npos) {
+    pos = path.find('/', pos + 1);
+    std::string prefix = path.substr(0, pos);
+    if (prefix.empty() || prefix == "/" || prefix == ".") continue;
+    if (::mkdir(prefix.c_str(), 0777) == 0) continue;
+    struct stat st;
+    if (::stat(prefix.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+      return Status::InvalidArgument("cannot create directory: " + prefix);
+    }
   }
   return Status::OK();
 }

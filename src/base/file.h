@@ -7,12 +7,23 @@
 
 namespace condtd {
 
-/// Reads an entire file into memory.
+/// Reads an entire file into memory. Only regular files are accepted:
+/// directories fail with "is a directory" and FIFOs/devices/sockets with
+/// "not a regular file" — without ever opening them, so a FIFO with no
+/// writer can never block the caller (the serve daemon hands
+/// client-supplied paths straight here). Zero-size regular files that
+/// are not actually empty (procfs/sysfs report st_size == 0) are read
+/// with a chunked loop instead of the presized fast path.
 Result<std::string> ReadFileToString(const std::string& path);
 
 /// Writes `content` to `path`, replacing any existing file.
 Status WriteStringToFile(const std::string& path,
                          const std::string& content);
+
+/// Creates `path` (and any missing parents) as a directory, mkdir -p
+/// style. Succeeds if the directory already exists; fails when a
+/// non-directory is in the way.
+Status EnsureDirectory(const std::string& path);
 
 }  // namespace condtd
 

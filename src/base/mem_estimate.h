@@ -1,0 +1,54 @@
+#ifndef CONDTD_BASE_MEM_ESTIMATE_H_
+#define CONDTD_BASE_MEM_ESTIMATE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace condtd {
+
+/// Rough resident-byte estimators for the standard containers the
+/// retained summaries are built from. These back SummaryStore::
+/// ApproxBytes() — the per-corpus memory gauge and cap of the serve
+/// daemon — so the contract is "stable and proportional", not exact:
+/// node overheads are libstdc++-flavored constants, and allocator slack
+/// is ignored. Estimates are monotone in the container sizes, which is
+/// all a cap needs.
+
+/// Malloc + pointer overhead of one tree node (3 pointers + color,
+/// rounded to the 16-byte allocation quantum).
+inline constexpr size_t kTreeNodeOverhead = 40;
+/// Forward-list node pointer + malloc overhead of one hash-map node.
+inline constexpr size_t kHashNodeOverhead = 24;
+
+template <typename T>
+size_t VectorBytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+inline size_t VectorBytes(const std::vector<bool>& v) {
+  return v.capacity() / 8;
+}
+
+/// Heap bytes behind a std::string (0 when it fits the SSO buffer).
+inline size_t StringBytes(const std::string& s) {
+  return s.capacity() > sizeof(std::string) - 1 ? s.capacity() + 1 : 0;
+}
+
+/// std::map / std::set: one node per entry.
+template <typename Tree>
+size_t TreeBytes(const Tree& t) {
+  return t.size() * (sizeof(typename Tree::value_type) + kTreeNodeOverhead);
+}
+
+/// std::unordered_map / std::unordered_set: one node per entry plus the
+/// bucket array.
+template <typename Hash>
+size_t HashBytes(const Hash& h) {
+  return h.size() * (sizeof(typename Hash::value_type) + kHashNodeOverhead) +
+         h.bucket_count() * sizeof(void*);
+}
+
+}  // namespace condtd
+
+#endif  // CONDTD_BASE_MEM_ESTIMATE_H_

@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "base/fold_scratch.h"
+#include "base/mem_estimate.h"
 #include "obs/metrics.h"
 
 namespace condtd {
@@ -402,6 +403,16 @@ Result<ReRef> CrxState::Infer(int min_symbol_support) const {
   obs::CounterAdd(obs::Counter::kCrxFactors,
                   static_cast<int64_t>(factors.size()));
   return Re::Concat(std::move(factors));
+}
+
+size_t CrxState::ApproxBytes() const {
+  size_t bytes = sizeof(*this);
+  bytes += TreeBytes(edges_) + TreeBytes(symbols_) + TreeBytes(histograms_);
+  for (const auto& [histogram, count] : histograms_) {
+    (void)count;
+    bytes += VectorBytes(histogram);
+  }
+  return bytes;
 }
 
 Result<ReRef> CrxInfer(const std::vector<Word>& sample) {

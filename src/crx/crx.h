@@ -90,6 +90,10 @@ class CrxState {
   /// interned their alphabets independently.
   void MergeFrom(const CrxState& other, const std::vector<Symbol>& remap);
 
+  /// Rough resident bytes of this state (see base/mem_estimate.h for
+  /// the estimation contract). Feeds SummaryStore::ApproxBytes.
+  size_t ApproxBytes() const;
+
  private:
   std::set<std::pair<Symbol, Symbol>> edges_;
   std::set<Symbol> symbols_;

@@ -1,0 +1,66 @@
+#include "infer/session.h"
+
+#include <utility>
+
+namespace condtd {
+
+IngestSession::IngestSession(InferenceOptions options)
+    : options_(std::move(options)), inferrer_(options_) {
+  if (options_.streaming_ingest) folder_.emplace(&inferrer_);
+}
+
+Status IngestSession::Ingest(std::string_view xml) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status status =
+      folder_ ? folder_->AddXml(xml) : inferrer_.AddXml(xml);
+  if (!status.ok()) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    return status;
+  }
+  documents_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(static_cast<int64_t>(xml.size()),
+                   std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_release);
+  return Status::OK();
+}
+
+Status IngestSession::IngestFile(const std::string& path,
+                                 const InputBuffer::Options& input) {
+  // The open happens outside the lock (it can fault in pages); only the
+  // parse-and-fold needs the session serialized.
+  Result<InputBuffer> content = InputBuffer::Open(path, input);
+  if (!content.ok()) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    return content.status();
+  }
+  return Ingest(content->view());
+}
+
+Status IngestSession::LoadState(std::string_view state) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Flush first so the cached weighted folds of earlier documents land
+  // before the loaded names intern (keeps the combined state equal to a
+  // sequential ingest-then-load run).
+  if (folder_) folder_->Flush();
+  Status status = inferrer_.LoadState(state);
+  if (!status.ok()) return status;
+  epoch_.fetch_add(1, std::memory_order_release);
+  return Status::OK();
+}
+
+void IngestSession::Snapshot(std::string* state, int64_t* epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (folder_) folder_->Flush();
+  *state = inferrer_.SaveState();
+  if (epoch != nullptr) *epoch = epoch_.load(std::memory_order_relaxed);
+}
+
+size_t IngestSession::ApproxBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t bytes = inferrer_.summaries().ApproxBytes() +
+                 inferrer_.alphabet().ApproxBytes();
+  if (folder_) bytes += folder_->cache_bytes_resident();
+  return bytes;
+}
+
+}  // namespace condtd

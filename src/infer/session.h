@@ -1,0 +1,102 @@
+#ifndef CONDTD_INFER_SESSION_H_
+#define CONDTD_INFER_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+#include "infer/inferrer.h"
+#include "infer/streaming.h"
+#include "io/input_buffer.h"
+
+namespace condtd {
+
+/// Thread-safe incremental ingest session: one DtdInferrer plus its
+/// streaming fold driver behind a mutex, with a consistent-snapshot
+/// read API. This is the long-lived per-corpus substrate of the serve
+/// daemon (Section 9's incremental extension running forever instead of
+/// once): writers call Ingest whenever a document arrives, readers call
+/// Snapshot at any time and always observe a document-boundary-
+/// consistent state — never a torn word multiset.
+///
+/// Consistency contract: Ingest holds the session lock for the whole
+/// parse-and-fold of one document, and the streaming fold is
+/// transactional per document (a failed parse contributes nothing), so
+/// every snapshot equals the SaveState of a sequential DtdInferrer fed
+/// some prefix of the successfully ingested document sequence — pinned
+/// by tests/serve_test.cc. Because weighted dedup folds are exact,
+/// the mid-stream Flush a snapshot performs never changes any later
+/// inferred DTD.
+///
+/// The session serializes all operations; it does not try to scale one
+/// corpus across cores (per-corpus ordering is what makes replay
+/// deterministic). Cross-corpus parallelism comes from the daemon's
+/// worker pool running many sessions; batch-corpus parallelism from
+/// IngestEngine (infer/engine.h), which shards across threads and whose
+/// merged state a session can adopt via LoadState.
+class IngestSession {
+ public:
+  explicit IngestSession(InferenceOptions options);
+
+  IngestSession(const IngestSession&) = delete;
+  IngestSession& operator=(const IngestSession&) = delete;
+
+  const InferenceOptions& options() const { return options_; }
+
+  /// Parses and folds one document (streaming SAX by default, DOM when
+  /// the options disable streaming_ingest). On error the document
+  /// contributes nothing. Thread-safe.
+  Status Ingest(std::string_view xml);
+
+  /// Opens `path` (hardened InputBuffer: regular files only) and
+  /// ingests its content. Thread-safe.
+  Status IngestFile(const std::string& path,
+                    const InputBuffer::Options& input);
+
+  /// Merges a previously saved summary state (journal recovery, shard
+  /// adoption). Counts as one epoch step. Thread-safe.
+  Status LoadState(std::string_view state);
+
+  /// Captures a consistent snapshot: the SaveState text of everything
+  /// ingested so far, plus the epoch it corresponds to. Thread-safe;
+  /// blocks ingestion only for the flush-and-serialize, not for any
+  /// learning a reader does with the snapshot afterwards.
+  void Snapshot(std::string* state, int64_t* epoch);
+
+  /// Monotone version counter: bumps once per successful Ingest and
+  /// LoadState. Readers use it to cache learned schemas per version.
+  int64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  int64_t documents() const {
+    return documents_.load(std::memory_order_relaxed);
+  }
+  int64_t failed_documents() const {
+    return failed_.load(std::memory_order_relaxed);
+  }
+  int64_t bytes_ingested() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Rough resident bytes of the retained state (summaries + alphabet +
+  /// dedup cache). Thread-safe; O(elements). Backs the daemon's
+  /// per-corpus `condtd_corpus_bytes` gauge and memory cap.
+  size_t ApproxBytes() const;
+
+ private:
+  InferenceOptions options_;
+  mutable std::mutex mu_;
+  DtdInferrer inferrer_;
+  std::optional<StreamingFolder> folder_;
+  std::atomic<int64_t> epoch_{0};
+  std::atomic<int64_t> documents_{0};
+  std::atomic<int64_t> failed_{0};
+  std::atomic<int64_t> bytes_{0};
+};
+
+}  // namespace condtd
+
+#endif  // CONDTD_INFER_SESSION_H_

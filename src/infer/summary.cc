@@ -6,6 +6,7 @@
 
 #include "automaton/two_t_inf.h"
 #include "base/fold_scratch.h"
+#include "base/mem_estimate.h"
 #include "base/strings.h"
 #include "obs/metrics.h"
 
@@ -437,6 +438,32 @@ Status SummaryStore::Load(std::string_view serialized, Alphabet* alphabet) {
     return Status::ParseError("truncated state (missing 'end')");
   }
   return Status::OK();
+}
+
+size_t ElementSummary::ApproxBytes() const {
+  size_t bytes = sizeof(*this);
+  bytes += soa.ApproxBytes() + crx.ApproxBytes();
+  bytes += VectorBytes(text_samples);
+  for (const std::string& sample : text_samples) bytes += StringBytes(sample);
+  bytes += TreeBytes(attribute_counts);
+  for (const auto& [name, count] : attribute_counts) {
+    (void)count;
+    bytes += StringBytes(name);
+  }
+  bytes += TreeBytes(retained_words);
+  for (const Word& word : retained_words) bytes += VectorBytes(word);
+  return bytes;
+}
+
+size_t SummaryStore::ApproxBytes() const {
+  size_t bytes = sizeof(*this);
+  bytes += TreeBytes(elements_) + TreeBytes(root_counts_) +
+           VectorBytes(seen_as_child_);
+  for (const auto& [symbol, summary] : elements_) {
+    (void)symbol;
+    bytes += summary.ApproxBytes();
+  }
+  return bytes;
 }
 
 }  // namespace condtd

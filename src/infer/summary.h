@@ -89,6 +89,11 @@ struct ElementSummary {
   void MergeFrom(const ElementSummary& other,
                  const std::vector<Symbol>* remap,
                  const SummaryLimits& limits);
+
+  /// Rough resident bytes of this summary (SOA + CRX + samples +
+  /// attribute counts + word reservoir; see base/mem_estimate.h for the
+  /// estimation contract).
+  size_t ApproxBytes() const;
 };
 
 /// The unified store of retained summaries: per-element ElementSummary
@@ -143,6 +148,13 @@ class SummaryStore {
   /// anything else fails with a clear message. Version-1 summaries are
   /// marked words-incomplete since the file cannot carry a reservoir.
   Status Load(std::string_view serialized, Alphabet* alphabet);
+
+  /// Rough resident bytes of the whole store: the sum of the per-element
+  /// summaries plus the store's own maps. O(elements + retained data);
+  /// the serve daemon reports this as the per-corpus
+  /// `condtd_corpus_bytes` gauge and enforces its per-tenant memory cap
+  /// against it.
+  size_t ApproxBytes() const;
 
  private:
   SummaryLimits limits_;

@@ -66,7 +66,10 @@ Result<InputBuffer> InputBuffer::Open(const std::string& path,
                                       const Options& options) {
 #ifdef CONDTD_HAVE_MMAP
   if (options.allow_mmap) {
-    int fd = ::open(path.c_str(), O_RDONLY);
+    // O_NONBLOCK so that open() can never hang on a writer-less FIFO —
+    // the daemon receives arbitrary client paths. For regular files the
+    // flag is a no-op.
+    int fd = ::open(path.c_str(), O_RDONLY | O_NONBLOCK);
     if (fd < 0) {
       return Status::NotFound("cannot open file: " + path);
     }
@@ -75,9 +78,21 @@ Result<InputBuffer> InputBuffer::Open(const std::string& path,
       ::close(fd);
       return Status::InvalidArgument("error while reading: " + path);
     }
+    // Only regular files reach the mapping or buffered-read paths;
+    // everything else gets a crisp error instead of a hang (FIFO) or a
+    // confusing read failure (directory, device, socket).
+    if (S_ISDIR(st.st_mode)) {
+      ::close(fd);
+      return Status::InvalidArgument("is a directory: " + path);
+    }
+    if (!S_ISREG(st.st_mode)) {
+      ::close(fd);
+      return Status::InvalidArgument(
+          "not a regular file (fifo/device/socket): " + path);
+    }
     // mmap with length 0 is EINVAL, so empty files always take the
     // buffered path regardless of the threshold.
-    const bool mappable = S_ISREG(st.st_mode) && st.st_size > 0 &&
+    const bool mappable = st.st_size > 0 &&
                           static_cast<size_t>(st.st_size) >=
                               options.min_mmap_bytes;
     if (mappable) {
@@ -101,8 +116,9 @@ Result<InputBuffer> InputBuffer::Open(const std::string& path,
       return buffer;
     }
     ::close(fd);
-    // Not a regular file, or too small to be worth mapping: fall
-    // through to the buffered path below.
+    // A regular file too small to be worth mapping: fall through to the
+    // buffered path below (which re-checks the file class itself, for
+    // the no-mmap and no-MMU configurations).
   }
 #endif
   Result<std::string> content = ReadFileToString(path);

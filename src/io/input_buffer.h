@@ -40,7 +40,11 @@ class InputBuffer {
   /// Opens `path` and makes its full content available through
   /// `view()`. Error statuses match ReadFileToString ("cannot open
   /// file: <path>" / "error while reading: <path>") so CLI output is
-  /// unchanged by the input-layer swap.
+  /// unchanged by the input-layer swap. Only regular files are
+  /// accepted: directories, FIFOs, devices and sockets fail with a
+  /// clear InvalidArgument (opened O_NONBLOCK, so a writer-less FIFO
+  /// can never hang the caller — the serve daemon passes
+  /// client-supplied paths straight here).
   static Result<InputBuffer> Open(const std::string& path,
                                   const Options& options);
   static Result<InputBuffer> Open(const std::string& path) {

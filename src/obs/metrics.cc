@@ -30,6 +30,9 @@ constexpr std::array<std::string_view,
         "worker_exceptions", "batches_dispatched", "batch_steals",
         "mmap_reads",        "buffered_reads",     "dedup_probe_steps",
         "dense_fold_hits",   "dense_fold_fallbacks",
+        "serve_ingest_requests", "serve_query_requests",
+        "serve_query_cache_hits", "serve_request_errors",
+        "journal_appends", "journal_replayed_docs", "snapshots_written",
 };
 
 constexpr std::array<std::string_view, static_cast<size_t>(Gauge::kNumGauges)>
@@ -40,6 +43,8 @@ constexpr std::array<std::string_view, static_cast<size_t>(Gauge::kNumGauges)>
         "batch_docs",
         "arena_bytes_peak",
         "dedup_cache_bytes_peak",
+        "corpora_open",
+        "corpus_bytes_peak",
 };
 
 constexpr std::array<std::string_view, static_cast<size_t>(Stage::kNumStages)>
@@ -47,7 +52,7 @@ constexpr std::array<std::string_view, static_cast<size_t>(Stage::kNumStages)>
         "io_read",   "lex_parse",     "entity_decode", "word_fold",
         "two_t_inf", "crx_fold",      "dedup_commit",  "shard_merge",
         "learn",     "rewrite",       "repair",        "crx_infer",
-        "emit",
+        "emit",      "serve_ingest",  "serve_query",   "journal_replay",
 };
 
 }  // namespace

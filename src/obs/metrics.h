@@ -80,6 +80,13 @@ enum class SchedCounter : int {
   kDedupProbeSteps,     ///< flat dedup-cache probe-loop iterations
   kDenseFoldHits,       ///< summary folds taken through the dense kernels
   kDenseFoldFallbacks,  ///< summary folds above the dense-ID window
+  kServeIngestRequests,  ///< daemon INGEST commands handled
+  kServeQueryRequests,   ///< daemon QUERY commands handled
+  kServeQueryCacheHits,  ///< QUERYs answered from the epoch cache
+  kServeRequestErrors,   ///< daemon commands answered with ERR
+  kJournalAppends,       ///< durable journal records written
+  kJournalReplayedDocs,  ///< documents re-folded during crash recovery
+  kSnapshotsWritten,     ///< corpus snapshots persisted
   kNumSchedCounters,
 };
 
@@ -90,6 +97,8 @@ enum class Gauge : int {
   kBatchDocs,          ///< configured scheduler batch size (set)
   kArenaBytesPeak,     ///< max bump-arena footprint observed (max)
   kDedupCacheBytesPeak,  ///< max dedup-cache resident bytes in one shard (max)
+  kCorporaOpen,        ///< live corpora in the serve registry (set)
+  kCorpusBytesPeak,    ///< max ApproxBytes observed for one corpus (max)
   kNumGauges,
 };
 
@@ -111,6 +120,9 @@ enum class Stage : int {
   kRepair,          ///< iDTD repair-rule searches (incl. failed probes)
   kCrxInfer,        ///< CRX Algorithm 3 runs
   kEmit,            ///< DTD/XSD serialization
+  kServeIngest,     ///< daemon: one INGEST command (journal + fold)
+  kServeQuery,      ///< daemon: one QUERY command (snapshot + learn + emit)
+  kJournalReplay,   ///< daemon: whole-journal replay at recovery
   kNumStages,
 };
 

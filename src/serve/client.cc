@@ -1,0 +1,151 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace condtd {
+namespace serve {
+
+Client::~Client() { Close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), reader_(std::move(other.reader_)) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    reader_ = std::move(other.reader_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Client> Client::ConnectUnix(const std::string& path) {
+  struct sockaddr_un addr;
+  ::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("unix socket path too long: " + path);
+  }
+  ::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + ::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    int saved = errno;
+    ::close(fd);
+    return Status::Internal("connect " + path + ": " + ::strerror(saved));
+  }
+  Client client;
+  client.fd_ = fd;
+  client.reader_.Reset(fd);
+  return client;
+}
+
+Result<Client> Client::ConnectTcp(const std::string& host, int port) {
+  struct sockaddr_in addr;
+  ::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad host: " + host);
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + ::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    int saved = errno;
+    ::close(fd);
+    return Status::Internal("connect " + host + ":" +
+                            std::to_string(port) + ": " +
+                            ::strerror(saved));
+  }
+  Client client;
+  client.fd_ = fd;
+  client.reader_.Reset(fd);
+  return client;
+}
+
+Result<std::string> Client::Roundtrip(std::string_view command_line) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  std::string request(command_line);
+  request.push_back('\n');
+  CONDTD_RETURN_IF_ERROR(WriteAll(fd_, request));
+  return ReadResponse(&reader_);
+}
+
+Result<std::string> Client::Ping() { return Roundtrip("PING"); }
+
+Result<std::string> Client::IngestInline(std::string_view corpus,
+                                         std::string_view doc) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  std::string request;
+  request.reserve(doc.size() + corpus.size() + 32);
+  request.append("INGEST ");
+  request.append(corpus);
+  request.append(" INLINE ");
+  request.append(std::to_string(doc.size()));
+  request.push_back('\n');
+  request.append(doc);
+  request.push_back('\n');
+  CONDTD_RETURN_IF_ERROR(WriteAll(fd_, request));
+  return ReadResponse(&reader_);
+}
+
+Result<std::string> Client::IngestPath(std::string_view corpus,
+                                       std::string_view path) {
+  std::string command = "INGEST ";
+  command.append(corpus);
+  command.append(" PATH ");
+  command.append(path);
+  return Roundtrip(command);
+}
+
+Result<std::string> Client::Query(std::string_view corpus,
+                                  std::string_view algorithm, bool xsd) {
+  std::string command = "QUERY ";
+  command.append(corpus);
+  if (!algorithm.empty()) {
+    command.append(" --algorithm=");
+    command.append(algorithm);
+  }
+  if (xsd) command.append(" --format=xsd");
+  return Roundtrip(command);
+}
+
+Result<std::string> Client::Snapshot(std::string_view corpus) {
+  std::string command = "SNAPSHOT";
+  if (!corpus.empty()) {
+    command.append(" ");
+    command.append(corpus);
+  }
+  return Roundtrip(command);
+}
+
+Result<std::string> Client::Stats() { return Roundtrip("STATS"); }
+
+Result<std::string> Client::Shutdown() { return Roundtrip("SHUTDOWN"); }
+
+}  // namespace serve
+}  // namespace condtd

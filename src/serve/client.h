@@ -1,0 +1,58 @@
+#ifndef CONDTD_SERVE_CLIENT_H_
+#define CONDTD_SERVE_CLIENT_H_
+
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+#include "serve/wire.h"
+
+namespace condtd {
+namespace serve {
+
+/// A blocking wire-protocol client over one connection. Used by
+/// `condtd client`, the serve tests and the latency bench. Not
+/// thread-safe; the protocol is strictly request/response, so give each
+/// concurrent caller its own Client.
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  static Result<Client> ConnectUnix(const std::string& path);
+  static Result<Client> ConnectTcp(const std::string& host, int port);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Sends a bare command line (no payload) and reads the response.
+  Result<std::string> Roundtrip(std::string_view command_line);
+
+  Result<std::string> Ping();
+  Result<std::string> IngestInline(std::string_view corpus,
+                                   std::string_view doc);
+  Result<std::string> IngestPath(std::string_view corpus,
+                                 std::string_view path);
+  /// `algorithm` empty = server default; `xsd` selects XSD output.
+  Result<std::string> Query(std::string_view corpus,
+                            std::string_view algorithm = {},
+                            bool xsd = false);
+  /// `corpus` empty = snapshot every corpus.
+  Result<std::string> Snapshot(std::string_view corpus = {});
+  Result<std::string> Stats();
+  Result<std::string> Shutdown();
+
+ private:
+  int fd_ = -1;
+  WireReader reader_;
+};
+
+}  // namespace serve
+}  // namespace condtd
+
+#endif  // CONDTD_SERVE_CLIENT_H_

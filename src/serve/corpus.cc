@@ -1,0 +1,352 @@
+#include "serve/corpus.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <stdio.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <utility>
+
+#include "base/file.h"
+#include "dtd/dtd_writer.h"
+#include "infer/engine.h"
+#include "obs/metrics.h"
+
+namespace condtd {
+namespace serve {
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Durably replaces `path`: writes `content` to a sibling tmp file,
+/// fsyncs it, renames it into place, and fsyncs the directory so the
+/// rename itself survives a crash.
+Status AtomicWriteFile(const std::string& path, std::string_view content) {
+  std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) {
+    return Status::Internal("cannot create " + tmp + ": " +
+                            ::strerror(errno));
+  }
+  std::string_view rest = content;
+  while (!rest.empty()) {
+    ssize_t wrote = ::write(fd, rest.data(), rest.size());
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      int saved = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Status::Internal("cannot write " + tmp + ": " +
+                              ::strerror(saved));
+    }
+    rest.remove_prefix(static_cast<size_t>(wrote));
+  }
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::Internal("cannot sync " + tmp + ": " +
+                            ::strerror(errno));
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    int saved = errno;
+    ::unlink(tmp.c_str());
+    return Status::Internal("cannot rename " + tmp + ": " +
+                            ::strerror(saved));
+  }
+  std::string dir = path;
+  size_t slash = dir.find_last_of('/');
+  dir = slash == std::string::npos ? "." : dir.substr(0, slash);
+  int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dirfd >= 0) {
+    ::fsync(dirfd);
+    ::close(dirfd);
+  }
+  return Status::OK();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat info;
+  return ::stat(path.c_str(), &info) == 0;
+}
+
+}  // namespace
+
+Corpus::Corpus(std::string id, Options options)
+    : id_(std::move(id)),
+      options_(std::move(options)),
+      session_(options_.inference) {}
+
+Result<std::unique_ptr<Corpus>> Corpus::Open(std::string id,
+                                             Options options) {
+  std::unique_ptr<Corpus> corpus(new Corpus(std::move(id),
+                                            std::move(options)));
+  if (corpus->durable()) {
+    CONDTD_RETURN_IF_ERROR(EnsureDirectory(corpus->DirPath()));
+    CONDTD_RETURN_IF_ERROR(corpus->RecoverLocked());
+  }
+  return corpus;
+}
+
+std::string Corpus::DirPath() const {
+  return options_.data_dir + "/" + id_;
+}
+
+std::string Corpus::SnapshotPath(int64_t generation) const {
+  return DirPath() + "/snapshot-" + std::to_string(generation) + ".state";
+}
+
+std::string Corpus::JournalPath(int64_t generation) const {
+  return DirPath() + "/journal-" + std::to_string(generation) + ".log";
+}
+
+std::string Corpus::CurrentPath() const { return DirPath() + "/CURRENT"; }
+
+Status Corpus::RecoverLocked() {
+  obs::StageSpan span(obs::Stage::kJournalReplay);
+  // CURRENT names the live generation; absent on first open.
+  generation_ = 0;
+  if (FileExists(CurrentPath())) {
+    Result<std::string> current = ReadFileToString(CurrentPath());
+    if (!current.ok()) return current.status();
+    errno = 0;
+    char* end = nullptr;
+    long long generation = ::strtoll(current->c_str(), &end, 10);
+    if (errno != 0 || end == current->c_str() || generation < 0) {
+      return Status::Internal("corpus " + id_ + ": malformed CURRENT: " +
+                              *current);
+    }
+    generation_ = generation;
+  }
+
+  // Rebuild the acknowledged state: base snapshot, then the journal's
+  // documents in order, through the shared batch ingestion engine (at
+  // replay_jobs == 1 a plain sequential fold; the merge is
+  // byte-identical at any job count).
+  IngestEngine::Options engine_options;
+  engine_options.inference = options_.inference;
+  engine_options.input = options_.input;
+  engine_options.jobs = options_.replay_jobs;
+  IngestEngine engine(engine_options);
+
+  if (FileExists(SnapshotPath(generation_))) {
+    Result<std::string> snapshot = ReadFileToString(SnapshotPath(generation_));
+    if (!snapshot.ok()) return snapshot.status();
+    CONDTD_RETURN_IF_ERROR(engine.LoadState(*snapshot));
+  }
+
+  int64_t max_seq = -1;
+  Result<Journal::ReplayStats> replayed = Journal::Replay(
+      JournalPath(generation_),
+      [&engine, &max_seq](int64_t seq, std::string_view doc) {
+        if (seq > max_seq) max_seq = seq;
+        engine.AddXml(doc);
+        return Status::OK();
+      });
+  if (!replayed.ok()) return replayed.status();
+  // A journaled document was acknowledged, so it folded cleanly before
+  // the crash; the fold is deterministic, so a replay failure means the
+  // journal (or code) is corrupt — refuse to open rather than serve a
+  // silently different corpus.
+  Status folded = engine.Finish();
+  if (!folded.ok()) {
+    return Status::Internal("corpus " + id_ +
+                            ": journal replay diverged: " +
+                            folded.ToString());
+  }
+  if (replayed->records > 0 || FileExists(SnapshotPath(generation_))) {
+    CONDTD_RETURN_IF_ERROR(session_.LoadState(engine.inferrer().SaveState()));
+  }
+  replayed_documents_ = replayed->records;
+  next_seq_ = max_seq + 1;
+
+  Result<Journal> journal =
+      Journal::Open(JournalPath(generation_), options_.fsync_journal);
+  if (!journal.ok()) return journal.status();
+  journal_ = std::move(*journal);
+  return Status::OK();
+}
+
+Status Corpus::Ingest(std::string_view doc) {
+  obs::StageSpan span(obs::Stage::kServeIngest);
+  int64_t start_ns = NowNs();
+  Status status;
+  {
+    std::lock_guard<std::mutex> lock(ingest_mu_);
+    if (journal_broken_) {
+      status = Status::FailedPrecondition(
+          "corpus " + id_ +
+          ": journal append failed earlier; SNAPSHOT to restore "
+          "durability");
+    } else if (options_.max_corpus_bytes > 0 &&
+               static_cast<int64_t>(session_.ApproxBytes()) >
+                   options_.max_corpus_bytes) {
+      status = Status::ResourceExhausted(
+          "corpus " + id_ + ": retained state exceeds " +
+          std::to_string(options_.max_corpus_bytes) + " bytes");
+    } else {
+      // Fold first, journal second, acknowledge last: the journal holds
+      // exactly the acknowledged multiset.
+      status = session_.Ingest(doc);
+      if (status.ok() && durable()) {
+        Status appended = journal_.Append(next_seq_, doc);
+        if (!appended.ok()) {
+          // The fold is in memory but not durable; freeze ingestion so
+          // the journal never silently under-represents acknowledged
+          // documents. A successful snapshot rotation unfreezes.
+          journal_broken_ = true;
+          status = appended;
+        }
+      }
+      if (status.ok()) {
+        ++next_seq_;
+        ++docs_since_snapshot_;
+        if (options_.snapshot_every > 0 &&
+            docs_since_snapshot_ >= options_.snapshot_every) {
+          // Durability housekeeping; the ingest itself already
+          // succeeded, so a failed rotation is not the client's error.
+          (void)WriteSnapshotLocked();
+        }
+      }
+    }
+  }
+  obs::SchedAdd(obs::SchedCounter::kServeIngestRequests, 1);
+  obs::GaugeMax(obs::Gauge::kCorpusBytesPeak,
+                static_cast<int64_t>(session_.ApproxBytes()));
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ingest_latency_.Record(NowNs() - start_ns);
+  return status;
+}
+
+Status Corpus::IngestFile(const std::string& path) {
+  Result<std::string> content = ReadFileToString(path);
+  if (!content.ok()) return content.status();
+  return Ingest(*content);
+}
+
+Result<std::string> Corpus::Query(const std::string& algorithm, bool xsd) {
+  obs::StageSpan span(obs::Stage::kServeQuery);
+  int64_t start_ns = NowNs();
+  obs::SchedAdd(obs::SchedCounter::kServeQueryRequests, 1);
+  std::string key = (xsd ? "xsd:" : "dtd:") + algorithm;
+
+  // Serve from cache when the corpus is unchanged since this exact
+  // question was last answered. The epoch is captured together with the
+  // snapshot below, so the cache can never hold a schema newer or older
+  // than its recorded epoch.
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++queries_;
+    if (cached_epoch_ == session_.epoch() && cached_key_ == key) {
+      ++query_cache_hits_;
+      obs::SchedAdd(obs::SchedCounter::kServeQueryCacheHits, 1);
+      query_latency_.Record(NowNs() - start_ns);
+      return cached_schema_;
+    }
+  }
+
+  // Consistent snapshot, then learn entirely off the ingest path: a
+  // fresh inferrer restored via LoadState answers for the snapshot's
+  // document prefix while writers keep folding.
+  std::string state;
+  int64_t epoch = 0;
+  session_.Snapshot(&state, &epoch);
+
+  InferenceOptions inference = options_.inference;
+  if (!algorithm.empty()) inference.learner = algorithm;
+  DtdInferrer reader(inference);
+  CONDTD_RETURN_IF_ERROR(reader.LoadState(state));
+
+  std::string schema;
+  if (xsd) {
+    Result<std::string> rendered = reader.InferXsd(
+        /*numeric_predicates=*/true);
+    if (!rendered.ok()) return rendered.status();
+    schema = std::move(*rendered);
+  } else {
+    Result<Dtd> dtd = reader.InferDtd();
+    if (!dtd.ok()) return dtd.status();
+    schema = WriteDtd(*dtd, *reader.alphabet());
+  }
+
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  // Last-writer-wins is fine: any stored (epoch, key, schema) triple is
+  // internally consistent.
+  cached_epoch_ = epoch;
+  cached_key_ = key;
+  cached_schema_ = schema;
+  query_latency_.Record(NowNs() - start_ns);
+  return schema;
+}
+
+Status Corpus::WriteSnapshot() {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  return WriteSnapshotLocked();
+}
+
+Status Corpus::WriteSnapshotLocked() {
+  if (!durable()) return Status::OK();
+  // Capture the state while holding ingest_mu_, so no append can land
+  // in the old journal after the state it belongs to was captured.
+  std::string state;
+  session_.Snapshot(&state, nullptr);
+  int64_t next_generation = generation_ + 1;
+
+  CONDTD_RETURN_IF_ERROR(AtomicWriteFile(SnapshotPath(next_generation),
+                                         state));
+  // Start the new journal empty before repointing CURRENT, so a reader
+  // of the new generation can never see the old journal's documents.
+  Result<Journal> fresh =
+      Journal::Open(JournalPath(next_generation), options_.fsync_journal);
+  if (!fresh.ok()) return fresh.status();
+  // The commit point: after this rename the new generation is current;
+  // before it the old snapshot + full old journal are still intact.
+  CONDTD_RETURN_IF_ERROR(
+      AtomicWriteFile(CurrentPath(), std::to_string(next_generation)));
+
+  int64_t old_generation = generation_;
+  generation_ = next_generation;
+  journal_ = std::move(*fresh);
+  journal_broken_ = false;
+  docs_since_snapshot_ = 0;
+  // Old generation is unreachable now; reclaim it (best-effort).
+  ::unlink(SnapshotPath(old_generation).c_str());
+  ::unlink(JournalPath(old_generation).c_str());
+
+  obs::SchedAdd(obs::SchedCounter::kSnapshotsWritten, 1);
+  std::lock_guard<std::mutex> stats_lock(stats_mu_);
+  ++snapshots_;
+  return Status::OK();
+}
+
+CorpusStats Corpus::GetStats() const {
+  CorpusStats stats;
+  stats.documents = session_.documents();
+  stats.failed_documents = session_.failed_documents();
+  stats.bytes_ingested = session_.bytes_ingested();
+  stats.epoch = session_.epoch();
+  stats.approx_bytes = static_cast<int64_t>(session_.ApproxBytes());
+  {
+    std::lock_guard<std::mutex> lock(ingest_mu_);
+    stats.generation = generation_;
+    stats.journal_bytes = journal_.is_open() ? journal_.bytes() : 0;
+    stats.replayed_documents = replayed_documents_;
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats.queries = queries_;
+  stats.query_cache_hits = query_cache_hits_;
+  stats.snapshots = snapshots_;
+  stats.ingest_latency = ingest_latency_;
+  stats.query_latency = query_latency_;
+  return stats;
+}
+
+}  // namespace serve
+}  // namespace condtd

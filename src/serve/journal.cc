@@ -1,0 +1,152 @@
+#include "serve/journal.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <utility>
+
+#include "base/file.h"
+#include "obs/metrics.h"
+
+namespace condtd {
+namespace serve {
+
+Journal::~Journal() { Close(); }
+
+Journal::Journal(Journal&& other) noexcept
+    : fd_(other.fd_),
+      fsync_appends_(other.fsync_appends_),
+      bytes_(other.bytes_) {
+  other.fd_ = -1;
+}
+
+Journal& Journal::operator=(Journal&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    fsync_appends_ = other.fsync_appends_;
+    bytes_ = other.bytes_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Journal::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Journal> Journal::Open(const std::string& path, bool fsync_appends) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
+                  0644);
+  if (fd < 0) {
+    return Status::Internal("cannot open journal " + path + ": " +
+                            ::strerror(errno));
+  }
+  struct stat info;
+  if (::fstat(fd, &info) != 0) {
+    int saved = errno;
+    ::close(fd);
+    return Status::Internal("cannot stat journal " + path + ": " +
+                            ::strerror(saved));
+  }
+  Journal journal;
+  journal.fd_ = fd;
+  journal.fsync_appends_ = fsync_appends;
+  journal.bytes_ = static_cast<int64_t>(info.st_size);
+  return journal;
+}
+
+Status Journal::Append(int64_t seq, std::string_view doc) {
+  if (fd_ < 0) return Status::FailedPrecondition("journal is closed");
+  // One contiguous buffer per record: O_APPEND makes the write atomic
+  // with respect to offset, and a crash can only tear the record's
+  // tail, which Replay discards.
+  std::string record;
+  record.reserve(doc.size() + 32);
+  record.append("doc ");
+  record.append(std::to_string(seq));
+  record.push_back(' ');
+  record.append(std::to_string(doc.size()));
+  record.push_back('\n');
+  record.append(doc);
+  record.push_back('\n');
+  std::string_view rest = record;
+  while (!rest.empty()) {
+    ssize_t wrote = ::write(fd_, rest.data(), rest.size());
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("journal append: ") +
+                              ::strerror(errno));
+    }
+    rest.remove_prefix(static_cast<size_t>(wrote));
+  }
+  bytes_ += static_cast<int64_t>(record.size());
+  if (fsync_appends_) CONDTD_RETURN_IF_ERROR(Sync());
+  obs::SchedAdd(obs::SchedCounter::kJournalAppends, 1);
+  return Status::OK();
+}
+
+Status Journal::Sync() {
+  if (fd_ < 0) return Status::FailedPrecondition("journal is closed");
+  if (::fdatasync(fd_) != 0) {
+    return Status::Internal(std::string("journal fdatasync: ") +
+                            ::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<Journal::ReplayStats> Journal::Replay(
+    const std::string& path,
+    const std::function<Status(int64_t, std::string_view)>& fold) {
+  ReplayStats stats;
+  struct stat info;
+  if (::stat(path.c_str(), &info) != 0 && errno == ENOENT) {
+    return stats;  // fresh corpus: nothing journaled since the snapshot
+  }
+  Result<std::string> contents = ReadFileToString(path);
+  if (!contents.ok()) return contents.status();
+  const std::string& data = *contents;
+  size_t pos = 0;
+  while (pos < data.size()) {
+    size_t newline = data.find('\n', pos);
+    if (newline == std::string::npos) break;  // torn header
+    std::string_view header(data.data() + pos, newline - pos);
+    if (header.substr(0, 4) != "doc ") {
+      // Not a valid header: either a torn/corrupt tail or garbage. The
+      // safe interpretation is the same — stop before this record.
+      break;
+    }
+    header.remove_prefix(4);
+    size_t space = header.find(' ');
+    if (space == std::string_view::npos) break;
+    errno = 0;
+    char* end = nullptr;
+    long long seq = ::strtoll(std::string(header.substr(0, space)).c_str(),
+                              &end, 10);
+    unsigned long long nbytes = ::strtoull(
+        std::string(header.substr(space + 1)).c_str(), &end, 10);
+    if (errno != 0) break;
+    size_t payload_start = newline + 1;
+    // Complete record = payload + its trailing '\n' fully present.
+    if (payload_start + nbytes + 1 > data.size()) break;
+    if (data[payload_start + nbytes] != '\n') break;
+    CONDTD_RETURN_IF_ERROR(fold(
+        seq, std::string_view(data.data() + payload_start, nbytes)));
+    ++stats.records;
+    obs::SchedAdd(obs::SchedCounter::kJournalReplayedDocs, 1);
+    pos = payload_start + nbytes + 1;
+  }
+  stats.torn_tail_bytes = static_cast<int64_t>(data.size() - pos);
+  return stats;
+}
+
+}  // namespace serve
+}  // namespace condtd

@@ -1,0 +1,81 @@
+#ifndef CONDTD_SERVE_JOURNAL_H_
+#define CONDTD_SERVE_JOURNAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+
+namespace condtd {
+namespace serve {
+
+/// Append-only durable log of acknowledged documents for one corpus.
+///
+/// Record framing (docs/STATE_FORMAT.md, "journal records"):
+///
+///   doc <seq> <nbytes>\n
+///   <nbytes raw document bytes>\n
+///
+/// The daemon appends a record only AFTER the document folded
+/// successfully and BEFORE acknowledging the client, so the journal
+/// holds exactly the acknowledged document multiset: replaying it over
+/// the base snapshot reproduces the pre-crash state byte-identically
+/// (the fold algebra is associative and per-document transactional).
+///
+/// Replay tolerates a torn tail — a record cut short by a crash mid-
+/// append is ignored, which is correct because its document was never
+/// acknowledged.
+class Journal {
+ public:
+  Journal() = default;
+  ~Journal();
+
+  Journal(Journal&& other) noexcept;
+  Journal& operator=(Journal&& other) noexcept;
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Opens (creating if needed) the journal file for appending.
+  /// `fsync_appends` trades durability for latency: when true every
+  /// Append fdatasyncs before returning (the default for the daemon).
+  static Result<Journal> Open(const std::string& path, bool fsync_appends);
+
+  /// Appends one acknowledged-document record. `seq` is the corpus
+  /// document sequence number (informational; replay trusts order, not
+  /// numbering).
+  Status Append(int64_t seq, std::string_view doc);
+
+  /// fdatasyncs outstanding appends (no-op when fsync_appends).
+  Status Sync();
+
+  /// Bytes appended through this handle plus the size found at Open.
+  int64_t bytes() const { return bytes_; }
+
+  bool is_open() const { return fd_ >= 0; }
+  void Close();
+
+  struct ReplayStats {
+    int64_t records = 0;         ///< complete records replayed
+    int64_t torn_tail_bytes = 0; ///< trailing bytes discarded (crash cut)
+  };
+
+  /// Streams every complete record of the journal at `path` through
+  /// `fold(seq, doc)`, stopping cleanly at a torn tail. A missing file
+  /// replays zero records (a corpus that never ingested after its last
+  /// snapshot). Fold errors abort the replay and propagate.
+  static Result<ReplayStats> Replay(
+      const std::string& path,
+      const std::function<Status(int64_t seq, std::string_view doc)>& fold);
+
+ private:
+  int fd_ = -1;
+  bool fsync_appends_ = true;
+  int64_t bytes_ = 0;
+};
+
+}  // namespace serve
+}  // namespace condtd
+
+#endif  // CONDTD_SERVE_JOURNAL_H_

@@ -1,0 +1,72 @@
+#ifndef CONDTD_SERVE_LATENCY_H_
+#define CONDTD_SERVE_LATENCY_H_
+
+#include <array>
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace condtd {
+namespace serve {
+
+/// Fixed-bucket latency histogram for per-corpus request timing, using
+/// the same decade bucket bounds as the obs stage histograms so STATS
+/// consumers read one scale everywhere. Plain data — the owner (Corpus)
+/// synchronizes access; quantiles are bucket-interpolated estimates,
+/// good to roughly one decade of resolution (exact percentiles live in
+/// bench/serve_latency.cc, which keeps raw samples).
+struct LatencyHistogram {
+  int64_t count = 0;
+  int64_t total_ns = 0;
+  std::array<int64_t, obs::kLatencyBuckets> buckets{};
+
+  void Record(int64_t elapsed_ns) {
+    ++count;
+    total_ns += elapsed_ns;
+    int bucket = 0;
+    while (bucket < obs::kLatencyBuckets - 1 &&
+           elapsed_ns > obs::kBucketBoundsNs[bucket]) {
+      ++bucket;
+    }
+    ++buckets[bucket];
+  }
+
+  /// Estimated q-quantile (0 < q < 1) in ns: walk the cumulative
+  /// histogram to the target rank, then interpolate linearly inside the
+  /// landing bucket. The unbounded last bucket extends one more decade.
+  int64_t QuantileNs(double q) const {
+    if (count == 0) return 0;
+    double target = q * static_cast<double>(count);
+    int64_t cumulative = 0;
+    for (int bucket = 0; bucket < obs::kLatencyBuckets; ++bucket) {
+      if (buckets[bucket] == 0) continue;
+      double before = static_cast<double>(cumulative);
+      cumulative += buckets[bucket];
+      if (static_cast<double>(cumulative) < target) continue;
+      int64_t lo = bucket == 0 ? 0 : obs::kBucketBoundsNs[bucket - 1];
+      int64_t hi = bucket < obs::kLatencyBuckets - 1
+                       ? obs::kBucketBoundsNs[bucket]
+                       : obs::kBucketBoundsNs[obs::kLatencyBuckets - 2] * 10;
+      double fraction =
+          (target - before) / static_cast<double>(buckets[bucket]);
+      if (fraction < 0.0) fraction = 0.0;
+      if (fraction > 1.0) fraction = 1.0;
+      return lo + static_cast<int64_t>(fraction *
+                                       static_cast<double>(hi - lo));
+    }
+    return obs::kBucketBoundsNs[obs::kLatencyBuckets - 2] * 10;
+  }
+
+  void MergeFrom(const LatencyHistogram& other) {
+    count += other.count;
+    total_ns += other.total_ns;
+    for (int i = 0; i < obs::kLatencyBuckets; ++i) {
+      buckets[i] += other.buckets[i];
+    }
+  }
+};
+
+}  // namespace serve
+}  // namespace condtd
+
+#endif  // CONDTD_SERVE_LATENCY_H_

@@ -1,0 +1,106 @@
+#include "serve/registry.h"
+
+#include <dirent.h>
+#include <errno.h>
+#include <string.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace condtd {
+namespace serve {
+
+CorpusRegistry::CorpusRegistry(Corpus::Options defaults)
+    : defaults_(std::move(defaults)) {}
+
+bool CorpusRegistry::ValidCorpusId(std::string_view id) {
+  if (id.empty() || id.size() > 128) return false;
+  if (id == "." || id == "..") return false;
+  for (char c : id) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+Result<Corpus*> CorpusRegistry::GetOrCreate(const std::string& id) {
+  if (!ValidCorpusId(id)) {
+    return Status::InvalidArgument(
+        "invalid corpus id (want [A-Za-z0-9_.-]+, at most 128 chars): " +
+        id);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = corpora_.find(id);
+  if (it == corpora_.end()) {
+    Result<std::unique_ptr<Corpus>> corpus = Corpus::Open(id, defaults_);
+    if (!corpus.ok()) return corpus.status();
+    it = corpora_.emplace(id, std::move(*corpus)).first;
+    obs::GaugeSet(obs::Gauge::kCorporaOpen,
+                  static_cast<int64_t>(corpora_.size()));
+  }
+  return it->second.get();
+}
+
+Result<Corpus*> CorpusRegistry::Get(const std::string& id) {
+  if (!ValidCorpusId(id)) {
+    return Status::InvalidArgument(
+        "invalid corpus id (want [A-Za-z0-9_.-]+, at most 128 chars): " +
+        id);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = corpora_.find(id);
+  if (it == corpora_.end()) {
+    return Status::NotFound("no such corpus: " + id);
+  }
+  return it->second.get();
+}
+
+std::vector<Corpus*> CorpusRegistry::List() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Corpus*> result;
+  result.reserve(corpora_.size());
+  for (const auto& [id, corpus] : corpora_) {
+    (void)id;
+    result.push_back(corpus.get());
+  }
+  return result;  // std::map iteration is already id-ascending
+}
+
+Status CorpusRegistry::RecoverAll() {
+  if (defaults_.data_dir.empty()) return Status::OK();
+  DIR* dir = ::opendir(defaults_.data_dir.c_str());
+  if (dir == nullptr) {
+    if (errno == ENOENT) return Status::OK();  // nothing persisted yet
+    return Status::Internal("cannot scan data dir " + defaults_.data_dir +
+                            ": " + ::strerror(errno));
+  }
+  std::vector<std::string> ids;
+  while (struct dirent* entry = ::readdir(dir)) {
+    std::string name = entry->d_name;
+    if (!ValidCorpusId(name)) continue;  // skips "." and ".." too
+    std::string path = defaults_.data_dir + "/" + name;
+    struct stat info;
+    if (::stat(path.c_str(), &info) != 0 || !S_ISDIR(info.st_mode)) {
+      continue;
+    }
+    ids.push_back(std::move(name));
+  }
+  ::closedir(dir);
+  std::sort(ids.begin(), ids.end());  // deterministic recovery order
+  for (const std::string& id : ids) {
+    Result<Corpus*> corpus = GetOrCreate(id);
+    if (!corpus.ok()) {
+      return Status(corpus.status().code(),
+                    "recovering corpus " + id + ": " +
+                        corpus.status().message());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace serve
+}  // namespace condtd

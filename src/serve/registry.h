@@ -1,0 +1,58 @@
+#ifndef CONDTD_SERVE_REGISTRY_H_
+#define CONDTD_SERVE_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "serve/corpus.h"
+
+namespace condtd {
+namespace serve {
+
+/// The daemon's tenant map: corpus id -> live Corpus. Creation is
+/// lazy (first INGEST opens — and, when the data directory holds prior
+/// state, recovers — the corpus); RecoverAll eagerly reopens every
+/// persisted corpus at startup so a restart serves QUERYs immediately.
+///
+/// Corpus ids double as directory names, so they are restricted to
+/// [A-Za-z0-9_.-]+ (≤ 128 chars, not "." or ".."): ids can never
+/// traverse outside the data directory.
+class CorpusRegistry {
+ public:
+  explicit CorpusRegistry(Corpus::Options defaults);
+
+  CorpusRegistry(const CorpusRegistry&) = delete;
+  CorpusRegistry& operator=(const CorpusRegistry&) = delete;
+
+  static bool ValidCorpusId(std::string_view id);
+
+  /// The corpus named `id`, opening it on first use. Pointers stay
+  /// valid for the registry's lifetime (corpora are never evicted).
+  Result<Corpus*> GetOrCreate(const std::string& id);
+
+  /// The corpus named `id`, or NotFound — QUERY against a corpus that
+  /// never ingested should say so, not create an empty tenant.
+  Result<Corpus*> Get(const std::string& id);
+
+  /// All open corpora, ascending by id (stable STATS rendering).
+  std::vector<Corpus*> List();
+
+  /// Reopens every corpus directory found under the data directory.
+  /// No-op without a data directory.
+  Status RecoverAll();
+
+ private:
+  const Corpus::Options defaults_;
+  std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Corpus>> corpora_;
+};
+
+}  // namespace serve
+}  // namespace condtd
+
+#endif  // CONDTD_SERVE_REGISTRY_H_

@@ -1,0 +1,478 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "serve/latency.h"
+
+namespace condtd {
+namespace serve {
+namespace {
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  size_t pos = 0;
+  while (pos < line.size()) {
+    size_t space = line.find(' ', pos);
+    if (space == std::string::npos) space = line.size();
+    if (space > pos) tokens.push_back(line.substr(pos, space - pos));
+    pos = space + 1;
+  }
+  return tokens;
+}
+
+void AppendJsonInt(std::string* out, std::string_view key, int64_t value,
+                   bool* first) {
+  if (!*first) out->append(",\n");
+  *first = false;
+  out->append("        \"");
+  out->append(key);
+  out->append("\": ");
+  out->append(std::to_string(value));
+}
+
+void AppendLatencyJson(std::string* out, std::string_view key,
+                       const LatencyHistogram& histogram, bool* first) {
+  if (!*first) out->append(",\n");
+  *first = false;
+  out->append("        \"");
+  out->append(key);
+  out->append("\": {\"count\": ");
+  out->append(std::to_string(histogram.count));
+  out->append(", \"total_ns\": ");
+  out->append(std::to_string(histogram.total_ns));
+  out->append(", \"p50_ns\": ");
+  out->append(std::to_string(histogram.QuantileNs(0.50)));
+  out->append(", \"p99_ns\": ");
+  out->append(std::to_string(histogram.QuantileNs(0.99)));
+  out->append("}");
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), registry_(options_.corpus) {
+  if (options_.workers < 1) options_.workers = 1;
+}
+
+Server::~Server() {
+  if (started_ && !joined_) Stop();
+}
+
+Status Server::Start() {
+  if (started_) return Status::FailedPrecondition("server already started");
+
+  // Reopen everything persisted before accepting a single request, so
+  // a QUERY right after restart already sees the recovered corpora.
+  CONDTD_RETURN_IF_ERROR(registry_.RecoverAll());
+
+  if (!options_.unix_socket.empty()) {
+    struct sockaddr_un addr;
+    ::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_socket.size() >= sizeof(addr.sun_path)) {
+      return Status::InvalidArgument("unix socket path too long: " +
+                                     options_.unix_socket);
+    }
+    ::memcpy(addr.sun_path, options_.unix_socket.c_str(),
+             options_.unix_socket.size() + 1);
+    // A stale socket file from a dead daemon blocks bind(); remove it,
+    // but refuse to clobber anything that is not a socket.
+    struct stat info;
+    if (::lstat(options_.unix_socket.c_str(), &info) == 0) {
+      if (!S_ISSOCK(info.st_mode)) {
+        return Status::InvalidArgument(
+            "listener path exists and is not a socket: " +
+            options_.unix_socket);
+      }
+      ::unlink(options_.unix_socket.c_str());
+    }
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) {
+      return Status::Internal(std::string("socket: ") + ::strerror(errno));
+    }
+    if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      int saved = errno;
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return Status::Internal("bind " + options_.unix_socket + ": " +
+                              ::strerror(saved));
+    }
+  } else if (options_.tcp_port >= 0) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) {
+      return Status::Internal(std::string("socket: ") + ::strerror(errno));
+    }
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    struct sockaddr_in addr;
+    ::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(options_.tcp_port));
+    if (::inet_pton(AF_INET, options_.tcp_host.c_str(), &addr.sin_addr) !=
+        1) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return Status::InvalidArgument("bad listen host: " +
+                                     options_.tcp_host);
+    }
+    if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      int saved = errno;
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return Status::Internal("bind port " +
+                              std::to_string(options_.tcp_port) + ": " +
+                              ::strerror(saved));
+    }
+    struct sockaddr_in bound;
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(listen_fd_,
+                      reinterpret_cast<struct sockaddr*>(&bound),
+                      &bound_len) == 0) {
+      port_ = ntohs(bound.sin_port);
+    }
+  } else {
+    return Status::InvalidArgument(
+        "no listener configured (need unix_socket or tcp_port)");
+  }
+
+  if (::listen(listen_fd_, 64) != 0) {
+    int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal(std::string("listen: ") + ::strerror(saved));
+  }
+
+  started_ = true;
+  active_fds_.assign(static_cast<size_t>(options_.workers), -1);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  workers_.reserve(static_cast<size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+  return Status::OK();
+}
+
+void Server::RequestStop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) return;
+  stopping_ = true;
+  // Break the accept loop and any worker mid-recv; both observe EOF /
+  // EINVAL and fall out to the stopping_ check.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  for (int fd : active_fds_) {
+    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  }
+  work_ready_.notify_all();
+  stop_requested_cv_.notify_all();
+}
+
+void Server::Wait() {
+  if (!started_ || joined_) return;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_requested_cv_.wait(lock, [this] { return stopping_; });
+  }
+  accept_thread_.join();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  for (int fd : pending_conns_) ::close(fd);
+  pending_conns_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (!options_.unix_socket.empty()) {
+    ::unlink(options_.unix_socket.c_str());
+  }
+  joined_ = true;
+}
+
+void Server::Stop() {
+  RequestStop();
+  Wait();
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    int saved_errno = fd < 0 ? errno : 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        if (fd >= 0) ::close(fd);
+        return;
+      }
+      if (fd >= 0) {
+        pending_conns_.push_back(fd);
+        work_ready_.notify_one();
+        continue;
+      }
+    }
+    if (saved_errno == EINTR || saved_errno == ECONNABORTED) continue;
+    // Listener broken (or shut down concurrently): stop the server so
+    // Wait() returns instead of hanging on a dead socket.
+    RequestStop();
+    return;
+  }
+}
+
+void Server::WorkerLoop(int worker_index) {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [this] {
+        return stopping_ || !pending_conns_.empty();
+      });
+      if (stopping_) return;
+      fd = pending_conns_.front();
+      pending_conns_.pop_front();
+      active_fds_[static_cast<size_t>(worker_index)] = fd;
+    }
+    ServeConnection(fd, worker_index);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      active_fds_[static_cast<size_t>(worker_index)] = -1;
+    }
+    ::close(fd);
+  }
+}
+
+void Server::ServeConnection(int fd, int worker_index) {
+  (void)worker_index;
+  WireReader reader(fd);
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+    }
+    std::string line;
+    bool eof = false;
+    Status read = reader.ReadLine(&line, &eof);
+    if (!read.ok()) {
+      (void)WriteResponse(fd, false, read.ToString());
+      return;
+    }
+    if (eof) return;
+    if (line.empty()) continue;  // tolerate blank lines between requests
+
+    bool shutdown = false;
+    Result<std::string> response = Handle(line, &reader, &shutdown);
+    Status written =
+        response.ok()
+            ? WriteResponse(fd, true, *response)
+            : WriteResponse(fd, false, response.status().ToString());
+    if (!response.ok()) {
+      obs::SchedAdd(obs::SchedCounter::kServeRequestErrors, 1);
+    }
+    if (shutdown) {
+      RequestStop();
+      return;
+    }
+    if (!written.ok()) return;  // peer went away
+  }
+}
+
+Result<std::string> Server::Handle(const std::string& line,
+                                   WireReader* reader, bool* shutdown) {
+  std::vector<std::string> tokens = Tokenize(line);
+  if (tokens.empty()) return Status::InvalidArgument("empty command");
+  const std::string& command = tokens[0];
+
+  if (command == "PING") {
+    return std::string("pong");
+  }
+  if (command == "INGEST") {
+    return HandleIngest(tokens, line, reader);
+  }
+  if (command == "QUERY") {
+    return HandleQuery(tokens);
+  }
+  if (command == "SNAPSHOT") {
+    return HandleSnapshot(tokens);
+  }
+  if (command == "STATS") {
+    return RenderStats();
+  }
+  if (command == "SHUTDOWN") {
+    *shutdown = true;
+    return std::string("shutting down");
+  }
+  return Status::InvalidArgument(
+      "unknown command " + command +
+      " (want PING, INGEST, QUERY, SNAPSHOT, STATS or SHUTDOWN)");
+}
+
+Result<std::string> Server::HandleIngest(
+    const std::vector<std::string>& tokens, const std::string& line,
+    WireReader* reader) {
+  if (tokens.size() < 3) {
+    return Status::InvalidArgument(
+        "usage: INGEST <corpus> INLINE <nbytes> | INGEST <corpus> PATH "
+        "<path>");
+  }
+  const std::string& corpus_id = tokens[1];
+  const std::string& mode = tokens[2];
+
+  Result<Corpus*> corpus = registry_.GetOrCreate(corpus_id);
+  if (!corpus.ok()) {
+    if (mode == "INLINE" && tokens.size() >= 4) {
+      // Keep the connection framed: drain the announced payload even
+      // though the request is being rejected.
+      errno = 0;
+      char* end = nullptr;
+      unsigned long long nbytes = ::strtoull(tokens[3].c_str(), &end, 10);
+      if (errno == 0 && end != tokens[3].c_str()) {
+        std::string discard;
+        (void)reader->ReadExact(static_cast<size_t>(nbytes) + 1, &discard);
+      }
+    }
+    return corpus.status();
+  }
+
+  if (mode == "INLINE") {
+    if (tokens.size() != 4) {
+      return Status::InvalidArgument("usage: INGEST <corpus> INLINE <nbytes>");
+    }
+    errno = 0;
+    char* end = nullptr;
+    unsigned long long nbytes = ::strtoull(tokens[3].c_str(), &end, 10);
+    if (errno != 0 || end == tokens[3].c_str() || *end != '\0') {
+      return Status::InvalidArgument("bad INLINE length: " + tokens[3]);
+    }
+    std::string doc;
+    CONDTD_RETURN_IF_ERROR(
+        reader->ReadExact(static_cast<size_t>(nbytes), &doc));
+    std::string terminator;
+    CONDTD_RETURN_IF_ERROR(reader->ReadExact(1, &terminator));
+    if (terminator != "\n") {
+      return Status::InvalidArgument(
+          "INLINE payload not newline-terminated");
+    }
+    CONDTD_RETURN_IF_ERROR((*corpus)->Ingest(doc));
+  } else if (mode == "PATH") {
+    // The path is the rest of the line verbatim (it may contain spaces).
+    size_t prefix = tokens[0].size() + 1 + tokens[1].size() + 1 +
+                    tokens[2].size() + 1;
+    if (prefix > line.size()) {
+      return Status::InvalidArgument("usage: INGEST <corpus> PATH <path>");
+    }
+    std::string path = line.substr(prefix);
+    if (path.empty()) {
+      return Status::InvalidArgument("usage: INGEST <corpus> PATH <path>");
+    }
+    CONDTD_RETURN_IF_ERROR((*corpus)->IngestFile(path));
+  } else {
+    return Status::InvalidArgument("unknown INGEST mode " + mode +
+                                   " (want INLINE or PATH)");
+  }
+  return "ingested documents=" + std::to_string((*corpus)->GetStats().documents) +
+         " epoch=" + std::to_string((*corpus)->epoch());
+}
+
+Result<std::string> Server::HandleQuery(
+    const std::vector<std::string>& tokens) {
+  if (tokens.size() < 2) {
+    return Status::InvalidArgument(
+        "usage: QUERY <corpus> [--algorithm=<name>] [--format=dtd|xsd]");
+  }
+  std::string algorithm;
+  bool xsd = false;
+  for (size_t i = 2; i < tokens.size(); ++i) {
+    const std::string& flag = tokens[i];
+    if (flag.rfind("--algorithm=", 0) == 0) {
+      algorithm = flag.substr(12);
+    } else if (flag == "--format=dtd") {
+      xsd = false;
+    } else if (flag == "--format=xsd") {
+      xsd = true;
+    } else {
+      return Status::InvalidArgument("unknown QUERY flag: " + flag);
+    }
+  }
+  Result<Corpus*> corpus = registry_.Get(tokens[1]);
+  if (!corpus.ok()) return corpus.status();
+  return (*corpus)->Query(algorithm, xsd);
+}
+
+Result<std::string> Server::HandleSnapshot(
+    const std::vector<std::string>& tokens) {
+  if (tokens.size() > 2) {
+    return Status::InvalidArgument("usage: SNAPSHOT [<corpus>]");
+  }
+  if (tokens.size() == 2) {
+    Result<Corpus*> corpus = registry_.Get(tokens[1]);
+    if (!corpus.ok()) return corpus.status();
+    CONDTD_RETURN_IF_ERROR((*corpus)->WriteSnapshot());
+    return "snapshot " + tokens[1] + " generation=" +
+           std::to_string((*corpus)->GetStats().generation);
+  }
+  std::string report;
+  for (Corpus* corpus : registry_.List()) {
+    CONDTD_RETURN_IF_ERROR(corpus->WriteSnapshot());
+    if (!report.empty()) report.push_back('\n');
+    report += "snapshot " + corpus->id() + " generation=" +
+              std::to_string(corpus->GetStats().generation);
+  }
+  if (report.empty()) report = "no corpora";
+  return report;
+}
+
+std::string Server::RenderStats() {
+  // Schema v1 (append-only within objects, like the obs report):
+  // per-corpus operational counters plus the whole process-level obs
+  // report under "process".
+  std::string out;
+  out.reserve(4096);
+  out.append("{\n  \"condtd_serve_stats_version\": 1,\n  \"corpora\": {");
+  std::vector<Corpus*> corpora = registry_.List();
+  for (size_t i = 0; i < corpora.size(); ++i) {
+    CorpusStats stats = corpora[i]->GetStats();
+    out.append(i == 0 ? "\n" : ",\n");
+    out.append("    \"");
+    out.append(corpora[i]->id());  // ids are [A-Za-z0-9_.-]+: no escaping
+    out.append("\": {\n");
+    bool first = true;
+    AppendJsonInt(&out, "documents_ingested", stats.documents, &first);
+    AppendJsonInt(&out, "documents_failed", stats.failed_documents,
+                  &first);
+    AppendJsonInt(&out, "bytes_ingested", stats.bytes_ingested, &first);
+    AppendJsonInt(&out, "queries", stats.queries, &first);
+    AppendJsonInt(&out, "query_cache_hits", stats.query_cache_hits,
+                  &first);
+    AppendJsonInt(&out, "snapshots", stats.snapshots, &first);
+    AppendJsonInt(&out, "replayed_documents", stats.replayed_documents,
+                  &first);
+    AppendJsonInt(&out, "epoch", stats.epoch, &first);
+    AppendJsonInt(&out, "generation", stats.generation, &first);
+    AppendJsonInt(&out, "journal_bytes", stats.journal_bytes, &first);
+    AppendJsonInt(&out, "condtd_corpus_bytes", stats.approx_bytes,
+                  &first);
+    AppendLatencyJson(&out, "ingest_latency", stats.ingest_latency,
+                      &first);
+    AppendLatencyJson(&out, "query_latency", stats.query_latency, &first);
+    out.append("\n    }");
+  }
+  out.append(corpora.empty() ? "},\n" : "\n  },\n");
+  out.append("  \"process\": ");
+  out.append(obs::RenderStatsJson(obs::SnapshotStats()));
+  out.append("\n}");
+  return out;
+}
+
+}  // namespace serve
+}  // namespace condtd

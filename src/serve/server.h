@@ -1,0 +1,108 @@
+#ifndef CONDTD_SERVE_SERVER_H_
+#define CONDTD_SERVE_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/status.h"
+#include "serve/corpus.h"
+#include "serve/registry.h"
+#include "serve/wire.h"
+
+namespace condtd {
+namespace serve {
+
+struct ServerOptions {
+  /// Unix-domain listener path. When non-empty it is the listener;
+  /// otherwise `tcp_port` must be >= 0.
+  std::string unix_socket;
+  /// TCP listener (loopback-bound): -1 = disabled, 0 = ephemeral port
+  /// (read the bound port back with Server::port()).
+  int tcp_port = -1;
+  std::string tcp_host = "127.0.0.1";
+  /// Connection-serving worker threads. Each connection is pinned to
+  /// one worker for its lifetime; cross-corpus requests on different
+  /// connections run concurrently.
+  int workers = 4;
+  /// Per-corpus configuration (inference options, data_dir durability,
+  /// snapshot cadence, memory cap, replay jobs).
+  Corpus::Options corpus;
+};
+
+/// The condtd serve daemon: a socket front-end over CorpusRegistry.
+/// One accept thread feeds a worker pool; workers speak the wire
+/// protocol (serve/wire.h) and route INGEST/QUERY/SNAPSHOT/STATS to
+/// corpora. Lifecycle: Start() -> (clients) -> a SHUTDOWN command or
+/// RequestStop() -> Wait() joins everything. In-process embedders
+/// (tests, bench) call Start()/Stop() directly; the CLI wires this to
+/// `condtd serve`.
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the listener, recovers persisted corpora, and spawns the
+  /// accept thread plus workers. Returns without blocking.
+  Status Start();
+
+  /// Signals shutdown from any thread (including a worker handling
+  /// SHUTDOWN): stops accepting, unblocks idle and mid-read workers.
+  void RequestStop();
+
+  /// Blocks until shutdown is requested, then joins all threads and
+  /// releases the listener. Call from the thread that owns the server.
+  void Wait();
+
+  /// RequestStop() + Wait().
+  void Stop();
+
+  /// The bound TCP port (after Start() with tcp_port >= 0).
+  int port() const { return port_; }
+
+  CorpusRegistry* registry() { return &registry_; }
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop(int worker_index);
+  void ServeConnection(int fd, int worker_index);
+  /// Executes one request line (reading any inline payload through
+  /// `reader`); returns the OK payload or the error to frame.
+  Result<std::string> Handle(const std::string& line, WireReader* reader,
+                             bool* shutdown);
+  Result<std::string> HandleIngest(const std::vector<std::string>& tokens,
+                                   const std::string& line,
+                                   WireReader* reader);
+  Result<std::string> HandleQuery(const std::vector<std::string>& tokens);
+  Result<std::string> HandleSnapshot(const std::vector<std::string>& tokens);
+  std::string RenderStats();
+
+  ServerOptions options_;
+  CorpusRegistry registry_;
+  int listen_fd_ = -1;
+  int port_ = -1;
+  bool started_ = false;
+  bool joined_ = false;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable stop_requested_cv_;
+  std::deque<int> pending_conns_;
+  std::vector<int> active_fds_;  ///< per-worker live connection (or -1)
+  bool stopping_ = false;
+};
+
+}  // namespace serve
+}  // namespace condtd
+
+#endif  // CONDTD_SERVE_SERVER_H_

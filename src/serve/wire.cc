@@ -1,0 +1,203 @@
+#include "serve/wire.h"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+#include <utility>
+
+namespace condtd {
+namespace serve {
+namespace {
+
+constexpr size_t kReadChunk = 64 * 1024;
+
+/// Limits on a single frame so a hostile/buggy peer cannot make one
+/// connection allocate unbounded memory from a forged length prefix.
+constexpr size_t kMaxFrameBytes = size_t{1} << 31;  // 2 GiB
+constexpr size_t kMaxLineBytes = 1 << 20;           // 1 MiB command line
+
+Status IoError(const char* op) {
+  return Status::Internal(std::string(op) + ": " + ::strerror(errno));
+}
+
+}  // namespace
+
+void WireReader::Reset(int fd) {
+  fd_ = fd;
+  buffer_.clear();
+  pos_ = 0;
+  eof_ = false;
+}
+
+Status WireReader::Fill() {
+  if (pos_ > 0) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  std::array<char, kReadChunk> chunk;
+  ssize_t got;
+  do {
+    got = ::read(fd_, chunk.data(), chunk.size());
+  } while (got < 0 && errno == EINTR);
+  if (got < 0) return IoError("read");
+  if (got == 0) {
+    eof_ = true;
+    return Status::OK();
+  }
+  buffer_.append(chunk.data(), static_cast<size_t>(got));
+  return Status::OK();
+}
+
+Status WireReader::ReadLine(std::string* line, bool* eof) {
+  line->clear();
+  *eof = false;
+  for (;;) {
+    size_t newline = buffer_.find('\n', pos_);
+    if (newline != std::string::npos) {
+      size_t len = newline - pos_;
+      if (len > 0 && buffer_[pos_ + len - 1] == '\r') --len;
+      line->assign(buffer_, pos_, len);
+      pos_ = newline + 1;
+      return Status::OK();
+    }
+    if (buffer_.size() - pos_ > kMaxLineBytes) {
+      return Status::InvalidArgument("command line exceeds 1 MiB");
+    }
+    if (eof_) {
+      if (pos_ == buffer_.size()) {
+        *eof = true;  // clean close between requests
+        return Status::OK();
+      }
+      return Status::InvalidArgument("connection closed mid-line");
+    }
+    CONDTD_RETURN_IF_ERROR(Fill());
+  }
+}
+
+Status WireReader::ReadExact(size_t n, std::string* out) {
+  out->clear();
+  if (n > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame length exceeds 2 GiB");
+  }
+  out->reserve(n);
+  while (out->size() < n) {
+    size_t available = buffer_.size() - pos_;
+    if (available > 0) {
+      size_t take = std::min(available, n - out->size());
+      out->append(buffer_, pos_, take);
+      pos_ += take;
+      continue;
+    }
+    if (eof_) {
+      return Status::InvalidArgument("connection closed mid-payload");
+    }
+    CONDTD_RETURN_IF_ERROR(Fill());
+  }
+  return Status::OK();
+}
+
+Status WriteAll(int fd, std::string_view data) {
+  while (!data.empty()) {
+    // send() for MSG_NOSIGNAL; a peer that hung up yields EPIPE here
+    // instead of a process-wide SIGPIPE.
+    ssize_t wrote = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      if (errno == ENOTSOCK) {
+        // Plain pipes/files (in-process tests) don't accept send().
+        wrote = ::write(fd, data.data(), data.size());
+        if (wrote < 0) {
+          if (errno == EINTR) continue;
+          return IoError("write");
+        }
+      } else {
+        return IoError("send");
+      }
+    }
+    data.remove_prefix(static_cast<size_t>(wrote));
+  }
+  return Status::OK();
+}
+
+Status WriteResponse(int fd, bool ok, std::string_view payload) {
+  std::string frame;
+  frame.reserve(payload.size() + 16);
+  frame.append(ok ? "OK " : "ERR ");
+  frame.append(std::to_string(payload.size()));
+  frame.push_back('\n');
+  frame.append(payload);
+  frame.push_back('\n');
+  return WriteAll(fd, frame);
+}
+
+Result<std::string> ReadResponse(WireReader* reader) {
+  std::string header;
+  bool eof = false;
+  CONDTD_RETURN_IF_ERROR(reader->ReadLine(&header, &eof));
+  if (eof) {
+    return Status::Internal("server closed connection before responding");
+  }
+  bool ok;
+  std::string_view rest;
+  if (header.rfind("OK ", 0) == 0) {
+    ok = true;
+    rest = std::string_view(header).substr(3);
+  } else if (header.rfind("ERR ", 0) == 0) {
+    ok = false;
+    rest = std::string_view(header).substr(4);
+  } else {
+    return Status::Internal("malformed response header: " + header);
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long nbytes = ::strtoull(std::string(rest).c_str(), &end, 10);
+  if (rest.empty() || errno != 0 ||
+      nbytes > static_cast<unsigned long long>(kMaxFrameBytes)) {
+    return Status::Internal("malformed response length: " + header);
+  }
+  std::string payload;
+  CONDTD_RETURN_IF_ERROR(
+      reader->ReadExact(static_cast<size_t>(nbytes), &payload));
+  std::string terminator;
+  CONDTD_RETURN_IF_ERROR(reader->ReadExact(1, &terminator));
+  if (terminator != "\n") {
+    return Status::Internal("response payload not newline-terminated");
+  }
+  if (ok) return payload;
+  return StatusFromWireText(payload);
+}
+
+Status StatusFromWireText(std::string_view text) {
+  // Status::ToString() renders "<CodeName>: <message>"; invert the
+  // rendering so client callers see the server's real code.
+  static constexpr struct {
+    std::string_view name;
+    StatusCode code;
+  } kCodes[] = {
+      {"InvalidArgument", StatusCode::kInvalidArgument},
+      {"NotFound", StatusCode::kNotFound},
+      {"ParseError", StatusCode::kParseError},
+      {"FailedPrecondition", StatusCode::kFailedPrecondition},
+      {"NoEquivalentSore", StatusCode::kNoEquivalentSore},
+      {"ResourceExhausted", StatusCode::kResourceExhausted},
+      {"Internal", StatusCode::kInternal},
+  };
+  for (const auto& entry : kCodes) {
+    if (text.size() > entry.name.size() + 2 &&
+        text.substr(0, entry.name.size()) == entry.name &&
+        text.substr(entry.name.size(), 2) == ": ") {
+      return Status(entry.code,
+                    std::string(text.substr(entry.name.size() + 2)));
+    }
+  }
+  return Status::Internal(std::string(text));
+}
+
+}  // namespace serve
+}  // namespace condtd

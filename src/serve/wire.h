@@ -1,0 +1,71 @@
+#ifndef CONDTD_SERVE_WIRE_H_
+#define CONDTD_SERVE_WIRE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+
+namespace condtd {
+namespace serve {
+
+/// The condtd serve wire protocol, v1. Line-delimited and
+/// length-prefixed — trivially scriptable (`socat`), trivially exact
+/// (no quoting of document bytes):
+///
+///   request  := COMMAND-LINE "\n" [payload]
+///   response := ("OK " | "ERR ") <nbytes> "\n" <nbytes raw bytes> "\n"
+///
+/// Only `INGEST <corpus> INLINE <nbytes>` carries a request payload
+/// (exactly nbytes raw document bytes plus a trailing "\n"). Error
+/// payloads are Status::ToString() text ("<Code>: <message>"), which
+/// the client maps back onto a Status code. See docs/STATE_FORMAT.md
+/// ("serve wire protocol") for the command list.
+
+/// Buffered reader over a connected socket (or any stream fd). Not
+/// thread-safe; one per connection.
+class WireReader {
+ public:
+  WireReader() = default;
+  explicit WireReader(int fd) : fd_(fd) {}
+
+  /// Re-points the reader at a new fd and drops buffered bytes.
+  void Reset(int fd);
+
+  /// Reads one "\n"-terminated line (the terminator — and a preceding
+  /// "\r", for telnet-friendliness — is stripped). Sets `*eof` and
+  /// returns OK when the peer closed cleanly before any byte of a line.
+  Status ReadLine(std::string* line, bool* eof);
+
+  /// Reads exactly `n` raw bytes into `*out` (appending nothing else).
+  Status ReadExact(size_t n, std::string* out);
+
+ private:
+  Status Fill();  ///< reads more bytes; sets eof_ at stream end
+
+  int fd_ = -1;
+  std::string buffer_;
+  size_t pos_ = 0;
+  bool eof_ = false;
+};
+
+/// Writes all of `data`, retrying short writes and EINTR. SIGPIPE-safe
+/// (MSG_NOSIGNAL), so a vanished client never kills the daemon.
+Status WriteAll(int fd, std::string_view data);
+
+/// Writes one framed response.
+Status WriteResponse(int fd, bool ok, std::string_view payload);
+
+/// Reads one framed response; OK frames yield the payload, ERR frames
+/// a non-OK Status reconstructed from the payload text.
+Result<std::string> ReadResponse(WireReader* reader);
+
+/// Inverts Status::ToString(): "<CodeName>: <message>" back to a Status
+/// with the matching code (Internal when the text has no known prefix).
+Status StatusFromWireText(std::string_view text);
+
+}  // namespace serve
+}  // namespace condtd
+
+#endif  // CONDTD_SERVE_WIRE_H_

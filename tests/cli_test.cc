@@ -3,9 +3,11 @@
 // path is injected by CMake (CONDTD_CLI_PATH).
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <array>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "base/file.h"
@@ -368,6 +370,75 @@ TEST_F(CliTest, GenRejectsInvalidCountAndSeed) {
   EXPECT_EQ(seed.exit_code, 2);
   EXPECT_NE(seed.output.find("--seed=-7"), std::string::npos)
       << seed.output;
+}
+
+TEST_F(CliTest, ServeRejectsMissingListener) {
+  CommandResult result = RunCli("serve");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("--socket"), std::string::npos)
+      << result.output;
+}
+
+TEST_F(CliTest, ServeAndClientRoundTrip) {
+  std::string socket_path = TempPath("serve.sock");
+  std::string data_dir = TempPath("serve_data");
+  std::string endpoint = "--socket=" + socket_path;
+  std::remove(socket_path.c_str());
+  // The data dir is a fixed per-test path: wipe any corpus a previous
+  // run persisted there, or the generation assertions below drift.
+  ASSERT_EQ(std::system(("rm -rf '" + data_dir + "'").c_str()), 0);
+
+  // Launch the daemon detached; the trailing '&' lets popen/pclose
+  // return immediately while the server keeps running.
+  std::string launch = std::string(CONDTD_CLI_PATH) + " serve " +
+                       endpoint + " --data-dir=" + data_dir +
+                       " --no-fsync >/dev/null 2>&1 &";
+  FILE* pipe = popen(launch.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  pclose(pipe);
+
+  // Readiness: ping until the socket answers.
+  bool up = false;
+  for (int i = 0; i < 100 && !up; ++i) {
+    up = RunCli("client " + endpoint + " ping").exit_code == 0;
+    if (!up) usleep(50 * 1000);
+  }
+  ASSERT_TRUE(up) << "server never came up";
+
+  CommandResult ingest =
+      RunCli("client " + endpoint + " ingest lib " + xml1_ + " " + xml2_);
+  EXPECT_EQ(ingest.exit_code, 0) << ingest.output;
+  EXPECT_NE(ingest.output.find("documents=2"), std::string::npos)
+      << ingest.output;
+
+  // The daemon's answer is byte-identical to the batch CLI over the
+  // same documents.
+  CommandResult batch = RunCli("infer " + xml1_ + " " + xml2_);
+  ASSERT_EQ(batch.exit_code, 0) << batch.output;
+  CommandResult query = RunCli("client " + endpoint + " query lib");
+  EXPECT_EQ(query.exit_code, 0) << query.output;
+  EXPECT_EQ(query.output, batch.output);
+
+  CommandResult snapshot =
+      RunCli("client " + endpoint + " snapshot lib");
+  EXPECT_EQ(snapshot.exit_code, 0) << snapshot.output;
+  EXPECT_NE(snapshot.output.find("generation=1"), std::string::npos)
+      << snapshot.output;
+
+  CommandResult stats = RunCli("client " + endpoint + " stats");
+  EXPECT_EQ(stats.exit_code, 0) << stats.output;
+  EXPECT_NE(stats.output.find("\"condtd_serve_stats_version\": 1"),
+            std::string::npos)
+      << stats.output;
+
+  CommandResult shutdown = RunCli("client " + endpoint + " shutdown");
+  EXPECT_EQ(shutdown.exit_code, 0) << shutdown.output;
+  // The socket file disappears on clean shutdown.
+  for (int i = 0; i < 100; ++i) {
+    if (access(socket_path.c_str(), F_OK) != 0) break;
+    usleep(50 * 1000);
+  }
+  EXPECT_NE(access(socket_path.c_str(), F_OK), 0);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 // --no-mmap) without affecting output.
 
 #include <gtest/gtest.h>
+#include <sys/stat.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -12,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "base/file.h"
 #include "dtd/dtd_writer.h"
 #include "infer/inferrer.h"
 #include "io/input_buffer.h"
@@ -160,6 +162,77 @@ TEST(InputBuffer, MmapAndBufferedProduceByteIdenticalDtds) {
     return WriteDtd(dtd.value(), *inferrer.alphabet());
   };
   EXPECT_EQ(infer(/*allow_mmap=*/true), infer(/*allow_mmap=*/false));
+}
+
+// Non-regular inputs: the daemon hands client-supplied paths straight
+// to the input layer, so anything that is not a regular file must fail
+// fast with a clear Status — and must never block (a FIFO with no
+// writer hangs a naive open(O_RDONLY) forever).
+
+TEST(InputBuffer, DirectoryIsRejected) {
+  for (bool allow_mmap : {true, false}) {
+    InputBuffer::Options options;
+    options.allow_mmap = allow_mmap;
+    Result<InputBuffer> buffer = InputBuffer::Open("/tmp", options);
+    ASSERT_FALSE(buffer.ok());
+    EXPECT_EQ(buffer.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(buffer.status().message().find("is a directory"),
+              std::string::npos)
+        << buffer.status().ToString();
+  }
+  Result<std::string> content = ReadFileToString("/tmp");
+  ASSERT_FALSE(content.ok());
+  EXPECT_EQ(content.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(InputBuffer, FifoIsRejectedWithoutBlocking) {
+  std::string path = "/tmp/condtd_io_test_fifo";
+  std::remove(path.c_str());
+  ASSERT_EQ(mkfifo(path.c_str(), 0600), 0);
+  // No writer exists: if the implementation opened the FIFO with a
+  // plain blocking open this test would hang, not fail.
+  for (bool allow_mmap : {true, false}) {
+    InputBuffer::Options options;
+    options.allow_mmap = allow_mmap;
+    Result<InputBuffer> buffer = InputBuffer::Open(path, options);
+    ASSERT_FALSE(buffer.ok());
+    EXPECT_EQ(buffer.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(buffer.status().message().find("not a regular file"),
+              std::string::npos)
+        << buffer.status().ToString();
+  }
+  Result<std::string> content = ReadFileToString(path);
+  ASSERT_FALSE(content.ok());
+  EXPECT_EQ(content.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(InputBuffer, DeviceFileIsRejected) {
+  Result<std::string> content = ReadFileToString("/dev/null");
+  ASSERT_FALSE(content.ok());
+  EXPECT_EQ(content.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(content.status().message().find("not a regular file"),
+            std::string::npos)
+      << content.status().ToString();
+}
+
+TEST(InputBuffer, ProcfsZeroSizeFileIsReadInFull) {
+  // procfs regular files report st_size == 0 but are not empty; the
+  // presized fast path would return "" for them.
+  Result<std::string> content = ReadFileToString("/proc/self/status");
+  if (!content.ok()) GTEST_SKIP() << "no procfs here";
+  EXPECT_NE(content->find("Name:"), std::string::npos);
+
+  Result<InputBuffer> buffer = InputBuffer::Open("/proc/self/status");
+  ASSERT_TRUE(buffer.ok()) << buffer.status().ToString();
+  EXPECT_NE(buffer->view().find("Name:"), std::string_view::npos);
+}
+
+TEST(InputBuffer, MissingFileIsNotFound) {
+  Result<std::string> content =
+      ReadFileToString("/nonexistent/condtd/x.xml");
+  ASSERT_FALSE(content.ok());
+  EXPECT_EQ(content.status().code(), StatusCode::kNotFound);
 }
 
 }  // namespace

@@ -1,0 +1,669 @@
+// The serve daemon: journal framing and torn-tail replay, crash
+// recovery (snapshot + journal), the IngestSession consistency
+// contract under concurrent readers and writers, registry hygiene, and
+// the wire protocol end-to-end over a real socket.
+//
+// The load-bearing property throughout is the determinism contract:
+// after any crash/replay or reader/writer interleaving, a QUERY answer
+// must be byte-identical to a batch run over some prefix of the
+// acknowledged document sequence — checked here by precomputing every
+// prefix's reference output with the plain sequential engine and
+// asserting set membership, which is much stronger than "looks like a
+// DTD".
+
+#include <ftw.h>
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/file.h"
+#include "dtd/dtd_parser.h"
+#include "dtd/dtd_writer.h"
+#include "infer/inferrer.h"
+#include "infer/session.h"
+#include "infer/streaming.h"
+#include "serve/client.h"
+#include "serve/corpus.h"
+#include "serve/journal.h"
+#include "serve/registry.h"
+#include "serve/server.h"
+
+namespace condtd {
+namespace {
+
+int RemoveEntry(const char* path, const struct stat*, int,
+                struct FTW*) {
+  return ::remove(path);
+}
+
+/// Self-cleaning temp dir for corpus data directories.
+class TempDir {
+ public:
+  TempDir() {
+    char buffer[] = "/tmp/condtd_serve_test_XXXXXX";
+    EXPECT_NE(mkdtemp(buffer), nullptr);
+    path_ = buffer;
+  }
+  ~TempDir() {
+    ::nftw(path_.c_str(), RemoveEntry, 16, FTW_DEPTH | FTW_PHYS);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Distinct per-index documents, so every prefix of the sequence has a
+/// distinct inference state.
+std::string Doc(int index) {
+  std::string xml = "<library>";
+  for (int book = 0; book <= index % 5; ++book) {
+    xml += "<book><title>t</title>";
+    if ((index + book) % 2 == 0) xml += "<author>a</author>";
+    xml += "</book>";
+  }
+  xml += "</library>";
+  return xml;
+}
+
+/// Reference: the sequential engine's SaveState after folding
+/// docs[0..prefix).
+std::string PrefixState(const std::vector<std::string>& docs,
+                        size_t prefix) {
+  DtdInferrer inferrer;
+  StreamingFolder folder(&inferrer);
+  for (size_t i = 0; i < prefix; ++i) {
+    EXPECT_TRUE(folder.AddXml(docs[i]).ok());
+  }
+  folder.Flush();
+  return inferrer.SaveState();
+}
+
+/// Reference: the sequential engine's DTD text after folding
+/// docs[0..prefix).
+std::string PrefixDtd(const std::vector<std::string>& docs,
+                      size_t prefix) {
+  DtdInferrer inferrer;
+  StreamingFolder folder(&inferrer);
+  for (size_t i = 0; i < prefix; ++i) {
+    EXPECT_TRUE(folder.AddXml(docs[i]).ok());
+  }
+  folder.Flush();
+  Result<Dtd> dtd = inferrer.InferDtd();
+  EXPECT_TRUE(dtd.ok()) << dtd.status().ToString();
+  return WriteDtd(dtd.value(), *inferrer.alphabet());
+}
+
+// ---------------------------------------------------------------------
+// Journal
+
+TEST(Journal, AppendAndReplayRoundTrip) {
+  TempDir dir;
+  std::string path = dir.path() + "/journal.log";
+  {
+    Result<serve::Journal> journal =
+        serve::Journal::Open(path, /*fsync_appends=*/false);
+    ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+    ASSERT_TRUE(journal->Append(0, "<a/>").ok());
+    ASSERT_TRUE(journal->Append(1, "<b>with\nnewlines\n</b>").ok());
+    ASSERT_TRUE(journal->Append(2, "").ok());  // empty doc is framed fine
+  }
+  std::vector<std::pair<int64_t, std::string>> seen;
+  Result<serve::Journal::ReplayStats> stats = serve::Journal::Replay(
+      path, [&seen](int64_t seq, std::string_view doc) {
+        seen.emplace_back(seq, std::string(doc));
+        return Status::OK();
+      });
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->records, 3);
+  EXPECT_EQ(stats->torn_tail_bytes, 0);
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], (std::pair<int64_t, std::string>{0, "<a/>"}));
+  EXPECT_EQ(seen[1].second, "<b>with\nnewlines\n</b>");
+  EXPECT_EQ(seen[2].second, "");
+}
+
+TEST(Journal, MissingFileReplaysNothing) {
+  TempDir dir;
+  Result<serve::Journal::ReplayStats> stats = serve::Journal::Replay(
+      dir.path() + "/nope.log",
+      [](int64_t, std::string_view) { return Status::OK(); });
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->records, 0);
+}
+
+TEST(Journal, TornTailIsDiscarded) {
+  TempDir dir;
+  std::string path = dir.path() + "/journal.log";
+  {
+    Result<serve::Journal> journal =
+        serve::Journal::Open(path, /*fsync_appends=*/false);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(journal->Append(0, "<a/>").ok());
+    ASSERT_TRUE(journal->Append(1, "<b/>").ok());
+  }
+  // A crash mid-append leaves a record whose announced length exceeds
+  // the bytes actually on disk.
+  Result<std::string> intact = ReadFileToString(path);
+  ASSERT_TRUE(intact.ok());
+  for (const std::string torn :
+       {std::string("doc 2 4000\n<c/"), std::string("doc 2 "),
+        std::string("garbage that is not a header\n")}) {
+    ASSERT_TRUE(WriteStringToFile(path, *intact + torn).ok());
+    int64_t records = 0;
+    Result<serve::Journal::ReplayStats> stats = serve::Journal::Replay(
+        path, [&records](int64_t, std::string_view) {
+          ++records;
+          return Status::OK();
+        });
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(records, 2) << "torn tail: " << torn;
+    EXPECT_EQ(stats->torn_tail_bytes,
+              static_cast<int64_t>(torn.size()));
+  }
+}
+
+// ---------------------------------------------------------------------
+// IngestSession: concurrent snapshot consistency (the serve analogue of
+// "concurrent SaveState while ingestion is in flight").
+
+TEST(IngestSession, ConcurrentSnapshotsAreAlwaysAPrefixState) {
+  constexpr int kDocs = 24;
+  std::vector<std::string> docs;
+  for (int i = 0; i < kDocs; ++i) docs.push_back(Doc(i));
+
+  // Reference states for every prefix, computed sequentially.
+  std::set<std::string> prefix_states;
+  for (size_t prefix = 0; prefix <= docs.size(); ++prefix) {
+    prefix_states.insert(PrefixState(docs, prefix));
+  }
+
+  IngestSession session{InferenceOptions{}};
+  std::vector<std::string> snapshots;
+  std::vector<int64_t> epochs;
+  std::thread reader([&session, &snapshots, &epochs] {
+    for (int i = 0; i < 50; ++i) {
+      std::string state;
+      int64_t epoch = 0;
+      session.Snapshot(&state, &epoch);
+      snapshots.push_back(std::move(state));
+      epochs.push_back(epoch);
+    }
+  });
+  for (const std::string& doc : docs) {
+    ASSERT_TRUE(session.Ingest(doc).ok());
+  }
+  reader.join();
+
+  // Every snapshot taken mid-ingest equals the sequential SaveState of
+  // SOME prefix — never a torn intermediate.
+  for (const std::string& snapshot : snapshots) {
+    EXPECT_TRUE(prefix_states.count(snapshot) > 0)
+        << "snapshot is not any prefix state";
+  }
+  // Epochs are monotone in snapshot order (reader is one thread).
+  for (size_t i = 1; i < epochs.size(); ++i) {
+    EXPECT_LE(epochs[i - 1], epochs[i]);
+  }
+  // The final state is the full corpus.
+  std::string final_state;
+  session.Snapshot(&final_state, nullptr);
+  EXPECT_EQ(final_state, PrefixState(docs, docs.size()));
+  EXPECT_EQ(session.documents(), kDocs);
+}
+
+TEST(IngestSession, FailedDocumentContributesNothing) {
+  IngestSession session{InferenceOptions{}};
+  ASSERT_TRUE(session.Ingest(Doc(0)).ok());
+  std::string before;
+  session.Snapshot(&before, nullptr);
+  int64_t epoch_before = session.epoch();
+
+  EXPECT_FALSE(session.Ingest("<broken><unclosed>").ok());
+  std::string after;
+  session.Snapshot(&after, nullptr);
+  EXPECT_EQ(before, after);
+  EXPECT_EQ(session.epoch(), epoch_before);
+  EXPECT_EQ(session.failed_documents(), 1);
+}
+
+TEST(IngestSession, ApproxBytesGrowsWithRetainedState) {
+  IngestSession session{InferenceOptions{}};
+  size_t empty = session.ApproxBytes();
+  ASSERT_TRUE(session.Ingest(Doc(0)).ok());
+  size_t one = session.ApproxBytes();
+  for (int i = 1; i < 10; ++i) {
+    ASSERT_TRUE(session.Ingest(Doc(i)).ok());
+  }
+  size_t ten = session.ApproxBytes();
+  EXPECT_LT(empty, one);
+  EXPECT_LT(one, ten);
+}
+
+// ---------------------------------------------------------------------
+// Corpus durability
+
+TEST(Corpus, RecoversFromJournalAloneAfterCrash) {
+  TempDir dir;
+  serve::Corpus::Options options;
+  options.data_dir = dir.path();
+  options.fsync_journal = false;  // in-process "crash" keeps the bytes
+
+  std::vector<std::string> docs;
+  for (int i = 0; i < 6; ++i) docs.push_back(Doc(i));
+
+  {
+    Result<std::unique_ptr<serve::Corpus>> corpus =
+        serve::Corpus::Open("lib", options);
+    ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+    for (const std::string& doc : docs) {
+      ASSERT_TRUE((*corpus)->Ingest(doc).ok());
+    }
+    // No snapshot, no clean shutdown: the object is dropped with only
+    // the journal on disk — exactly the kill -9 disk image.
+  }
+
+  Result<std::unique_ptr<serve::Corpus>> recovered =
+      serve::Corpus::Open("lib", options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  Result<std::string> dtd = (*recovered)->Query("", /*xsd=*/false);
+  ASSERT_TRUE(dtd.ok()) << dtd.status().ToString();
+  EXPECT_EQ(*dtd, PrefixDtd(docs, docs.size()));
+  EXPECT_EQ((*recovered)->GetStats().replayed_documents, 6);
+}
+
+TEST(Corpus, RecoversFromSnapshotPlusJournal) {
+  TempDir dir;
+  serve::Corpus::Options options;
+  options.data_dir = dir.path();
+  options.fsync_journal = false;
+
+  std::vector<std::string> docs;
+  for (int i = 0; i < 8; ++i) docs.push_back(Doc(i));
+
+  {
+    Result<std::unique_ptr<serve::Corpus>> corpus =
+        serve::Corpus::Open("lib", options);
+    ASSERT_TRUE(corpus.ok());
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE((*corpus)->Ingest(docs[i]).ok());
+    }
+    ASSERT_TRUE((*corpus)->WriteSnapshot().ok());
+    for (int i = 5; i < 8; ++i) {
+      ASSERT_TRUE((*corpus)->Ingest(docs[i]).ok());
+    }
+  }
+
+  Result<std::unique_ptr<serve::Corpus>> recovered =
+      serve::Corpus::Open("lib", options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  serve::CorpusStats stats = (*recovered)->GetStats();
+  EXPECT_EQ(stats.generation, 1);
+  EXPECT_EQ(stats.replayed_documents, 3);  // only the post-snapshot tail
+
+  Result<std::string> dtd = (*recovered)->Query("", /*xsd=*/false);
+  ASSERT_TRUE(dtd.ok()) << dtd.status().ToString();
+  EXPECT_EQ(*dtd, PrefixDtd(docs, docs.size()));
+}
+
+TEST(Corpus, TornJournalTailRecoversAcknowledgedPrefix) {
+  TempDir dir;
+  serve::Corpus::Options options;
+  options.data_dir = dir.path();
+  options.fsync_journal = false;
+
+  std::vector<std::string> docs;
+  for (int i = 0; i < 4; ++i) docs.push_back(Doc(i));
+
+  {
+    Result<std::unique_ptr<serve::Corpus>> corpus =
+        serve::Corpus::Open("lib", options);
+    ASSERT_TRUE(corpus.ok());
+    for (const std::string& doc : docs) {
+      ASSERT_TRUE((*corpus)->Ingest(doc).ok());
+    }
+  }
+  // Crash mid-append of a 5th document: header + half the payload.
+  std::string journal = dir.path() + "/lib/journal-0.log";
+  Result<std::string> intact = ReadFileToString(journal);
+  ASSERT_TRUE(intact.ok());
+  ASSERT_TRUE(
+      WriteStringToFile(journal, *intact + "doc 4 64\n<library><bo").ok());
+
+  Result<std::unique_ptr<serve::Corpus>> recovered =
+      serve::Corpus::Open("lib", options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  Result<std::string> dtd = (*recovered)->Query("", /*xsd=*/false);
+  ASSERT_TRUE(dtd.ok());
+  EXPECT_EQ(*dtd, PrefixDtd(docs, docs.size()));
+}
+
+TEST(Corpus, QueriesDuringIngestionAnswerForAConsistentPrefix) {
+  constexpr int kDocs = 16;
+  std::vector<std::string> docs;
+  for (int i = 0; i < kDocs; ++i) docs.push_back(Doc(i));
+
+  std::set<std::string> prefix_dtds;
+  for (size_t prefix = 1; prefix <= docs.size(); ++prefix) {
+    prefix_dtds.insert(PrefixDtd(docs, prefix));
+  }
+
+  serve::Corpus::Options options;  // ephemeral: no data_dir
+  Result<std::unique_ptr<serve::Corpus>> corpus =
+      serve::Corpus::Open("lib", options);
+  ASSERT_TRUE(corpus.ok());
+  ASSERT_TRUE((*corpus)->Ingest(docs[0]).ok());  // never query empty
+
+  std::vector<std::string> answers;
+  std::thread reader([&corpus, &answers] {
+    for (int i = 0; i < 40; ++i) {
+      Result<std::string> dtd = (*corpus)->Query("", /*xsd=*/false);
+      ASSERT_TRUE(dtd.ok()) << dtd.status().ToString();
+      answers.push_back(std::move(*dtd));
+    }
+  });
+  for (int i = 1; i < kDocs; ++i) {
+    ASSERT_TRUE((*corpus)->Ingest(docs[i]).ok());
+  }
+  reader.join();
+
+  for (const std::string& answer : answers) {
+    // Byte-identical to the sequential answer for SOME prefix of the
+    // acknowledged sequence: the concurrent reader can never observe a
+    // half-folded document.
+    EXPECT_TRUE(prefix_dtds.count(answer) > 0)
+        << "query answered for a non-prefix state:\n"
+        << answer;
+    // And it is well-formed DTD text.
+    Alphabet alphabet;
+    EXPECT_TRUE(ParseDtd(answer, &alphabet).ok());
+  }
+  Result<std::string> final_dtd = (*corpus)->Query("", /*xsd=*/false);
+  ASSERT_TRUE(final_dtd.ok());
+  EXPECT_EQ(*final_dtd, PrefixDtd(docs, docs.size()));
+}
+
+TEST(Corpus, QueryCacheHitsOnlyWhenUnchanged) {
+  serve::Corpus::Options options;
+  Result<std::unique_ptr<serve::Corpus>> corpus =
+      serve::Corpus::Open("lib", options);
+  ASSERT_TRUE(corpus.ok());
+  ASSERT_TRUE((*corpus)->Ingest(Doc(0)).ok());
+
+  Result<std::string> first = (*corpus)->Query("", false);
+  Result<std::string> second = (*corpus)->Query("", false);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second);
+  EXPECT_EQ((*corpus)->GetStats().query_cache_hits, 1);
+
+  ASSERT_TRUE((*corpus)->Ingest(Doc(1)).ok());
+  Result<std::string> third = (*corpus)->Query("", false);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ((*corpus)->GetStats().query_cache_hits, 1);  // invalidated
+  EXPECT_NE(*first, *third);
+}
+
+TEST(Corpus, MemoryCapRefusesFurtherIngestion) {
+  serve::Corpus::Options options;
+  options.max_corpus_bytes = 1;  // below even an empty session
+  Result<std::unique_ptr<serve::Corpus>> corpus =
+      serve::Corpus::Open("lib", options);
+  ASSERT_TRUE(corpus.ok());
+  Status refused = (*corpus)->Ingest(Doc(0));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.code(), StatusCode::kResourceExhausted);
+
+  serve::Corpus::Options roomy;
+  roomy.max_corpus_bytes = 64 << 20;
+  Result<std::unique_ptr<serve::Corpus>> ok_corpus =
+      serve::Corpus::Open("lib2", roomy);
+  ASSERT_TRUE(ok_corpus.ok());
+  EXPECT_TRUE((*ok_corpus)->Ingest(Doc(0)).ok());
+}
+
+TEST(Corpus, XsdQueryAndAlgorithmOverride) {
+  serve::Corpus::Options options;
+  Result<std::unique_ptr<serve::Corpus>> corpus =
+      serve::Corpus::Open("lib", options);
+  ASSERT_TRUE(corpus.ok());
+  ASSERT_TRUE((*corpus)->Ingest(Doc(3)).ok());
+
+  Result<std::string> xsd = (*corpus)->Query("", /*xsd=*/true);
+  ASSERT_TRUE(xsd.ok()) << xsd.status().ToString();
+  EXPECT_NE(xsd->find("schema"), std::string::npos);
+
+  Result<std::string> crx = (*corpus)->Query("crx", /*xsd=*/false);
+  ASSERT_TRUE(crx.ok()) << crx.status().ToString();
+
+  Result<std::string> bogus = (*corpus)->Query("nonsense", false);
+  EXPECT_FALSE(bogus.ok());
+}
+
+// ---------------------------------------------------------------------
+// Registry
+
+TEST(CorpusRegistry, ValidatesIdsAndDistinguishesGetFromCreate) {
+  serve::CorpusRegistry registry{serve::Corpus::Options{}};
+  for (const char* bad :
+       {"", ".", "..", "a/b", "a b", "a\nb", "../../etc/passwd"}) {
+    EXPECT_FALSE(serve::CorpusRegistry::ValidCorpusId(bad)) << bad;
+    EXPECT_FALSE(registry.GetOrCreate(bad).ok()) << bad;
+  }
+  EXPECT_FALSE(
+      serve::CorpusRegistry::ValidCorpusId(std::string(129, 'a')));
+
+  EXPECT_FALSE(registry.Get("lib").ok());  // NotFound before creation
+  EXPECT_EQ(registry.Get("lib").status().code(), StatusCode::kNotFound);
+
+  Result<serve::Corpus*> created = registry.GetOrCreate("lib");
+  ASSERT_TRUE(created.ok());
+  Result<serve::Corpus*> again = registry.GetOrCreate("lib");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*created, *again);  // same live instance
+  EXPECT_EQ(registry.List().size(), 1u);
+}
+
+TEST(CorpusRegistry, RecoverAllReopensPersistedCorpora) {
+  TempDir dir;
+  serve::Corpus::Options options;
+  options.data_dir = dir.path();
+  options.fsync_journal = false;
+  {
+    serve::CorpusRegistry registry{options};
+    Result<serve::Corpus*> a = registry.GetOrCreate("alpha");
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE((*a)->Ingest(Doc(0)).ok());
+    Result<serve::Corpus*> b = registry.GetOrCreate("beta");
+    ASSERT_TRUE(b.ok());
+    ASSERT_TRUE((*b)->Ingest(Doc(1)).ok());
+  }
+  serve::CorpusRegistry registry{options};
+  ASSERT_TRUE(registry.RecoverAll().ok());
+  ASSERT_EQ(registry.List().size(), 2u);
+  EXPECT_TRUE(registry.Get("alpha").ok());
+  EXPECT_TRUE(registry.Get("beta").ok());
+}
+
+// ---------------------------------------------------------------------
+// Server + Client over a real unix socket
+
+class ServeEndToEnd : public ::testing::Test {
+ protected:
+  void StartServer(serve::ServerOptions options) {
+    options.unix_socket = socket_path();
+    server_.emplace(std::move(options));
+    Status started = server_->Start();
+    ASSERT_TRUE(started.ok()) << started.ToString();
+  }
+  serve::Client Connect() {
+    Result<serve::Client> client =
+        serve::Client::ConnectUnix(socket_path());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(*client);
+  }
+  std::string socket_path() const { return dir_.path() + "/condtd.sock"; }
+  void TearDown() override {
+    if (server_) server_->Stop();
+  }
+
+  TempDir dir_;
+  std::optional<serve::Server> server_;
+};
+
+TEST_F(ServeEndToEnd, ProtocolRoundTrip) {
+  serve::ServerOptions options;
+  options.workers = 2;
+  options.corpus.data_dir = dir_.path() + "/data";
+  options.corpus.fsync_journal = false;
+  StartServer(std::move(options));
+
+  serve::Client client = Connect();
+  Result<std::string> pong = client.Ping();
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  EXPECT_EQ(*pong, "pong");
+
+  std::vector<std::string> docs;
+  for (int i = 0; i < 5; ++i) docs.push_back(Doc(i));
+  for (const std::string& doc : docs) {
+    Result<std::string> ack = client.IngestInline("lib", doc);
+    ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+  }
+
+  Result<std::string> dtd = client.Query("lib");
+  ASSERT_TRUE(dtd.ok()) << dtd.status().ToString();
+  EXPECT_EQ(*dtd, PrefixDtd(docs, docs.size()));
+
+  Result<std::string> xsd = client.Query("lib", "", /*xsd=*/true);
+  ASSERT_TRUE(xsd.ok()) << xsd.status().ToString();
+  EXPECT_NE(xsd->find("schema"), std::string::npos);
+
+  Result<std::string> snap = client.Snapshot("lib");
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_NE(snap->find("generation=1"), std::string::npos);
+
+  Result<std::string> stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  for (const char* key :
+       {"\"condtd_serve_stats_version\": 1", "\"lib\"",
+        "\"documents_ingested\": 5", "\"condtd_corpus_bytes\"",
+        "\"ingest_latency\"", "\"query_latency\"", "\"process\"",
+        "\"condtd_stats_version\": 1"}) {
+    EXPECT_NE(stats->find(key), std::string::npos)
+        << key << "\n" << *stats;
+  }
+
+  Result<std::string> bye = client.Shutdown();
+  ASSERT_TRUE(bye.ok()) << bye.status().ToString();
+  server_->Wait();
+  server_.reset();
+}
+
+TEST_F(ServeEndToEnd, ErrorsComeBackWithCodes) {
+  serve::ServerOptions options;  // ephemeral corpora
+  StartServer(std::move(options));
+  serve::Client client = Connect();
+
+  // Unknown command.
+  Result<std::string> unknown = client.Roundtrip("FROBNICATE");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kInvalidArgument);
+
+  // QUERY against a corpus that never ingested.
+  Result<std::string> missing = client.Query("nope");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+
+  // Invalid corpus id.
+  Result<std::string> bad_id = client.IngestInline("a/b", "<x/>");
+  ASSERT_FALSE(bad_id.ok());
+  EXPECT_EQ(bad_id.status().code(), StatusCode::kInvalidArgument);
+
+  // A malformed document reports the parse error; the connection (and
+  // the corpus) survive it.
+  Result<std::string> bad_doc =
+      client.IngestInline("lib", "<broken><unclosed>");
+  ASSERT_FALSE(bad_doc.ok());
+  EXPECT_EQ(bad_doc.status().code(), StatusCode::kParseError);
+  Result<std::string> good_doc = client.IngestInline("lib", Doc(0));
+  ASSERT_TRUE(good_doc.ok()) << good_doc.status().ToString();
+  Result<std::string> dtd = client.Query("lib");
+  ASSERT_TRUE(dtd.ok());
+  std::vector<std::string> docs = {Doc(0)};
+  EXPECT_EQ(*dtd, PrefixDtd(docs, 1));
+}
+
+TEST_F(ServeEndToEnd, ConcurrentClientsOnDistinctCorpora) {
+  serve::ServerOptions options;
+  options.workers = 4;
+  StartServer(std::move(options));
+
+  constexpr int kClients = 4;
+  constexpr int kDocsPerClient = 8;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([this, c] {
+      serve::Client client = Connect();
+      std::string corpus = "tenant" + std::to_string(c);
+      for (int i = 0; i < kDocsPerClient; ++i) {
+        Result<std::string> ack =
+            client.IngestInline(corpus, Doc((c + i) % 7));
+        ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+      }
+      Result<std::string> dtd = client.Query(corpus);
+      ASSERT_TRUE(dtd.ok()) << dtd.status().ToString();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Each tenant's answer equals a fresh batch run over its own docs —
+  // tenants are fully isolated.
+  serve::Client client = Connect();
+  for (int c = 0; c < kClients; ++c) {
+    std::vector<std::string> docs;
+    for (int i = 0; i < kDocsPerClient; ++i) {
+      docs.push_back(Doc((c + i) % 7));
+    }
+    Result<std::string> dtd =
+        client.Query("tenant" + std::to_string(c));
+    ASSERT_TRUE(dtd.ok());
+    EXPECT_EQ(*dtd, PrefixDtd(docs, docs.size()));
+  }
+}
+
+TEST_F(ServeEndToEnd, RestartAfterUncleanStopServesRecoveredCorpora) {
+  serve::ServerOptions options;
+  options.corpus.data_dir = dir_.path() + "/data";
+  options.corpus.fsync_journal = false;
+  std::vector<std::string> docs;
+  for (int i = 0; i < 5; ++i) docs.push_back(Doc(i));
+
+  StartServer(options);
+  {
+    serve::Client client = Connect();
+    for (const std::string& doc : docs) {
+      ASSERT_TRUE(client.IngestInline("lib", doc).ok());
+    }
+  }
+  // Stop without SNAPSHOT or SHUTDOWN bookkeeping: state must come back
+  // from the journal alone.
+  server_->Stop();
+  server_.reset();
+
+  StartServer(options);
+  serve::Client client = Connect();
+  Result<std::string> dtd = client.Query("lib");
+  ASSERT_TRUE(dtd.ok()) << dtd.status().ToString();
+  EXPECT_EQ(*dtd, PrefixDtd(docs, docs.size()));
+}
+
+}  // namespace
+}  // namespace condtd

@@ -38,6 +38,12 @@
 //                                           generate N random documents
 //                                           valid for the DTD (ToXgene
 //                                           substitute); files P0.xml...
+//   condtd serve (--socket=PATH | --port=N) [--data-dir=DIR] ...
+//                                           run the multi-tenant
+//                                           incremental inference daemon
+//                                           (wire protocol: serve/wire.h)
+//   condtd client (--socket=PATH | --port=N) <cmd> ...
+//                                           talk to a running daemon
 
 #include <cstdio>
 #include <cstring>
@@ -56,9 +62,8 @@
 #include "dtd/dtd_writer.h"
 #include "dtd/validator.h"
 #include "infer/contextual.h"
+#include "infer/engine.h"
 #include "infer/inferrer.h"
-#include "infer/parallel.h"
-#include "infer/streaming.h"
 #include "io/input_buffer.h"
 #include "learn/learner.h"
 #include "obs/metrics.h"
@@ -67,6 +72,8 @@
 #include "regex/matcher.h"
 #include "regex/parser.h"
 #include "regex/properties.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "xml/parser.h"
 
 namespace condtd {
@@ -89,7 +96,15 @@ int Usage() {
       "  condtd gen --schema=file.dtd [--count=N] [--seed=S] "
       "[--prefix=P]\n"
       "  condtd context [--xsd] file.xml...\n"
-      "  condtd diff left.dtd right.dtd   (exit 0 iff language-equal)\n",
+      "  condtd diff left.dtd right.dtd   (exit 0 iff language-equal)\n"
+      "  condtd serve (--socket=PATH | --port=N) [--data-dir=DIR]\n"
+      "               [--workers=N] [--snapshot-every=N] [--no-fsync]\n"
+      "               [--max-corpus-bytes=N] [--replay-jobs=N]\n"
+      "               [--algorithm=NAME] [--noise=N] [--lenient] [--dom]\n"
+      "  condtd client (--socket=PATH | --port=N) <cmd>\n"
+      "               cmd: ping | ingest <corpus> file.xml... |\n"
+      "                    query <corpus> [--algorithm=NAME] [--xsd] |\n"
+      "                    snapshot [<corpus>] | stats | shutdown\n",
       algorithms.c_str());
   return 2;
 }
@@ -214,23 +229,15 @@ int RunInfer(const std::vector<std::string>& args) {
     obs::GaugeSet(obs::Gauge::kJobs, jobs);
   }
 
-  // --jobs != 1 runs the sharded ingestion-and-inference pipeline; its
-  // output is byte-identical to the sequential engine, so both paths
-  // converge on one DtdInferrer before emitting.
-  std::optional<ParallelDtdInferrer> parallel;
-  std::optional<DtdInferrer> sequential;
-  std::optional<StreamingFolder> folder;
-  if (jobs != 1) {
-    parallel.emplace(options, jobs);
-    parallel->set_input_options(input_options);
-  } else {
-    sequential.emplace(options);
-    // Streaming (the default) folds SAX events straight into the
-    // summaries, deduplicating repeated child sequences across the whole
-    // corpus; --dom materializes each document tree first. Same DTD
-    // either way.
-    if (options.streaming_ingest) folder.emplace(&*sequential);
-  }
+  // One ingestion engine for every job count: --jobs=1 folds
+  // sequentially (streaming by default, --dom for the tree parser),
+  // anything else runs the sharded pipeline. The inferred schema is
+  // byte-identical either way, so the flag is purely about throughput.
+  IngestEngine::Options engine_options;
+  engine_options.inference = options;
+  engine_options.input = input_options;
+  engine_options.jobs = jobs;
+  IngestEngine engine(engine_options);
   if (!state_in.empty()) {
     Result<std::string> state = ReadFileToString(state_in);
     if (!state.ok()) {
@@ -238,8 +245,7 @@ int RunInfer(const std::vector<std::string>& args) {
                    state.status().ToString().c_str());
       return 1;
     }
-    Status status = parallel ? parallel->LoadState(state.value())
-                             : sequential->LoadState(state.value());
+    Status status = engine.LoadState(state.value());
     if (!status.ok()) {
       std::fprintf(stderr, "%s: %s\n", state_in.c_str(),
                    status.ToString().c_str());
@@ -247,54 +253,31 @@ int RunInfer(const std::vector<std::string>& args) {
     }
   }
   for (const std::string& path : files) {
-    if (parallel) {
-      // Path-only hand-off: the worker that claims the batch opens the
-      // file itself (mmap or buffered), overlapping I/O with parsing.
-      // Open failures surface through errors() with the other document
-      // failures after Finish().
-      parallel->AddFile(path);
-      continue;
-    }
-    Result<InputBuffer> content = InputBuffer::Open(path, input_options);
-    if (!content.ok()) {
-      std::fprintf(stderr, "%s: %s\n", path.c_str(),
-                   content.status().ToString().c_str());
-      return 1;
-    }
-    // The lexer reads straight out of the mapping — no copy of the
-    // document bytes is ever made.
-    Status status = folder ? folder->AddXml(content->view())
-                           : sequential->AddXml(content->view());
-    if (!status.ok()) {
-      std::fprintf(stderr, "%s: %s\n", path.c_str(),
-                   status.ToString().c_str());
-      return 1;
-    }
+    // Path-only hand-off: the engine opens the file itself (mmap or
+    // buffered; worker-side in sharded mode, overlapping I/O with
+    // parsing). Failures surface through errors() after Finish().
+    engine.AddFile(path);
   }
-  if (folder) folder->Flush();
-  if (parallel) {
-    parallel->Finish();
-    if (!parallel->errors().empty()) {
-      // One line per failed document, in submission order — not just the
-      // first failure.
-      for (const auto& error : parallel->errors()) {
-        if (error.doc_index >= 0 &&
-            static_cast<size_t>(error.doc_index) < files.size()) {
-          std::fprintf(stderr, "%s: %s\n", files[error.doc_index].c_str(),
-                       error.status.ToString().c_str());
-        } else {
-          std::fprintf(stderr, "document %lld: %s\n",
-                       static_cast<long long>(error.doc_index),
-                       error.status.ToString().c_str());
-        }
+  if (!engine.Finish().ok()) {
+    // One line per failed document, in submission order — not just the
+    // first failure.
+    for (const auto& error : engine.errors()) {
+      if (error.doc_index >= 0 &&
+          static_cast<size_t>(error.doc_index) < files.size()) {
+        std::fprintf(stderr, "%s: %s\n", files[error.doc_index].c_str(),
+                     error.status.ToString().c_str());
+      } else {
+        std::fprintf(stderr, "document %lld: %s\n",
+                     static_cast<long long>(error.doc_index),
+                     error.status.ToString().c_str());
       }
-      std::fprintf(stderr, "infer: %zu of %zu documents failed\n",
-                   parallel->errors().size(), files.size());
-      return 1;
     }
+    std::fprintf(stderr, "infer: %zu of %zu documents failed\n",
+                 engine.errors().size(), files.size());
+    return 1;
   }
-  DtdInferrer& inferrer = parallel ? *parallel->merged() : *sequential;
-  int infer_threads = parallel ? parallel->num_threads() : 1;
+  DtdInferrer& inferrer = engine.inferrer();
+  int infer_threads = engine.infer_threads();
   if (!state_out.empty()) {
     Status status = WriteStringToFile(state_out, inferrer.SaveState());
     if (!status.ok()) {
@@ -637,6 +620,237 @@ int RunGen(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// Shared listener-address flags for `serve` and `client`.
+struct EndpointFlags {
+  std::string socket_path;
+  std::string host = "127.0.0.1";
+  int port = -1;
+
+  /// Consumes --socket/--port/--host; returns false for other args.
+  bool Parse(const std::string& arg, bool* bad) {
+    std::string value;
+    *bad = false;
+    if (GetFlag(arg, "socket", &value)) {
+      socket_path = value;
+      return true;
+    }
+    if (GetFlag(arg, "port", &value)) {
+      if (!ParseCountFlag("port", value, 0, &port)) *bad = true;
+      return true;
+    }
+    if (GetFlag(arg, "host", &value)) {
+      host = value;
+      return true;
+    }
+    return false;
+  }
+
+  bool configured() const { return !socket_path.empty() || port >= 0; }
+};
+
+int RunServe(const std::vector<std::string>& args) {
+  serve::ServerOptions options;
+  EndpointFlags endpoint;
+  StatsReporter stats;
+  for (const std::string& arg : args) {
+    std::string value;
+    bool bad = false;
+    if (endpoint.Parse(arg, &bad)) {
+      if (bad) return 2;
+    } else if (GetFlag(arg, "data-dir", &value)) {
+      options.corpus.data_dir = value;
+    } else if (GetFlag(arg, "workers", &value)) {
+      if (!ParseCountFlag("workers", value, 1, &options.workers)) return 2;
+    } else if (GetFlag(arg, "replay-jobs", &value)) {
+      if (!ParseCountFlag("replay-jobs", value, 1,
+                          &options.corpus.replay_jobs)) {
+        return 2;
+      }
+    } else if (arg == "--no-fsync") {
+      options.corpus.fsync_journal = false;
+    } else if (GetFlag(arg, "snapshot-every", &value)) {
+      if (!ParseCountFlag("snapshot-every", value, 0,
+                          &options.corpus.snapshot_every)) {
+        return 2;
+      }
+    } else if (GetFlag(arg, "max-corpus-bytes", &value)) {
+      int64_t parsed = 0;
+      if (!ParseInt64(value, &parsed) || parsed < 0) {
+        std::fprintf(stderr,
+                     "--max-corpus-bytes=%s: expected an integer >= 0\n",
+                     value.c_str());
+        return 2;
+      }
+      options.corpus.max_corpus_bytes = parsed;
+    } else if (GetFlag(arg, "algorithm", &value)) {
+      if (LearnerRegistry::Global().Find(value) == nullptr) {
+        std::fprintf(
+            stderr, "unknown algorithm '%s' (registered: %s)\n",
+            value.c_str(),
+            LearnerRegistry::Global().NamesForDisplay(", ").c_str());
+        return 2;
+      }
+      options.corpus.inference.learner = value;
+    } else if (GetFlag(arg, "noise", &value)) {
+      if (!ParseCountFlag(
+              "noise", value, 0,
+              &options.corpus.inference.noise_symbol_threshold)) {
+        return 2;
+      }
+      options.corpus.inference.idtd.noise_edge_threshold =
+          options.corpus.inference.noise_symbol_threshold;
+    } else if (arg == "--lenient") {
+      options.corpus.inference.lenient_xml = true;
+    } else if (arg == "--dom") {
+      options.corpus.inference.streaming_ingest = false;
+    } else if (arg == "--stats") {
+      stats.mode = StatsReporter::Mode::kText;
+    } else if (GetFlag(arg, "stats", &value)) {
+      if (value == "json") {
+        stats.mode = StatsReporter::Mode::kJson;
+      } else if (value == "text") {
+        stats.mode = StatsReporter::Mode::kText;
+      } else {
+        std::fprintf(stderr, "--stats=%s: expected 'json' or 'text'\n",
+                     value.c_str());
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (!endpoint.configured()) {
+    std::fprintf(stderr,
+                 "serve: no listener (pass --socket=PATH or --port=N; "
+                 "--port=0 picks a free port)\n");
+    return 2;
+  }
+  options.unix_socket = endpoint.socket_path;
+  options.tcp_port = endpoint.port;
+  options.tcp_host = endpoint.host;
+
+  // The daemon always runs instrumented: the STATS command embeds the
+  // process-level observability report.
+  obs::EnableStats(true);
+  obs::ResetStats();
+
+  serve::Server server(std::move(options));
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "serve: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  // The readiness line: scripts wait for it (and read the bound port
+  // from it when --port=0 picked one).
+  if (!endpoint.socket_path.empty()) {
+    std::printf("condtd serve listening on %s\n",
+                endpoint.socket_path.c_str());
+  } else {
+    std::printf("condtd serve listening on %s:%d\n",
+                endpoint.host.c_str(), server.port());
+  }
+  std::fflush(stdout);
+  server.Wait();
+  std::printf("condtd serve shut down\n");
+  return 0;
+}
+
+int RunClient(const std::vector<std::string>& args) {
+  EndpointFlags endpoint;
+  std::string algorithm;
+  bool xsd = false;
+  std::vector<std::string> positional;
+  for (const std::string& arg : args) {
+    std::string value;
+    bool bad = false;
+    if (endpoint.Parse(arg, &bad)) {
+      if (bad) return 2;
+    } else if (GetFlag(arg, "algorithm", &value)) {
+      algorithm = value;
+    } else if (arg == "--xsd") {
+      xsd = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (!endpoint.configured() || positional.empty()) return Usage();
+
+  Result<serve::Client> connected =
+      endpoint.socket_path.empty()
+          ? serve::Client::ConnectTcp(endpoint.host, endpoint.port)
+          : serve::Client::ConnectUnix(endpoint.socket_path);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "client: %s\n",
+                 connected.status().ToString().c_str());
+    return 1;
+  }
+  serve::Client client = std::move(*connected);
+
+  const std::string& command = positional[0];
+  auto print = [](const Result<std::string>& response) {
+    if (!response.ok()) {
+      std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
+      return 1;
+    }
+    std::fputs(response->c_str(), stdout);
+    if (response->empty() || response->back() != '\n') {
+      std::fputc('\n', stdout);
+    }
+    return 0;
+  };
+
+  if (command == "ping" && positional.size() == 1) {
+    return print(client.Ping());
+  }
+  if (command == "ingest" && positional.size() >= 3) {
+    // Documents are read client-side and shipped inline, so the daemon
+    // never needs filesystem access to the client's paths.
+    const std::string& corpus = positional[1];
+    int failures = 0;
+    for (size_t i = 2; i < positional.size(); ++i) {
+      Result<std::string> content = ReadFileToString(positional[i]);
+      if (!content.ok()) {
+        std::fprintf(stderr, "%s: %s\n", positional[i].c_str(),
+                     content.status().ToString().c_str());
+        ++failures;
+        continue;
+      }
+      Result<std::string> response =
+          client.IngestInline(corpus, *content);
+      if (!response.ok()) {
+        std::fprintf(stderr, "%s: %s\n", positional[i].c_str(),
+                     response.status().ToString().c_str());
+        ++failures;
+        continue;
+      }
+      std::printf("%s: %s\n", positional[i].c_str(), response->c_str());
+    }
+    return failures == 0 ? 0 : 1;
+  }
+  if (command == "query" && positional.size() == 2) {
+    return print(client.Query(positional[1], algorithm, xsd));
+  }
+  if (command == "snapshot" && positional.size() <= 2) {
+    return print(
+        client.Snapshot(positional.size() == 2 ? positional[1] : ""));
+  }
+  if (command == "stats" && positional.size() == 1) {
+    return print(client.Stats());
+  }
+  if (command == "shutdown" && positional.size() == 1) {
+    return print(client.Shutdown());
+  }
+  std::fprintf(stderr,
+               "client: unknown command (want ping, ingest <corpus> "
+               "file..., query <corpus>, snapshot [<corpus>], stats or "
+               "shutdown)\n");
+  return 2;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string command = argv[1];
@@ -648,6 +862,8 @@ int Main(int argc, char** argv) {
   if (command == "gen") return RunGen(args);
   if (command == "context") return RunContext(args);
   if (command == "diff") return RunDiff(args);
+  if (command == "serve") return RunServe(args);
+  if (command == "client") return RunClient(args);
   return Usage();
 }
 
