@@ -9,7 +9,12 @@
 // cheap path inside the daemon).
 //
 //   serve_latency [--clients=4] [--docs-per-client=250] [--queries=200]
-//                 [--snapshot-every=0] [--fsync]
+//                 [--snapshot-every=0] [--fsync] [--tcp]
+//
+// --tcp measures the loopback TCP transport instead of the unix socket.
+// The listener binds port 0 and the clients use the kernel-chosen port
+// reported by Server::port() — never a fixed port, so concurrent bench
+// runs (or a CI machine with the port taken) cannot collide.
 //
 // Durability fsync is off by default: on the CI disk it measures the
 // device, not the daemon. --fsync turns it back on to see the floor a
@@ -87,9 +92,12 @@ int Run(int argc, char** argv) {
   int min_queries = 200;
   int snapshot_every = 0;
   bool fsync_journal = false;
+  bool use_tcp = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg.rfind("--clients=", 0) == 0) {
+    if (arg == "--tcp") {
+      use_tcp = true;
+    } else if (arg.rfind("--clients=", 0) == 0) {
       clients = std::atoi(arg.c_str() + 10);
     } else if (arg.rfind("--docs-per-client=", 0) == 0) {
       docs_per_client = std::atoi(arg.c_str() + 18);
@@ -117,7 +125,11 @@ int Run(int argc, char** argv) {
   std::string root = scratch;
 
   serve::ServerOptions options;
-  options.unix_socket = root + "/serve.sock";
+  if (use_tcp) {
+    options.tcp_port = 0;  // bind an ephemeral port; never a fixed one
+  } else {
+    options.unix_socket = root + "/serve.sock";
+  }
   options.workers = clients + 1;
   options.corpus.data_dir = root + "/data";
   options.corpus.fsync_journal = fsync_journal;
@@ -129,6 +141,13 @@ int Run(int argc, char** argv) {
                  started.ToString().c_str());
     return 1;
   }
+  // Connector shared by every client thread; in TCP mode the port is
+  // whatever the kernel handed the listener.
+  auto connect = [&options, &server] {
+    return options.unix_socket.empty()
+               ? serve::Client::ConnectTcp("127.0.0.1", server.port())
+               : serve::Client::ConnectUnix(options.unix_socket);
+  };
 
   const std::vector<std::string>& corpus =
       bench_util::Table1TextDocuments();
@@ -142,8 +161,7 @@ int Run(int argc, char** argv) {
   int64_t wall_start = NowNs();
   for (int c = 0; c < clients; ++c) {
     ingesters.emplace_back([&, c] {
-      Result<serve::Client> client =
-          serve::Client::ConnectUnix(options.unix_socket);
+      Result<serve::Client> client = connect();
       if (!client.ok()) {
         ingest_failures.fetch_add(docs_per_client);
         return;
@@ -170,8 +188,7 @@ int Run(int argc, char** argv) {
   std::vector<int64_t> query_idle;
   std::atomic<int> query_failures{0};
   std::thread querier([&] {
-    Result<serve::Client> client =
-        serve::Client::ConnectUnix(options.unix_socket);
+    Result<serve::Client> client = connect();
     if (!client.ok()) {
       query_failures.fetch_add(1);
       return;
@@ -221,8 +238,7 @@ int Run(int argc, char** argv) {
   // a smoke test that the daemon survives the contention it measured.
   int64_t documents_acked = -1;
   {
-    Result<serve::Client> client =
-        serve::Client::ConnectUnix(options.unix_socket);
+    Result<serve::Client> client = connect();
     if (client.ok()) {
       Result<std::string> ingested = client->IngestInline(
           "bench", corpus[0]);
@@ -260,6 +276,7 @@ int Run(int argc, char** argv) {
   std::printf("    \"num_cpus\": %d\n", bench_util::NumCpus());
   std::printf("  },\n");
   std::printf("  \"config\": {\n");
+  std::printf("    \"transport\": \"%s\",\n", use_tcp ? "tcp" : "unix");
   std::printf("    \"ingest_clients\": %d,\n", clients);
   std::printf("    \"docs_per_client\": %d,\n", docs_per_client);
   std::printf("    \"fsync_journal\": %s,\n",

@@ -116,6 +116,11 @@ std::string Key(const ReRef& re) {
       for (const auto& c : re->children()) out += Key(c) + ",";
       return out + ")";
     }
+    case ReKind::kShuffle: {
+      std::string out = "&(";
+      for (const auto& c : re->children()) out += Key(c) + ",";
+      return out + ")";
+    }
     case ReKind::kPlus:
       return "P(" + Key(re->child()) + ")";
     case ReKind::kOpt:

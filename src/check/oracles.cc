@@ -76,6 +76,36 @@ OracleResult CheckChareValidity(const ReRef& re, const Alphabet& alphabet) {
   return OracleResult::Pass();
 }
 
+OracleResult CheckSireValidity(const ReRef& re, const Alphabet& alphabet) {
+  if (!IsSire(re)) {
+    return OracleResult::Fail("expression " + Render(re, alphabet) +
+                              " is not a SIRE (a SORE, or a top-level "
+                              "'&' of disjoint SOREs)");
+  }
+  return OracleResult::Pass();
+}
+
+OracleResult CheckConcisenessDominance(const ReRef& candidate,
+                                       const ReRef& baseline,
+                                       const Alphabet& alphabet) {
+  int64_t candidate_tokens = CountTokens(candidate);
+  int64_t baseline_tokens = CountTokens(baseline);
+  if (candidate_tokens > baseline_tokens) {
+    return OracleResult::Fail(
+        "candidate " + Render(candidate, alphabet) + " has " +
+        std::to_string(candidate_tokens) + " tokens, more than the " +
+        std::to_string(baseline_tokens) + " of baseline " +
+        Render(baseline, alphabet));
+  }
+  OracleResult inclusion =
+      CheckLanguageInclusion(candidate, baseline, alphabet);
+  if (!inclusion.passed) {
+    return OracleResult::Fail("candidate generalizes beyond the baseline: " +
+                              inclusion.detail);
+  }
+  return OracleResult::Pass();
+}
+
 OracleResult CheckLanguageInclusion(const ReRef& sub, const ReRef& super,
                                     const Alphabet& alphabet) {
   Result<Word> witness = FindInclusionCounterexample(sub, super);

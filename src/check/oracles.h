@@ -44,6 +44,21 @@ OracleResult CheckDeterminism(const ReRef& re, const Alphabet& alphabet);
 OracleResult CheckSoreValidity(const ReRef& re, const Alphabet& alphabet);
 OracleResult CheckChareValidity(const ReRef& re, const Alphabet& alphabet);
 
+/// Restricted SIRE class of the interleaving learners: a plain SORE, or
+/// a top-level `&` whose factors are `&`-free SOREs (single occurrence
+/// holds globally, so factor alphabets are disjoint by construction).
+OracleResult CheckSireValidity(const ReRef& re, const Alphabet& alphabet);
+
+/// Conciseness dominance of the interleaving learners: the candidate
+/// must be no larger (token count) than the baseline inferred from the
+/// same summary AND describe a sub-language of it — the shuffle upgrade
+/// specializes the baseline, never generalizes beyond it. The witness on
+/// failure is either the token counts or a word of L(candidate) \
+/// L(baseline).
+OracleResult CheckConcisenessDominance(const ReRef& candidate,
+                                       const ReRef& baseline,
+                                       const Alphabet& alphabet);
+
 /// Exact language containment L(sub) ⊆ L(super) with a shortest
 /// counterexample word on failure (the Theorem 2 guarantee, checked at
 /// the language level).

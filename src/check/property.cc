@@ -1,6 +1,7 @@
 #include "check/property.h"
 
 #include <cstdlib>
+#include <map>
 #include <utility>
 
 #include "base/rng.h"
@@ -142,6 +143,7 @@ OracleResult CheckShrinkable(const std::string& oracle, const ReRef& result,
   if (oracle == "chare-validity") {
     return CheckChareValidity(result, alphabet);
   }
+  if (oracle == "sire-validity") return CheckSireValidity(result, alphabet);
   if (oracle == "soa-equivalence") {
     return CheckSoaEquivalence(result, summary.soa, alphabet);
   }
@@ -228,12 +230,19 @@ std::vector<PropertyFailure> RunLearnerProperty(
     return failures;
   }
   LearnOptions learn_options;
-  bool checks_determinism =
-      name == "idtd" || name == "rewrite" || name == "crx" || name == "auto";
+  bool interleaving = name == "isore" || name == "sire";
+  bool checks_determinism = name == "idtd" || name == "rewrite" ||
+                            name == "crx" || name == "auto" || interleaving;
   bool checks_sore = name == "idtd" || name == "rewrite";
   bool checks_chare = name == "crx";
   bool checks_soa = name == "rewrite";
   bool checks_covering_equivalence = name == "idtd" || name == "rewrite";
+  // Baseline the interleaving learners dominate (fall back to, on
+  // ordered data): idtd for isore, crx for sire.
+  const Learner* dominance_baseline =
+      !interleaving ? nullptr
+                    : LearnerRegistry::Global().Find(
+                          name == "isore" ? "idtd" : "crx");
 
   for (int i = 0; i < options.instances; ++i) {
     uint64_t seed = InstanceSeed(options.seed, i);
@@ -281,6 +290,10 @@ std::vector<PropertyFailure> RunLearnerProperty(
                                              trial.alphabet))
                     .passed) {
       violated = "soa-equivalence";
+    } else if (interleaving &&
+               !(check = CheckSireValidity(inferred, trial.alphabet))
+                    .passed) {
+      violated = "sire-validity";
     }
     if (!violated.empty()) {
       std::vector<Word> shrunk =
@@ -301,6 +314,124 @@ std::vector<PropertyFailure> RunLearnerProperty(
         failures.push_back(MakeFailure(name, i, seed,
                                        "covering-equivalence", check.detail,
                                        trial, trial.sample));
+        continue;
+      }
+    }
+
+    // Conciseness dominance vs the baseline inferred from the SAME
+    // summary. The baseline depends on the sample, so shrinking would
+    // change the property being checked — reported unshrunk.
+    if (dominance_baseline != nullptr) {
+      Result<ReRef> baseline =
+          dominance_baseline->Learn(summary, learn_options);
+      if (baseline.ok()) {
+        check = CheckConcisenessDominance(inferred, baseline.value(),
+                                          trial.alphabet);
+        if (!check.passed) {
+          failures.push_back(MakeFailure(name, i, seed,
+                                         "conciseness-dominance",
+                                         check.detail, trial, trial.sample));
+        }
+      }
+    }
+  }
+  return failures;
+}
+
+std::vector<PropertyFailure> RunInterleavingProperty(
+    const PropertyOptions& options) {
+  std::vector<PropertyFailure> failures;
+  const LearnerRegistry& registry = LearnerRegistry::Global();
+  const Learner* learners[] = {registry.Find("isore"), registry.Find("sire")};
+  LearnOptions learn_options;
+
+  for (int i = 0; i < options.instances; ++i) {
+    uint64_t seed = InstanceSeed(options.seed, i);
+    Rng rng(seed);
+    TrialCase trial;
+    int num_symbols = 4 + static_cast<int>(rng.NextBelow(5));  // 4..8
+    for (int s = 0; s < num_symbols; ++s) {
+      trial.alphabet.Intern(std::string(1, static_cast<char>('a' + s)));
+    }
+
+    // Random SIRE target: split the alphabet into 2–3 contiguous runs
+    // and put an independent random SORE over each run under one `&`.
+    int num_factors = 2 + static_cast<int>(rng.NextBelow(2));  // 2..3
+    std::vector<int> sizes(static_cast<size_t>(num_factors), 1);
+    for (int extra = num_symbols - num_factors; extra > 0; --extra) {
+      sizes[rng.NextBelow(static_cast<uint64_t>(num_factors))] += 1;
+    }
+    std::vector<ReRef> factors;
+    int offset = 0;
+    for (int size : sizes) {
+      ReRef local = RandomSore(size, &rng);
+      std::map<Symbol, Symbol> shift;
+      for (Symbol s = 0; s < size; ++s) shift[s] = s + offset;
+      factors.push_back(RemapSymbols(local, shift));
+      offset += size;
+    }
+    trial.target = Re::Shuffle(std::move(factors));
+    trial.covering = true;
+    trial.sample = RepresentativeSample(trial.target);
+    std::vector<Word> extra =
+        SampleWords(trial.target, options.extra_words, &rng);
+    trial.sample.insert(trial.sample.end(), extra.begin(), extra.end());
+
+    for (const Learner* learner : learners) {
+      if (learner == nullptr) {
+        PropertyFailure failure;
+        failure.learner = "interleaving";
+        failure.oracle = "registry";
+        failure.detail = "isore/sire learner is not registered";
+        failures.push_back(std::move(failure));
+        continue;
+      }
+      std::string name(learner->name());
+      ElementSummary summary =
+          BuildSummary(trial.sample, /*with_reservoir=*/true);
+      Result<ReRef> result = learner->Learn(summary, learn_options);
+      if (!result.ok()) {
+        failures.push_back(MakeFailure(name, i, seed, "learner-error",
+                                       "failed on an interleaving target: " +
+                                           result.status().ToString(),
+                                       trial, trial.sample));
+        continue;
+      }
+      const ReRef& inferred = result.value();
+
+      std::string violated;
+      OracleResult check =
+          CheckSampleInclusion(inferred, trial.sample, trial.alphabet);
+      if (!check.passed) {
+        violated = "sample-inclusion";
+      } else if (!(check = CheckDeterminism(inferred, trial.alphabet))
+                      .passed) {
+        violated = "determinism";
+      } else if (!(check = CheckSireValidity(inferred, trial.alphabet))
+                      .passed) {
+        violated = "sire-validity";
+      }
+      if (!violated.empty()) {
+        std::vector<Word> shrunk =
+            ShrinkSample(*learner, learn_options, violated, trial.sample,
+                         trial.alphabet, options.shrink_budget);
+        failures.push_back(MakeFailure(name, i, seed, violated, check.detail,
+                                       trial, shrunk));
+        continue;
+      }
+
+      const Learner* baseline_learner =
+          registry.Find(name == "isore" ? "idtd" : "crx");
+      Result<ReRef> baseline =
+          baseline_learner->Learn(summary, learn_options);
+      if (baseline.ok()) {
+        check = CheckConcisenessDominance(inferred, baseline.value(),
+                                          trial.alphabet);
+        if (!check.passed) {
+          failures.push_back(MakeFailure(name, i, seed,
+                                         "conciseness-dominance",
+                                         check.detail, trial, trial.sample));
+        }
       }
     }
   }

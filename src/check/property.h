@@ -67,6 +67,14 @@ std::string FailureToString(const PropertyFailure& failure);
 std::vector<PropertyFailure> RunLearnerProperty(
     std::string_view learner_name, const PropertyOptions& options);
 
+/// Interleaving-target property: random SIRE targets (2–3 disjoint
+/// random-SORE factors under a top-level `&`) sampled into word sets;
+/// the isore and sire learners must satisfy sample inclusion,
+/// one-unambiguity, SIRE validity and conciseness dominance over their
+/// baselines on every instance.
+std::vector<PropertyFailure> RunInterleavingProperty(
+    const PropertyOptions& options);
+
 /// Merge-algebra property: random shard partitions of random samples
 /// must satisfy CheckMergeLaws.
 std::vector<PropertyFailure> RunMergeLawProperty(

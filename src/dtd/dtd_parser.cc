@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "base/strings.h"
+#include "regex/shuffle.h"
 
 namespace condtd {
 
@@ -103,7 +104,9 @@ class ModelParser {
     return ApplyPostfix(item);
   }
 
-  /// Inside '(' ... ')': either a ','-sequence or a '|'-choice.
+  /// Inside '(' ... ')': a ','-sequence, a '|'-choice, or an
+  /// '&'-interleaving (SGML-style AND group); the three separators
+  /// cannot mix at one level.
   Result<ReRef> ParseGroup() {
     std::vector<ReRef> items;
     Result<ReRef> first = ParseCp();
@@ -115,18 +118,30 @@ class ModelParser {
       if (c == ')') {
         ++pos_;
         if (items.size() == 1) return items[0];
-        return sep == '|' ? Re::Disj(std::move(items))
-                          : Re::Concat(std::move(items));
+        if (sep == '|') return Re::Disj(std::move(items));
+        if (sep == '&') {
+          ReRef shuffle = Re::Shuffle(std::move(items));
+          // Interleaving expands to a product automaton in the
+          // validator; refuse state-explosion bombs at parse time.
+          if (MatchNfaSizeBound(shuffle) > kMaxShuffleProduct) {
+            return Status::ParseError(
+                "'&' group too large (product automaton above " +
+                std::to_string(kMaxShuffleProduct) + " states) in '" +
+                std::string(text_) + "'");
+          }
+          return shuffle;
+        }
+        return Re::Concat(std::move(items));
       }
-      if (c != ',' && c != '|') {
-        return Status::ParseError("expected ',', '|' or ')' in '" +
+      if (c != ',' && c != '|' && c != '&') {
+        return Status::ParseError("expected ',', '|', '&' or ')' in '" +
                                   std::string(text_) + "' at offset " +
                                   std::to_string(pos_));
       }
       if (sep != '\0' && c != sep) {
         return Status::ParseError(
-            "mixed ',' and '|' at the same level in '" + std::string(text_) +
-            "'");
+            "mixed ',', '|' and '&' at the same level in '" +
+            std::string(text_) + "'");
       }
       sep = c;
       ++pos_;

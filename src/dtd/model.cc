@@ -11,6 +11,7 @@ void PrintDtd(const ReRef& re, const Alphabet& alphabet, int min_prec,
   auto precedence = [](ReKind kind) {
     switch (kind) {
       case ReKind::kDisj:
+      case ReKind::kShuffle:
         return 0;
       case ReKind::kConcat:
         return 1;
@@ -35,6 +36,14 @@ void PrintDtd(const ReRef& re, const Alphabet& alphabet, int min_prec,
       // sequence alternative must be parenthesized (prec 2, not 1).
       for (size_t i = 0; i < re->children().size(); ++i) {
         if (i > 0) *out += " | ";
+        PrintDtd(re->children()[i], alphabet, 2, out);
+      }
+      break;
+    case ReKind::kShuffle:
+      // `&` is a third non-mixable separator (SGML-style AND groups);
+      // like '|', any group factor must be parenthesized.
+      for (size_t i = 0; i < re->children().size(); ++i) {
+        if (i > 0) *out += " & ";
         PrintDtd(re->children()[i], alphabet, 2, out);
       }
       break;

@@ -33,6 +33,31 @@ void Emit(const ReRef& re, Rng* rng, const SampleOptions& options,
         for (int i = 0; i < n; ++i) Emit(re->child(), rng, options, out);
       }
       break;
+    case ReKind::kShuffle: {
+      // Sample each factor, then riffle-merge: repeatedly take the next
+      // symbol from a factor chosen with probability proportional to its
+      // remaining length (the uniform-interleaving distribution).
+      std::vector<Word> parts(re->children().size());
+      size_t remaining = 0;
+      for (size_t i = 0; i < re->children().size(); ++i) {
+        Emit(re->children()[i], rng, options, &parts[i]);
+        remaining += parts[i].size();
+      }
+      std::vector<size_t> next(parts.size(), 0);
+      while (remaining > 0) {
+        size_t pick = rng->NextBelow(remaining);
+        for (size_t i = 0; i < parts.size(); ++i) {
+          size_t left = parts[i].size() - next[i];
+          if (pick < left) {
+            out->push_back(parts[i][next[i]++]);
+            break;
+          }
+          pick -= left;
+        }
+        --remaining;
+      }
+      break;
+    }
   }
 }
 

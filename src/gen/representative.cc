@@ -6,13 +6,13 @@
 #include <set>
 
 #include "gen/regex_sampler.h"
-#include "regex/glushkov.h"
 #include "regex/properties.h"
+#include "regex/shuffle.h"
 
 namespace condtd {
 
 std::vector<Word> RepresentativeSample(const ReRef& re) {
-  Nfa nfa = BuildGlushkovNfa(re);
+  Nfa nfa = BuildMatchNfa(re);
   const int n = nfa.num_states();
 
   // Shortest word prefix reaching each state (BFS from the initial state).

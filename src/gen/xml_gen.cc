@@ -22,6 +22,11 @@ int MinimalLength(const ReRef& re) {
       }
       return best;
     }
+    case ReKind::kShuffle: {
+      int total = 0;
+      for (const auto& c : re->children()) total += MinimalLength(c);
+      return total;
+    }
     case ReKind::kPlus:
       return MinimalLength(re->child());
     case ReKind::kOpt:
@@ -52,6 +57,10 @@ void EmitMinimal(const ReRef& re, Word* out) {
       EmitMinimal(*best, out);
       break;
     }
+    case ReKind::kShuffle:
+      // Factors in declaration order form one valid interleaving.
+      for (const auto& c : re->children()) EmitMinimal(c, out);
+      break;
     case ReKind::kPlus:
       EmitMinimal(re->child(), out);
       break;
@@ -94,6 +103,9 @@ class Generator {
         Word children = depth < options_.max_depth
                             ? SampleWord(model.regex, rng_, options_.sampling)
                             : MinimalWord(model.regex);
+        // Unordered mode simulates data-centric XML: the ground-truth
+        // schema constrains what appears, not in which order.
+        if (options_.unordered) rng_->Shuffle(&children);
         for (Symbol child : children) {
           XmlElement* node = element->AddChild(alphabet_.Name(child));
           Fill(node, child, depth + 1);

@@ -16,6 +16,11 @@ struct XmlGenOptions {
   /// shortest derivation of each content model is used so recursive DTDs
   /// terminate.
   int max_depth = 8;
+  /// Randomly permute the children of every element after sampling
+  /// (data-centric XML where child order is incidental). The emitted
+  /// documents are valid w.r.t. the shuffle-closure of the DTD, not
+  /// necessarily the DTD itself.
+  bool unordered = false;
   SampleOptions sampling;
 };
 

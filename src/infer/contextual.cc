@@ -251,6 +251,14 @@ class LocalXsdPrinter {
         *out += pad + "</xs:choice>\n";
         return;
       }
+      case ReKind::kShuffle: {
+        *out += pad + "<xs:all" + occurs + ">\n";
+        for (const auto& c : re->children()) {
+          Particle(c, 1, 1, indent + 1, out);
+        }
+        *out += pad + "</xs:all>\n";
+        return;
+      }
     }
   }
 

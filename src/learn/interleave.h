@@ -1,0 +1,36 @@
+#ifndef CONDTD_LEARN_INTERLEAVE_H_
+#define CONDTD_LEARN_INTERLEAVE_H_
+
+#include <memory>
+#include <vector>
+
+#include "learn/learner.h"
+
+namespace condtd {
+
+/// Partitions the symbols occurring in `words` into interleaving factors
+/// by word-level two-order evidence: a pair (a, b) counts as unordered
+/// iff some word puts every a strictly before every b AND another word
+/// puts every b strictly before every a. Pairs mixed *within* one word
+/// (e.g. the "abab" of (ab)+) are deliberately NOT evidence — repetition
+/// would otherwise masquerade as interleaving. Factors are the connected
+/// components of the complement graph: symbols stay together unless
+/// every path between them crosses an unordered pair. Each group is
+/// sorted ascending; groups are ordered by their smallest symbol. A
+/// single group means no interleaving was detected.
+std::vector<std::vector<Symbol>> InterleavingPartition(
+    const std::vector<Word>& words);
+
+/// The iSORE learner (Li et al. 2019 direction): iDTD SOREs per factor,
+/// joined with `&`. Falls back to the exact iDTD result when no
+/// interleaving is detected or any guard fails, so ordered corpora are
+/// byte-identical to --algorithm=idtd.
+std::unique_ptr<Learner> MakeIsoreLearner();
+
+/// The SIRE learner (Peng & Chen 2015 direction): CRX CHAREs per factor,
+/// joined with `&`; falls back to the exact CRX result.
+std::unique_ptr<Learner> MakeSireLearner();
+
+}  // namespace condtd
+
+#endif  // CONDTD_LEARN_INTERLEAVE_H_

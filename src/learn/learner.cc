@@ -6,6 +6,7 @@
 #include "baseline/trang_like.h"
 #include "crx/crx.h"
 #include "gfa/rewrite.h"
+#include "learn/interleave.h"
 #include "obs/metrics.h"
 
 namespace condtd {
@@ -141,6 +142,8 @@ LearnerRegistry& LearnerRegistry::Global() {
     r->Register(std::make_unique<AutoLearner>());
     r->Register(std::make_unique<IdtdLearner>());
     r->Register(std::make_unique<CrxLearner>());
+    r->Register(MakeIsoreLearner());
+    r->Register(MakeSireLearner());
     r->Register(std::make_unique<RewriteLearner>());
     r->Register(std::make_unique<TrangLearner>());
     r->Register(std::make_unique<XtractLearner>());

@@ -61,6 +61,29 @@ ReRef Re::Disj(std::vector<ReRef> children) {
   return ReFactory::Make(ReKind::kDisj, kInvalidSymbol, std::move(flat));
 }
 
+ReRef Re::Shuffle(std::vector<ReRef> children) {
+  assert(!children.empty());
+  std::vector<ReRef> flat;
+  flat.reserve(children.size());
+  for (auto& c : children) {
+    assert(c != nullptr);
+    if (c->kind() == ReKind::kShuffle) {
+      for (const auto& gc : c->children()) flat.push_back(gc);
+    } else {
+      flat.push_back(std::move(c));
+    }
+  }
+  // Shuffle is commutative: canonical factor order makes outputs
+  // reproducible. No deduplication — unlike union, shuffle is not
+  // idempotent (a & a matches "aa", not "a").
+  std::stable_sort(flat.begin(), flat.end(),
+                   [](const ReRef& a, const ReRef& b) {
+                     return CompareRe(a, b) < 0;
+                   });
+  if (flat.size() == 1) return flat[0];
+  return ReFactory::Make(ReKind::kShuffle, kInvalidSymbol, std::move(flat));
+}
+
 ReRef Re::Plus(ReRef child) {
   assert(child != nullptr);
   return ReFactory::Make(ReKind::kPlus, kInvalidSymbol, {std::move(child)});
@@ -79,22 +102,24 @@ ReRef Re::Star(ReRef child) {
 namespace {
 
 /// Binding strength used to decide parenthesization: disjunction binds
-/// weakest, then concatenation, then the postfix operators; symbols are
-/// atoms.
+/// weakest, then shuffle, then concatenation, then the postfix
+/// operators; symbols are atoms.
 int Precedence(ReKind kind) {
   switch (kind) {
     case ReKind::kDisj:
       return 0;
-    case ReKind::kConcat:
+    case ReKind::kShuffle:
       return 1;
+    case ReKind::kConcat:
+      return 2;
     case ReKind::kPlus:
     case ReKind::kOpt:
     case ReKind::kStar:
-      return 2;
-    case ReKind::kSymbol:
       return 3;
+    case ReKind::kSymbol:
+      return 4;
   }
-  return 3;
+  return 4;
 }
 
 /// Name of the symbol whose text would end the rendering of `re` with no
@@ -126,6 +151,7 @@ std::string LeftExposedName(const ReRef& re, const Alphabet& alphabet) {
                  ? alphabet.Name(re->child()->symbol())
                  : "";
     case ReKind::kDisj:
+    case ReKind::kShuffle:
       return "";  // parenthesized in concatenation context
   }
   return "";
@@ -157,7 +183,7 @@ void Print(const ReRef& re, const Alphabet& alphabet, PrintStyle style,
             }
           }
         }
-        Print(re->children()[i], alphabet, style, 2, out);
+        Print(re->children()[i], alphabet, style, 3, out);
       }
       break;
     }
@@ -169,16 +195,23 @@ void Print(const ReRef& re, const Alphabet& alphabet, PrintStyle style,
       }
       break;
     }
+    case ReKind::kShuffle: {
+      for (size_t i = 0; i < re->children().size(); ++i) {
+        if (i > 0) *out += " & ";
+        Print(re->children()[i], alphabet, style, 2, out);
+      }
+      break;
+    }
     case ReKind::kPlus:
-      Print(re->child(), alphabet, style, 3, out);
+      Print(re->child(), alphabet, style, 4, out);
       *out += '+';
       break;
     case ReKind::kOpt:
-      Print(re->child(), alphabet, style, 3, out);
+      Print(re->child(), alphabet, style, 4, out);
       *out += '?';
       break;
     case ReKind::kStar:
-      Print(re->child(), alphabet, style, 3, out);
+      Print(re->child(), alphabet, style, 4, out);
       *out += '*';
       break;
   }
@@ -199,8 +232,10 @@ int KindRank(ReKind kind) {
       return 4;
     case ReKind::kStar:
       return 5;
+    case ReKind::kShuffle:
+      return 6;
   }
-  return 6;
+  return 7;
 }
 
 }  // namespace
@@ -238,14 +273,16 @@ ReRef RemapSymbols(const ReRef& re,
       return it == mapping.end() ? re : Re::Sym(it->second);
     }
     case ReKind::kConcat:
-    case ReKind::kDisj: {
+    case ReKind::kDisj:
+    case ReKind::kShuffle: {
       std::vector<ReRef> kids;
       kids.reserve(re->children().size());
       for (const auto& c : re->children()) {
         kids.push_back(RemapSymbols(c, mapping));
       }
-      return re->kind() == ReKind::kConcat ? Re::Concat(std::move(kids))
-                                           : Re::Disj(std::move(kids));
+      if (re->kind() == ReKind::kConcat) return Re::Concat(std::move(kids));
+      if (re->kind() == ReKind::kDisj) return Re::Disj(std::move(kids));
+      return Re::Shuffle(std::move(kids));
     }
     case ReKind::kPlus:
       return Re::Plus(RemapSymbols(re->child(), mapping));

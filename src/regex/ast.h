@@ -20,6 +20,7 @@ enum class ReKind {
   kPlus,    ///< r+
   kOpt,     ///< r?
   kStar,    ///< r* — used in final output; rewrite internally uses (r+)?.
+  kShuffle, ///< r1 & r2 & ... & rn — interleaving/shuffle (n >= 2).
 };
 
 class Re;
@@ -39,6 +40,11 @@ class Re {
   /// Flattens nested disjunctions and deduplicates structurally identical
   /// alternatives; returns the sole child for size-1 input.
   static ReRef Disj(std::vector<ReRef> children);
+  /// Flattens nested shuffles and sorts factors into canonical order
+  /// (shuffle is commutative and associative); unlike Disj, equal factors
+  /// are NOT deduplicated — L(a & a) = {aa} differs from L(a). Returns the
+  /// sole child for size-1 input.
+  static ReRef Shuffle(std::vector<ReRef> children);
   static ReRef Plus(ReRef child);
   static ReRef Opt(ReRef child);
   static ReRef Star(ReRef child);
@@ -46,7 +52,7 @@ class Re {
   ReKind kind() const { return kind_; }
   /// Valid only for kSymbol.
   Symbol symbol() const { return symbol_; }
-  /// Valid for kConcat / kDisj.
+  /// Valid for kConcat / kDisj / kShuffle.
   const std::vector<ReRef>& children() const { return children_; }
   /// Valid for unary kinds (kPlus / kOpt / kStar).
   const ReRef& child() const { return children_[0]; }

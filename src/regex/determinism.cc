@@ -3,12 +3,12 @@
 #include <set>
 #include <utility>
 
-#include "regex/glushkov.h"
+#include "regex/shuffle.h"
 
 namespace condtd {
 
 bool IsDeterministic(const ReRef& re) {
-  Nfa nfa = BuildGlushkovNfa(re);
+  Nfa nfa = BuildMatchNfa(re);
   for (int q = 0; q < nfa.num_states(); ++q) {
     std::set<Symbol> seen;
     for (const auto& [symbol, to] : nfa.TransitionsFrom(q)) {

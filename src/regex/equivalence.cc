@@ -6,8 +6,8 @@
 #include <set>
 #include <utility>
 
-#include "regex/glushkov.h"
 #include "regex/properties.h"
+#include "regex/shuffle.h"
 
 namespace condtd {
 
@@ -23,7 +23,7 @@ int CommonAlphabetSize(const ReRef& a, const ReRef& b) {
 }  // namespace
 
 Dfa CompileToDfa(const ReRef& re, int num_symbols) {
-  return Dfa::FromNfa(BuildGlushkovNfa(re), num_symbols);
+  return Dfa::FromNfa(BuildMatchNfa(re), num_symbols);
 }
 
 bool LanguageEquivalent(const ReRef& a, const ReRef& b) {

@@ -84,6 +84,35 @@ struct Builder {
         out.nullable = true;
         return out;
       }
+      case ReKind::kShuffle: {
+        // The position automaton cannot express interleaving exactly
+        // (BuildMatchNfa builds the product instead); mirror
+        // ComputeSymbolSets and over-approximate: any position of one
+        // factor may follow any position of another.
+        PosSets out;
+        out.nullable = true;
+        std::vector<std::pair<int, int>> ranges;  // [begin, end) positions
+        for (const auto& c : re->children()) {
+          int begin = static_cast<int>(position_symbol.size());
+          PosSets p = Visit(c);
+          int end = static_cast<int>(position_symbol.size());
+          ranges.emplace_back(begin, end);
+          out.first.insert(out.first.end(), p.first.begin(), p.first.end());
+          out.last.insert(out.last.end(), p.last.begin(), p.last.end());
+          out.nullable = out.nullable && p.nullable;
+        }
+        for (size_t i = 0; i < ranges.size(); ++i) {
+          for (size_t j = 0; j < ranges.size(); ++j) {
+            if (i == j) continue;
+            for (int a = ranges[i].first; a < ranges[i].second; ++a) {
+              for (int b = ranges[j].first; b < ranges[j].second; ++b) {
+                follow[a].push_back(b);
+              }
+            }
+          }
+        }
+        return out;
+      }
     }
     return {};
   }

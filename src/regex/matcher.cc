@@ -1,10 +1,10 @@
 #include "regex/matcher.h"
 
-#include "regex/glushkov.h"
+#include "regex/shuffle.h"
 
 namespace condtd {
 
-Matcher::Matcher(const ReRef& re) : nfa_(BuildGlushkovNfa(re)) {}
+Matcher::Matcher(const ReRef& re) : nfa_(BuildMatchNfa(re)) {}
 
 bool Matches(const ReRef& re, const Word& word) {
   return Matcher(re).Matches(word);

@@ -29,6 +29,13 @@ ReRef NormalizeChildren(const ReRef& re) {
       for (const auto& c : re->children()) kids.push_back(NormalizeNode(c));
       return Re::Disj(std::move(kids));
     }
+    case ReKind::kShuffle: {
+      // No shuffle-specific rules; normalize the factors in place.
+      std::vector<ReRef> kids;
+      kids.reserve(re->children().size());
+      for (const auto& c : re->children()) kids.push_back(NormalizeNode(c));
+      return Re::Shuffle(std::move(kids));
+    }
     case ReKind::kPlus:
       return Re::Plus(NormalizeNode(re->child()));
     case ReKind::kOpt:
@@ -117,6 +124,12 @@ ReRef Starify(const ReRef& re) {
       kids.reserve(re->children().size());
       for (const auto& c : re->children()) kids.push_back(Starify(c));
       return Re::Disj(std::move(kids));
+    }
+    case ReKind::kShuffle: {
+      std::vector<ReRef> kids;
+      kids.reserve(re->children().size());
+      for (const auto& c : re->children()) kids.push_back(Starify(c));
+      return Re::Shuffle(std::move(kids));
     }
     case ReKind::kPlus: {
       ReRef c = Starify(re->child());

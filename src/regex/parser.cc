@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "regex/shuffle.h"
+
 namespace condtd {
 
 namespace {
@@ -59,7 +61,7 @@ class Parser {
   }
 
   Result<ReRef> ParseDisj() {
-    Result<ReRef> first = ParseConcat();
+    Result<ReRef> first = ParseShuffle();
     if (!first.ok()) return first;
     std::vector<ReRef> alts = {first.value()};
     while (true) {
@@ -74,12 +76,39 @@ class Parser {
       }
       if (!is_union) break;
       ++pos_;
-      Result<ReRef> next = ParseConcat();
+      Result<ReRef> next = ParseShuffle();
       if (!next.ok()) return next;
       alts.push_back(next.value());
     }
     if (alts.size() == 1) return alts[0];
     return Re::Disj(std::move(alts));
+  }
+
+  /// Interleaving binds tighter than union and looser than
+  /// concatenation: `a b & c | d` reads ((a b) & c) | d.
+  Result<ReRef> ParseShuffle() {
+    Result<ReRef> first = ParseConcat();
+    if (!first.ok()) return first;
+    std::vector<ReRef> factors = {first.value()};
+    while (true) {
+      SkipSpace();
+      if (Peek() != '&') break;
+      ++pos_;
+      Result<ReRef> next = ParseConcat();
+      if (!next.ok()) return next;
+      factors.push_back(next.value());
+    }
+    if (factors.size() == 1) return factors[0];
+    ReRef shuffle = Re::Shuffle(std::move(factors));
+    // Shuffle expands to a product automaton; an unbounded `&` chain is
+    // a state-explosion bomb, so reject oversized nodes at parse time.
+    if (MatchNfaSizeBound(shuffle) > kMaxShuffleProduct) {
+      return Status::ParseError(
+          "interleaving expression too large (product automaton above " +
+          std::to_string(kMaxShuffleProduct) + " states) in regex '" +
+          std::string(text_) + "'");
+    }
+    return shuffle;
   }
 
   Result<ReRef> ParseConcat() {

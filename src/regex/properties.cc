@@ -18,6 +18,13 @@ bool Nullable(const ReRef& re) {
         if (Nullable(c)) return true;
       }
       return false;
+    case ReKind::kShuffle:
+      // An interleaving of empty words is the empty word: nullable iff
+      // every factor is.
+      for (const auto& c : re->children()) {
+        if (!Nullable(c)) return false;
+      }
+      return true;
     case ReKind::kPlus:
       return Nullable(re->child());
     case ReKind::kOpt:
@@ -70,7 +77,8 @@ int CountTokens(const ReRef& re) {
       for (const auto& c : re->children()) total += CountTokens(c);
       return total;
     }
-    case ReKind::kDisj: {
+    case ReKind::kDisj:
+    case ReKind::kShuffle: {
       int total = static_cast<int>(re->children().size()) - 1;
       for (const auto& c : re->children()) total += CountTokens(c);
       return total;
@@ -128,6 +136,31 @@ bool IsChare(const ReRef& re) {
   return IsChareFactor(re);
 }
 
+namespace {
+
+bool HasShuffleNode(const ReRef& re) {
+  if (re->kind() == ReKind::kShuffle) return true;
+  for (const auto& c : re->children()) {
+    if (HasShuffleNode(c)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsSire(const ReRef& re) {
+  if (re->kind() == ReKind::kShuffle) {
+    for (const auto& c : re->children()) {
+      if (HasShuffleNode(c)) return false;
+    }
+  } else if (HasShuffleNode(re)) {
+    return false;  // `&` below the root is outside the restricted class
+  }
+  // Global single occurrence subsumes per-factor SORE-ness and forces the
+  // factor symbol sets to be pairwise disjoint.
+  return IsSore(re);
+}
+
 SymbolSets ComputeSymbolSets(const ReRef& re) {
   switch (re->kind()) {
     case ReKind::kSymbol: {
@@ -181,6 +214,35 @@ SymbolSets ComputeSymbolSets(const ReRef& re) {
         out.last.insert(p.last.begin(), p.last.end());
         out.follow.insert(p.follow.begin(), p.follow.end());
         out.nullable = out.nullable || p.nullable;
+      }
+      return out;
+    }
+    case ReKind::kShuffle: {
+      // Interleaving: any factor may contribute the first or last symbol,
+      // and any symbol of one factor may be immediately followed by any
+      // symbol of another (choose an interleaving that juxtaposes them).
+      // Within a factor the factor's own follow relation applies.
+      SymbolSets out;
+      out.nullable = true;
+      std::vector<std::vector<Symbol>> symbols;
+      symbols.reserve(re->children().size());
+      for (const auto& c : re->children()) {
+        SymbolSets p = ComputeSymbolSets(c);
+        out.first.insert(p.first.begin(), p.first.end());
+        out.last.insert(p.last.begin(), p.last.end());
+        out.follow.insert(p.follow.begin(), p.follow.end());
+        out.nullable = out.nullable && p.nullable;
+        symbols.push_back(SymbolsOf(c));
+      }
+      for (size_t i = 0; i < symbols.size(); ++i) {
+        for (size_t j = 0; j < symbols.size(); ++j) {
+          if (i == j) continue;
+          for (Symbol a : symbols[i]) {
+            for (Symbol b : symbols[j]) {
+              out.follow.emplace(a, b);
+            }
+          }
+        }
       }
       return out;
     }

@@ -36,6 +36,14 @@ bool IsSore(const ReRef& re);
 /// (a1+...+ak)* where the ai are symbols (Section 1.2).
 bool IsChare(const ReRef& re);
 
+/// True iff `re` belongs to the restricted SIRE class (single occurrence
+/// regular expression with interleaving, after Peng & Chen 2015 / Li et
+/// al. 2019): either a plain SORE, or a top-level shuffle whose factors
+/// are `&`-free SOREs over pairwise-disjoint symbol sets. The shuffle
+/// operator never nests under another operator, and single occurrence
+/// holds globally (which is what makes the factor alphabets disjoint).
+bool IsSire(const ReRef& re);
+
 /// Glushkov-style first/last/follow information projected onto symbols.
 /// For a SORE this exactly describes its unique SOA (Proposition 1); for
 /// general REs it describes the smallest SOA whose language contains

@@ -1,0 +1,202 @@
+#include "regex/shuffle.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "regex/glushkov.h"
+
+namespace condtd {
+
+namespace {
+
+/// Adds `from --symbol--> to` unless an identical edge already exists.
+/// The recursive composition below can derive the same edge along
+/// several paths (e.g. stacked pluses); duplicate simple edges would
+/// confuse nothing semantically but keep the automata tidy.
+void AddTransitionUnique(Nfa* nfa, int from, Symbol symbol, int to) {
+  for (const auto& [s, t] : nfa->TransitionsFrom(from)) {
+    if (s == symbol && t == to) return;
+  }
+  nfa->AddTransition(from, symbol, to);
+}
+
+/// Copies every state and transition of `src` into `dst`, returning the
+/// index offset. Acceptance flags are preserved.
+int CopyInto(const Nfa& src, Nfa* dst) {
+  int offset = dst->num_states();
+  for (int q = 0; q < src.num_states(); ++q) {
+    dst->AddState(src.IsAccepting(q));
+  }
+  for (int q = 0; q < src.num_states(); ++q) {
+    for (const auto& [symbol, to] : src.TransitionsFrom(q)) {
+      dst->AddTransition(offset + q, symbol, offset + to);
+    }
+  }
+  return offset;
+}
+
+/// Epsilon-free product of the factor automata: a state is one position
+/// per factor, a transition advances exactly one factor, acceptance
+/// requires all factors accepting. Only states reachable from the tuple
+/// of initials are materialized.
+Nfa ShuffleProduct(const std::vector<Nfa>& factors) {
+  Nfa nfa;
+  std::map<std::vector<int>, int> state_of;
+  std::vector<std::vector<int>> worklist;
+
+  auto intern = [&](const std::vector<int>& tuple) {
+    auto it = state_of.find(tuple);
+    if (it != state_of.end()) return it->second;
+    bool accepting = true;
+    for (size_t i = 0; i < factors.size(); ++i) {
+      accepting = accepting && factors[i].IsAccepting(tuple[i]);
+    }
+    int state = nfa.AddState(accepting);
+    state_of.emplace(tuple, state);
+    worklist.push_back(tuple);
+    return state;
+  };
+
+  std::vector<int> start(factors.size());
+  for (size_t i = 0; i < factors.size(); ++i) start[i] = factors[i].initial();
+  nfa.set_initial(intern(start));
+
+  while (!worklist.empty()) {
+    std::vector<int> tuple = std::move(worklist.back());
+    worklist.pop_back();
+    int from = state_of.at(tuple);
+    for (size_t i = 0; i < factors.size(); ++i) {
+      for (const auto& [symbol, to] : factors[i].TransitionsFrom(tuple[i])) {
+        std::vector<int> next = tuple;
+        next[i] = to;
+        AddTransitionUnique(&nfa, from, symbol, intern(next));
+      }
+    }
+  }
+  return nfa;
+}
+
+/// Glushkov-style epsilon-free composition. For shuffle-free input the
+/// caller uses BuildGlushkovNfa directly; this recursion only runs when a
+/// shuffle is present somewhere, and delegates shuffle-free subtrees back
+/// to Glushkov so the common parts stay on the proven construction.
+Nfa Compose(const ReRef& re) {
+  if (!ContainsShuffle(re)) return BuildGlushkovNfa(re);
+  switch (re->kind()) {
+    case ReKind::kSymbol:
+      return BuildGlushkovNfa(re);
+    case ReKind::kConcat: {
+      // Fold left: append each child, then splice the child's initial
+      // out-transitions onto every currently-accepting state. Acceptance
+      // carries over only while the appended child is nullable.
+      Nfa out = Compose(re->children().front());
+      for (size_t i = 1; i < re->children().size(); ++i) {
+        Nfa next = Compose(re->children()[i]);
+        std::vector<int> accepting;
+        for (int q = 0; q < out.num_states(); ++q) {
+          if (out.IsAccepting(q)) accepting.push_back(q);
+        }
+        int offset = CopyInto(next, &out);
+        bool next_nullable = next.IsAccepting(next.initial());
+        for (int q : accepting) {
+          for (const auto& [symbol, to] :
+               next.TransitionsFrom(next.initial())) {
+            AddTransitionUnique(&out, q, symbol, offset + to);
+          }
+          if (!next_nullable) out.SetAccepting(q, false);
+        }
+      }
+      return out;
+    }
+    case ReKind::kDisj: {
+      Nfa out;
+      int initial = out.AddState(false);
+      out.set_initial(initial);
+      for (const auto& c : re->children()) {
+        Nfa part = Compose(c);
+        int offset = CopyInto(part, &out);
+        if (part.IsAccepting(part.initial())) out.SetAccepting(initial, true);
+        for (const auto& [symbol, to] :
+             part.TransitionsFrom(part.initial())) {
+          AddTransitionUnique(&out, initial, symbol, offset + to);
+        }
+      }
+      return out;
+    }
+    case ReKind::kShuffle: {
+      std::vector<Nfa> parts;
+      parts.reserve(re->children().size());
+      for (const auto& c : re->children()) parts.push_back(Compose(c));
+      return ShuffleProduct(parts);
+    }
+    case ReKind::kPlus:
+    case ReKind::kStar: {
+      Nfa out = Compose(re->child());
+      std::vector<std::pair<Symbol, int>> loop =
+          out.TransitionsFrom(out.initial());
+      for (int q = 0; q < out.num_states(); ++q) {
+        if (!out.IsAccepting(q)) continue;
+        for (const auto& [symbol, to] : loop) {
+          AddTransitionUnique(&out, q, symbol, to);
+        }
+      }
+      if (re->kind() == ReKind::kStar) out.SetAccepting(out.initial(), true);
+      return out;
+    }
+    case ReKind::kOpt: {
+      Nfa out = Compose(re->child());
+      out.SetAccepting(out.initial(), true);
+      return out;
+    }
+  }
+  return BuildGlushkovNfa(re);
+}
+
+}  // namespace
+
+bool ContainsShuffle(const ReRef& re) {
+  if (re->kind() == ReKind::kShuffle) return true;
+  for (const auto& c : re->children()) {
+    if (ContainsShuffle(c)) return true;
+  }
+  return false;
+}
+
+int64_t MatchNfaSizeBound(const ReRef& re) {
+  constexpr int64_t kSaturated = kMaxShuffleProduct + 1;
+  switch (re->kind()) {
+    case ReKind::kSymbol:
+      return 2;
+    case ReKind::kConcat:
+    case ReKind::kDisj: {
+      int64_t sum = re->kind() == ReKind::kDisj ? 1 : 0;
+      for (const auto& c : re->children()) {
+        sum += MatchNfaSizeBound(c);
+        if (sum >= kSaturated) return kSaturated;
+      }
+      return sum;
+    }
+    case ReKind::kShuffle: {
+      int64_t product = 1;
+      for (const auto& c : re->children()) {
+        product *= MatchNfaSizeBound(c);
+        if (product >= kSaturated) return kSaturated;
+      }
+      return product;
+    }
+    case ReKind::kPlus:
+    case ReKind::kOpt:
+    case ReKind::kStar:
+      return MatchNfaSizeBound(re->child());
+  }
+  return kSaturated;
+}
+
+Nfa BuildMatchNfa(const ReRef& re) {
+  if (!ContainsShuffle(re)) return BuildGlushkovNfa(re);
+  return Compose(re);
+}
+
+}  // namespace condtd

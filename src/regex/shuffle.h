@@ -1,0 +1,40 @@
+#ifndef CONDTD_REGEX_SHUFFLE_H_
+#define CONDTD_REGEX_SHUFFLE_H_
+
+#include <cstdint>
+
+#include "automaton/nfa.h"
+#include "regex/ast.h"
+
+namespace condtd {
+
+/// True when `re` contains a kShuffle node anywhere.
+bool ContainsShuffle(const ReRef& re);
+
+/// Hard ceiling on the states a single shuffle node may expand into.
+/// Shuffle has no polynomial-size epsilon-free automaton: the product of
+/// the factor automata is essentially minimal, so both parsers and the
+/// interleaving learners reject shuffles whose MatchNfaSizeBound exceeds
+/// this before any automaton is built (a hostile `(a&b&c&...)` content
+/// model would otherwise exhaust memory in the validator).
+constexpr int64_t kMaxShuffleProduct = 4096;
+
+/// Upper bound on the number of states BuildMatchNfa materializes for
+/// `re`: shuffle nodes multiply (product automaton), everything else is
+/// linear in the symbol positions. Saturates at kMaxShuffleProduct + 1.
+int64_t MatchNfaSizeBound(const ReRef& re);
+
+/// Language-preserving epsilon-free NFA for `re`. Shuffle-free input is
+/// delegated to the Glushkov construction (bit-for-bit the automaton the
+/// rest of the system has always used); shuffle nodes become the product
+/// of their factor automata — a transition advances exactly one factor,
+/// acceptance requires every factor to accept, which is precisely the
+/// interleaving semantics w ∈ L(r1 & r2) iff w is a merge of words
+/// w1 ∈ L(r1), w2 ∈ L(r2). Callers must keep shuffle nodes within
+/// kMaxShuffleProduct (see MatchNfaSizeBound); the parsers and learners
+/// enforce this.
+Nfa BuildMatchNfa(const ReRef& re);
+
+}  // namespace condtd
+
+#endif  // CONDTD_REGEX_SHUFFLE_H_

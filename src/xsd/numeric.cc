@@ -94,6 +94,7 @@ void PrintNumeric(const ReRef& re, const NumericAnnotations& annotations,
   auto precedence = [](ReKind kind) {
     switch (kind) {
       case ReKind::kDisj:
+      case ReKind::kShuffle:
         return 0;
       case ReKind::kConcat:
         return 1;
@@ -131,6 +132,12 @@ void PrintNumeric(const ReRef& re, const NumericAnnotations& annotations,
     case ReKind::kDisj:
       for (size_t i = 0; i < re->children().size(); ++i) {
         if (i > 0) *out += " + ";
+        PrintNumeric(re->children()[i], annotations, alphabet, 1, out);
+      }
+      break;
+    case ReKind::kShuffle:
+      for (size_t i = 0; i < re->children().size(); ++i) {
+        if (i > 0) *out += " & ";
         PrintNumeric(re->children()[i], annotations, alphabet, 1, out);
       }
       break;

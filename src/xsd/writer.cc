@@ -95,6 +95,19 @@ class XsdPrinter {
         *out += pad + "</xs:choice>\n";
         return;
       }
+      case ReKind::kShuffle: {
+        // Interleaving maps to the XSD all-group. XSD 1.0 restricts
+        // xs:all to element particles; factor groups beyond that rely on
+        // the 1.1 relaxation, which is the closest faithful rendering.
+        std::string pad(indent * 2, ' ');
+        *out += pad + "<xs:all" + OccursAttributes(min_occurs, max_occurs) +
+                ">\n";
+        for (const auto& c : re->children()) {
+          Particle(c, 1, 1, indent + 1, out);
+        }
+        *out += pad + "</xs:all>\n";
+        return;
+      }
     }
   }
 

@@ -215,7 +215,7 @@ TEST_F(CliTest, UnknownAlgorithmListsRegisteredNames) {
   EXPECT_NE(result.output.find("unknown algorithm 'nope'"),
             std::string::npos)
       << result.output;
-  EXPECT_NE(result.output.find("auto, idtd, crx, rewrite, trang, xtract"),
+  EXPECT_NE(result.output.find("auto, idtd, crx, isore, sire, rewrite, trang, xtract"),
             std::string::npos)
       << result.output;
 }
@@ -439,6 +439,93 @@ TEST_F(CliTest, ServeAndClientRoundTrip) {
     usleep(50 * 1000);
   }
   EXPECT_NE(access(socket_path.c_str(), F_OK), 0);
+}
+
+// TCP daemon lifecycle without a fixed port: --port=0 binds whatever the
+// kernel has free and the readiness line reports the choice, so parallel
+// test runs (or an occupied port on a shared machine) cannot collide.
+TEST_F(CliTest, ServeAndClientRoundTripTcpEphemeralPort) {
+  std::string data_dir = TempPath("serve_tcp_data");
+  std::string log_path = TempPath("serve_tcp.log");
+  ASSERT_EQ(std::system(("rm -rf '" + data_dir + "'").c_str()), 0);
+  std::remove(log_path.c_str());
+
+  std::string launch = std::string(CONDTD_CLI_PATH) +
+                       " serve --port=0 --data-dir=" + data_dir +
+                       " --no-fsync >" + log_path + " 2>&1 &";
+  FILE* pipe = popen(launch.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  pclose(pipe);
+
+  // Readiness: poll the log for "condtd serve listening on HOST:PORT"
+  // and parse the kernel-chosen port out of it.
+  int port = -1;
+  for (int i = 0; i < 100 && port < 0; ++i) {
+    Result<std::string> log = ReadFileToString(log_path);
+    if (log.ok()) {
+      size_t pos = log->find("listening on ");
+      size_t colon = pos == std::string::npos
+                         ? std::string::npos
+                         : log->find(':', pos);
+      if (colon != std::string::npos) {
+        port = std::atoi(log->c_str() + colon + 1);
+      }
+    }
+    if (port < 0) usleep(50 * 1000);
+  }
+  ASSERT_GT(port, 0) << "no readiness line with a port in " << log_path;
+
+  std::string endpoint = "--port=" + std::to_string(port);
+  bool up = false;
+  for (int i = 0; i < 100 && !up; ++i) {
+    up = RunCli("client " + endpoint + " ping").exit_code == 0;
+    if (!up) usleep(50 * 1000);
+  }
+  ASSERT_TRUE(up) << "server never answered on port " << port;
+
+  CommandResult ingest =
+      RunCli("client " + endpoint + " ingest lib " + xml1_ + " " + xml2_);
+  EXPECT_EQ(ingest.exit_code, 0) << ingest.output;
+  CommandResult batch = RunCli("infer " + xml1_ + " " + xml2_);
+  ASSERT_EQ(batch.exit_code, 0) << batch.output;
+  CommandResult query = RunCli("client " + endpoint + " query lib");
+  EXPECT_EQ(query.exit_code, 0) << query.output;
+  EXPECT_EQ(query.output, batch.output);
+
+  CommandResult shutdown = RunCli("client " + endpoint + " shutdown");
+  EXPECT_EQ(shutdown.exit_code, 0) << shutdown.output;
+  // A post-shutdown ping must fail once the listener is gone.
+  bool down = false;
+  for (int i = 0; i < 100 && !down; ++i) {
+    down = RunCli("client " + endpoint + " ping").exit_code != 0;
+    if (!down) usleep(50 * 1000);
+  }
+  EXPECT_TRUE(down) << "listener survived shutdown on port " << port;
+}
+
+// The interleaving learner is reachable end-to-end from --algorithm and
+// emits an AND group on permuted-order input (the unordered corpus of
+// tests/data is pinned in differential_test; this is the CLI surface).
+TEST_F(CliTest, InferIsoreEmitsAndGroupOnUnorderedInput) {
+  std::string doc1 = TempPath("unordered1.xml");
+  std::string doc2 = TempPath("unordered2.xml");
+  ASSERT_TRUE(WriteStringToFile(
+                  doc1,
+                  "<root><item><a/><b/><c/></item>"
+                  "<item><c/><b/><a/></item></root>")
+                  .ok());
+  ASSERT_TRUE(WriteStringToFile(
+                  doc2,
+                  "<root><item><b/><c/><a/></item>"
+                  "<item><a/><c/><b/></item></root>")
+                  .ok());
+  CommandResult isore = RunCli("infer --algorithm=isore " + doc1 + " " + doc2);
+  ASSERT_EQ(isore.exit_code, 0) << isore.output;
+  EXPECT_NE(isore.output.find("(a & b & c)"), std::string::npos)
+      << isore.output;
+  CommandResult idtd = RunCli("infer --algorithm=idtd " + doc1 + " " + doc2);
+  ASSERT_EQ(idtd.exit_code, 0) << idtd.output;
+  EXPECT_EQ(idtd.output.find(" & "), std::string::npos) << idtd.output;
 }
 
 }  // namespace

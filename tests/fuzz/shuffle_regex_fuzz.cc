@@ -1,0 +1,70 @@
+// Fuzz target: the `&`-extended regular-expression grammar. Beyond the
+// plain parser round trip (parse(print(r)) structurally equal to r —
+// shuffle printing has its own precedence level between | and
+// concatenation, an easy place for parenthesization bugs), successful
+// parses are checked for the shuffle-specific invariants that hold
+// without building any automaton:
+//
+//   * the parser enforces the product-size bound, so every accepted
+//     expression satisfies MatchNfaSizeBound <= kMaxShuffleProduct;
+//   * cheap predicates (ContainsShuffle, IsSire, Nullable, CountTokens)
+//     are fixed points of the print/re-parse cycle.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "alphabet/alphabet.h"
+#include "regex/ast.h"
+#include "regex/parser.h"
+#include "regex/properties.h"
+#include "regex/shuffle.h"
+
+namespace {
+
+void RoundTrip(std::string_view input, bool char_symbols) {
+  condtd::Alphabet alphabet;
+  condtd::RegexParseOptions options;
+  options.char_symbols = char_symbols;
+  condtd::Result<condtd::ReRef> parsed =
+      condtd::ParseRegex(input, &alphabet, options);
+  if (!parsed.ok()) return;
+  if (condtd::MatchNfaSizeBound(parsed.value()) >
+      condtd::kMaxShuffleProduct) {
+    __builtin_trap();  // the parser must reject oversized shuffles
+  }
+  std::string printed = condtd::ToString(parsed.value(), alphabet,
+                                         condtd::PrintStyle::kParseable);
+  condtd::Result<condtd::ReRef> reparsed =
+      condtd::ParseRegex(printed, &alphabet, options);
+  if (!reparsed.ok()) __builtin_trap();
+  if (!condtd::StructurallyEqual(parsed.value(), reparsed.value())) {
+    __builtin_trap();
+  }
+  if (condtd::ContainsShuffle(parsed.value()) !=
+      condtd::ContainsShuffle(reparsed.value())) {
+    __builtin_trap();
+  }
+  if (condtd::IsSire(parsed.value()) != condtd::IsSire(reparsed.value())) {
+    __builtin_trap();
+  }
+  if (condtd::Nullable(parsed.value()) !=
+      condtd::Nullable(reparsed.value())) {
+    __builtin_trap();
+  }
+  if (condtd::CountTokens(parsed.value()) !=
+      condtd::CountTokens(reparsed.value())) {
+    __builtin_trap();
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > 4096) return 0;
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+  RoundTrip(input, false);
+  RoundTrip(input, true);
+  return 0;
+}

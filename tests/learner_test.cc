@@ -22,16 +22,19 @@ namespace {
 TEST(LearnerRegistry, BuiltinsRegisteredInDisplayOrder) {
   const LearnerRegistry& registry = LearnerRegistry::Global();
   EXPECT_EQ(registry.NamesForDisplay("|"),
-            "auto|idtd|crx|rewrite|trang|xtract");
+            "auto|idtd|crx|isore|sire|rewrite|trang|xtract");
   for (const Learner* learner : registry.All()) {
     EXPECT_EQ(registry.Find(learner->name()), learner);
     EXPECT_FALSE(learner->description().empty());
   }
   EXPECT_EQ(registry.Find("no-such-learner"), nullptr);
-  // Capability bits: only the XTRACT baseline needs raw words.
+  // Capability bits: the interleaving learners and the XTRACT baseline
+  // need raw words; the summary-only learners must not ask for them.
   for (const Learner* learner : registry.All()) {
-    EXPECT_EQ(learner->needs_full_words(), learner->name() == "xtract")
-        << learner->name();
+    bool wants_words = learner->name() == "xtract" ||
+                       learner->name() == "isore" ||
+                       learner->name() == "sire";
+    EXPECT_EQ(learner->needs_full_words(), wants_words) << learner->name();
   }
 }
 
@@ -71,7 +74,7 @@ TEST(DtdInferrer, UnknownLearnerNameFailsWithRegisteredList) {
   EXPECT_EQ(dtd.status().code(), StatusCode::kInvalidArgument);
   EXPECT_NE(dtd.status().ToString().find("bogus"), std::string::npos);
   EXPECT_NE(dtd.status().ToString().find(
-                "auto, idtd, crx, rewrite, trang, xtract"),
+                "auto, idtd, crx, isore, sire, rewrite, trang, xtract"),
             std::string::npos);
 }
 

@@ -21,6 +21,7 @@ namespace {
 /// >= 500-instances-per-learner bar; the corpus-level properties spin up
 /// whole ingestion pipelines per instance and run fewer.
 constexpr int kLearnerInstances = 500;
+constexpr int kInterleavingInstances = 250;  // two learners per instance
 constexpr int kMergeLawInstances = 200;
 constexpr int kRoundTripInstances = 300;
 constexpr int kIngestionInstances = 60;
@@ -59,6 +60,16 @@ TEST(LearnerProperty, Auto) {
       RunLearnerProperty("auto", BaseOptions(kLearnerInstances)));
 }
 
+TEST(LearnerProperty, Isore) {
+  ExpectNoFailures(
+      RunLearnerProperty("isore", BaseOptions(kLearnerInstances)));
+}
+
+TEST(LearnerProperty, Sire) {
+  ExpectNoFailures(
+      RunLearnerProperty("sire", BaseOptions(kLearnerInstances)));
+}
+
 TEST(LearnerProperty, Trang) {
   ExpectNoFailures(
       RunLearnerProperty("trang", BaseOptions(kLearnerInstances)));
@@ -67,6 +78,15 @@ TEST(LearnerProperty, Trang) {
 TEST(LearnerProperty, Xtract) {
   ExpectNoFailures(
       RunLearnerProperty("xtract", BaseOptions(kLearnerInstances)));
+}
+
+// Interleaving targets: random top-level shuffles of disjoint SOREs,
+// learned by isore and sire; both must emit a valid SIRE that contains
+// the sample, stays one-unambiguous and never exceeds (in tokens or in
+// language) the idtd/crx baseline on the same summary.
+TEST(LearnerProperty, InterleavingTargets) {
+  ExpectNoFailures(
+      RunInterleavingProperty(BaseOptions(kInterleavingInstances)));
 }
 
 TEST(AlgebraProperty, MergeLaws) {
@@ -131,6 +151,21 @@ TEST(PropertyHarness, OraclesDetectViolations) {
                                      alphabet)
                   .passed);
   EXPECT_FALSE(CheckLanguageEquivalence(just_a, a_then_b, alphabet).passed);
+
+  // Interleaving oracles. a & b is a SIRE; a shuffle nested under any
+  // operator is not in the restricted class.
+  ReRef shuffle = Re::Shuffle({Re::Sym(a), Re::Sym(b)});
+  EXPECT_TRUE(CheckSireValidity(shuffle, alphabet).passed);
+  EXPECT_TRUE(CheckSireValidity(a_then_b, alphabet).passed);
+  EXPECT_FALSE(CheckSireValidity(Re::Plus(shuffle), alphabet).passed);
+
+  // Dominance: a & b (2 tokens) vs its 4-token expansion passes; vs the
+  // one-order baseline "a b" it fails — 'b a' escapes the baseline.
+  ReRef expansion = Re::Disj({Re::Concat({Re::Sym(a), Re::Sym(b)}),
+                              Re::Concat({Re::Sym(b), Re::Sym(a)})});
+  EXPECT_TRUE(CheckConcisenessDominance(shuffle, expansion, alphabet).passed);
+  EXPECT_FALSE(
+      CheckConcisenessDominance(shuffle, a_then_b, alphabet).passed);
 }
 
 }  // namespace

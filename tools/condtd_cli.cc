@@ -34,7 +34,7 @@
 //   condtd stats file.dtd...                classify every content model
 //                                           (SORE? CHARE? deterministic?)
 //                                           — the paper's [10] study
-//   condtd gen --schema=file.dtd [--count=N] [--seed=S] [--prefix=P]
+//   condtd gen --schema=file.dtd [--count=N] [--seed=S] [--prefix=P] [--unordered]
 //                                           generate N random documents
 //                                           valid for the DTD (ToXgene
 //                                           substitute); files P0.xml...
@@ -94,7 +94,7 @@ int Usage() {
       "  condtd regex \"expr\" word...\n"
       "  condtd stats file.dtd...\n"
       "  condtd gen --schema=file.dtd [--count=N] [--seed=S] "
-      "[--prefix=P]\n"
+      "[--prefix=P] [--unordered]\n"
       "  condtd context [--xsd] file.xml...\n"
       "  condtd diff left.dtd right.dtd   (exit 0 iff language-equal)\n"
       "  condtd serve (--socket=PATH | --port=N) [--data-dir=DIR]\n"
@@ -566,9 +566,12 @@ int RunGen(const std::vector<std::string>& args) {
   std::string prefix = "doc";
   int count = 10;
   uint64_t seed = 20060912;
+  XmlGenOptions gen_options;
   for (const std::string& arg : args) {
     std::string value;
-    if (GetFlag(arg, "schema", &value)) {
+    if (arg == "--unordered") {
+      gen_options.unordered = true;
+    } else if (GetFlag(arg, "schema", &value)) {
       schema_path = value;
     } else if (GetFlag(arg, "count", &value)) {
       if (!ParseCountFlag("count", value, 1, &count)) return 2;
@@ -603,7 +606,8 @@ int RunGen(const std::vector<std::string>& args) {
   }
   Rng rng(seed);
   for (int i = 0; i < count; ++i) {
-    Result<XmlDocument> doc = GenerateDocument(dtd.value(), alphabet, &rng);
+    Result<XmlDocument> doc =
+        GenerateDocument(dtd.value(), alphabet, &rng, gen_options);
     if (!doc.ok()) {
       std::fprintf(stderr, "generation failed: %s\n",
                    doc.status().ToString().c_str());
