@@ -2,12 +2,15 @@
 # Runs the daemon latency bench and writes BENCH_serve.json at the
 # repository root (see EXPERIMENTS.md, "Serve request latency"): an
 # in-process `condtd serve` with 4 concurrent ingest clients and one
-# query client recording exact p50/p90/p99 per-request wall times.
+# query client recording exact p50/p90/p99 per-request wall times,
+# plus resident corpus bytes before/after TTL eviction (the default
+# --corpus-ttl=60 runs under an injected clock, so the eviction is
+# deterministic and adds no wall time; later flags override it).
 #
 # Usage: bench/run_serve_latency.sh [build-dir] [extra serve_latency flags]
 set -e
 build="${1:-build}"
 [ $# -gt 0 ] && shift
 root="$(cd "$(dirname "$0")/.." && pwd)"
-"$root/$build/bench/serve_latency" "$@" > "$root/BENCH_serve.json"
+"$root/$build/bench/serve_latency" --corpus-ttl=60 "$@" > "$root/BENCH_serve.json"
 echo "wrote $root/BENCH_serve.json"

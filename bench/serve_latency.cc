@@ -9,7 +9,8 @@
 // cheap path inside the daemon).
 //
 //   serve_latency [--clients=4] [--docs-per-client=250] [--queries=200]
-//                 [--snapshot-every=0] [--fsync] [--tcp]
+//                 [--snapshot-every=0] [--corpus-ttl=SECONDS] [--fsync]
+//                 [--tcp]
 //
 // --tcp measures the loopback TCP transport instead of the unix socket.
 // The listener binds port 0 and the clients use the kernel-chosen port
@@ -20,8 +21,16 @@
 // device, not the daemon. --fsync turns it back on to see the floor a
 // durable deployment pays per INGEST. Emits the BENCH_serve.json body
 // on stdout; bench/run_serve_latency.sh redirects it to the repo root.
+//
+// --corpus-ttl drives the eviction path deterministically: the registry
+// runs on an injected clock pinned at zero for the whole measured run
+// (so nothing evicts mid-bench), then the bench jumps the clock past
+// the TTL and sweeps once — the before/after resident-byte figures in
+// the report show how much memory idle-corpus eviction reclaims.
 
 #include <unistd.h>
+
+#include <memory>
 
 #include <algorithm>
 #include <atomic>
@@ -91,6 +100,7 @@ int Run(int argc, char** argv) {
   int docs_per_client = 2000;
   int min_queries = 200;
   int snapshot_every = 0;
+  long long corpus_ttl = 0;
   bool fsync_journal = false;
   bool use_tcp = false;
   for (int i = 1; i < argc; ++i) {
@@ -105,6 +115,8 @@ int Run(int argc, char** argv) {
       min_queries = std::atoi(arg.c_str() + 10);
     } else if (arg.rfind("--snapshot-every=", 0) == 0) {
       snapshot_every = std::atoi(arg.c_str() + 17);
+    } else if (arg.rfind("--corpus-ttl=", 0) == 0) {
+      corpus_ttl = std::atoll(arg.c_str() + 13);
     } else if (arg == "--fsync") {
       fsync_journal = true;
     } else {
@@ -134,6 +146,14 @@ int Run(int argc, char** argv) {
   options.corpus.data_dir = root + "/data";
   options.corpus.fsync_journal = fsync_journal;
   options.corpus.snapshot_every = snapshot_every;
+  // Injected registry clock: frozen at zero during the measured run so
+  // the TTL can never fire mid-bench, then advanced past the TTL for
+  // one deterministic sweep below.
+  auto bench_clock = std::make_shared<std::atomic<int64_t>>(0);
+  if (corpus_ttl > 0) {
+    options.corpus_ttl_seconds = corpus_ttl;
+    options.clock_ns = [bench_clock] { return bench_clock->load(); };
+  }
   serve::Server server(options);
   Status started = server.Start();
   if (!started.ok()) {
@@ -249,8 +269,33 @@ int Run(int argc, char** argv) {
           documents_acked = std::atoll(ingested->c_str() + pos + 10);
         }
       }
-      (void)client->Shutdown();
     }
+  }
+
+  // Resident memory before/after the TTL sweep. The acked-documents
+  // check above must land first: eviction closes the live session, and
+  // the reopen-on-demand path is what the serve tests pin, not this
+  // report.
+  auto resident_bytes = [&server] {
+    int64_t total = 0;
+    for (const std::shared_ptr<serve::Corpus>& corpus :
+         server.registry()->List()) {
+      total += static_cast<int64_t>(corpus->ApproxBytes());
+    }
+    return total;
+  };
+  int64_t resident_under_load = resident_bytes();
+  int64_t resident_after_ttl = resident_under_load;
+  int64_t corpora_evicted = 0;
+  if (corpus_ttl > 0) {
+    bench_clock->store((corpus_ttl + 1) * 1000000000);
+    corpora_evicted = server.registry()->SweepNow();
+    resident_after_ttl = resident_bytes();
+  }
+
+  {
+    Result<serve::Client> client = connect();
+    if (client.ok()) (void)client->Shutdown();
   }
   server.Wait();
 
@@ -281,7 +326,8 @@ int Run(int argc, char** argv) {
   std::printf("    \"docs_per_client\": %d,\n", docs_per_client);
   std::printf("    \"fsync_journal\": %s,\n",
               fsync_journal ? "true" : "false");
-  std::printf("    \"snapshot_every\": %d\n", snapshot_every);
+  std::printf("    \"snapshot_every\": %d,\n", snapshot_every);
+  std::printf("    \"corpus_ttl_seconds\": %lld\n", corpus_ttl);
   std::printf("  },\n");
   std::printf("  \"results\": {\n");
   std::printf("    \"wall_seconds\": %.3f,\n",
@@ -294,6 +340,12 @@ int Run(int argc, char** argv) {
               static_cast<long long>(ingest_bytes));
   std::printf("    \"ingest_failures\": %d,\n", ingest_failures.load());
   std::printf("    \"query_failures\": %d,\n", query_failures.load());
+  std::printf("    \"resident_corpus_bytes_under_load\": %lld,\n",
+              static_cast<long long>(resident_under_load));
+  std::printf("    \"resident_corpus_bytes_after_ttl\": %lld,\n",
+              static_cast<long long>(resident_after_ttl));
+  std::printf("    \"corpora_evicted\": %lld,\n",
+              static_cast<long long>(corpora_evicted));
   PrintQuantiles("ingest_latency", ingest_q, /*last=*/false);
   PrintQuantiles("query_latency_under_ingest", query_load_q,
                  /*last=*/false);

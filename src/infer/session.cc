@@ -55,6 +55,23 @@ void IngestSession::Snapshot(std::string* state, int64_t* epoch) {
   if (epoch != nullptr) *epoch = epoch_.load(std::memory_order_relaxed);
 }
 
+void IngestSession::RestoreCounterFloors(int64_t documents, int64_t failed,
+                                         int64_t bytes, int64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (documents_.load(std::memory_order_relaxed) < documents) {
+    documents_.store(documents, std::memory_order_relaxed);
+  }
+  if (failed_.load(std::memory_order_relaxed) < failed) {
+    failed_.store(failed, std::memory_order_relaxed);
+  }
+  if (bytes_.load(std::memory_order_relaxed) < bytes) {
+    bytes_.store(bytes, std::memory_order_relaxed);
+  }
+  if (epoch_.load(std::memory_order_relaxed) < epoch) {
+    epoch_.store(epoch, std::memory_order_release);
+  }
+}
+
 size_t IngestSession::ApproxBytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   size_t bytes = inferrer_.summaries().ApproxBytes() +

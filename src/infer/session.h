@@ -71,6 +71,16 @@ class IngestSession {
   /// LoadState. Readers use it to cache learned schemas per version.
   int64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
 
+  /// Raises the monotone public counters to at least the given values.
+  /// The serve registry calls this after an evicted corpus is
+  /// transparently re-opened: recovery rebuilds the folded state but
+  /// starts the counters from zero, and without the floors a client
+  /// would watch `documents=`/`epoch=` jump backwards across an
+  /// eviction it was never supposed to notice. Values below the current
+  /// counters are ignored (floors never decrease anything).
+  void RestoreCounterFloors(int64_t documents, int64_t failed,
+                            int64_t bytes, int64_t epoch);
+
   int64_t documents() const {
     return documents_.load(std::memory_order_relaxed);
   }

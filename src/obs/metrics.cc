@@ -33,6 +33,7 @@ constexpr std::array<std::string_view,
         "serve_ingest_requests", "serve_query_requests",
         "serve_query_cache_hits", "serve_request_errors",
         "journal_appends", "journal_replayed_docs", "snapshots_written",
+        "journal_compactions", "corpora_evicted", "http_requests",
 };
 
 constexpr std::array<std::string_view, static_cast<size_t>(Gauge::kNumGauges)>

@@ -87,6 +87,9 @@ enum class SchedCounter : int {
   kJournalAppends,       ///< durable journal records written
   kJournalReplayedDocs,  ///< documents re-folded during crash recovery
   kSnapshotsWritten,     ///< corpus snapshots persisted
+  kJournalCompactions,   ///< rotations forced by --compact-journal-bytes
+  kCorporaEvicted,       ///< idle corpora snapshotted-and-closed
+  kHttpRequests,         ///< /metrics + /healthz requests served
   kNumSchedCounters,
 };
 

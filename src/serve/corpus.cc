@@ -1,5 +1,6 @@
 #include "serve/corpus.h"
 
+#include <dirent.h>
 #include <errno.h>
 #include <fcntl.h>
 #include <stdio.h>
@@ -10,8 +11,10 @@
 #include <chrono>
 #include <cstdlib>
 #include <utility>
+#include <vector>
 
 #include "base/file.h"
+#include "base/strings.h"
 #include "dtd/dtd_writer.h"
 #include "infer/engine.h"
 #include "obs/metrics.h"
@@ -171,6 +174,10 @@ Status Corpus::RecoverLocked() {
       Journal::Open(JournalPath(generation_), options_.fsync_journal);
   if (!journal.ok()) return journal.status();
   journal_ = std::move(*journal);
+  // A crash between a rotation's CURRENT rename and its old-generation
+  // unlink leaves unreachable files; reclaim them now that the live
+  // generation is known.
+  CollectStaleGenerationsLocked();
   return Status::OK();
 }
 
@@ -208,11 +215,17 @@ Status Corpus::Ingest(std::string_view doc) {
       if (status.ok()) {
         ++next_seq_;
         ++docs_since_snapshot_;
-        if (options_.snapshot_every > 0 &&
-            docs_since_snapshot_ >= options_.snapshot_every) {
+        bool by_count = options_.snapshot_every > 0 &&
+                        docs_since_snapshot_ >= options_.snapshot_every;
+        // Size-triggered compaction: bound crash-replay time by journal
+        // bytes, independent of how many documents produced them.
+        bool by_size = !by_count && options_.compact_journal_bytes > 0 &&
+                       durable() && journal_.is_open() &&
+                       journal_.bytes() > options_.compact_journal_bytes;
+        if (by_count || by_size) {
           // Durability housekeeping; the ingest itself already
           // succeeded, so a failed rotation is not the client's error.
-          (void)WriteSnapshotLocked();
+          (void)WriteSnapshotLocked(/*compaction=*/by_size);
         }
       }
     }
@@ -288,10 +301,10 @@ Result<std::string> Corpus::Query(const std::string& algorithm, bool xsd) {
 
 Status Corpus::WriteSnapshot() {
   std::lock_guard<std::mutex> lock(ingest_mu_);
-  return WriteSnapshotLocked();
+  return WriteSnapshotLocked(/*compaction=*/false);
 }
 
-Status Corpus::WriteSnapshotLocked() {
+Status Corpus::WriteSnapshotLocked(bool compaction) {
   if (!durable()) return Status::OK();
   // Capture the state while holding ingest_mu_, so no append can land
   // in the old journal after the state it belongs to was captured.
@@ -311,19 +324,71 @@ Status Corpus::WriteSnapshotLocked() {
   CONDTD_RETURN_IF_ERROR(
       AtomicWriteFile(CurrentPath(), std::to_string(next_generation)));
 
-  int64_t old_generation = generation_;
   generation_ = next_generation;
   journal_ = std::move(*fresh);
   journal_broken_ = false;
   docs_since_snapshot_ = 0;
-  // Old generation is unreachable now; reclaim it (best-effort).
-  ::unlink(SnapshotPath(old_generation).c_str());
-  ::unlink(JournalPath(old_generation).c_str());
+  // Everything but the live generation is unreachable now; reclaim it
+  // (best-effort). Scanning instead of unlinking G-1 specifically also
+  // collects orphans an earlier crash left behind.
+  CollectStaleGenerationsLocked();
 
   obs::SchedAdd(obs::SchedCounter::kSnapshotsWritten, 1);
+  if (compaction) {
+    obs::SchedAdd(obs::SchedCounter::kJournalCompactions, 1);
+  }
   std::lock_guard<std::mutex> stats_lock(stats_mu_);
   ++snapshots_;
+  if (compaction) ++compactions_;
   return Status::OK();
+}
+
+void Corpus::CollectStaleGenerationsLocked() {
+  DIR* dir = ::opendir(DirPath().c_str());
+  if (dir == nullptr) return;
+  std::vector<std::string> stale;
+  while (struct dirent* entry = ::readdir(dir)) {
+    std::string_view name = entry->d_name;
+    bool remove = false;
+    if (EndsWith(name, ".tmp")) {
+      // Staging files (snapshot/CURRENT temp copies) are only ever live
+      // inside AtomicWriteFile, which runs under ingest_mu_ — anything
+      // visible here is a crash leftover.
+      remove = true;
+    } else {
+      std::string_view digits;
+      if (StartsWith(name, "snapshot-") && EndsWith(name, ".state")) {
+        digits = name.substr(9, name.size() - 9 - 6);
+      } else if (StartsWith(name, "journal-") && EndsWith(name, ".log")) {
+        digits = name.substr(8, name.size() - 8 - 4);
+      } else {
+        continue;  // CURRENT, dot entries, foreign files: leave alone
+      }
+      int64_t generation = 0;
+      remove = ParseInt64(digits, &generation) && generation != generation_;
+    }
+    if (remove) stale.push_back(DirPath() + "/" + std::string(name));
+  }
+  ::closedir(dir);
+  for (const std::string& path : stale) ::unlink(path.c_str());
+}
+
+void Corpus::RestoreBaseline(const CorpusStats& floors) {
+  session_.RestoreCounterFloors(floors.documents, floors.failed_documents,
+                                floors.bytes_ingested, floors.epoch);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (queries_ < floors.queries) queries_ = floors.queries;
+  if (query_cache_hits_ < floors.query_cache_hits) {
+    query_cache_hits_ = floors.query_cache_hits;
+  }
+  if (snapshots_ < floors.snapshots) snapshots_ = floors.snapshots;
+  if (compactions_ < floors.compactions) compactions_ = floors.compactions;
+  if (ingest_latency_.count < floors.ingest_latency.count) {
+    ingest_latency_ = floors.ingest_latency;
+  }
+  if (query_latency_.count < floors.query_latency.count) {
+    query_latency_ = floors.query_latency;
+  }
 }
 
 CorpusStats Corpus::GetStats() const {
@@ -343,6 +408,7 @@ CorpusStats Corpus::GetStats() const {
   stats.queries = queries_;
   stats.query_cache_hits = query_cache_hits_;
   stats.snapshots = snapshots_;
+  stats.compactions = compactions_;
   stats.ingest_latency = ingest_latency_;
   stats.query_latency = query_latency_;
   return stats;

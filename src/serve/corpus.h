@@ -25,6 +25,7 @@ struct CorpusStats {
   int64_t queries = 0;
   int64_t query_cache_hits = 0;
   int64_t snapshots = 0;        ///< snapshot rotations since open
+  int64_t compactions = 0;      ///< rotations forced by journal size
   int64_t replayed_documents = 0; ///< journal records replayed at open
   int64_t epoch = 0;            ///< session version counter
   int64_t generation = 0;       ///< current snapshot/journal generation
@@ -64,6 +65,12 @@ class Corpus {
     /// Auto-rotate a snapshot every N ingested documents (0 = only on
     /// explicit SNAPSHOT commands). Bounds replay time after a crash.
     int snapshot_every = 0;
+    /// Auto-rotate a generation once the live journal exceeds this many
+    /// bytes (0 = never). Unlike snapshot_every this bounds crash-replay
+    /// time by journal *size*, independent of document count, so a
+    /// corpus fed huge documents compacts just as reliably as one fed
+    /// many small ones.
+    int64_t compact_journal_bytes = 0;
     /// Refuse ingestion once ApproxBytes() exceeds this (0 = uncapped).
     int64_t max_corpus_bytes = 0;
     /// IngestEngine jobs for journal replay at open.
@@ -106,11 +113,23 @@ class Corpus {
   /// Rough resident bytes of the retained inference state.
   size_t ApproxBytes() const { return session_.ApproxBytes(); }
 
+  /// Raises the monotone counters (documents, epoch, queries, latency
+  /// totals, ...) to at least the values in `floors`. The registry
+  /// calls this on the corpus it re-opened after an eviction so the
+  /// client-visible `documents=`/`epoch=` acks and STATS totals stay
+  /// monotone — eviction must be invisible to clients.
+  void RestoreBaseline(const CorpusStats& floors);
+
  private:
   Corpus(std::string id, Options options);
 
   Status RecoverLocked();
-  Status WriteSnapshotLocked();
+  Status WriteSnapshotLocked(bool compaction);
+  /// Unlinks every generation file other than the live one, plus stray
+  /// `*.tmp` staging files — the on-disk garbage a crash between the
+  /// CURRENT rename and the old-generation unlink leaves behind.
+  /// Caller holds ingest_mu_ (no rotation can race the scan).
+  void CollectStaleGenerationsLocked();
   std::string DirPath() const;
   std::string SnapshotPath(int64_t generation) const;
   std::string JournalPath(int64_t generation) const;
@@ -138,6 +157,7 @@ class Corpus {
   int64_t queries_ = 0;
   int64_t query_cache_hits_ = 0;
   int64_t snapshots_ = 0;
+  int64_t compactions_ = 0;
   LatencyHistogram ingest_latency_;
   LatencyHistogram query_latency_;
 };

@@ -6,6 +6,7 @@
 #include <sys/stat.h>
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -13,8 +14,24 @@
 namespace condtd {
 namespace serve {
 
-CorpusRegistry::CorpusRegistry(Corpus::Options defaults)
-    : defaults_(std::move(defaults)) {}
+CorpusRegistry::CorpusRegistry(Options options)
+    : options_(std::move(options)) {}
+
+CorpusRegistry::CorpusRegistry(Corpus::Options corpus_defaults)
+    : CorpusRegistry([&] {
+        Options options;
+        options.corpus = std::move(corpus_defaults);
+        return options;
+      }()) {}
+
+CorpusRegistry::~CorpusRegistry() { StopSweeper(); }
+
+int64_t CorpusRegistry::NowNs() const {
+  if (options_.clock_ns) return options_.clock_ns();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 bool CorpusRegistry::ValidCorpusId(std::string_view id) {
   if (id.empty() || id.size() > 128) return false;
@@ -27,62 +44,159 @@ bool CorpusRegistry::ValidCorpusId(std::string_view id) {
   return true;
 }
 
-Result<Corpus*> CorpusRegistry::GetOrCreate(const std::string& id) {
+Result<std::shared_ptr<Corpus>> CorpusRegistry::OpenLocked(
+    const std::string& id) {
+  Result<std::unique_ptr<Corpus>> opened =
+      Corpus::Open(id, options_.corpus);
+  if (!opened.ok()) return opened.status();
+  std::shared_ptr<Corpus> corpus = std::move(*opened);
+  auto baseline = evicted_.find(id);
+  if (baseline != evicted_.end()) {
+    corpus->RestoreBaseline(baseline->second.stats);
+    evicted_.erase(baseline);
+  }
+  corpora_[id] = Entry{corpus, NowNs()};
+  obs::GaugeSet(obs::Gauge::kCorporaOpen,
+                static_cast<int64_t>(corpora_.size()));
+  return corpus;
+}
+
+bool CorpusRegistry::TryEvictLocked(std::unique_lock<std::mutex>& lock,
+                                    const std::string& id,
+                                    int64_t expected_touch_ns) {
+  auto it = corpora_.find(id);
+  if (it == corpora_.end()) return false;
+  if (it->second.last_touch_ns != expected_touch_ns) return false;
+  // Our local handle makes 2; any request in flight makes it more.
+  std::shared_ptr<Corpus> corpus = it->second.corpus;
+  if (corpus.use_count() > 2) return false;
+
+  // Snapshot BEFORE unmapping, so a concurrent GetOrCreate on the same
+  // id can never observe CURRENT mid-rotation or open a second live
+  // Corpus over the same directory: until the erase below, reopeners
+  // find this entry in the map and share it.
+  lock.unlock();
+  Status persisted = corpus->WriteSnapshot();
+  lock.lock();
+
+  it = corpora_.find(id);
+  if (it == corpora_.end()) return false;
+  if (it->second.corpus != corpus) return false;
+  if (it->second.last_touch_ns != expected_touch_ns) return false;
+  if (corpus.use_count() > 2) return false;  // touched while snapshotting
+  if (!persisted.ok()) return false;  // keep it live; retry next sweep
+
+  evicted_[id] = EvictedBaseline{corpus->GetStats()};
+  corpora_.erase(it);
+  obs::GaugeSet(obs::Gauge::kCorporaOpen,
+                static_cast<int64_t>(corpora_.size()));
+  obs::SchedAdd(obs::SchedCounter::kCorporaEvicted, 1);
+  return true;
+}
+
+Result<std::shared_ptr<Corpus>> CorpusRegistry::GetOrCreate(
+    const std::string& id) {
   if (!ValidCorpusId(id)) {
     return Status::InvalidArgument(
         "invalid corpus id (want [A-Za-z0-9_.-]+, at most 128 chars): " +
         id);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   auto it = corpora_.find(id);
-  if (it == corpora_.end()) {
-    Result<std::unique_ptr<Corpus>> corpus = Corpus::Open(id, defaults_);
-    if (!corpus.ok()) return corpus.status();
-    it = corpora_.emplace(id, std::move(*corpus)).first;
-    obs::GaugeSet(obs::Gauge::kCorporaOpen,
-                  static_cast<int64_t>(corpora_.size()));
+  if (it != corpora_.end()) {
+    it->second.last_touch_ns = NowNs();
+    return it->second.corpus;
   }
-  return it->second.get();
+  if (options_.max_corpora > 0 &&
+      static_cast<int>(corpora_.size()) >= options_.max_corpora) {
+    if (!durable()) {
+      return Status::ResourceExhausted(
+          "corpus cap reached (" + std::to_string(options_.max_corpora) +
+          " open, no data dir to evict into); refusing new corpus " + id);
+    }
+    // Best-effort LRU trim: evict idle tenants until under the cap; a
+    // fully pinned registry overshoots briefly and the sweeper catches
+    // up, which beats failing a legitimate INGEST.
+    while (static_cast<int>(corpora_.size()) >= options_.max_corpora) {
+      std::string victim;
+      int64_t victim_touch = 0;
+      for (const auto& [cid, entry] : corpora_) {
+        if (entry.corpus.use_count() > 1) continue;
+        if (victim.empty() || entry.last_touch_ns < victim_touch) {
+          victim = cid;
+          victim_touch = entry.last_touch_ns;
+        }
+      }
+      if (victim.empty()) break;  // every tenant pinned right now
+      if (!TryEvictLocked(lock, victim, victim_touch)) break;
+      // The map changed while unlocked; the reopen race is benign
+      // (find below re-checks), but re-derive the victim scan state.
+      auto reopened = corpora_.find(id);
+      if (reopened != corpora_.end()) {
+        reopened->second.last_touch_ns = NowNs();
+        return reopened->second.corpus;
+      }
+    }
+  }
+  // TryEvictLocked may have dropped the lock; re-check before opening.
+  it = corpora_.find(id);
+  if (it != corpora_.end()) {
+    it->second.last_touch_ns = NowNs();
+    return it->second.corpus;
+  }
+  return OpenLocked(id);
 }
 
-Result<Corpus*> CorpusRegistry::Get(const std::string& id) {
+Result<std::shared_ptr<Corpus>> CorpusRegistry::Get(const std::string& id) {
   if (!ValidCorpusId(id)) {
     return Status::InvalidArgument(
         "invalid corpus id (want [A-Za-z0-9_.-]+, at most 128 chars): " +
         id);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   auto it = corpora_.find(id);
-  if (it == corpora_.end()) {
-    return Status::NotFound("no such corpus: " + id);
+  if (it != corpora_.end()) {
+    it->second.last_touch_ns = NowNs();
+    return it->second.corpus;
   }
-  return it->second.get();
+  if (durable()) {
+    // An evicted corpus left its directory behind; re-open it so
+    // eviction stays invisible. A never-created id has no directory
+    // and stays NotFound.
+    std::string path = options_.corpus.data_dir + "/" + id;
+    struct stat info;
+    if (::stat(path.c_str(), &info) == 0 && S_ISDIR(info.st_mode)) {
+      return OpenLocked(id);
+    }
+  }
+  return Status::NotFound("no such corpus: " + id);
 }
 
-std::vector<Corpus*> CorpusRegistry::List() {
+std::vector<std::shared_ptr<Corpus>> CorpusRegistry::List() {
   std::lock_guard<std::mutex> lock(mu_);
-  std::vector<Corpus*> result;
+  std::vector<std::shared_ptr<Corpus>> result;
   result.reserve(corpora_.size());
-  for (const auto& [id, corpus] : corpora_) {
+  for (const auto& [id, entry] : corpora_) {
     (void)id;
-    result.push_back(corpus.get());
+    result.push_back(entry.corpus);
   }
   return result;  // std::map iteration is already id-ascending
 }
 
 Status CorpusRegistry::RecoverAll() {
-  if (defaults_.data_dir.empty()) return Status::OK();
-  DIR* dir = ::opendir(defaults_.data_dir.c_str());
+  if (!durable()) return Status::OK();
+  DIR* dir = ::opendir(options_.corpus.data_dir.c_str());
   if (dir == nullptr) {
     if (errno == ENOENT) return Status::OK();  // nothing persisted yet
-    return Status::Internal("cannot scan data dir " + defaults_.data_dir +
-                            ": " + ::strerror(errno));
+    return Status::Internal("cannot scan data dir " +
+                            options_.corpus.data_dir + ": " +
+                            ::strerror(errno));
   }
   std::vector<std::string> ids;
   while (struct dirent* entry = ::readdir(dir)) {
     std::string name = entry->d_name;
     if (!ValidCorpusId(name)) continue;  // skips "." and ".." too
-    std::string path = defaults_.data_dir + "/" + name;
+    std::string path = options_.corpus.data_dir + "/" + name;
     struct stat info;
     if (::stat(path.c_str(), &info) != 0 || !S_ISDIR(info.st_mode)) {
       continue;
@@ -92,7 +206,7 @@ Status CorpusRegistry::RecoverAll() {
   ::closedir(dir);
   std::sort(ids.begin(), ids.end());  // deterministic recovery order
   for (const std::string& id : ids) {
-    Result<Corpus*> corpus = GetOrCreate(id);
+    Result<std::shared_ptr<Corpus>> corpus = GetOrCreate(id);
     if (!corpus.ok()) {
       return Status(corpus.status().code(),
                     "recovering corpus " + id + ": " +
@@ -100,6 +214,79 @@ Status CorpusRegistry::RecoverAll() {
     }
   }
   return Status::OK();
+}
+
+int64_t CorpusRegistry::SweepNow() {
+  if (!durable()) return 0;  // ephemeral corpora must never be closed
+  int64_t evicted = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+
+  if (options_.corpus_ttl_seconds > 0) {
+    int64_t cutoff_ns =
+        NowNs() - options_.corpus_ttl_seconds * int64_t{1000000000};
+    // Candidates first: TryEvictLocked drops the lock, so iterating the
+    // live map while evicting would race with reopens.
+    std::vector<std::pair<std::string, int64_t>> idle;
+    for (const auto& [id, entry] : corpora_) {
+      if (entry.last_touch_ns <= cutoff_ns) {
+        idle.emplace_back(id, entry.last_touch_ns);
+      }
+    }
+    for (const auto& [id, touch] : idle) {
+      if (TryEvictLocked(lock, id, touch)) ++evicted;
+    }
+  }
+
+  if (options_.max_corpora > 0) {
+    while (static_cast<int>(corpora_.size()) > options_.max_corpora) {
+      std::string victim;
+      int64_t victim_touch = 0;
+      for (const auto& [id, entry] : corpora_) {
+        if (entry.corpus.use_count() > 1) continue;
+        if (victim.empty() || entry.last_touch_ns < victim_touch) {
+          victim = id;
+          victim_touch = entry.last_touch_ns;
+        }
+      }
+      if (victim.empty()) break;
+      if (!TryEvictLocked(lock, victim, victim_touch)) break;
+      ++evicted;
+    }
+  }
+  return evicted;
+}
+
+void CorpusRegistry::StartSweeper() {
+  if (sweeper_.joinable()) return;
+  if (!durable()) return;
+  if (options_.corpus_ttl_seconds <= 0 && options_.max_corpora <= 0) return;
+  {
+    std::lock_guard<std::mutex> lock(sweeper_mu_);
+    sweeper_stop_ = false;
+  }
+  sweeper_ = std::thread([this] { SweeperLoop(); });
+}
+
+void CorpusRegistry::StopSweeper() {
+  {
+    std::lock_guard<std::mutex> lock(sweeper_mu_);
+    sweeper_stop_ = true;
+  }
+  sweeper_cv_.notify_all();
+  if (sweeper_.joinable()) sweeper_.join();
+}
+
+void CorpusRegistry::SweeperLoop() {
+  std::unique_lock<std::mutex> lock(sweeper_mu_);
+  while (!sweeper_stop_) {
+    sweeper_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.sweep_interval_ms),
+        [this] { return sweeper_stop_; });
+    if (sweeper_stop_) return;
+    lock.unlock();
+    SweepNow();
+    lock.lock();
+  }
 }
 
 }  // namespace serve

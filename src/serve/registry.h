@@ -1,11 +1,15 @@
 #ifndef CONDTD_SERVE_REGISTRY_H_
 #define CONDTD_SERVE_REGISTRY_H_
 
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "base/status.h"
@@ -22,34 +26,112 @@ namespace serve {
 /// Corpus ids double as directory names, so they are restricted to
 /// [A-Za-z0-9_.-]+ (≤ 128 chars, not "." or ".."): ids can never
 /// traverse outside the data directory.
+///
+/// Resource governance: with `corpus_ttl_seconds` set, a durable corpus
+/// untouched past the TTL is snapshotted and closed (SweepNow, or the
+/// background sweeper thread); with `max_corpora` set, creating a
+/// corpus beyond the cap evicts the least-recently-touched idle tenant
+/// first. Eviction is invisible to clients: the next INGEST/QUERY/
+/// SNAPSHOT on an evicted id transparently re-opens it from its data
+/// directory (byte-identical DTDs, monotone documents/epoch counters).
+/// An ephemeral registry (no data_dir) never evicts — closing would
+/// lose acknowledged documents — so there `max_corpora` refuses new
+/// tenants instead.
+///
+/// Handles are shared_ptr: a request pins its corpus for the duration
+/// of the call, and the sweeper only evicts corpora nobody else holds
+/// (checked under the registry lock, through which every new reference
+/// must pass), so eviction can never free a corpus mid-request.
 class CorpusRegistry {
  public:
-  explicit CorpusRegistry(Corpus::Options defaults);
+  struct Options {
+    Corpus::Options corpus;
+    /// Evict a corpus idle for this many seconds (0 = never). Requires
+    /// a data directory; ignored for ephemeral registries.
+    int64_t corpus_ttl_seconds = 0;
+    /// Keep at most this many corpora open (0 = unbounded). Durable
+    /// registries evict the least-recently-touched tenant to make room;
+    /// ephemeral ones refuse creation with kResourceExhausted.
+    int max_corpora = 0;
+    /// Background sweeper cadence (StartSweeper).
+    int64_t sweep_interval_ms = 1000;
+    /// Test seam: monotone now() in ns. Defaults to steady_clock.
+    std::function<int64_t()> clock_ns;
+  };
+
+  explicit CorpusRegistry(Options options);
+  /// Back-compat: a registry with defaults and no eviction.
+  explicit CorpusRegistry(Corpus::Options corpus_defaults);
+  ~CorpusRegistry();
 
   CorpusRegistry(const CorpusRegistry&) = delete;
   CorpusRegistry& operator=(const CorpusRegistry&) = delete;
 
   static bool ValidCorpusId(std::string_view id);
 
-  /// The corpus named `id`, opening it on first use. Pointers stay
-  /// valid for the registry's lifetime (corpora are never evicted).
-  Result<Corpus*> GetOrCreate(const std::string& id);
+  /// The corpus named `id`, opening (or transparently re-opening, after
+  /// an eviction) it on first use. The returned handle pins the corpus
+  /// against eviction while held.
+  Result<std::shared_ptr<Corpus>> GetOrCreate(const std::string& id);
 
-  /// The corpus named `id`, or NotFound — QUERY against a corpus that
-  /// never ingested should say so, not create an empty tenant.
-  Result<Corpus*> Get(const std::string& id);
+  /// The corpus named `id`. An id with persisted state on disk — live
+  /// or evicted — resolves; one that never ingested is NotFound (QUERY
+  /// against an unknown corpus should say so, not create an empty
+  /// tenant).
+  Result<std::shared_ptr<Corpus>> Get(const std::string& id);
 
-  /// All open corpora, ascending by id (stable STATS rendering).
-  std::vector<Corpus*> List();
+  /// All open corpora, ascending by id (stable STATS rendering). Does
+  /// not count as a touch.
+  std::vector<std::shared_ptr<Corpus>> List();
 
   /// Reopens every corpus directory found under the data directory.
   /// No-op without a data directory.
   Status RecoverAll();
 
+  /// One eviction pass: snapshots-then-closes every unpinned corpus
+  /// idle past the TTL, then trims beyond max_corpora in LRU order.
+  /// Returns the number of corpora evicted. Called by the background
+  /// sweeper; public so tests and embedders can sweep deterministically.
+  int64_t SweepNow();
+
+  /// Starts/stops the background sweeper thread (idempotent; no-op when
+  /// neither TTL nor cap is configured). The destructor stops it too.
+  void StartSweeper();
+  void StopSweeper();
+
  private:
-  const Corpus::Options defaults_;
+  struct Entry {
+    std::shared_ptr<Corpus> corpus;
+    int64_t last_touch_ns = 0;
+  };
+  /// Pre-eviction counter totals, restored on transparent re-open so
+  /// clients never see documents/epoch go backwards.
+  struct EvictedBaseline {
+    CorpusStats stats;
+  };
+
+  int64_t NowNs() const;
+  bool durable() const { return !options_.corpus.data_dir.empty(); }
+  /// Opens `id` (recovering persisted state), restores any eviction
+  /// baseline, and registers the entry. Caller holds mu_.
+  Result<std::shared_ptr<Corpus>> OpenLocked(const std::string& id);
+  /// Snapshots-then-closes `id` if it is still present, unpinned and
+  /// its last touch is unchanged from `expected_touch_ns`. Drops and
+  /// re-takes `lock` around the snapshot write. Returns true when the
+  /// corpus was evicted.
+  bool TryEvictLocked(std::unique_lock<std::mutex>& lock,
+                      const std::string& id, int64_t expected_touch_ns);
+  void SweeperLoop();
+
+  const Options options_;
   std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Corpus>> corpora_;
+  std::map<std::string, Entry> corpora_;
+  std::map<std::string, EvictedBaseline> evicted_;
+
+  std::mutex sweeper_mu_;
+  std::condition_variable sweeper_cv_;
+  std::thread sweeper_;
+  bool sweeper_stop_ = false;
 };
 
 }  // namespace serve

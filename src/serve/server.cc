@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <errno.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <string.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
@@ -12,9 +13,11 @@
 #include <cstdlib>
 #include <utility>
 
+#include "base/strings.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "serve/latency.h"
+#include "serve/prometheus.h"
 
 namespace condtd {
 namespace serve {
@@ -59,10 +62,73 @@ void AppendLatencyJson(std::string* out, std::string_view key,
   out->append("}");
 }
 
+/// Binds and listens on a loopback TCP socket; reports the bound port
+/// (for port 0 requests) through `bound_port`.
+Status ListenTcp(const std::string& host, int port, int* out_fd,
+                 int* bound_port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + ::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  ::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad listen host: " + host);
+  }
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    int saved = errno;
+    ::close(fd);
+    return Status::Internal("bind port " + std::to_string(port) + ": " +
+                            ::strerror(saved));
+  }
+  struct sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    *bound_port = ntohs(bound.sin_port);
+  }
+  if (::listen(fd, 64) != 0) {
+    int saved = errno;
+    ::close(fd);
+    return Status::Internal(std::string("listen: ") + ::strerror(saved));
+  }
+  *out_fd = fd;
+  return Status::OK();
+}
+
+Status SendAll(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("send: ") + ::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+CorpusRegistry::Options RegistryOptions(const ServerOptions& options) {
+  CorpusRegistry::Options registry;
+  registry.corpus = options.corpus;
+  registry.corpus_ttl_seconds = options.corpus_ttl_seconds;
+  registry.max_corpora = options.max_corpora;
+  registry.clock_ns = options.clock_ns;
+  return registry;
+}
+
 }  // namespace
 
 Server::Server(ServerOptions options)
-    : options_(std::move(options)), registry_(options_.corpus) {
+    : options_(std::move(options)), registry_(RegistryOptions(options_)) {
   if (options_.workers < 1) options_.workers = 1;
 }
 
@@ -110,51 +176,35 @@ Status Server::Start() {
       return Status::Internal("bind " + options_.unix_socket + ": " +
                               ::strerror(saved));
     }
-  } else if (options_.tcp_port >= 0) {
-    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-    if (listen_fd_ < 0) {
-      return Status::Internal(std::string("socket: ") + ::strerror(errno));
-    }
-    int one = 1;
-    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-    struct sockaddr_in addr;
-    ::memset(&addr, 0, sizeof(addr));
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(static_cast<uint16_t>(options_.tcp_port));
-    if (::inet_pton(AF_INET, options_.tcp_host.c_str(), &addr.sin_addr) !=
-        1) {
-      ::close(listen_fd_);
-      listen_fd_ = -1;
-      return Status::InvalidArgument("bad listen host: " +
-                                     options_.tcp_host);
-    }
-    if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
-               sizeof(addr)) != 0) {
+    if (::listen(listen_fd_, 64) != 0) {
       int saved = errno;
       ::close(listen_fd_);
       listen_fd_ = -1;
-      return Status::Internal("bind port " +
-                              std::to_string(options_.tcp_port) + ": " +
-                              ::strerror(saved));
+      return Status::Internal(std::string("listen: ") + ::strerror(saved));
     }
-    struct sockaddr_in bound;
-    socklen_t bound_len = sizeof(bound);
-    if (::getsockname(listen_fd_,
-                      reinterpret_cast<struct sockaddr*>(&bound),
-                      &bound_len) == 0) {
-      port_ = ntohs(bound.sin_port);
-    }
+  } else if (options_.tcp_port >= 0) {
+    CONDTD_RETURN_IF_ERROR(ListenTcp(options_.tcp_host, options_.tcp_port,
+                                     &listen_fd_, &port_));
   } else {
     return Status::InvalidArgument(
         "no listener configured (need unix_socket or tcp_port)");
   }
 
-  if (::listen(listen_fd_, 64) != 0) {
-    int saved = errno;
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::Internal(std::string("listen: ") + ::strerror(saved));
+  if (options_.http_port >= 0) {
+    Status http = ListenTcp(options_.http_host, options_.http_port,
+                            &http_listen_fd_, &http_port_);
+    if (!http.ok()) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      if (!options_.unix_socket.empty()) {
+        ::unlink(options_.unix_socket.c_str());
+      }
+      return Status(http.code(),
+                    "http listener: " + std::string(http.message()));
+    }
   }
+
+  registry_.StartSweeper();
 
   started_ = true;
   active_fds_.assign(static_cast<size_t>(options_.workers), -1);
@@ -173,6 +223,7 @@ void Server::RequestStop() {
   // Break the accept loop and any worker mid-recv; both observe EOF /
   // EINVAL and fall out to the stopping_ check.
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (http_listen_fd_ >= 0) ::shutdown(http_listen_fd_, SHUT_RDWR);
   for (int fd : active_fds_) {
     if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
   }
@@ -189,11 +240,16 @@ void Server::Wait() {
   accept_thread_.join();
   for (std::thread& worker : workers_) worker.join();
   workers_.clear();
-  for (int fd : pending_conns_) ::close(fd);
+  registry_.StopSweeper();
+  for (const PendingConn& conn : pending_conns_) ::close(conn.fd);
   pending_conns_.clear();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
+  }
+  if (http_listen_fd_ >= 0) {
+    ::close(http_listen_fd_);
+    http_listen_fd_ = -1;
   }
   if (!options_.unix_socket.empty()) {
     ::unlink(options_.unix_socket.c_str());
@@ -208,47 +264,83 @@ void Server::Stop() {
 
 void Server::AcceptLoop() {
   for (;;) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
-    int saved_errno = fd < 0 ? errno : 0;
+    struct pollfd fds[2];
+    nfds_t nfds = 0;
+    fds[nfds].fd = listen_fd_;
+    fds[nfds].events = POLLIN;
+    fds[nfds].revents = 0;
+    ++nfds;
+    int http_index = -1;
+    if (http_listen_fd_ >= 0) {
+      http_index = static_cast<int>(nfds);
+      fds[nfds].fd = http_listen_fd_;
+      fds[nfds].events = POLLIN;
+      fds[nfds].revents = 0;
+      ++nfds;
+    }
+    int ready = ::poll(fds, nfds, -1);
+    int saved_errno = ready < 0 ? errno : 0;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (stopping_) {
-        if (fd >= 0) ::close(fd);
-        return;
+      if (stopping_) return;
+    }
+    if (ready < 0) {
+      if (saved_errno == EINTR) continue;
+      RequestStop();
+      return;
+    }
+    for (nfds_t i = 0; i < nfds; ++i) {
+      if ((fds[i].revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
+      bool http = static_cast<int>(i) == http_index;
+      int fd = ::accept(fds[i].fd, nullptr, nullptr);
+      saved_errno = fd < 0 ? errno : 0;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_) {
+          if (fd >= 0) ::close(fd);
+          return;
+        }
+        if (fd >= 0) {
+          pending_conns_.push_back(PendingConn{fd, http});
+          work_ready_.notify_one();
+          continue;
+        }
       }
-      if (fd >= 0) {
-        pending_conns_.push_back(fd);
-        work_ready_.notify_one();
+      if (saved_errno == EINTR || saved_errno == ECONNABORTED ||
+          saved_errno == EAGAIN || saved_errno == EWOULDBLOCK) {
         continue;
       }
+      // Listener broken (or shut down concurrently): stop the server so
+      // Wait() returns instead of hanging on a dead socket.
+      RequestStop();
+      return;
     }
-    if (saved_errno == EINTR || saved_errno == ECONNABORTED) continue;
-    // Listener broken (or shut down concurrently): stop the server so
-    // Wait() returns instead of hanging on a dead socket.
-    RequestStop();
-    return;
   }
 }
 
 void Server::WorkerLoop(int worker_index) {
   for (;;) {
-    int fd = -1;
+    PendingConn conn;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_ready_.wait(lock, [this] {
         return stopping_ || !pending_conns_.empty();
       });
       if (stopping_) return;
-      fd = pending_conns_.front();
+      conn = pending_conns_.front();
       pending_conns_.pop_front();
-      active_fds_[static_cast<size_t>(worker_index)] = fd;
+      active_fds_[static_cast<size_t>(worker_index)] = conn.fd;
     }
-    ServeConnection(fd, worker_index);
+    if (conn.http) {
+      ServeHttpConnection(conn.fd);
+    } else {
+      ServeConnection(conn.fd, worker_index);
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       active_fds_[static_cast<size_t>(worker_index)] = -1;
     }
-    ::close(fd);
+    ::close(conn.fd);
   }
 }
 
@@ -285,6 +377,65 @@ void Server::ServeConnection(int fd, int worker_index) {
     }
     if (!written.ok()) return;  // peer went away
   }
+}
+
+void Server::ServeHttpConnection(int fd) {
+  obs::SchedAdd(obs::SchedCounter::kHttpRequests, 1);
+  // Read the request head only; the endpoints are body-less GETs and a
+  // hostile header stream is cut off at a fixed cap.
+  std::string head;
+  char buf[4096];
+  while (head.find("\r\n\r\n") == std::string::npos &&
+         head.find("\n\n") == std::string::npos) {
+    if (head.size() > 16384) break;
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    head.append(buf, static_cast<size_t>(n));
+  }
+  if (head.empty()) return;
+
+  size_t eol = head.find('\n');
+  std::string request_line =
+      eol == std::string::npos ? head : head.substr(0, eol);
+  if (!request_line.empty() && request_line.back() == '\r') {
+    request_line.pop_back();
+  }
+  std::vector<std::string> parts = Tokenize(request_line);
+  std::string method = parts.empty() ? "" : parts[0];
+  std::string target = parts.size() < 2 ? "" : parts[1];
+  target = target.substr(0, target.find('?'));
+
+  std::string status_line = "HTTP/1.1 200 OK";
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  if (method != "GET") {
+    status_line = "HTTP/1.1 405 Method Not Allowed";
+    body = "method not allowed\n";
+  } else if (target == "/healthz") {
+    body = "ok\n";
+  } else if (target == "/metrics") {
+    std::vector<std::pair<std::string, CorpusStats>> corpora;
+    for (const std::shared_ptr<Corpus>& corpus : registry_.List()) {
+      corpora.emplace_back(corpus->id(), corpus->GetStats());
+    }
+    body = RenderPrometheusText(corpora, obs::SnapshotStats());
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+  } else {
+    status_line = "HTTP/1.1 404 Not Found";
+    body = "not found (want /metrics or /healthz)\n";
+  }
+
+  std::string response;
+  response.reserve(body.size() + 256);
+  response += status_line;
+  response += "\r\nContent-Type: ";
+  response += content_type;
+  response += "\r\nContent-Length: ";
+  response += std::to_string(body.size());
+  response += "\r\nConnection: close\r\n\r\n";
+  response += body;
+  (void)SendAll(fd, response);
 }
 
 Result<std::string> Server::Handle(const std::string& line,
@@ -328,32 +479,36 @@ Result<std::string> Server::HandleIngest(
   const std::string& corpus_id = tokens[1];
   const std::string& mode = tokens[2];
 
-  Result<Corpus*> corpus = registry_.GetOrCreate(corpus_id);
-  if (!corpus.ok()) {
-    if (mode == "INLINE" && tokens.size() >= 4) {
-      // Keep the connection framed: drain the announced payload even
-      // though the request is being rejected.
-      errno = 0;
-      char* end = nullptr;
-      unsigned long long nbytes = ::strtoull(tokens[3].c_str(), &end, 10);
-      if (errno == 0 && end != tokens[3].c_str()) {
-        std::string discard;
-        (void)reader->ReadExact(static_cast<size_t>(nbytes) + 1, &discard);
-      }
-    }
-    return corpus.status();
-  }
-
+  std::shared_ptr<Corpus> corpus;
   if (mode == "INLINE") {
     if (tokens.size() != 4) {
-      return Status::InvalidArgument("usage: INGEST <corpus> INLINE <nbytes>");
+      return Status::InvalidArgument(
+          "usage: INGEST <corpus> INLINE <nbytes>");
     }
-    errno = 0;
-    char* end = nullptr;
-    unsigned long long nbytes = ::strtoull(tokens[3].c_str(), &end, 10);
-    if (errno != 0 || end == tokens[3].c_str() || *end != '\0') {
-      return Status::InvalidArgument("bad INLINE length: " + tokens[3]);
+    // Strict parse: "-1", "1x", "" and overflow are all rejected before
+    // any payload read — a bad length must never size an allocation.
+    int64_t nbytes = 0;
+    if (!ParseInt64(tokens[3], &nbytes) || nbytes <= 0) {
+      return Status::InvalidArgument(
+          "bad INLINE length (want a positive integer): " + tokens[3]);
     }
+    if (nbytes > options_.max_inline_bytes) {
+      // Keep the connection framed without buffering the oversized
+      // payload: throw it away in fixed-size chunks.
+      (void)reader->Discard(static_cast<size_t>(nbytes) + 1);
+      return Status::InvalidArgument(
+          "INLINE payload of " + std::to_string(nbytes) +
+          " bytes exceeds --max-inline-bytes=" +
+          std::to_string(options_.max_inline_bytes));
+    }
+    Result<std::shared_ptr<Corpus>> opened = registry_.GetOrCreate(corpus_id);
+    if (!opened.ok()) {
+      // Same framing rule on the rejection path (bad corpus id, full
+      // registry): drain the announced payload, never buffer it.
+      (void)reader->Discard(static_cast<size_t>(nbytes) + 1);
+      return opened.status();
+    }
+    corpus = std::move(*opened);
     std::string doc;
     CONDTD_RETURN_IF_ERROR(
         reader->ReadExact(static_cast<size_t>(nbytes), &doc));
@@ -363,25 +518,33 @@ Result<std::string> Server::HandleIngest(
       return Status::InvalidArgument(
           "INLINE payload not newline-terminated");
     }
-    CONDTD_RETURN_IF_ERROR((*corpus)->Ingest(doc));
+    CONDTD_RETURN_IF_ERROR(corpus->Ingest(doc));
   } else if (mode == "PATH") {
-    // The path is the rest of the line verbatim (it may contain spaces).
-    size_t prefix = tokens[0].size() + 1 + tokens[1].size() + 1 +
-                    tokens[2].size() + 1;
-    if (prefix > line.size()) {
-      return Status::InvalidArgument("usage: INGEST <corpus> PATH <path>");
+    // The path is the rest of the line verbatim (it may contain
+    // interior spaces). Recover it by scanning the original line past
+    // the first three tokens — Tokenize collapses space runs, so token
+    // lengths alone cannot locate where the path starts.
+    size_t pos = 0;
+    for (int t = 0; t < 3; ++t) {
+      while (pos < line.size() && line[pos] == ' ') ++pos;
+      while (pos < line.size() && line[pos] != ' ') ++pos;
     }
-    std::string path = line.substr(prefix);
+    while (pos < line.size() && line[pos] == ' ') ++pos;
+    std::string path = line.substr(pos);
     if (path.empty()) {
       return Status::InvalidArgument("usage: INGEST <corpus> PATH <path>");
     }
-    CONDTD_RETURN_IF_ERROR((*corpus)->IngestFile(path));
+    Result<std::shared_ptr<Corpus>> opened = registry_.GetOrCreate(corpus_id);
+    if (!opened.ok()) return opened.status();
+    corpus = std::move(*opened);
+    CONDTD_RETURN_IF_ERROR(corpus->IngestFile(path));
   } else {
     return Status::InvalidArgument("unknown INGEST mode " + mode +
                                    " (want INLINE or PATH)");
   }
-  return "ingested documents=" + std::to_string((*corpus)->GetStats().documents) +
-         " epoch=" + std::to_string((*corpus)->epoch());
+  return "ingested documents=" +
+         std::to_string(corpus->GetStats().documents) +
+         " epoch=" + std::to_string(corpus->epoch());
 }
 
 Result<std::string> Server::HandleQuery(
@@ -404,7 +567,7 @@ Result<std::string> Server::HandleQuery(
       return Status::InvalidArgument("unknown QUERY flag: " + flag);
     }
   }
-  Result<Corpus*> corpus = registry_.Get(tokens[1]);
+  Result<std::shared_ptr<Corpus>> corpus = registry_.Get(tokens[1]);
   if (!corpus.ok()) return corpus.status();
   return (*corpus)->Query(algorithm, xsd);
 }
@@ -415,14 +578,14 @@ Result<std::string> Server::HandleSnapshot(
     return Status::InvalidArgument("usage: SNAPSHOT [<corpus>]");
   }
   if (tokens.size() == 2) {
-    Result<Corpus*> corpus = registry_.Get(tokens[1]);
+    Result<std::shared_ptr<Corpus>> corpus = registry_.Get(tokens[1]);
     if (!corpus.ok()) return corpus.status();
     CONDTD_RETURN_IF_ERROR((*corpus)->WriteSnapshot());
     return "snapshot " + tokens[1] + " generation=" +
            std::to_string((*corpus)->GetStats().generation);
   }
   std::string report;
-  for (Corpus* corpus : registry_.List()) {
+  for (const std::shared_ptr<Corpus>& corpus : registry_.List()) {
     CONDTD_RETURN_IF_ERROR(corpus->WriteSnapshot());
     if (!report.empty()) report.push_back('\n');
     report += "snapshot " + corpus->id() + " generation=" +
@@ -439,7 +602,7 @@ std::string Server::RenderStats() {
   std::string out;
   out.reserve(4096);
   out.append("{\n  \"condtd_serve_stats_version\": 1,\n  \"corpora\": {");
-  std::vector<Corpus*> corpora = registry_.List();
+  std::vector<std::shared_ptr<Corpus>> corpora = registry_.List();
   for (size_t i = 0; i < corpora.size(); ++i) {
     CorpusStats stats = corpora[i]->GetStats();
     out.append(i == 0 ? "\n" : ",\n");
@@ -465,6 +628,7 @@ std::string Server::RenderStats() {
     AppendLatencyJson(&out, "ingest_latency", stats.ingest_latency,
                       &first);
     AppendLatencyJson(&out, "query_latency", stats.query_latency, &first);
+    AppendJsonInt(&out, "compactions", stats.compactions, &first);
     out.append("\n    }");
   }
   out.append(corpora.empty() ? "},\n" : "\n  },\n");

@@ -102,6 +102,26 @@ Status WireReader::ReadExact(size_t n, std::string* out) {
   return Status::OK();
 }
 
+Status WireReader::Discard(size_t n) {
+  while (n > 0) {
+    size_t available = buffer_.size() - pos_;
+    if (available > 0) {
+      size_t take = std::min(available, n);
+      pos_ += take;
+      n -= take;
+      continue;
+    }
+    if (eof_) {
+      return Status::InvalidArgument("connection closed mid-payload");
+    }
+    // Fill() reads at most kReadChunk at a time and the loop consumes
+    // everything it buffers, so the resident buffer stays one chunk
+    // regardless of how large the announced payload is.
+    CONDTD_RETURN_IF_ERROR(Fill());
+  }
+  return Status::OK();
+}
+
 Status WriteAll(int fd, std::string_view data) {
   while (!data.empty()) {
     // send() for MSG_NOSIGNAL; a peer that hung up yields EPIPE here

@@ -41,6 +41,12 @@ class WireReader {
   /// Reads exactly `n` raw bytes into `*out` (appending nothing else).
   Status ReadExact(size_t n, std::string* out);
 
+  /// Reads and throws away exactly `n` bytes in fixed-size chunks.
+  /// Unlike ReadExact it never allocates proportionally to `n`, so it
+  /// is safe against a client-announced length that is huge or hostile
+  /// — the drain path for rejected INLINE payloads.
+  Status Discard(size_t n);
+
  private:
   Status Fill();  ///< reads more bytes; sets eof_ at stream end
 

@@ -11,13 +11,21 @@
 // asserting set membership, which is much stronger than "looks like a
 // DTD".
 
+#include <arpa/inet.h>
+#include <dirent.h>
 #include <ftw.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <string.h>
+#include <sys/socket.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -30,6 +38,7 @@
 #include "infer/inferrer.h"
 #include "infer/session.h"
 #include "infer/streaming.h"
+#include "obs/metrics.h"
 #include "serve/client.h"
 #include "serve/corpus.h"
 #include "serve/journal.h"
@@ -85,6 +94,20 @@ std::string PrefixState(const std::vector<std::string>& docs,
   }
   folder.Flush();
   return inferrer.SaveState();
+}
+
+/// Sorted directory listing (regular entries only).
+std::vector<std::string> ListDir(const std::string& path) {
+  std::vector<std::string> names;
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) return names;
+  while (struct dirent* entry = ::readdir(dir)) {
+    std::string name = entry->d_name;
+    if (name != "." && name != "..") names.push_back(std::move(name));
+  }
+  ::closedir(dir);
+  std::sort(names.begin(), names.end());
+  return names;
 }
 
 /// Reference: the sequential engine's DTD text after folding
@@ -464,9 +487,9 @@ TEST(CorpusRegistry, ValidatesIdsAndDistinguishesGetFromCreate) {
   EXPECT_FALSE(registry.Get("lib").ok());  // NotFound before creation
   EXPECT_EQ(registry.Get("lib").status().code(), StatusCode::kNotFound);
 
-  Result<serve::Corpus*> created = registry.GetOrCreate("lib");
+  Result<std::shared_ptr<serve::Corpus>> created = registry.GetOrCreate("lib");
   ASSERT_TRUE(created.ok());
-  Result<serve::Corpus*> again = registry.GetOrCreate("lib");
+  Result<std::shared_ptr<serve::Corpus>> again = registry.GetOrCreate("lib");
   ASSERT_TRUE(again.ok());
   EXPECT_EQ(*created, *again);  // same live instance
   EXPECT_EQ(registry.List().size(), 1u);
@@ -479,10 +502,10 @@ TEST(CorpusRegistry, RecoverAllReopensPersistedCorpora) {
   options.fsync_journal = false;
   {
     serve::CorpusRegistry registry{options};
-    Result<serve::Corpus*> a = registry.GetOrCreate("alpha");
+    Result<std::shared_ptr<serve::Corpus>> a = registry.GetOrCreate("alpha");
     ASSERT_TRUE(a.ok());
     ASSERT_TRUE((*a)->Ingest(Doc(0)).ok());
-    Result<serve::Corpus*> b = registry.GetOrCreate("beta");
+    Result<std::shared_ptr<serve::Corpus>> b = registry.GetOrCreate("beta");
     ASSERT_TRUE(b.ok());
     ASSERT_TRUE((*b)->Ingest(Doc(1)).ok());
   }
@@ -491,6 +514,241 @@ TEST(CorpusRegistry, RecoverAllReopensPersistedCorpora) {
   ASSERT_EQ(registry.List().size(), 2u);
   EXPECT_TRUE(registry.Get("alpha").ok());
   EXPECT_TRUE(registry.Get("beta").ok());
+}
+
+TEST(Corpus, SizeTriggeredCompactionBoundsJournalAndCollectsOldGens) {
+  TempDir dir;
+  serve::Corpus::Options options;
+  options.data_dir = dir.path();
+  options.fsync_journal = false;
+  options.compact_journal_bytes = 200;  // a couple of Doc() records
+
+  std::vector<std::string> docs;
+  for (int i = 0; i < 12; ++i) docs.push_back(Doc(i));
+
+  {
+    Result<std::unique_ptr<serve::Corpus>> corpus =
+        serve::Corpus::Open("lib", options);
+    ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+    for (const std::string& doc : docs) {
+      ASSERT_TRUE((*corpus)->Ingest(doc).ok());
+    }
+    serve::CorpusStats stats = (*corpus)->GetStats();
+    EXPECT_GT(stats.compactions, 0) << "journal never hit the size trigger";
+    EXPECT_EQ(stats.snapshots, stats.compactions);
+    EXPECT_GT(stats.generation, 0);
+    // The live journal holds at most the documents since the last
+    // rotation: one record past the threshold plus the one that
+    // triggered the check.
+    EXPECT_LE(stats.journal_bytes,
+              options.compact_journal_bytes + 512);
+
+    // Old generations are garbage-collected at rotation: the directory
+    // holds exactly the live pair plus CURRENT.
+    std::string generation = std::to_string(stats.generation);
+    std::vector<std::string> expect = {
+        "CURRENT", "journal-" + generation + ".log",
+        "snapshot-" + generation + ".state"};
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(ListDir(dir.path() + "/lib"), expect);
+  }
+
+  // Replay after close: snapshot + short journal reproduce the batch
+  // answer byte-identically.
+  Result<std::unique_ptr<serve::Corpus>> reopened =
+      serve::Corpus::Open("lib", options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  Result<std::string> dtd = (*reopened)->Query("", false);
+  ASSERT_TRUE(dtd.ok()) << dtd.status().ToString();
+  EXPECT_EQ(*dtd, PrefixDtd(docs, docs.size()));
+  // What compaction buys: replay touches only the live journal's few
+  // records, not all 12 documents.
+  EXPECT_LT((*reopened)->GetStats().replayed_documents,
+            static_cast<int64_t>(docs.size()));
+}
+
+TEST(Corpus, OpenCollectsOrphanGenerationsAndTmpFiles) {
+  TempDir dir;
+  serve::Corpus::Options options;
+  options.data_dir = dir.path();
+  options.fsync_journal = false;
+
+  std::vector<std::string> docs = {Doc(0), Doc(1), Doc(2)};
+  {
+    Result<std::unique_ptr<serve::Corpus>> corpus =
+        serve::Corpus::Open("lib", options);
+    ASSERT_TRUE(corpus.ok());
+    for (const std::string& doc : docs) {
+      ASSERT_TRUE((*corpus)->Ingest(doc).ok());
+    }
+    ASSERT_TRUE((*corpus)->WriteSnapshot().ok());  // live generation: 1
+  }
+
+  // A crash between the CURRENT rename and the old-generation unlink
+  // leaves unreachable generation files and staging temps behind.
+  for (const char* orphan : {"snapshot-99.state", "journal-99.log",
+                             "snapshot-0.state.tmp"}) {
+    std::FILE* file =
+        std::fopen((dir.path() + "/lib/" + orphan).c_str(), "w");
+    ASSERT_NE(file, nullptr);
+    std::fputs("junk", file);
+    std::fclose(file);
+  }
+
+  Result<std::unique_ptr<serve::Corpus>> reopened =
+      serve::Corpus::Open("lib", options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  std::vector<std::string> expect = {"CURRENT", "journal-1.log",
+                                     "snapshot-1.state"};
+  EXPECT_EQ(ListDir(dir.path() + "/lib"), expect);
+  Result<std::string> dtd = (*reopened)->Query("", false);
+  ASSERT_TRUE(dtd.ok());
+  EXPECT_EQ(*dtd, PrefixDtd(docs, docs.size()));
+}
+
+// ---------------------------------------------------------------------
+// Registry eviction / TTL
+
+TEST(CorpusRegistry, TtlEvictionIsInvisibleToClients) {
+  TempDir dir;
+  int64_t now_ns = 0;
+  serve::CorpusRegistry::Options options;
+  options.corpus.data_dir = dir.path();
+  options.corpus.fsync_journal = false;
+  options.corpus_ttl_seconds = 60;
+  options.clock_ns = [&now_ns] { return now_ns; };
+  serve::CorpusRegistry registry(options);
+
+  std::vector<std::string> docs;
+  for (int i = 0; i < 4; ++i) docs.push_back(Doc(i));
+
+  int64_t epoch_before = 0;
+  std::string dtd_before;
+  {
+    Result<std::shared_ptr<serve::Corpus>> corpus =
+        registry.GetOrCreate("lib");
+    ASSERT_TRUE(corpus.ok());
+    for (const std::string& doc : docs) {
+      ASSERT_TRUE((*corpus)->Ingest(doc).ok());
+    }
+    Result<std::string> dtd = (*corpus)->Query("", false);
+    ASSERT_TRUE(dtd.ok());
+    dtd_before = *dtd;
+    epoch_before = (*corpus)->epoch();
+  }  // drop the handle: the corpus is now unpinned
+
+  // Fresh corpora survive a sweep.
+  now_ns += int64_t{59} * 1000000000;
+  EXPECT_EQ(registry.SweepNow(), 0);
+  ASSERT_EQ(registry.List().size(), 1u);
+
+  // Past the TTL the corpus is snapshotted and closed.
+  now_ns += int64_t{2} * 1000000000;
+  EXPECT_EQ(registry.SweepNow(), 1);
+  EXPECT_TRUE(registry.List().empty());
+
+  // ... but not deleted: the next Get transparently re-opens it with a
+  // byte-identical answer and monotone counters.
+  Result<std::shared_ptr<serve::Corpus>> again = registry.Get("lib");
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  Result<std::string> dtd_after = (*again)->Query("", false);
+  ASSERT_TRUE(dtd_after.ok());
+  EXPECT_EQ(*dtd_after, dtd_before);
+  EXPECT_EQ(*dtd_after, PrefixDtd(docs, docs.size()));
+  serve::CorpusStats stats = (*again)->GetStats();
+  EXPECT_EQ(stats.documents, static_cast<int64_t>(docs.size()));
+  EXPECT_GE((*again)->epoch(), epoch_before);
+
+  // The ack counters keep counting up from where they left off.
+  ASSERT_TRUE((*again)->Ingest(Doc(9)).ok());
+  EXPECT_EQ((*again)->GetStats().documents,
+            static_cast<int64_t>(docs.size()) + 1);
+}
+
+TEST(CorpusRegistry, SweepSkipsPinnedCorpora) {
+  TempDir dir;
+  int64_t now_ns = 0;
+  serve::CorpusRegistry::Options options;
+  options.corpus.data_dir = dir.path();
+  options.corpus.fsync_journal = false;
+  options.corpus_ttl_seconds = 1;
+  options.clock_ns = [&now_ns] { return now_ns; };
+  serve::CorpusRegistry registry(options);
+
+  Result<std::shared_ptr<serve::Corpus>> pinned =
+      registry.GetOrCreate("lib");
+  ASSERT_TRUE(pinned.ok());
+  ASSERT_TRUE((*pinned)->Ingest(Doc(0)).ok());
+
+  // Idle far past the TTL, but a request still holds the handle: the
+  // sweeper must not close a corpus out from under it.
+  now_ns += int64_t{3600} * 1000000000;
+  EXPECT_EQ(registry.SweepNow(), 0);
+  ASSERT_EQ(registry.List().size(), 1u);
+
+  pinned->reset();
+  EXPECT_EQ(registry.SweepNow(), 1);
+  EXPECT_TRUE(registry.List().empty());
+}
+
+TEST(CorpusRegistry, MaxCorporaEvictsLeastRecentlyTouched) {
+  TempDir dir;
+  int64_t now_ns = 0;
+  serve::CorpusRegistry::Options options;
+  options.corpus.data_dir = dir.path();
+  options.corpus.fsync_journal = false;
+  options.max_corpora = 2;
+  options.clock_ns = [&now_ns] { return now_ns; };
+  serve::CorpusRegistry registry(options);
+
+  auto create_and_release = [&](const std::string& id) {
+    now_ns += 1000000000;
+    Result<std::shared_ptr<serve::Corpus>> corpus =
+        registry.GetOrCreate(id);
+    ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+    ASSERT_TRUE((*corpus)->Ingest(Doc(0)).ok());
+  };
+  create_and_release("aa");
+  create_and_release("bb");
+  now_ns += 1000000000;
+  ASSERT_TRUE(registry.Get("aa").ok());  // "bb" is now the LRU tenant
+
+  create_and_release("cc");  // over the cap: evicts "bb" at creation
+  std::vector<std::string> open;
+  for (const std::shared_ptr<serve::Corpus>& corpus : registry.List()) {
+    open.push_back(corpus->id());
+  }
+  EXPECT_EQ(open, (std::vector<std::string>{"aa", "cc"}));
+
+  // The evicted tenant is still reachable (transparent reopen), and a
+  // sweep re-establishes the cap afterwards.
+  ASSERT_TRUE(registry.Get("bb").ok());
+  ASSERT_EQ(registry.List().size(), 3u);
+  EXPECT_EQ(registry.SweepNow(), 1);
+  EXPECT_EQ(registry.List().size(), 2u);
+}
+
+TEST(CorpusRegistry, EphemeralCapRefusesInsteadOfEvicting) {
+  serve::CorpusRegistry::Options options;  // no data_dir: nothing durable
+  options.max_corpora = 1;
+  serve::CorpusRegistry registry(options);
+
+  Result<std::shared_ptr<serve::Corpus>> first =
+      registry.GetOrCreate("aa");
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE((*first)->Ingest(Doc(0)).ok());
+
+  // Evicting an ephemeral corpus would silently drop acknowledged
+  // documents, so the cap refuses new tenants instead.
+  Result<std::shared_ptr<serve::Corpus>> second =
+      registry.GetOrCreate("bb");
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
+
+  // The resident tenant is untouched.
+  EXPECT_TRUE(registry.GetOrCreate("aa").ok());
+  EXPECT_EQ(registry.List().size(), 1u);
+  EXPECT_EQ(registry.SweepNow(), 0);
 }
 
 // ---------------------------------------------------------------------
@@ -663,6 +921,226 @@ TEST_F(ServeEndToEnd, RestartAfterUncleanStopServesRecoveredCorpora) {
   Result<std::string> dtd = client.Query("lib");
   ASSERT_TRUE(dtd.ok()) << dtd.status().ToString();
   EXPECT_EQ(*dtd, PrefixDtd(docs, docs.size()));
+}
+
+// ---------------------------------------------------------------------
+// Wire-protocol input validation
+
+TEST_F(ServeEndToEnd, RejectsMalformedInlineLengths) {
+  StartServer(serve::ServerOptions{});  // ephemeral corpora
+  serve::Client client = Connect();
+
+  // "-1" used to wrap through strtoull to ULLONG_MAX; every entry here
+  // must be rejected before any payload byte is read or allocated.
+  for (const char* bad : {"-1", "0", "-9223372036854775808",
+                          "99999999999999999999", "12x", "+5", "0x10"}) {
+    Result<std::string> rejected =
+        client.Roundtrip(std::string("INGEST lib INLINE ") + bad);
+    ASSERT_FALSE(rejected.ok()) << bad;
+    EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument)
+        << bad;
+    // The connection stays framed and usable after each rejection.
+    Result<std::string> pong = client.Ping();
+    ASSERT_TRUE(pong.ok()) << bad << ": " << pong.status().ToString();
+  }
+}
+
+TEST_F(ServeEndToEnd, OversizedInlineIsDrainedNotBuffered) {
+  serve::ServerOptions options;
+  options.max_inline_bytes = 1024;
+  StartServer(std::move(options));
+  serve::Client client = Connect();
+
+  // The announced payload exceeds the cap: the server must reject it,
+  // drain it in bounded chunks, and keep the connection framed.
+  std::string payload(4096, 'x');
+  Result<std::string> rejected =
+      client.Roundtrip("INGEST lib INLINE 4096\n" + payload);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(rejected.status().message().find("max-inline-bytes"),
+            std::string::npos)
+      << rejected.status().ToString();
+  Result<std::string> pong = client.Ping();
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+
+  // Same framing rule when the corpus id (not the size) is at fault.
+  Result<std::string> bad_id =
+      client.Roundtrip("INGEST bad/id INLINE 5\nhello");
+  ASSERT_FALSE(bad_id.ok());
+  EXPECT_EQ(bad_id.status().code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(client.Ping().ok());
+
+  // At the cap is still fine.
+  ASSERT_TRUE(client.IngestInline("lib", Doc(0)).ok());
+}
+
+TEST_F(ServeEndToEnd, PathIngestSurvivesRepeatedSpaces) {
+  StartServer(serve::ServerOptions{});
+  serve::Client client = Connect();
+
+  std::vector<std::string> docs = {Doc(0), Doc(1)};
+  // A filename with an interior space, referenced through a command
+  // line with collapsed-looking space runs between the tokens.
+  std::string path = dir_.path() + "/doc one.xml";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  ASSERT_NE(file, nullptr);
+  std::fputs(docs[0].c_str(), file);
+  std::fclose(file);
+
+  Result<std::string> spaced =
+      client.Roundtrip("INGEST  lib  PATH  " + path);
+  ASSERT_TRUE(spaced.ok()) << spaced.status().ToString();
+  ASSERT_TRUE(client.IngestInline("lib", docs[1]).ok());
+
+  Result<std::string> dtd = client.Query("lib");
+  ASSERT_TRUE(dtd.ok());
+  EXPECT_EQ(*dtd, PrefixDtd(docs, docs.size()));
+
+  // Still an error when the path is genuinely missing.
+  Result<std::string> empty = client.Roundtrip("INGEST lib PATH   ");
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------
+// HTTP front-end
+
+/// One blocking HTTP exchange against 127.0.0.1:port; returns the raw
+/// response (status line, headers, body).
+std::string HttpRequest(int port, const std::string& request) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  EXPECT_GE(fd, 0);
+  struct sockaddr_in addr;
+  ::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;  // Connection: close terminates the response
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST_F(ServeEndToEnd, HttpMetricsAndHealthEndpoints) {
+  // The process-level families carry live values only when the obs
+  // registry is collecting (the CLI always enables it for serve).
+  obs::EnableStats(true);
+  obs::ResetStats();
+  serve::ServerOptions options;
+  options.http_port = 0;  // ephemeral; read back below
+  options.corpus.data_dir = dir_.path() + "/data";
+  options.corpus.fsync_journal = false;
+  StartServer(std::move(options));
+  ASSERT_GT(server_->http_port(), 0);
+  int port = server_->http_port();
+
+  serve::Client client = Connect();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(client.IngestInline("lib", Doc(i)).ok());
+  }
+  ASSERT_TRUE(client.Query("lib").ok());
+
+  std::string health =
+      HttpRequest(port, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(health.find("HTTP/1.1 200 OK"), std::string::npos) << health;
+  EXPECT_NE(health.find("\r\n\r\nok\n"), std::string::npos) << health;
+
+  std::string metrics =
+      HttpRequest(port, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos)
+      << metrics.substr(0, 200);
+  // Structural invariants of the exposition format: HELP/TYPE headers,
+  // _total-suffixed counters, labelled samples, cumulative buckets
+  // ending at +Inf with matching _sum/_count.
+  for (const char* needle :
+       {"# HELP condtd_corpora_open ", "# TYPE condtd_corpora_open gauge",
+        "condtd_corpora_open 1",
+        "# TYPE condtd_corpus_documents_total counter",
+        "condtd_corpus_documents_total{corpus=\"lib\"} 3",
+        "# TYPE condtd_corpus_ingest_latency_seconds histogram",
+        "condtd_corpus_ingest_latency_seconds_bucket{corpus=\"lib\","
+        "le=\"+Inf\"} 3",
+        "condtd_corpus_ingest_latency_seconds_count{corpus=\"lib\"} 3",
+        "condtd_corpus_ingest_latency_seconds_sum{corpus=\"lib\"} ",
+        "condtd_corpus_queries_total{corpus=\"lib\"} 1",
+        "# TYPE condtd_process_serve_ingest_requests_total counter",
+        "condtd_process_serve_ingest_requests_total 3",
+        "condtd_process_http_requests_total "}) {
+    EXPECT_NE(metrics.find(needle), std::string::npos) << needle;
+  }
+
+  std::string missing =
+      HttpRequest(port, "GET /nope HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(missing.find("HTTP/1.1 404"), std::string::npos);
+  std::string posted =
+      HttpRequest(port, "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(posted.find("HTTP/1.1 405"), std::string::npos);
+
+  // The wire protocol is untouched by HTTP traffic.
+  EXPECT_TRUE(client.Ping().ok());
+  server_->Stop();
+  server_.reset();
+  obs::EnableStats(false);
+}
+
+// ---------------------------------------------------------------------
+// Daemon-level eviction
+
+TEST_F(ServeEndToEnd, EvictionIsInvisibleOverTheWire) {
+  auto now_ns = std::make_shared<std::atomic<int64_t>>(0);
+  serve::ServerOptions options;
+  options.corpus.data_dir = dir_.path() + "/data";
+  options.corpus.fsync_journal = false;
+  options.corpus_ttl_seconds = 60;
+  options.clock_ns = [now_ns] { return now_ns->load(); };
+  StartServer(std::move(options));
+  serve::Client client = Connect();
+
+  std::vector<std::string> docs;
+  for (int i = 0; i < 4; ++i) docs.push_back(Doc(i));
+  for (const std::string& doc : docs) {
+    ASSERT_TRUE(client.IngestInline("lib", doc).ok());
+  }
+  Result<std::string> before = client.Query("lib");
+  ASSERT_TRUE(before.ok());
+
+  now_ns->fetch_add(int64_t{61} * 1000000000);
+  ASSERT_EQ(server_->registry()->SweepNow(), 1);
+  {
+    // The evicted corpus no longer renders in STATS...
+    Result<std::string> stats = client.Stats();
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats->find("\"lib\""), std::string::npos);
+  }
+
+  // ... but QUERY transparently re-opens it, byte-identical, and the
+  // ack counters continue from where they left off.
+  Result<std::string> after = client.Query("lib");
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(*after, *before);
+  EXPECT_EQ(*after, PrefixDtd(docs, docs.size()));
+
+  Result<std::string> ack = client.IngestInline("lib", Doc(7));
+  ASSERT_TRUE(ack.ok());
+  EXPECT_NE(ack->find("documents=5"), std::string::npos) << *ack;
 }
 
 }  // namespace

@@ -100,6 +100,9 @@ int Usage() {
       "  condtd serve (--socket=PATH | --port=N) [--data-dir=DIR]\n"
       "               [--workers=N] [--snapshot-every=N] [--no-fsync]\n"
       "               [--max-corpus-bytes=N] [--replay-jobs=N]\n"
+      "               [--compact-journal-bytes=N] [--corpus-ttl=SECONDS]\n"
+      "               [--max-corpora=N] [--max-inline-bytes=N]\n"
+      "               [--http-port=N] [--http-host=HOST]\n"
       "               [--algorithm=NAME] [--noise=N] [--lenient] [--dom]\n"
       "  condtd client (--socket=PATH | --port=N) <cmd>\n"
       "               cmd: ping | ingest <corpus> file.xml... |\n"
@@ -686,6 +689,44 @@ int RunServe(const std::vector<std::string>& args) {
         return 2;
       }
       options.corpus.max_corpus_bytes = parsed;
+    } else if (GetFlag(arg, "compact-journal-bytes", &value)) {
+      int64_t parsed = 0;
+      if (!ParseInt64(value, &parsed) || parsed < 0) {
+        std::fprintf(
+            stderr,
+            "--compact-journal-bytes=%s: expected an integer >= 0\n",
+            value.c_str());
+        return 2;
+      }
+      options.corpus.compact_journal_bytes = parsed;
+    } else if (GetFlag(arg, "corpus-ttl", &value)) {
+      int64_t parsed = 0;
+      if (!ParseInt64(value, &parsed) || parsed < 0) {
+        std::fprintf(stderr,
+                     "--corpus-ttl=%s: expected seconds >= 0\n",
+                     value.c_str());
+        return 2;
+      }
+      options.corpus_ttl_seconds = parsed;
+    } else if (GetFlag(arg, "max-corpora", &value)) {
+      if (!ParseCountFlag("max-corpora", value, 0, &options.max_corpora)) {
+        return 2;
+      }
+    } else if (GetFlag(arg, "max-inline-bytes", &value)) {
+      int64_t parsed = 0;
+      if (!ParseInt64(value, &parsed) || parsed <= 0) {
+        std::fprintf(stderr,
+                     "--max-inline-bytes=%s: expected an integer > 0\n",
+                     value.c_str());
+        return 2;
+      }
+      options.max_inline_bytes = parsed;
+    } else if (GetFlag(arg, "http-port", &value)) {
+      if (!ParseCountFlag("http-port", value, 0, &options.http_port)) {
+        return 2;
+      }
+    } else if (GetFlag(arg, "http-host", &value)) {
+      options.http_host = value;
     } else if (GetFlag(arg, "algorithm", &value)) {
       if (LearnerRegistry::Global().Find(value) == nullptr) {
         std::fprintf(
@@ -739,6 +780,7 @@ int RunServe(const std::vector<std::string>& args) {
   obs::EnableStats(true);
   obs::ResetStats();
 
+  const std::string http_host = options.http_host;
   serve::Server server(std::move(options));
   Status started = server.Start();
   if (!started.ok()) {
@@ -753,6 +795,10 @@ int RunServe(const std::vector<std::string>& args) {
   } else {
     std::printf("condtd serve listening on %s:%d\n",
                 endpoint.host.c_str(), server.port());
+  }
+  if (server.http_port() >= 0) {
+    std::printf("condtd serve metrics on http://%s:%d/metrics\n",
+                http_host.c_str(), server.http_port());
   }
   std::fflush(stdout);
   server.Wait();
